@@ -1,0 +1,103 @@
+// E12 (extension): degree-distribution fidelity across publishers.
+//
+// Degree distributions are the most commonly reported OSN statistic. We
+// compare three DP routes at the same ε:
+//   (a) row norms of the projected release (free post-processing),
+//   (b) the Hay-style DP degree sequence (isotonic-cleaned Laplace; the
+//       budget buys *only* degrees),
+//   (c) the randomized-response graph's degrees.
+// Metric: total-variation distance between the released degree histogram
+// (bins of 10) and the truth. Expected shape: the dedicated sequence (b)
+// wins on its own statistic; the projected release (a) is competitive while
+// also carrying the spectral structure; (c) is poor until large ε because
+// flip noise inflates every degree.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/baselines.hpp"
+#include "core/publisher.hpp"
+#include "core/reconstruction.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 61;
+constexpr double kBinWidth = 10.0;
+constexpr std::size_t kBins = 40;
+
+std::vector<double> normalized_hist_from_degrees(
+    const std::vector<double>& degrees) {
+  std::vector<double> hist(kBins, 0.0);
+  for (double d : degrees) {
+    const double clamped = std::max(d, 0.0);
+    const auto bin = std::min<std::size_t>(
+        kBins - 1, static_cast<std::size_t>(clamped / kBinWidth));
+    hist[bin] += 1.0;
+  }
+  for (double& v : hist) v /= static_cast<double>(degrees.size());
+  return hist;
+}
+
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double tv = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) tv += std::fabs(a[i] - b[i]);
+  return 0.5 * tv;
+}
+
+}  // namespace
+
+int main() {
+  sgp::bench::banner(
+      "E12: degree-distribution fidelity (total variation, lower is better)",
+      "facebook-sim, histogram bins of 10. rp = release row norms; hay = DP "
+      "degree sequence (Laplace + isotonic); flip = randomized response.");
+
+  const auto dataset = sgp::graph::facebook_sim();
+  const auto& g = dataset.planted.graph;
+
+  std::vector<double> truth_degrees(g.num_nodes());
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    truth_degrees[u] = static_cast<double>(g.degree(u));
+  }
+  const auto truth_hist = normalized_hist_from_degrees(truth_degrees);
+
+  sgp::util::TextTable table({"epsilon", "tv_rp", "tv_hay", "tv_edgeflip"});
+  for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    sgp::util::WallTimer timer;
+    // (a) projected release row norms.
+    sgp::core::RandomProjectionPublisher::Options opt;
+    opt.projection_dim = 100;
+    opt.params = {eps, 1e-6};
+    opt.seed = kSeed;
+    const auto pub = sgp::core::RandomProjectionPublisher(opt).publish(g);
+    const auto rp_hist =
+        normalized_hist_from_degrees(sgp::core::degree_scores(pub));
+
+    // (b) dedicated DP degree sequence.
+    const sgp::core::DegreeSequencePublisher hay(eps, kSeed);
+    const auto hay_hist =
+        normalized_hist_from_degrees(hay.publish(g).noisy_sorted_degrees);
+
+    // (c) randomized response graph.
+    const sgp::core::EdgeFlipPublisher flip(eps, kSeed);
+    const auto flipped = flip.publish(g);
+    std::vector<double> flip_degrees(flipped.num_nodes());
+    for (std::size_t u = 0; u < flipped.num_nodes(); ++u) {
+      flip_degrees[u] = static_cast<double>(flipped.degree(u));
+    }
+    const auto flip_hist = normalized_hist_from_degrees(flip_degrees);
+
+    table.new_row()
+        .add(eps, 1)
+        .add(total_variation(truth_hist, rp_hist), 3)
+        .add(total_variation(truth_hist, hay_hist), 3)
+        .add(total_variation(truth_hist, flip_hist), 3);
+    std::fprintf(stderr, "[e12] eps=%.1f done in %.1fs\n", eps,
+                 timer.seconds());
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

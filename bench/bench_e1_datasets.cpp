@@ -1,0 +1,37 @@
+// E1 (paper Table 1): evaluation datasets and their structural statistics.
+//
+// The paper's table lists SNAP Facebook / Pokec / LiveJournal; offline we
+// print the synthetic stand-ins (see DESIGN.md "Substitutions") with the
+// statistics a reader would use to sanity-check comparability: size,
+// density, degree profile, clustering coefficient, community count.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/metrics.hpp"
+
+int main() {
+  sgp::bench::banner(
+      "E1 / Table 1: dataset statistics",
+      "Synthetic stand-ins for the SNAP graphs used in the paper.");
+
+  sgp::util::TextTable table({"dataset", "nodes", "edges", "avg_deg",
+                              "max_deg", "global_cc", "communities"});
+  for (const auto& dataset : sgp::graph::standard_datasets()) {
+    sgp::util::WallTimer timer;
+    const auto& g = dataset.planted.graph;
+    const auto stats = sgp::graph::degree_stats(g);
+    const double cc = sgp::graph::global_clustering_coefficient(g);
+    table.new_row()
+        .add(dataset.name)
+        .add(g.num_nodes())
+        .add(g.num_edges())
+        .add(stats.mean, 1)
+        .add(stats.max)
+        .add(cc, 4)
+        .add(dataset.num_communities);
+    std::fprintf(stderr, "[e1] %s done in %.1fs\n", dataset.name.c_str(),
+                 timer.seconds());
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

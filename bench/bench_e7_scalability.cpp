@@ -1,0 +1,134 @@
+// E7 (paper Fig. "storage and computational efficiency"): publish time and
+// release size vs graph size, for the random-projection mechanism vs the
+// dense-matrix baselines.
+//
+// Expected shape: RP time grows ~linearly in |E| and its release is n·m
+// doubles; the dense Gaussian release grows as n² in both time and bytes and
+// falls off the chart past a few thousand nodes (the abstract's
+// "computationally impractical" claim); LNPP pays an eigensolve per release.
+//
+// Timing uses the google-benchmark harness (one fixed iteration per size —
+// these are multi-second macro benchmarks); the storage table is printed
+// after the timings.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+#include "core/baselines.hpp"
+#include "core/publisher.hpp"
+
+namespace {
+
+constexpr std::size_t kProjectionDim = 100;
+constexpr std::size_t kCommunitySize = 500;
+
+const sgp::graph::Graph& cached_graph(std::size_t n) {
+  static std::map<std::size_t, sgp::graph::Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    sgp::random::Rng rng(41);
+    auto planted = sgp::graph::stochastic_block_model(
+        std::vector<std::size_t>(n / kCommunitySize, kCommunitySize), 0.2,
+        2000.0 / (static_cast<double>(n) * static_cast<double>(n)), rng);
+    it = cache.emplace(n, std::move(planted.graph)).first;
+  }
+  return it->second;
+}
+
+void BM_RandomProjectionPublish(benchmark::State& state) {
+  const auto& g = cached_graph(static_cast<std::size_t>(state.range(0)));
+  sgp::core::RandomProjectionPublisher::Options opt;
+  opt.projection_dim = kProjectionDim;
+  opt.params = {1.0, 1e-6};
+  opt.seed = 43;
+  const sgp::core::RandomProjectionPublisher publisher(opt);
+  for (auto _ : state) {
+    auto pub = publisher.publish(g);
+    benchmark::DoNotOptimize(pub.data.data().data());
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+
+void BM_DenseGaussianPublish(benchmark::State& state) {
+  const auto& g = cached_graph(static_cast<std::size_t>(state.range(0)));
+  const sgp::core::DenseGaussianPublisher publisher({1.0, 1e-6}, 43);
+  for (auto _ : state) {
+    auto pub = publisher.publish(g);
+    benchmark::DoNotOptimize(pub.data.data().data());
+  }
+}
+
+void BM_LnppPublish(benchmark::State& state) {
+  const auto& g = cached_graph(static_cast<std::size_t>(state.range(0)));
+  sgp::core::LnppPublisher::Options opt;
+  opt.k = 8;
+  opt.epsilon = 1.0;
+  opt.seed = 43;
+  const sgp::core::LnppPublisher publisher(opt);
+  for (auto _ : state) {
+    auto rel = publisher.publish(g);
+    benchmark::DoNotOptimize(rel.eigenvalues.data());
+  }
+}
+
+void BM_EdgeFlipPublish(benchmark::State& state) {
+  const auto& g = cached_graph(static_cast<std::size_t>(state.range(0)));
+  const sgp::core::EdgeFlipPublisher publisher(1.0, 43);
+  for (auto _ : state) {
+    auto flipped = publisher.publish(g);
+    benchmark::DoNotOptimize(flipped.num_edges());
+  }
+}
+
+BENCHMARK(BM_RandomProjectionPublish)
+    ->Arg(1000)->Arg(2000)->Arg(5000)->Arg(10000)->Arg(20000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_DenseGaussianPublish)
+    ->Arg(1000)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_LnppPublish)
+    ->Arg(1000)->Arg(2000)->Arg(5000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_EdgeFlipPublish)
+    ->Arg(1000)->Arg(2000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void print_storage_table() {
+  std::printf("\nRelease size (MiB) by method and graph size:\n");
+  sgp::util::TextTable table(
+      {"n", "rp_m100", "dense_gaussian", "lnpp_k8", "edge_flip_eps1"});
+  for (std::size_t n : {1000, 5000, 10000, 50000, 1000000}) {
+    const double nd = static_cast<double>(n);
+    const double mib = 8.0 / (1 << 20);
+    // Edge-flip at eps=1 keeps ~n²/2·(1-keep) spurious pairs; stored as two
+    // 32-bit endpoints each.
+    const double flip = 1.0 - std::exp(1.0) / (1.0 + std::exp(1.0));
+    table.new_row()
+        .add(n)
+        .add(nd * 100.0 * mib, 1)
+        .add(nd * nd * mib, 1)
+        .add((8.0 + nd * 8.0) * mib, 2)
+        .add(nd * nd / 2.0 * flip * 8.0 / (1 << 20), 1);
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sgp::bench::banner(
+      "E7: publishing cost vs graph size",
+      "Wall-clock publish time (google-benchmark, 1 iteration per size) and "
+      "release bytes. RP scales with |E|*m; dense baselines scale with n^2.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_storage_table();
+  return 0;
+}

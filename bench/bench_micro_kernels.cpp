@@ -1,0 +1,120 @@
+// Micro-benchmarks of the kernels the publish/analyze pipelines spend their
+// time in — regression guardrails for performance work (google-benchmark
+// with proper auto-iteration, unlike the one-shot macro timings of E7).
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.hpp"
+#include "core/projection.hpp"
+#include "graph/generators.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "random/distributions.hpp"
+#include "ranking/metrics.hpp"
+
+namespace {
+
+sgp::linalg::DenseMatrix random_dense(std::size_t r, std::size_t c,
+                                      std::uint64_t seed) {
+  sgp::random::Rng rng(seed);
+  sgp::linalg::DenseMatrix m(r, c);
+  for (auto& v : m.data()) v = sgp::random::normal(rng);
+  return m;
+}
+
+const sgp::graph::Graph& bench_graph() {
+  static const sgp::graph::Graph g = [] {
+    sgp::random::Rng rng(3);
+    return sgp::graph::erdos_renyi(5000, 0.01, rng);
+  }();
+  return g;
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const auto a = bench_graph().adjacency_matrix();
+  const auto p = random_dense(5000, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto y = a.multiply_dense(p);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_SpMM)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_GaussianProjection(benchmark::State& state) {
+  sgp::random::Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto p = sgp::core::gaussian_projection(n, 100, rng);
+    benchmark::DoNotOptimize(p.data().data());
+  }
+}
+BENCHMARK(BM_GaussianProjection)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_AchlioptasProjection(benchmark::State& state) {
+  sgp::random::Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto p = sgp::core::achlioptas_projection(n, 100, rng);
+    benchmark::DoNotOptimize(p.data().data());
+  }
+}
+BENCHMARK(BM_AchlioptasProjection)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SvdGram(benchmark::State& state) {
+  const auto a = random_dense(4000, static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto svd = sgp::linalg::svd_gram(a, 8);
+    benchmark::DoNotOptimize(svd.singular_values.data());
+  }
+}
+BENCHMARK(BM_SvdGram)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const auto a = random_dense(2000, static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto qr = sgp::linalg::qr_decompose(a);
+    benchmark::DoNotOptimize(qr.q.data().data());
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto base = random_dense(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)), 6);
+  const auto sym = base.gram();
+  for (auto _ : state) {
+    auto eig = sgp::linalg::jacobi_eigen(sym);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  const auto pts = random_dense(static_cast<std::size_t>(state.range(0)), 8, 7);
+  sgp::cluster::KMeansOptions opt;
+  opt.k = 8;
+  opt.restarts = 1;
+  for (auto _ : state) {
+    auto res = sgp::cluster::kmeans(pts, opt);
+    benchmark::DoNotOptimize(res.assignments.data());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_KendallTau(benchmark::State& state) {
+  sgp::random::Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = sgp::random::normal(rng);
+    b[i] = sgp::random::normal(rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sgp::ranking::kendall_tau(a, b));
+  }
+}
+BENCHMARK(BM_KendallTau)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared plumbing for the experiment harnesses (bench_e1 … bench_e8).
+//
+// Each bench binary regenerates one table/figure of the evaluation: it
+// prints a header naming the experiment, then an aligned table whose rows
+// are the series the paper reports. Progress/status goes to stderr so stdout
+// stays machine-readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "cluster/spectral.hpp"
+#include "graph/datasets.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sgp::bench {
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::printf("=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+/// Spectral clustering of the original (non-private) graph — the reference
+/// that published-graph clustering is scored against, plus its NMI vs the
+/// planted labels (the ceiling any private method can reach).
+struct Reference {
+  std::vector<std::uint32_t> assignments;
+  double nmi_vs_truth = 0.0;
+};
+
+inline Reference non_private_reference(const graph::Dataset& dataset,
+                                       std::uint64_t seed = 7) {
+  cluster::SpectralOptions opt;
+  opt.num_clusters = dataset.num_communities;
+  opt.seed = seed;
+  util::WallTimer timer;
+  const auto result =
+      cluster::spectral_cluster_graph(dataset.planted.graph, opt);
+  util::LogStream(util::LogLevel::kInfo)
+      << dataset.name << ": non-private spectral reference in "
+      << timer.seconds() << "s";
+  Reference ref;
+  ref.assignments = result.assignments;
+  ref.nmi_vs_truth = cluster::normalized_mutual_information(
+      result.assignments, dataset.planted.labels);
+  return ref;
+}
+
+}  // namespace sgp::bench

@@ -1,0 +1,115 @@
+// Scale-down study: publish a down-sampled graph when the full one is too
+// large for a pipeline (or for a tight privacy budget — fewer nodes means a
+// stronger relative spectral signal at the same ε).
+//
+// Compares uniform node sampling vs random-walk sampling as the scale-down
+// step, measuring how well communities survive sampling + DP publication.
+//
+//   ./sampling_study [--target 800] [--epsilon 8] [--dim 64] [--seed 7]
+#include <cstdio>
+
+#include "cluster/metrics.hpp"
+#include "core/publisher.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "graph/sampling.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Publishes `g` and clusters the release; returns NMI vs `labels`.
+double publish_and_score(const sgp::graph::Graph& g,
+                         const std::vector<std::uint32_t>& labels,
+                         std::size_t k, double epsilon, std::size_t dim,
+                         std::uint64_t seed) {
+  sgp::core::RandomProjectionPublisher::Options opt;
+  opt.projection_dim = std::min(dim, g.num_nodes());
+  opt.params = {epsilon, 1e-6};
+  opt.seed = seed;
+  const auto pub = sgp::core::RandomProjectionPublisher(opt).publish(g);
+  const auto res = sgp::core::cluster_published(pub, k, seed);
+  return sgp::cluster::normalized_mutual_information(res.assignments, labels);
+}
+
+std::vector<std::uint32_t> project_labels(
+    const std::vector<std::uint32_t>& labels,
+    const std::vector<std::uint32_t>& mapping) {
+  std::vector<std::uint32_t> out(mapping.size());
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    out[i] = labels[mapping[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sgp::util::CliArgs args(argc, argv);
+  const auto target = static_cast<std::size_t>(args.get_int("target", 800));
+  const double epsilon = args.get_double("epsilon", 8.0);
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 64));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  sgp::random::Rng rng(seed);
+  const auto planted = sgp::graph::stochastic_block_model(
+      std::vector<std::size_t>(8, 400), 0.3, 0.004, rng);
+  const auto& full = planted.graph;
+  std::printf("full graph: %zu nodes, %zu edges, 8 communities\n",
+              full.num_nodes(), full.num_edges());
+
+  sgp::util::TextTable table({"variant", "nodes", "edges", "avg_deg",
+                              "min_comm_share", "nmi_after_publish"});
+
+  auto min_community_share = [&](const std::vector<std::uint32_t>& labels) {
+    std::vector<std::size_t> counts(8, 0);
+    for (std::uint32_t l : labels) ++counts[l];
+    std::size_t smallest = labels.size();
+    for (std::size_t c : counts) smallest = std::min(smallest, c);
+    return static_cast<double>(smallest) * 8.0 /
+           static_cast<double>(labels.size());
+  };
+
+  table.new_row()
+      .add(std::string("full graph"))
+      .add(full.num_nodes())
+      .add(full.num_edges())
+      .add(full.average_degree(), 1)
+      .add(min_community_share(planted.labels), 2)
+      .add(publish_and_score(full, planted.labels, 8, epsilon, dim, seed), 3);
+
+  {
+    std::vector<std::uint32_t> mapping;
+    const auto sub = sgp::graph::node_sample(full, target, rng, &mapping);
+    const auto labels = project_labels(planted.labels, mapping);
+    table.new_row()
+        .add(std::string("uniform node sample"))
+        .add(sub.num_nodes())
+        .add(sub.num_edges())
+        .add(sub.average_degree(), 1)
+        .add(min_community_share(labels), 2)
+        .add(publish_and_score(sub, labels, 8, epsilon, dim, seed), 3);
+  }
+  {
+    std::vector<std::uint32_t> mapping;
+    const auto sub =
+        sgp::graph::random_walk_sample(full, target, rng, &mapping);
+    const auto labels = project_labels(planted.labels, mapping);
+    table.new_row()
+        .add(std::string("random-walk sample"))
+        .add(sub.num_nodes())
+        .add(sub.num_edges())
+        .add(sub.average_degree(), 1)
+        .add(min_community_share(labels), 2)
+        .add(publish_and_score(sub, labels, 8, epsilon, dim, seed), 3);
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nThe trade-off (min_comm_share = smallest community's share of the "
+      "sample, relative to parity at 1.0): uniform sampling covers every "
+      "community evenly but dilutes edges; the restarting random walk keeps "
+      "local density yet over-samples the communities it starts in, which "
+      "can hurt k-way clustering more than sparsity does. Down-sampling is "
+      "not free — prefer publishing the full graph when the budget allows.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent ones sampled with
+/// probability proportional to squared distance from the nearest chosen one.
+linalg::DenseMatrix seed_centroids(const linalg::DenseMatrix& points,
+                                   std::size_t k, random::Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  linalg::DenseMatrix centroids(k, d);
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  std::size_t first = rng.next_below(n);
+  std::copy(points.row(first).begin(), points.row(first).end(),
+            centroids.row(0).begin());
+
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dist2[i] =
+          std::min(dist2[i], squared_distance(points.row(i),
+                                              centroids.row(c - 1)));
+      total += dist2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.next_double() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= dist2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.next_below(n);  // all points identical to a centroid
+    }
+    std::copy(points.row(chosen).begin(), points.row(chosen).end(),
+              centroids.row(c).begin());
+  }
+  return centroids;
+}
+
+KMeansResult lloyd_run(const linalg::DenseMatrix& points,
+                       const KMeansOptions& options, random::Rng& rng) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  const std::size_t k = options.k;
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, k, rng);
+  result.assignments.assign(n, 0);
+  double previous_inertia = std::numeric_limits<double>::max();
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step (parallel over points).
+    double inertia = 0.0;
+    {
+      std::vector<double> point_cost(n, 0.0);
+      util::parallel_for(
+          0, n,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              double best = std::numeric_limits<double>::max();
+              std::uint32_t best_c = 0;
+              for (std::size_t c = 0; c < k; ++c) {
+                const double d2 =
+                    squared_distance(points.row(i), result.centroids.row(c));
+                if (d2 < best) {
+                  best = d2;
+                  best_c = static_cast<std::uint32_t>(c);
+                }
+              }
+              result.assignments[i] = best_c;
+              point_cost[i] = best;
+            }
+          },
+          512);
+      for (double pc : point_cost) inertia += pc;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    linalg::DenseMatrix sums(k, d);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = result.assignments[i];
+      ++counts[c];
+      auto srow = sums.row(c);
+      const auto prow = points.row(i);
+      for (std::size_t j = 0; j < d; ++j) srow[j] += prow[j];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point: keeps k clusters alive.
+        const std::size_t pick = rng.next_below(n);
+        std::copy(points.row(pick).begin(), points.row(pick).end(),
+                  result.centroids.row(c).begin());
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      auto crow = result.centroids.row(c);
+      const auto srow = sums.row(c);
+      for (std::size_t j = 0; j < d; ++j) crow[j] = srow[j] * inv;
+    }
+
+    if (previous_inertia - inertia <= options.tolerance) break;
+    previous_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const linalg::DenseMatrix& points,
+                    const KMeansOptions& options) {
+  const std::size_t n = points.rows();
+  util::require(n > 0, "kmeans: need at least one point");
+  util::require(options.k >= 1 && options.k <= n,
+                "kmeans: k must be in [1, #points]");
+  util::require(options.restarts >= 1, "kmeans: restarts must be >= 1");
+
+  random::Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    KMeansResult candidate = lloyd_run(points, options, rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace sgp::cluster

@@ -1,0 +1,195 @@
+#include "cluster/louvain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "graph/metrics.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+/// Weighted graph in adjacency-list form used for the aggregation levels.
+struct WeightedGraph {
+  // adjacency[u] = sorted (neighbor, weight) pairs; self loops allowed and
+  // carry intra-community weight after aggregation.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  double total_weight = 0.0;  ///< sum of all edge weights (2m counting)
+
+  [[nodiscard]] std::size_t size() const { return adjacency.size(); }
+};
+
+WeightedGraph from_simple(const graph::Graph& g) {
+  WeightedGraph wg;
+  wg.adjacency.resize(g.num_nodes());
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    for (std::uint32_t v : g.neighbors(u)) {
+      wg.adjacency[u].emplace_back(v, 1.0);
+    }
+  }
+  wg.total_weight = 2.0 * static_cast<double>(g.num_edges());
+  return wg;
+}
+
+double weighted_degree(const WeightedGraph& wg, std::size_t u) {
+  double d = 0.0;
+  for (const auto& [v, w] : wg.adjacency[u]) {
+    d += w;
+    if (v == u) d += w;  // self loop counts twice in the degree
+  }
+  return d;
+}
+
+/// One level of local moving. Returns (assignments, modularity gain made).
+struct LocalMoveResult {
+  std::vector<std::uint32_t> community;
+  bool moved_any = false;
+};
+
+LocalMoveResult local_move(const WeightedGraph& wg,
+                           const LouvainOptions& options, random::Rng& rng) {
+  const std::size_t n = wg.size();
+  LocalMoveResult result;
+  result.community.resize(n);
+  std::iota(result.community.begin(), result.community.end(), 0);
+
+  std::vector<double> node_degree(n);
+  for (std::size_t u = 0; u < n; ++u) node_degree[u] = weighted_degree(wg, u);
+  std::vector<double> community_degree = node_degree;  // Σ degrees per comm
+
+  const double m2 = std::max(wg.total_weight, 1e-300);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  random::shuffle(rng, order);
+
+  std::map<std::uint32_t, double> links_to;  // weight from u to community
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double sweep_gain = 0.0;
+    for (std::size_t u : order) {
+      const std::uint32_t current = result.community[u];
+      links_to.clear();
+      double self_weight = 0.0;
+      for (const auto& [v, w] : wg.adjacency[u]) {
+        if (v == u) {
+          self_weight += w;
+          continue;
+        }
+        links_to[result.community[v]] += w;
+      }
+      (void)self_weight;
+
+      // Remove u from its community.
+      community_degree[current] -= node_degree[u];
+      const double base_links = links_to.count(current) ? links_to[current] : 0.0;
+
+      // Gain of joining community c: links(u,c)/m − deg(u)·Σdeg(c)/(2m²)
+      // (constant terms cancel when comparing).
+      std::uint32_t best = current;
+      double best_gain =
+          base_links / m2 -
+          node_degree[u] * community_degree[current] / (m2 * m2);
+      for (const auto& [c, w] : links_to) {
+        if (c == current) continue;
+        const double gain =
+            w / m2 - node_degree[u] * community_degree[c] / (m2 * m2);
+        if (gain > best_gain + 1e-15) {
+          best_gain = gain;
+          best = c;
+        }
+      }
+      community_degree[best] += node_degree[u];
+      if (best != current) {
+        result.community[u] = best;
+        result.moved_any = true;
+        sweep_gain += best_gain;
+      }
+    }
+    if (sweep_gain < options.min_modularity_gain) break;
+  }
+  return result;
+}
+
+/// Renumbers community labels to a dense 0..k-1 range.
+std::size_t compact_labels(std::vector<std::uint32_t>& labels) {
+  std::map<std::uint32_t, std::uint32_t> remap;
+  for (std::uint32_t& l : labels) {
+    const auto [it, inserted] =
+        remap.emplace(l, static_cast<std::uint32_t>(remap.size()));
+    l = it->second;
+  }
+  return remap.size();
+}
+
+/// Builds the aggregated graph whose nodes are the communities.
+WeightedGraph aggregate(const WeightedGraph& wg,
+                        const std::vector<std::uint32_t>& community,
+                        std::size_t num_communities) {
+  WeightedGraph out;
+  out.adjacency.resize(num_communities);
+  out.total_weight = wg.total_weight;
+  std::vector<std::map<std::uint32_t, double>> merged(num_communities);
+  for (std::size_t u = 0; u < wg.size(); ++u) {
+    const std::uint32_t cu = community[u];
+    for (const auto& [v, w] : wg.adjacency[u]) {
+      const std::uint32_t cv = community[v];
+      if (v == u) {
+        // Existing self loop: stored once, passes through at full weight.
+        merged[cu][cu] += w;
+      } else if (cu == cv) {
+        // Intra-community edge: each direction contributes half to the new
+        // self loop, so the undirected edge adds weight w in total.
+        merged[cu][cu] += w * 0.5;
+      } else {
+        merged[cu][cv] += w;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < num_communities; ++c) {
+    out.adjacency[c].assign(merged[c].begin(), merged[c].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+LouvainResult louvain_cluster(const graph::Graph& g,
+                              const LouvainOptions& options) {
+  util::require(options.max_levels >= 1, "louvain: max_levels must be >= 1");
+  util::require(options.max_sweeps >= 1, "louvain: max_sweeps must be >= 1");
+
+  LouvainResult result;
+  result.assignments.resize(g.num_nodes());
+  std::iota(result.assignments.begin(), result.assignments.end(), 0);
+  if (g.num_nodes() == 0) return result;
+  if (g.num_edges() == 0) {
+    result.num_communities = g.num_nodes();
+    return result;
+  }
+
+  random::Rng rng(options.seed);
+  WeightedGraph level_graph = from_simple(g);
+  // node -> community-at-current-level mapping, composed across levels.
+  std::vector<std::uint32_t> global = result.assignments;
+
+  for (std::size_t level = 0; level < options.max_levels; ++level) {
+    LocalMoveResult moved = local_move(level_graph, options, rng);
+    const std::size_t k = compact_labels(moved.community);
+    result.levels = level + 1;
+    // Compose into the node-level assignment.
+    for (std::uint32_t& c : global) c = moved.community[c];
+    if (!moved.moved_any || k == level_graph.size()) break;
+    level_graph = aggregate(level_graph, moved.community, k);
+  }
+
+  result.assignments = global;
+  result.num_communities = compact_labels(result.assignments);
+  result.modularity = graph::modularity(g, result.assignments);
+  return result;
+}
+
+}  // namespace sgp::cluster

@@ -1,0 +1,36 @@
+// Louvain modularity-maximization community detection.
+//
+// A graph-native clustering baseline: unlike the spectral pipeline it needs
+// no eigenvectors, so it can run directly on graph-shaped releases (e.g. the
+// randomized-response baseline's flipped graph) and serves as an independent
+// check on the spectral results. Standard two-phase algorithm (Blondel et
+// al. 2008): local moves to the neighboring community with the best
+// modularity gain, then graph aggregation; repeat until Q stops improving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgp::cluster {
+
+struct LouvainOptions {
+  std::size_t max_levels = 16;       ///< aggregation rounds
+  std::size_t max_sweeps = 32;       ///< local-move sweeps per level
+  double min_modularity_gain = 1e-7;  ///< stop when a full sweep gains less
+  std::uint64_t seed = 7;            ///< node-visit order shuffling
+};
+
+struct LouvainResult {
+  std::vector<std::uint32_t> assignments;  ///< community id per node, dense
+  double modularity = 0.0;                 ///< Q of the final partition
+  std::size_t num_communities = 0;
+  std::size_t levels = 0;  ///< aggregation levels actually used
+};
+
+/// Runs Louvain on an unweighted graph. Deterministic for a fixed seed.
+LouvainResult louvain_cluster(const graph::Graph& g,
+                              const LouvainOptions& options = {});
+
+}  // namespace sgp::cluster

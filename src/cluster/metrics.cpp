@@ -1,0 +1,102 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+struct Contingency {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> joint;
+  std::map<std::uint32_t, std::size_t> row;  // counts per label in a
+  std::map<std::uint32_t, std::size_t> col;  // counts per label in b
+  std::size_t n = 0;
+};
+
+Contingency build(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b) {
+  util::require(a.size() == b.size(),
+                "cluster metrics: label vectors must have equal size");
+  util::require(!a.empty(), "cluster metrics: label vectors must be non-empty");
+  Contingency t;
+  t.n = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++t.joint[{a[i], b[i]}];
+    ++t.row[a[i]];
+    ++t.col[b[i]];
+  }
+  return t;
+}
+
+double entropy(const std::map<std::uint32_t, std::size_t>& counts,
+               std::size_t n) {
+  double h = 0.0;
+  for (const auto& [label, c] : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double normalized_mutual_information(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b) {
+  const Contingency t = build(a, b);
+  const double n = static_cast<double>(t.n);
+  const double ha = entropy(t.row, t.n);
+  const double hb = entropy(t.col, t.n);
+  if (ha == 0.0 || hb == 0.0) {
+    // Degenerate single-cluster partition(s): identical ⇒ 1, else 0.
+    return (ha == 0.0 && hb == 0.0) ? 1.0 : 0.0;
+  }
+  double mi = 0.0;
+  for (const auto& [labels, c] : t.joint) {
+    const double pij = static_cast<double>(c) / n;
+    const double pi = static_cast<double>(t.row.at(labels.first)) / n;
+    const double pj = static_cast<double>(t.col.at(labels.second)) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  const double nmi = mi / std::sqrt(ha * hb);
+  return std::clamp(nmi, 0.0, 1.0);
+}
+
+double adjusted_rand_index(const std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b) {
+  const Contingency t = build(a, b);
+  auto choose2 = [](std::size_t x) {
+    return 0.5 * static_cast<double>(x) * static_cast<double>(x > 0 ? x - 1 : 0);
+  };
+  double sum_ij = 0.0;
+  for (const auto& [labels, c] : t.joint) sum_ij += choose2(c);
+  double sum_i = 0.0;
+  for (const auto& [label, c] : t.row) sum_i += choose2(c);
+  double sum_j = 0.0;
+  for (const auto& [label, c] : t.col) sum_j += choose2(c);
+  const double total = choose2(t.n);
+  if (total == 0.0) return 1.0;  // single point: any partitions agree
+  const double expected = sum_i * sum_j / total;
+  const double maximum = 0.5 * (sum_i + sum_j);
+  if (maximum == expected) return 1.0;  // both partitions trivial
+  return (sum_ij - expected) / (maximum - expected);
+}
+
+double purity(const std::vector<std::uint32_t>& predicted,
+              const std::vector<std::uint32_t>& truth) {
+  const Contingency t = build(predicted, truth);
+  // For each predicted cluster (row label), take its max joint count.
+  std::map<std::uint32_t, std::size_t> best;
+  for (const auto& [labels, c] : t.joint) {
+    auto& cur = best[labels.first];
+    cur = std::max(cur, c);
+  }
+  std::size_t covered = 0;
+  for (const auto& [label, c] : best) covered += c;
+  return static_cast<double>(covered) / static_cast<double>(t.n);
+}
+
+}  // namespace sgp::cluster

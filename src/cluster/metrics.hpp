@@ -1,0 +1,29 @@
+// External clustering-quality metrics against ground-truth labels — the
+// paper's node-clustering utility is reported as agreement between clusters
+// found on the published graph and the true community structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sgp::cluster {
+
+/// Normalized mutual information in [0, 1]:
+///   NMI(A, B) = I(A; B) / sqrt(H(A) · H(B)).
+/// 1 for identical partitions (up to relabeling), ~0 for independent ones.
+/// If either partition has zero entropy (single cluster), returns 1 when the
+/// partitions are identical and 0 otherwise.
+double normalized_mutual_information(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b);
+
+/// Adjusted Rand index in [-1, 1]; expected 0 for random labelings,
+/// 1 for identical partitions.
+double adjusted_rand_index(const std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b);
+
+/// Purity in (0, 1]: each predicted cluster votes for its dominant true
+/// label; the fraction of correctly covered points.
+double purity(const std::vector<std::uint32_t>& predicted,
+              const std::vector<std::uint32_t>& truth);
+
+}  // namespace sgp::cluster

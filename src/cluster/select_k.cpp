@@ -1,0 +1,58 @@
+#include "cluster/select_k.hpp"
+
+#include <algorithm>
+
+#include "cluster/kmeans.hpp"
+#include "cluster/silhouette.hpp"
+#include "util/check.hpp"
+
+namespace sgp::cluster {
+
+std::size_t eigengap_k(const std::vector<double>& values, double tol) {
+  util::require(values.size() >= 2, "eigengap: need at least two values");
+  // Ignore the trailing ~zero tail (rank-deficient releases).
+  std::size_t effective = values.size();
+  const double scale = std::max(values.front(), tol);
+  while (effective > 2 && values[effective - 1] <= tol * scale) --effective;
+
+  std::size_t best_k = 1;
+  double best_ratio = 0.0;
+  for (std::size_t k = 1; k < effective; ++k) {
+    util::require(values[k] <= values[k - 1] + tol * scale,
+                  "eigengap: values must be non-increasing");
+    const double denom = std::max(values[k], tol * scale);
+    const double ratio = values[k - 1] / denom;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+KSelection silhouette_select_k(const linalg::DenseMatrix& points,
+                               std::size_t k_min, std::size_t k_max,
+                               std::size_t sample_size, std::uint64_t seed) {
+  util::require(k_min >= 2, "select_k: k_min must be >= 2");
+  util::require(k_max >= k_min, "select_k: k_max must be >= k_min");
+  util::require(k_max <= points.rows(), "select_k: k_max must be <= #points");
+
+  KSelection out;
+  double best = -2.0;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansOptions opt;
+    opt.k = k;
+    opt.seed = seed;
+    const auto result = kmeans(points, opt);
+    const double score =
+        silhouette_score(points, result.assignments, sample_size, seed);
+    out.silhouette_per_k.push_back(score);
+    if (score > best) {
+      best = score;
+      out.best_k = k;
+    }
+  }
+  return out;
+}
+
+}  // namespace sgp::cluster

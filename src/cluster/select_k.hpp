@@ -1,0 +1,36 @@
+// Choosing the number of clusters from a published graph.
+//
+// The analyst rarely knows k. Two standard signals, both computable from
+// the release alone (post-processing):
+//  - eigengap heuristic: k = argmax of the relative gap in the top singular
+//    values of Ỹ (a planted k-community graph shows k large values then a
+//    drop to the noise bulk);
+//  - silhouette sweep: run k-means for each candidate k and keep the best
+//    silhouette.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::cluster {
+
+/// Index of the largest *relative* gap in a non-increasing positive
+/// sequence of spectral values: returns k such that values[k-1]/values[k]
+/// is maximal (1 <= k < values.size()). Values must be positive and
+/// non-increasing up to `tol`; trailing ~zero values are ignored.
+std::size_t eigengap_k(const std::vector<double>& values, double tol = 1e-9);
+
+/// Sweep k over [k_min, k_max], clustering `points` and scoring silhouettes
+/// (subsampled to `sample_size` anchors for speed); returns the best k.
+struct KSelection {
+  std::size_t best_k = 2;
+  std::vector<double> silhouette_per_k;  ///< aligned with k_min..k_max
+};
+KSelection silhouette_select_k(const linalg::DenseMatrix& points,
+                               std::size_t k_min, std::size_t k_max,
+                               std::size_t sample_size = 200,
+                               std::uint64_t seed = 7);
+
+}  // namespace sgp::cluster

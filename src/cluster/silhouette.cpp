@@ -1,0 +1,68 @@
+#include "cluster/silhouette.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "linalg/vector_ops.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::cluster {
+
+double silhouette_score(const linalg::DenseMatrix& points,
+                        const std::vector<std::uint32_t>& assignments,
+                        std::size_t sample_size, std::uint64_t seed) {
+  const std::size_t n = points.rows();
+  util::require(assignments.size() == n,
+                "silhouette: assignments must match point count");
+  util::require(n >= 2, "silhouette: need at least two points");
+
+  std::uint32_t num_clusters = 0;
+  for (std::uint32_t a : assignments) {
+    num_clusters = std::max(num_clusters, a + 1);
+  }
+  if (num_clusters < 2) return 0.0;
+
+  std::vector<std::size_t> cluster_size(num_clusters, 0);
+  for (std::uint32_t a : assignments) ++cluster_size[a];
+
+  // Optionally evaluate only a sample of anchor points (distances still go
+  // to every point, so the estimate is unbiased over anchors).
+  std::vector<std::size_t> anchors;
+  if (sample_size == 0 || sample_size >= n) {
+    anchors.resize(n);
+    for (std::size_t i = 0; i < n; ++i) anchors[i] = i;
+  } else {
+    random::Rng rng(seed);
+    anchors = random::sample_without_replacement(rng, n, sample_size);
+  }
+
+  double total = 0.0;
+  std::vector<double> dist_sum(num_clusters);
+  for (std::size_t i : anchors) {
+    if (cluster_size[assignments[i]] <= 1) continue;  // convention: s = 0
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist_sum[assignments[j]] +=
+          linalg::distance2(points.row(i), points.row(j));
+    }
+    const std::uint32_t own = assignments[i];
+    const double a =
+        dist_sum[own] / static_cast<double>(cluster_size[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::uint32_t c = 0; c < num_clusters; ++c) {
+      if (c == own || cluster_size[c] == 0) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(cluster_size[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(anchors.size());
+}
+
+}  // namespace sgp::cluster

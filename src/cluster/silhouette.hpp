@@ -1,0 +1,24 @@
+// Silhouette score — internal clustering quality needing no ground-truth
+// labels, which is the analyst's situation when clustering a *published*
+// graph: there is nothing to compare against, but silhouettes still say
+// whether the embedding separated anything.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::cluster {
+
+/// Mean silhouette coefficient over all points, in [-1, 1]:
+///   s(i) = (b_i − a_i) / max(a_i, b_i),
+/// a_i = mean distance to own cluster, b_i = mean distance to the nearest
+/// other cluster. Points in singleton clusters score 0 (standard
+/// convention); returns 0 if every point is in one cluster. O(n²·d) — use
+/// `sample_size` to bound cost on large inputs (0 = exact).
+double silhouette_score(const linalg::DenseMatrix& points,
+                        const std::vector<std::uint32_t>& assignments,
+                        std::size_t sample_size = 0, std::uint64_t seed = 7);
+
+}  // namespace sgp::cluster

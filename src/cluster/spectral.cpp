@@ -1,0 +1,97 @@
+#include "cluster/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/laplacian.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "util/check.hpp"
+
+namespace sgp::cluster {
+
+namespace {
+
+linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
+                                          std::size_t n, std::size_t dim,
+                                          std::uint64_t seed) {
+  linalg::SymmetricOperator op{
+      n, [&a](std::span<const double> x, std::span<double> y) {
+        const auto r = a.multiply_vector(x);
+        std::copy(r.begin(), r.end(), y.begin());
+      }};
+  linalg::LanczosOptions opt;
+  opt.k = dim;
+  opt.seed = seed;
+  opt.order = linalg::EigenOrder::kDescending;
+  return linalg::lanczos_topk(op, opt).vectors;
+}
+
+}  // namespace
+
+linalg::DenseMatrix normalized_spectral_embedding(const graph::Graph& g,
+                                                  std::size_t dim,
+                                                  std::uint64_t seed) {
+  util::require(dim >= 1 && dim <= g.num_nodes(),
+                "spectral embedding: dim must be in [1, n]");
+  const linalg::CsrMatrix norm = graph::normalized_adjacency_matrix(g);
+  return embedding_from_matrix(norm, g.num_nodes(), dim, seed);
+}
+
+linalg::DenseMatrix adjacency_spectral_embedding(const graph::Graph& g,
+                                                 std::size_t dim,
+                                                 std::uint64_t seed) {
+  util::require(dim >= 1 && dim <= g.num_nodes(),
+                "spectral embedding: dim must be in [1, n]");
+  const linalg::CsrMatrix a = g.adjacency_matrix();
+  linalg::SymmetricOperator op{
+      g.num_nodes(),
+      [&a](std::span<const double> x, std::span<double> y) {
+        const auto r = a.multiply_vector(x);
+        std::copy(r.begin(), r.end(), y.begin());
+      }};
+  linalg::LanczosOptions opt;
+  opt.k = dim;
+  opt.seed = seed;
+  // Spectral clustering wants the algebraically largest eigenvectors of A
+  // (community indicators); magnitude order would drag in the bipartite-like
+  // negative extreme.
+  opt.order = linalg::EigenOrder::kDescending;
+  const linalg::LanczosResult res = linalg::lanczos_topk(op, opt);
+  return res.vectors;
+}
+
+KMeansResult cluster_embedding(const linalg::DenseMatrix& embedding,
+                               const SpectralOptions& options) {
+  util::require(options.num_clusters >= 1,
+                "spectral: num_clusters must be >= 1");
+  linalg::DenseMatrix points = embedding;
+  if (options.embedding_dim != 0 && options.embedding_dim < embedding.cols()) {
+    points = embedding.first_columns(options.embedding_dim);
+  }
+  if (options.normalize_rows) {
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+      auto row = points.row(i);
+      const double nrm = linalg::norm2(row);
+      if (nrm > 1e-12) linalg::scale(row, 1.0 / nrm);
+    }
+  }
+  KMeansOptions km;
+  km.k = options.num_clusters;
+  km.seed = options.seed;
+  return kmeans(points, km);
+}
+
+KMeansResult spectral_cluster_graph(const graph::Graph& g,
+                                    const SpectralOptions& options) {
+  const std::size_t dim =
+      options.embedding_dim == 0 ? options.num_clusters : options.embedding_dim;
+  const auto embedding =
+      options.matrix == SpectralMatrix::kNormalizedAdjacency
+          ? normalized_spectral_embedding(g, dim, options.seed)
+          : adjacency_spectral_embedding(g, dim, options.seed);
+  return cluster_embedding(embedding, options);
+}
+
+}  // namespace sgp::cluster

@@ -1,0 +1,60 @@
+// Spectral clustering pipeline.
+//
+// Ground truth side: embed nodes with the top-k eigenvectors of the sparse
+// adjacency matrix (Lanczos). Published side: the analyst receives only the
+// projected+perturbed n×m matrix, embeds with its top-k left singular
+// vectors, and runs the same k-means — that is exactly the paper's
+// clustering-utility experiment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "graph/graph.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::cluster {
+
+/// Which operator supplies the spectral embedding.
+enum class SpectralMatrix {
+  kAdjacency,            ///< top eigenvectors of A (matches the publisher)
+  kNormalizedAdjacency,  ///< top of D^{-1/2} A D^{-1/2} (Ng–Jordan–Weiss)
+};
+
+struct SpectralOptions {
+  std::size_t num_clusters = 2;
+  /// Embedding dimension; 0 → num_clusters.
+  std::size_t embedding_dim = 0;
+  std::uint64_t seed = 7;
+  /// Row-normalize the embedding before k-means (standard for spectral
+  /// clustering on adjacency/laplacian embeddings).
+  bool normalize_rows = true;
+  SpectralMatrix matrix = SpectralMatrix::kAdjacency;
+};
+
+/// Top-`dim` adjacency eigenvector embedding of a graph (n × dim), computed
+/// matrix-free with Lanczos.
+linalg::DenseMatrix adjacency_spectral_embedding(const graph::Graph& g,
+                                                 std::size_t dim,
+                                                 std::uint64_t seed = 7);
+
+/// Top-`dim` eigenvectors of the normalized adjacency D^{-1/2} A D^{-1/2} —
+/// the classic normalized-spectral-clustering embedding, robust to degree
+/// heterogeneity (hubs don't dominate the leading directions).
+linalg::DenseMatrix normalized_spectral_embedding(const graph::Graph& g,
+                                                  std::size_t dim,
+                                                  std::uint64_t seed = 7);
+
+/// k-means over a (optionally row-normalized) spectral embedding.
+/// Rows whose norm is ~0 are left unnormalized (isolated nodes).
+KMeansResult cluster_embedding(const linalg::DenseMatrix& embedding,
+                               const SpectralOptions& options);
+
+/// Full pipeline on the *original* graph: embed + cluster. This is the
+/// non-private reference that published-graph clustering is scored against.
+KMeansResult spectral_cluster_graph(const graph::Graph& g,
+                                    const SpectralOptions& options);
+
+}  // namespace sgp::cluster

@@ -1,0 +1,218 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <functional>
+
+#include "core/theory.hpp"
+#include "dp/mechanisms.hpp"
+#include "dp/postprocess.hpp"
+#include "graph/generators.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::core {
+
+DenseGaussianPublisher::DenseGaussianPublisher(dp::PrivacyParams params,
+                                               std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  params_.validate();
+}
+
+DensePublishedGraph DenseGaussianPublisher::publish(
+    const graph::Graph& g) const {
+  const std::size_t n = g.num_nodes();
+  util::require(n >= 1, "dense publish: graph must have nodes");
+
+  DensePublishedGraph out;
+  out.params = params_;
+  out.sigma = dp::analytic_gaussian_sigma(dense_row_sensitivity(), params_);
+
+  // Perturb only the upper triangle and mirror it: the release stays
+  // symmetric and the sensitivity √2 (two mirrored cells per edge) applies.
+  random::Rng rng(seed_);
+  out.data = g.adjacency_matrix().to_dense();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double noisy = out.data(i, j) + random::normal(rng, 0.0, out.sigma);
+      out.data(i, j) = noisy;
+      out.data(j, i) = noisy;
+    }
+  }
+  return out;
+}
+
+linalg::DenseMatrix dense_spectral_embedding(const DensePublishedGraph& pub,
+                                             std::size_t k,
+                                             std::uint64_t seed) {
+  const std::size_t n = pub.data.rows();
+  util::require(k >= 1 && k <= n, "dense embedding: k must be in [1, n]");
+  linalg::SymmetricOperator op{
+      n, [&pub](std::span<const double> x, std::span<double> y) {
+        const auto r = pub.data.multiply_vector(x);
+        std::copy(r.begin(), r.end(), y.begin());
+      }};
+  linalg::LanczosOptions opt;
+  opt.k = k;
+  opt.seed = seed;
+  return linalg::lanczos_topk(op, opt).vectors;
+}
+
+LnppPublisher::LnppPublisher(Options options) : options_(options) {
+  util::require(options_.k >= 1, "lnpp: k must be >= 1");
+  util::require(options_.epsilon > 0.0, "lnpp: epsilon must be > 0");
+  util::require(options_.value_share > 0.0 && options_.value_share < 1.0,
+                "lnpp: value_share must be in (0,1)");
+  util::require(options_.min_gap > 0.0, "lnpp: min_gap must be > 0");
+}
+
+LnppRelease LnppPublisher::publish(const graph::Graph& g) const {
+  const std::size_t n = g.num_nodes();
+  const std::size_t k = options_.k;
+  util::require(k <= n, "lnpp: k must be <= num_nodes");
+
+  // True top-k eigenpairs of A (not private yet).
+  const linalg::CsrMatrix a = g.adjacency_matrix();
+  linalg::SymmetricOperator op{
+      n, [&a](std::span<const double> x, std::span<double> y) {
+        const auto r = a.multiply_vector(x);
+        std::copy(r.begin(), r.end(), y.begin());
+      }};
+  linalg::LanczosOptions lopt;
+  lopt.k = k;
+  lopt.seed = options_.seed;
+  linalg::LanczosResult eig = linalg::lanczos_topk(op, lopt);
+
+  random::Rng rng(options_.seed + 0x517cc1b727220a95ULL);
+  LnppRelease out;
+  out.params = {options_.epsilon, 0.0};
+
+  // Eigenvalues: one-edge change perturbs the spectrum by E with
+  // ‖E‖_F = √2, so Σ(Δλ)² ≤ 2 (Wielandt–Hoffman) and the ℓ1 sensitivity of
+  // the k-vector is ≤ √(2k) by Cauchy–Schwarz.
+  const double eps_values = options_.epsilon * options_.value_share;
+  const double value_scale =
+      std::sqrt(2.0 * static_cast<double>(k)) / eps_values;
+  out.eigenvalues = eig.values;
+  for (double& v : out.eigenvalues) {
+    v += random::laplace(rng, 0.0, value_scale);
+  }
+
+  // Eigenvectors: Davis–Kahan gives ‖Δu_i‖₂ ≤ 2√2 / gap_i; ℓ1 ≤ √n · that.
+  // Gaps are estimated from the *noisy* eigenvalues (post-processing, no
+  // extra budget) and floored to keep the scale finite.
+  const double eps_vectors =
+      options_.epsilon * (1.0 - options_.value_share);
+  const double eps_per_vector = eps_vectors / static_cast<double>(k);
+  out.eigenvectors = eig.vectors;
+  for (std::size_t i = 0; i < k; ++i) {
+    double gap = std::numeric_limits<double>::max();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j != i) {
+        gap = std::min(gap,
+                       std::fabs(out.eigenvalues[i] - out.eigenvalues[j]));
+      }
+    }
+    if (k == 1) gap = std::max(std::fabs(out.eigenvalues[0]), options_.min_gap);
+    gap = std::max(gap, options_.min_gap);
+    const double sens_l1 =
+        std::sqrt(static_cast<double>(n)) * 2.0 * std::sqrt(2.0) / gap;
+    const double scale = sens_l1 / eps_per_vector;
+    for (std::size_t row = 0; row < n; ++row) {
+      out.eigenvectors(row, i) += random::laplace(rng, 0.0, scale);
+    }
+  }
+  return out;
+}
+
+DegreeSequencePublisher::DegreeSequencePublisher(double epsilon,
+                                                 std::uint64_t seed)
+    : epsilon_(epsilon), seed_(seed) {
+  util::require(epsilon > 0.0, "degree sequence: epsilon must be > 0");
+}
+
+DegreeSequencePublisher::Release DegreeSequencePublisher::publish(
+    const graph::Graph& g) const {
+  const std::size_t n = g.num_nodes();
+  util::require(n >= 1, "degree sequence: graph must have nodes");
+
+  std::vector<double> sorted(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    sorted[u] = static_cast<double>(g.degree(u));
+  }
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Laplace at ℓ1 sensitivity 2 (one edge shifts two sorted positions by 1).
+  random::Rng rng(seed_);
+  const double scale = dp::laplace_scale(2.0, epsilon_);
+  for (double& v : sorted) v += random::laplace(rng, 0.0, scale);
+
+  Release out;
+  out.params = {epsilon_, 0.0};
+  // Consistency: project back onto sorted-non-increasing, clamp to [0, n-1].
+  out.noisy_sorted_degrees = dp::clamp_range(
+      dp::isotonic_non_increasing(sorted), 0.0, static_cast<double>(n - 1));
+  return out;
+}
+
+graph::Graph DegreeSequencePublisher::synthesize(const Release& release) const {
+  const std::size_t n = release.noisy_sorted_degrees.size();
+  util::require(n >= 1, "degree sequence: empty release");
+  const auto degrees =
+      dp::to_degree_sequence(release.noisy_sorted_degrees, n - 1);
+  random::Rng rng(seed_ + 0x2545f4914f6cdd1dULL);
+  return graph::configuration_model(degrees, rng);
+}
+
+EdgeFlipPublisher::EdgeFlipPublisher(double epsilon, std::uint64_t seed)
+    : epsilon_(epsilon), seed_(seed) {
+  util::require(epsilon > 0.0, "edge flip: epsilon must be > 0");
+}
+
+graph::Graph EdgeFlipPublisher::publish(const graph::Graph& g) const {
+  const std::size_t n = g.num_nodes();
+  random::Rng rng(seed_);
+  const double keep = dp::randomized_response_keep_probability(epsilon_);
+  const double flip = 1.0 - keep;
+
+  std::vector<graph::Edge> edges;
+  // Existing edges: kept with probability `keep`.
+  for (const graph::Edge& e : g.edges()) {
+    if (random::bernoulli(rng, keep)) edges.push_back(e);
+  }
+  // Non-edges: appear with probability `flip`. Enumerate by geometric
+  // skipping over the C(n,2) pair space, O(#appearing).
+  if (flip > 0.0 && n >= 2) {
+    const std::size_t total = n * (n - 1) / 2;
+    std::size_t idx = 0;
+    while (true) {
+      const std::uint64_t skip = random::geometric(rng, flip);
+      if (skip >= total - idx) break;
+      idx += skip;
+      // Decode linear index into (u, v), u < v, row-major upper triangle.
+      std::size_t u = 0;
+      std::size_t remaining = idx;
+      std::size_t row_len = n - 1;
+      while (remaining >= row_len) {
+        remaining -= row_len;
+        ++u;
+        --row_len;
+      }
+      const std::size_t v = u + 1 + remaining;
+      if (!g.has_edge(u, v)) {
+        edges.push_back({static_cast<std::uint32_t>(u),
+                         static_cast<std::uint32_t>(v)});
+      }
+      ++idx;
+      if (idx >= total) break;
+    }
+  }
+  return graph::Graph::from_edges(n, edges);
+}
+
+}  // namespace sgp::core

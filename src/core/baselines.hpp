@@ -1,0 +1,129 @@
+// Baseline publishers the paper compares against.
+//
+//  - DenseGaussianPublisher: perturb the full n×n adjacency matrix with the
+//    Gaussian mechanism. This is the "publishing matrices with differential
+//    privacy" prior work the abstract calls computationally impractical:
+//    O(n²) noise draws and O(n²) storage.
+//  - LnppPublisher: Laplace-noise perturbation of the top-k eigen-spectrum
+//    (after Wang, Wu & Wu, "Differential Privacy Preserving Spectral Graph
+//    Analysis"). Pure ε-DP; eigenvector sensitivity scales with 1/eigengap,
+//    which is what ruins its utility on real graphs.
+//  - EdgeFlipPublisher: randomized response on every potential edge. Pure
+//    ε-DP; output is a (dense-ish) graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/privacy.hpp"
+#include "graph/graph.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::core {
+
+/// Full-matrix Gaussian release: Ã = A + N, N i.i.d. N(0, σ²) with σ
+/// calibrated to the edge ℓ2-sensitivity √2.
+struct DensePublishedGraph {
+  linalg::DenseMatrix data;  ///< n × n, symmetrized
+  dp::PrivacyParams params;
+  double sigma = 0.0;
+
+  [[nodiscard]] std::size_t published_bytes() const {
+    return data.rows() * data.cols() * sizeof(double);
+  }
+};
+
+class DenseGaussianPublisher {
+ public:
+  DenseGaussianPublisher(dp::PrivacyParams params, std::uint64_t seed = 7);
+
+  /// Publishes the full perturbed adjacency matrix. O(n²) — intended for the
+  /// small/medium graphs where it is feasible at all.
+  [[nodiscard]] DensePublishedGraph publish(const graph::Graph& g) const;
+
+ private:
+  dp::PrivacyParams params_;
+  std::uint64_t seed_;
+};
+
+/// Top-k spectral embedding (n×k eigenvectors of the symmetrized release).
+linalg::DenseMatrix dense_spectral_embedding(const DensePublishedGraph& pub,
+                                             std::size_t k,
+                                             std::uint64_t seed = 7);
+
+/// LNPP release: noisy top-k eigenvalues and eigenvectors of A.
+struct LnppRelease {
+  std::vector<double> eigenvalues;  ///< k noisy eigenvalues (descending-ish)
+  linalg::DenseMatrix eigenvectors;  ///< n × k noisy eigenvectors
+  dp::PrivacyParams params;          ///< ε-DP (delta is 0)
+};
+
+class LnppPublisher {
+ public:
+  struct Options {
+    std::size_t k = 8;       ///< how many eigenpairs to release
+    double epsilon = 1.0;    ///< total pure-DP budget
+    double value_share = 0.5;  ///< fraction of ε for the eigenvalues
+    std::uint64_t seed = 7;
+    double min_gap = 1e-3;  ///< eigengap floor to keep noise finite
+  };
+
+  explicit LnppPublisher(Options options);
+
+  /// Publishes k noisy eigenpairs. Eigenvalues get Laplace noise at ℓ1
+  /// sensitivity √(2k) (Weyl + Cauchy–Schwarz); eigenvector i gets Laplace
+  /// noise at ℓ1 sensitivity √n·2√2/gap_i (Davis–Kahan style, gap from the
+  /// noisy eigenvalues, budget ε_u/k per vector).
+  [[nodiscard]] LnppRelease publish(const graph::Graph& g) const;
+
+ private:
+  Options options_;
+};
+
+/// Degree-sequence publishing after Hay et al. 2009: release the *sorted*
+/// degree sequence with Laplace noise (global sensitivity 2 at edge level:
+/// changing one edge moves two positions of the sorted multiset by 1 in ℓ1),
+/// then post-process onto the monotone cone with isotonic regression (free),
+/// and optionally materialize a synthetic graph from the cleaned sequence
+/// via the configuration model. Pure ε-DP. A degree-distribution-faithful
+/// but structure-free baseline: communities do not survive, which is why
+/// spectrum-preserving publication (the paper's mechanism) exists.
+class DegreeSequencePublisher {
+ public:
+  struct Release {
+    std::vector<double> noisy_sorted_degrees;  ///< after isotonic cleanup
+    dp::PrivacyParams params;                  ///< (ε, 0)
+  };
+
+  DegreeSequencePublisher(double epsilon, std::uint64_t seed = 7);
+
+  /// Publishes the cleaned non-increasing degree sequence.
+  [[nodiscard]] Release publish(const graph::Graph& g) const;
+
+  /// Samples a synthetic graph matching a released sequence (configuration
+  /// model; multi-edges/self-loops dropped). Post-processing — no budget.
+  [[nodiscard]] graph::Graph synthesize(const Release& release) const;
+
+ private:
+  double epsilon_;
+  std::uint64_t seed_;
+};
+
+/// Randomized response over all C(n, 2) potential edges: each bit kept with
+/// probability e^ε/(1+e^ε). Pure ε-DP per edge. Output graph has
+/// ~flip·n²/2 spurious edges, so it densifies sparse graphs — part of why
+/// this baseline scales poorly.
+class EdgeFlipPublisher {
+ public:
+  EdgeFlipPublisher(double epsilon, std::uint64_t seed = 7);
+
+  [[nodiscard]] graph::Graph publish(const graph::Graph& g) const;
+
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sgp::core

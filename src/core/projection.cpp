@@ -1,0 +1,64 @@
+#include "core/projection.hpp"
+
+#include <cmath>
+
+#include "random/distributions.hpp"
+#include "util/check.hpp"
+
+namespace sgp::core {
+
+std::string to_string(ProjectionKind kind) {
+  switch (kind) {
+    case ProjectionKind::kGaussian:
+      return "gaussian";
+    case ProjectionKind::kAchlioptas:
+      return "achlioptas";
+  }
+  return "unknown";
+}
+
+linalg::DenseMatrix make_projection(std::size_t n, std::size_t m,
+                                    ProjectionKind kind, random::Rng& rng) {
+  switch (kind) {
+    case ProjectionKind::kGaussian:
+      return gaussian_projection(n, m, rng);
+    case ProjectionKind::kAchlioptas:
+      return achlioptas_projection(n, m, rng);
+  }
+  throw std::invalid_argument("make_projection: unknown kind");
+}
+
+linalg::DenseMatrix gaussian_projection(std::size_t n, std::size_t m,
+                                        random::Rng& rng) {
+  util::require(n >= 1 && m >= 1, "projection: dimensions must be >= 1");
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(m));
+  linalg::DenseMatrix p(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = p.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = random::normal(rng, 0.0, stddev);
+    }
+  }
+  return p;
+}
+
+linalg::DenseMatrix achlioptas_projection(std::size_t n, std::size_t m,
+                                          random::Rng& rng) {
+  util::require(n >= 1 && m >= 1, "projection: dimensions must be >= 1");
+  const double magnitude = std::sqrt(3.0 / static_cast<double>(m));
+  linalg::DenseMatrix p(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = p.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double u = rng.next_double();
+      if (u < 1.0 / 6.0) {
+        row[j] = magnitude;
+      } else if (u < 2.0 / 6.0) {
+        row[j] = -magnitude;
+      }  // else 0
+    }
+  }
+  return p;
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,96 @@
+#include "core/publisher.hpp"
+
+#include "cluster/spectral.hpp"
+#include "dp/mechanisms.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+#include "random/rng.hpp"
+#include "ranking/centrality.hpp"
+#include "util/check.hpp"
+
+namespace sgp::core {
+
+RandomProjectionPublisher::RandomProjectionPublisher(Options options)
+    : options_(std::move(options)) {
+  util::require(options_.projection_dim >= 1,
+                "publisher: projection_dim must be >= 1");
+  options_.params.validate();
+}
+
+PublishedGraph RandomProjectionPublisher::publish(const graph::Graph& g) const {
+  util::require(g.num_nodes() >= 1, "publish: graph must have nodes");
+  return publish_matrix(g.adjacency_matrix(), 1.0);
+}
+
+PublishedGraph RandomProjectionPublisher::publish_matrix(
+    const linalg::CsrMatrix& matrix, double max_entry_change) const {
+  const std::size_t n = matrix.rows();
+  const std::size_t m = options_.projection_dim;
+  util::require(n >= 1, "publish: matrix must be non-empty");
+  util::require(matrix.cols() == n, "publish: matrix must be square");
+  util::require(max_entry_change > 0.0,
+                "publish: max_entry_change must be > 0");
+  util::require(m <= n, "publish: projection_dim must be <= num_nodes");
+
+  random::Rng rng(options_.seed);
+
+  // Step 1: project. A is sparse CSR, so A·P costs O(nnz·m).
+  const linalg::DenseMatrix p = make_projection(n, m, options_.projection, rng);
+  linalg::DenseMatrix y = matrix.multiply_dense(p);
+
+  // Step 2: perturb with σ calibrated to the projected-row sensitivity
+  // (scaled by the per-entry change bound — the row change is
+  // ±max_entry_change·P_j).
+  PublishedGraph out;
+  out.calibration =
+      calibrate_noise(m, options_.params, options_.analytic_calibration,
+                      options_.delta_split);
+  out.calibration.sensitivity *= max_entry_change;
+  out.calibration.sigma *= max_entry_change;
+  // Independent noise stream: jump past the projection stream so changing m
+  // does not correlate noise across runs.
+  random::Rng noise_rng = rng.split(1);
+  dp::add_gaussian_noise(y.data(), out.calibration.sigma, noise_rng);
+
+  // Step 3: assemble the release.
+  out.data = std::move(y);
+  out.num_nodes = n;
+  out.projection_dim = m;
+  out.params = options_.params;
+  out.projection = options_.projection;
+  return out;
+}
+
+linalg::DenseMatrix spectral_embedding(const PublishedGraph& published,
+                                       std::size_t k) {
+  util::require(k >= 1 && k <= published.projection_dim,
+                "spectral_embedding: k must be in [1, m]");
+  const linalg::SvdResult svd = linalg::svd_gram(published.data, k);
+  return svd.u;
+}
+
+std::vector<double> centrality_scores(const PublishedGraph& published) {
+  const linalg::DenseMatrix u = spectral_embedding(published, 1);
+  return ranking::centrality_from_embedding(u);
+}
+
+std::vector<double> degree_scores(const PublishedGraph& published) {
+  const double bias = static_cast<double>(published.projection_dim) *
+                      published.calibration.sigma * published.calibration.sigma;
+  std::vector<double> scores(published.data.rows());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = linalg::norm2_squared(published.data.row(i)) - bias;
+  }
+  return scores;
+}
+
+cluster::KMeansResult cluster_published(const PublishedGraph& published,
+                                        std::size_t k, std::uint64_t seed) {
+  const linalg::DenseMatrix embedding = spectral_embedding(published, k);
+  cluster::SpectralOptions opt;
+  opt.num_clusters = k;
+  opt.seed = seed;
+  return cluster::cluster_embedding(embedding, opt);
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,96 @@
+// The paper's mechanism: differentially private graph publication via random
+// projection + random perturbation.
+//
+//   1. Project:  Y = A · P,   P ∈ R^{n×m} random (Gaussian or Achlioptas),
+//                             m ≪ n  →  O(|E|·m) time, O(n·m) space.
+//   2. Perturb:  Ỹ = Y + N,   N i.i.d. N(0, σ²), σ from core/theory.hpp.
+//   3. Publish:  Ỹ plus non-private metadata.
+//
+// The published object supports the paper's two utility applications through
+// `spectral_embedding` (node clustering) and `centrality_scores`
+// (node ranking) — both derived from the top left singular vectors of Ỹ,
+// which approximate the top eigenvectors of A.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/kmeans.hpp"
+#include "core/projection.hpp"
+#include "core/theory.hpp"
+#include "dp/privacy.hpp"
+#include "graph/graph.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::core {
+
+/// The artifact a data owner releases. Everything in here is safe to share:
+/// `data` is the perturbed projection; the metadata (n, m, ε, δ, σ) is
+/// data-independent.
+struct PublishedGraph {
+  linalg::DenseMatrix data;      ///< Ỹ, n × m
+  std::size_t num_nodes = 0;     ///< n of the original graph
+  std::size_t projection_dim = 0;  ///< m
+  dp::PrivacyParams params;      ///< budget consumed by this release
+  NoiseCalibration calibration;  ///< σ and sensitivity actually used
+  ProjectionKind projection = ProjectionKind::kGaussian;
+
+  /// Size of the release in bytes (doubles of Ỹ) — the storage-efficiency
+  /// metric of experiment E7.
+  [[nodiscard]] std::size_t published_bytes() const {
+    return data.rows() * data.cols() * sizeof(double);
+  }
+};
+
+class RandomProjectionPublisher {
+ public:
+  struct Options {
+    std::size_t projection_dim = 100;  ///< m
+    dp::PrivacyParams params{1.0, 1e-6};
+    ProjectionKind projection = ProjectionKind::kGaussian;
+    std::uint64_t seed = 7;
+    bool analytic_calibration = true;  ///< false → classic Gaussian bound
+    /// Fraction of δ spent on the sensitivity-bound failure probability.
+    double delta_split = 0.5;
+  };
+
+  explicit RandomProjectionPublisher(Options options);
+
+  /// Publishes `g` under the configured budget. Requires m <= n.
+  [[nodiscard]] PublishedGraph publish(const graph::Graph& g) const;
+
+  /// Publishes an arbitrary symmetric weighted matrix (e.g. an interaction-
+  /// strength matrix — the abstract's general "publishing matrices" setting)
+  /// under the neighboring relation "one symmetric pair of entries changes
+  /// by at most `max_entry_change`". The row ℓ2-sensitivity scales linearly,
+  /// so σ is `max_entry_change` times the 0/1-graph calibration. Requires a
+  /// square symmetric matrix and m <= n.
+  [[nodiscard]] PublishedGraph publish_matrix(const linalg::CsrMatrix& matrix,
+                                              double max_entry_change) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Analyst-side: top-k left singular vectors of Ỹ (n×k) — the spectral node
+/// embedding used for clustering. Requires 1 <= k <= m.
+linalg::DenseMatrix spectral_embedding(const PublishedGraph& published,
+                                       std::size_t k);
+
+/// Analyst-side: eigenvector-centrality surrogate from the dominant left
+/// singular vector of Ỹ.
+std::vector<double> centrality_scores(const PublishedGraph& published);
+
+/// Analyst-side: degree estimates from published row norms. JL preserves
+/// ‖A_{i,·}‖² = deg(i), so E‖Ỹ_{i,·}‖² = deg(i) + m·σ²; this returns the
+/// debiased ‖Ỹ_{i,·}‖² − m·σ² (can be negative for low-degree nodes under
+/// heavy noise — fine for ranking purposes).
+std::vector<double> degree_scores(const PublishedGraph& published);
+
+/// Analyst-side convenience: spectral clustering of the published graph into
+/// `k` groups (embedding + row normalization + k-means).
+cluster::KMeansResult cluster_published(const PublishedGraph& published,
+                                        std::size_t k, std::uint64_t seed = 7);
+
+}  // namespace sgp::core

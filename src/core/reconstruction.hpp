@@ -1,0 +1,50 @@
+// Analyst-side estimators that go beyond spectral structure.
+//
+// The projection matrix P is reproducible from the release seed, and the
+// privacy proof allows publishing it: the Gaussian-mechanism guarantee holds
+// for any *fixed* P whose row norms satisfy the sensitivity bound, and the
+// δ_projection share of the budget covers the probability that a random P
+// violates it. With P public the analyst can form richer estimates:
+//
+//   edge score:    <ỹ_i, P_j> ≈ Σ_t a_it <P_t, P_j> ≈ a_ij ± O(√(deg_i/m)),
+//   edge count:    Σ_i ‖ỹ_i‖² − n·m·σ²  ≈ Σ_i deg_i = 2|E|,
+//   degree CDF:    from the per-row debiased norms (degree_scores).
+//
+// None of these touch the original graph; they are post-processing of the
+// DP release and consume no extra budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/publisher.hpp"
+
+namespace sgp::core {
+
+/// Regenerates the projection matrix used by a release from the publisher
+/// seed (the seed is public metadata; see file comment).
+linalg::DenseMatrix regenerate_projection(const PublishedGraph& published,
+                                          std::uint64_t publisher_seed);
+
+/// Score for the presence of edge (u, v): the correlation of published row u
+/// with projection row v. Unbiased for a_uv up to JL cross-talk; higher
+/// means more likely an edge. Requires the regenerated projection.
+double edge_score(const PublishedGraph& published,
+                  const linalg::DenseMatrix& projection, std::size_t u,
+                  std::size_t v);
+
+/// Scores a batch of node pairs at once (same semantics as edge_score).
+std::vector<double> edge_scores(
+    const PublishedGraph& published, const linalg::DenseMatrix& projection,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs);
+
+/// Total-edge estimate from debiased row norms: (Σ‖ỹ_i‖² − n·m·σ²) / 2.
+/// Can be negative under heavy noise (unbiasedness over clamping).
+double estimate_edge_count(const PublishedGraph& published);
+
+/// Histogram of estimated degrees with `bin_width`-wide bins starting at 0;
+/// estimates below zero land in bin 0. Returns counts per bin.
+std::vector<std::size_t> estimate_degree_histogram(
+    const PublishedGraph& published, double bin_width, std::size_t num_bins);
+
+}  // namespace sgp::core

@@ -1,0 +1,167 @@
+#include "core/serialization.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/theory.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::core {
+namespace {
+
+constexpr char kMagic[] = "sgp-published-graph v1";
+
+void write_doubles(std::ostream& out, std::span<const double> values) {
+  // Assumes a little-endian IEEE-754 host (x86-64 / aarch64) — asserted at
+  // compile time below so a port to an exotic platform fails loudly.
+  static_assert(sizeof(double) == 8);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+}  // namespace
+
+void save_published(const PublishedGraph& published, std::ostream& out) {
+  out.precision(17);  // max_digits10: header doubles must round-trip exactly
+  out << kMagic << '\n';
+  out << "nodes " << published.num_nodes << " dim " << published.projection_dim
+      << '\n';
+  out << "epsilon " << published.params.epsilon << " delta "
+      << published.params.delta << " sigma " << published.calibration.sigma
+      << " sensitivity " << published.calibration.sensitivity << '\n';
+  out << "projection " << to_string(published.projection) << '\n';
+  out << "data\n";
+  write_doubles(out, published.data.data());
+  util::ensure(out.good(), "save_published: stream write failed");
+}
+
+void save_published_file(const PublishedGraph& published,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  util::ensure(out.good(), "save_published: cannot open " + path);
+  save_published(published, out);
+}
+
+PublishedGraph load_published(std::istream& in) {
+  std::string line;
+  util::ensure(static_cast<bool>(std::getline(in, line)) && line == kMagic,
+               "load_published: bad magic line");
+
+  PublishedGraph pub;
+  std::string token;
+  util::ensure(static_cast<bool>(std::getline(in, line)),
+               "load_published: truncated header");
+  {
+    std::istringstream fields(line);
+    std::size_t n = 0, m = 0;
+    util::ensure(
+        static_cast<bool>(fields >> token >> n >> token >> m) && n > 0 && m > 0,
+        "load_published: bad dimensions line");
+    pub.num_nodes = n;
+    pub.projection_dim = m;
+  }
+  util::ensure(static_cast<bool>(std::getline(in, line)),
+               "load_published: truncated header");
+  {
+    std::istringstream fields(line);
+    util::ensure(static_cast<bool>(
+                     fields >> token >> pub.params.epsilon >> token >>
+                     pub.params.delta >> token >> pub.calibration.sigma >>
+                     token >> pub.calibration.sensitivity),
+                 "load_published: bad privacy line");
+  }
+  util::ensure(static_cast<bool>(std::getline(in, line)),
+               "load_published: truncated header");
+  {
+    std::istringstream fields(line);
+    std::string kind;
+    util::ensure(static_cast<bool>(fields >> token >> kind) &&
+                     token == "projection",
+                 "load_published: bad projection line");
+    if (kind == "gaussian") {
+      pub.projection = ProjectionKind::kGaussian;
+    } else if (kind == "achlioptas") {
+      pub.projection = ProjectionKind::kAchlioptas;
+    } else {
+      throw std::runtime_error("load_published: unknown projection kind '" +
+                               kind + "'");
+    }
+  }
+  util::ensure(static_cast<bool>(std::getline(in, line)) && line == "data",
+               "load_published: missing data marker");
+
+  std::vector<double> values(pub.num_nodes * pub.projection_dim);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  util::ensure(in.gcount() ==
+                   static_cast<std::streamsize>(values.size() * sizeof(double)),
+               "load_published: truncated payload");
+  pub.data = linalg::DenseMatrix(pub.num_nodes, pub.projection_dim,
+                                 std::move(values));
+  return pub;
+}
+
+PublishedGraph load_published_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  util::ensure(in.good(), "load_published: cannot open " + path);
+  return load_published(in);
+}
+
+void publish_to_stream(const graph::Graph& g,
+                       const RandomProjectionPublisher::Options& options,
+                       std::ostream& out) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = options.projection_dim;
+  util::require(n >= 1, "publish_to_stream: graph must have nodes");
+  util::require(m >= 1 && m <= n,
+                "publish_to_stream: projection_dim must be in [1, n]");
+  options.params.validate();
+
+  // Replicate the publisher's randomness exactly: the projection consumes
+  // the base stream, the noise uses a jumped substream of the post-
+  // projection state (see RandomProjectionPublisher::publish).
+  random::Rng rng(options.seed);
+  const linalg::DenseMatrix p =
+      make_projection(n, m, options.projection, rng);
+  random::Rng noise_rng = rng.split(1);
+
+  PublishedGraph header_only;
+  header_only.num_nodes = n;
+  header_only.projection_dim = m;
+  header_only.params = options.params;
+  header_only.projection = options.projection;
+  header_only.calibration = calibrate_noise(
+      m, options.params, options.analytic_calibration, options.delta_split);
+  // Write the header through the normal path with an empty payload...
+  out.precision(17);
+  out << kMagic << '\n';
+  out << "nodes " << n << " dim " << m << '\n';
+  out << "epsilon " << options.params.epsilon << " delta "
+      << options.params.delta << " sigma " << header_only.calibration.sigma
+      << " sensitivity " << header_only.calibration.sensitivity << '\n';
+  out << "projection " << to_string(options.projection) << '\n';
+  out << "data\n";
+
+  // ...then stream one published row at a time.
+  std::vector<double> row(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fill(row.begin(), row.end(), 0.0);
+    for (std::uint32_t j : g.neighbors(i)) {
+      const auto prow = p.row(j);
+      for (std::size_t c = 0; c < m; ++c) row[c] += prow[c];
+    }
+    for (std::size_t c = 0; c < m; ++c) {
+      row[c] += random::normal(noise_rng, 0.0, header_only.calibration.sigma);
+    }
+    write_doubles(out, row);
+  }
+  util::ensure(out.good(), "publish_to_stream: stream write failed");
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,45 @@
+// Serialization of the published artifact.
+//
+// Publishing means shipping a file: the release is written as a small text
+// header (human-auditable metadata — everything in it is data-independent)
+// followed by the raw little-endian doubles of Ỹ.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/publisher.hpp"
+
+namespace sgp::core {
+
+/// Writes the release (header + matrix) to a stream.
+/// Format, line-oriented header then binary payload:
+///   sgp-published-graph v1
+///   nodes <n> dim <m>
+///   epsilon <e> delta <d> sigma <s> sensitivity <c>
+///   projection <gaussian|achlioptas>
+///   data
+///   <n*m little-endian IEEE-754 doubles, row-major>
+void save_published(const PublishedGraph& published, std::ostream& out);
+
+/// Saves to a file path. Throws std::runtime_error if unwritable.
+void save_published_file(const PublishedGraph& published,
+                         const std::string& path);
+
+/// Reads a release previously written by save_published.
+/// Throws std::runtime_error on format or IO errors.
+PublishedGraph load_published(std::istream& in);
+
+/// Loads from a file path. Throws std::runtime_error if unreadable.
+PublishedGraph load_published_file(const std::string& path);
+
+/// Memory-bounded publish: computes and writes the release row by row
+/// instead of materializing Ỹ (peak memory drops from ~2·n·m to ~n·m
+/// doubles — the projection matrix only). Produces **byte-identical** output
+/// to `save_published(RandomProjectionPublisher(options).publish(g), out)`
+/// for the same options, so consumers cannot tell the difference.
+void publish_to_stream(const graph::Graph& g,
+                       const RandomProjectionPublisher::Options& options,
+                       std::ostream& out);
+
+}  // namespace sgp::core

@@ -1,0 +1,73 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "core/theory.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::core {
+
+PublishingSession::PublishingSession(Options options)
+    : options_(std::move(options)) {
+  options_.total_budget.validate();
+  const auto& per_release = options_.publisher.params;
+  per_release.validate();
+  util::require(per_release.epsilon <= options_.total_budget.epsilon,
+                "session: per-release epsilon exceeds the total budget");
+}
+
+dp::PrivacyParams PublishingSession::spent_after(std::size_t releases) const {
+  if (releases == 0) return {0.0, 0.0};
+  const auto& per = options_.publisher.params;
+
+  // Path 1: sequential composition of the full (ε, δ) releases.
+  const double basic_eps = per.epsilon * static_cast<double>(releases);
+
+  // Path 2: RDP of the Gaussian part. Each release is a Gaussian mechanism
+  // with noise multiplier σ/Δ, plus δ_projection from the sensitivity bound.
+  // Convert at whatever δ headroom remains after the projection failures.
+  const NoiseCalibration cal = calibrate_noise(
+      options_.publisher.projection_dim, per,
+      options_.publisher.analytic_calibration, options_.publisher.delta_split);
+  const double delta_proj_total =
+      cal.delta_projection * static_cast<double>(releases);
+  double rdp_eps = basic_eps;
+  if (delta_proj_total < options_.total_budget.delta) {
+    dp::RdpAccountant rdp;
+    const double multiplier = cal.sigma / cal.sensitivity;
+    for (std::size_t i = 0; i < releases; ++i) rdp.record_gaussian(multiplier);
+    rdp_eps =
+        rdp.to_dp(options_.total_budget.delta - delta_proj_total).epsilon;
+  }
+  return {std::min(basic_eps, rdp_eps), options_.total_budget.delta};
+}
+
+PublishedGraph PublishingSession::publish(const graph::Graph& g) {
+  const auto projected = spent_after(releases_ + 1);
+  util::ensure(projected.epsilon <= options_.total_budget.epsilon,
+               "session: publishing would exceed the total privacy budget");
+
+  RandomProjectionPublisher::Options opt = options_.publisher;
+  // Fresh randomness per release: mix the release index into the seed.
+  std::uint64_t mix = opt.seed + 0x9e3779b97f4a7c15ULL * (releases_ + 1);
+  opt.seed = random::splitmix64(mix);
+  const RandomProjectionPublisher publisher(opt);
+  PublishedGraph out = publisher.publish(g);
+
+  ++releases_;
+  basic_.record(opt.params);
+  rdp_.record_gaussian(out.calibration.sigma / out.calibration.sensitivity);
+  delta_projection_sum_ += out.calibration.delta_projection;
+  return out;
+}
+
+dp::PrivacyParams PublishingSession::spent() const {
+  return spent_after(releases_);
+}
+
+double PublishingSession::remaining_epsilon() const {
+  return std::max(0.0, options_.total_budget.epsilon - spent().epsilon);
+}
+
+}  // namespace sgp::core

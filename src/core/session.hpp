@@ -1,0 +1,53 @@
+// Budget-capped repeated publishing.
+//
+// A provider re-publishing an evolving graph (weekly snapshots, A/B cohorts)
+// must stop before the cumulative privacy loss exceeds policy. The session
+// wraps the publisher with two accountants — classic composition and Rényi
+// (tighter for many Gaussian releases) — charges each release against a
+// total (ε, δ) cap, and refuses to publish past it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/publisher.hpp"
+#include "dp/accountant.hpp"
+#include "dp/rdp_accountant.hpp"
+
+namespace sgp::core {
+
+class PublishingSession {
+ public:
+  struct Options {
+    RandomProjectionPublisher::Options publisher;
+    dp::PrivacyParams total_budget{10.0, 1e-5};  ///< hard cap for the session
+  };
+
+  explicit PublishingSession(Options options);
+
+  /// Publishes `g`, charging the configured per-release budget. Each release
+  /// uses fresh randomness (the publisher seed is mixed with the release
+  /// index). Throws std::runtime_error if the release would push the spent
+  /// budget past the cap — the graph is NOT published in that case.
+  PublishedGraph publish(const graph::Graph& g);
+
+  /// Cumulative (ε, δ) consumed so far, at the session's total δ: the
+  /// tighter of sequential composition and Rényi-DP accounting.
+  [[nodiscard]] dp::PrivacyParams spent() const;
+
+  /// ε headroom left under the cap (0 when exhausted).
+  [[nodiscard]] double remaining_epsilon() const;
+
+  [[nodiscard]] std::size_t num_releases() const { return releases_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  [[nodiscard]] dp::PrivacyParams spent_after(std::size_t releases) const;
+
+  Options options_;
+  dp::PrivacyAccountant basic_;
+  dp::RdpAccountant rdp_;
+  double delta_projection_sum_ = 0.0;
+  std::size_t releases_ = 0;
+};
+
+}  // namespace sgp::core

@@ -1,0 +1,64 @@
+#include "core/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::core {
+
+linalg::DenseMatrix rdpg_positions(const PublishedGraph& published,
+                                   std::size_t rank) {
+  util::require(rank >= 1 && rank <= published.projection_dim,
+                "rdpg: rank must be in [1, m]");
+  const linalg::SvdResult svd = linalg::svd_gram(published.data, rank);
+  linalg::DenseMatrix x = svd.u;  // n×k
+  for (std::size_t j = 0; j < rank; ++j) {
+    const double scale = std::sqrt(std::max(svd.singular_values[j], 0.0));
+    for (std::size_t i = 0; i < x.rows(); ++i) x(i, j) *= scale;
+  }
+  return x;
+}
+
+graph::Graph sample_surrogate_graph(const PublishedGraph& published,
+                                    const SurrogateOptions& options) {
+  util::require(options.max_probability > 0.0 &&
+                    options.max_probability <= 1.0,
+                "surrogate: max_probability must be in (0,1]");
+  const linalg::DenseMatrix x = rdpg_positions(published, options.rank);
+  const std::size_t n = x.rows();
+  random::Rng rng(options.seed);
+
+  // Row-norm upper bound: <x_u, x_v> <= ‖x_u‖·‖x_v‖ lets us skip hopeless
+  // pairs cheaply once rows are processed in descending-norm order.
+  std::vector<double> norms(n);
+  for (std::size_t i = 0; i < n; ++i) norms[i] = linalg::norm2(x.row(i));
+
+  std::vector<graph::Edge> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (norms[u] == 0.0) continue;
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double upper = norms[u] * norms[v];
+      if (upper <= 0.0) continue;
+      // Cheap pre-test: draw once against the upper bound, then refine.
+      // P(edge) = p ≤ upper, so accepting with p/upper after a Bernoulli
+      // (upper-capped) pre-draw is an exact two-stage sampler.
+      const double capped_upper = std::min(upper, options.max_probability);
+      if (!random::bernoulli(rng, capped_upper)) continue;
+      const double p = std::clamp(linalg::dot(x.row(u), x.row(v)), 0.0,
+                                  options.max_probability);
+      if (p <= 0.0) continue;
+      if (random::bernoulli(rng, p / capped_upper)) {
+        edges.push_back({static_cast<std::uint32_t>(u),
+                         static_cast<std::uint32_t>(v)});
+      }
+    }
+  }
+  return graph::Graph::from_edges(n, edges);
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,43 @@
+// Surrogate graph generation from a DP release.
+//
+// Some consumers want an actual *graph* (for tools that only speak edge
+// lists), not an n×m matrix. Because the release approximates the top-k
+// spectral structure of A, we can fit a random dot-product graph (RDPG):
+//   X = U_k Σ_k^{1/2}   (from the SVD of Ỹ — left factors scaled so that
+//                        X Xᵀ ≈ the rank-k part of A),
+//   P(edge u, v) = clamp(<x_u, x_v>, 0, 1),
+// and sample a synthetic graph from those probabilities. This is pure
+// post-processing of the release: the surrogate inherits the (ε, δ)
+// guarantee unchanged.
+//
+// Sampling all C(n,2) pairs exactly would be O(n²); `sample_surrogate_graph`
+// uses per-row Bernoulli sampling over candidate pairs proposed by an upper
+// bound on the dot products, keeping expected cost near the output size.
+#pragma once
+
+#include <cstdint>
+
+#include "core/publisher.hpp"
+#include "graph/graph.hpp"
+
+namespace sgp::core {
+
+struct SurrogateOptions {
+  std::size_t rank = 8;        ///< spectral rank k of the RDPG fit
+  std::uint64_t seed = 7;
+  /// Cap on P(edge); guards against noise-inflated dot products.
+  double max_probability = 1.0;
+};
+
+/// RDPG node positions X (n×k) fitted from the release. σ_i that are
+/// numerically zero contribute zero columns.
+linalg::DenseMatrix rdpg_positions(const PublishedGraph& published,
+                                   std::size_t rank);
+
+/// Samples a surrogate graph whose expected adjacency approximates the
+/// rank-k spectral part of the original. O(n²) pair scan with early
+/// rejection; intended for n up to ~10^5 at simulator scale.
+graph::Graph sample_surrogate_graph(const PublishedGraph& published,
+                                    const SurrogateOptions& options = {});
+
+}  // namespace sgp::core

@@ -1,0 +1,51 @@
+#include "dp/accountant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sgp::dp {
+
+void PrivacyAccountant::record(const PrivacyParams& params) {
+  util::require(params.epsilon > 0.0, "accountant: epsilon must be > 0");
+  util::require(params.delta >= 0.0 && params.delta < 1.0,
+                "accountant: delta must be in [0,1)");
+  events_.push_back(params);
+}
+
+PrivacyParams PrivacyAccountant::basic_composition() const {
+  PrivacyParams total{0.0, 0.0};
+  for (const PrivacyParams& e : events_) {
+    total.epsilon += e.epsilon;
+    total.delta += e.delta;
+  }
+  return total;
+}
+
+PrivacyParams PrivacyAccountant::advanced_composition(
+    double delta_slack) const {
+  util::require(delta_slack > 0.0 && delta_slack < 1.0,
+                "accountant: delta_slack must be in (0,1)");
+  const double k = static_cast<double>(events_.size());
+  if (events_.empty()) return {0.0, delta_slack};
+  double eps_max = 0.0;
+  double delta_sum = 0.0;
+  for (const PrivacyParams& e : events_) {
+    eps_max = std::max(eps_max, e.epsilon);
+    delta_sum += e.delta;
+  }
+  const double eps_total =
+      std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) * eps_max +
+      k * eps_max * (std::exp(eps_max) - 1.0);
+  return {eps_total, delta_sum + delta_slack};
+}
+
+PrivacyParams PrivacyAccountant::best_composition(double delta_slack) const {
+  const PrivacyParams basic = basic_composition();
+  if (events_.empty()) return basic;
+  const PrivacyParams advanced = advanced_composition(delta_slack);
+  return advanced.epsilon < basic.epsilon ? advanced : basic;
+}
+
+}  // namespace sgp::dp

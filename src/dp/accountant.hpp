@@ -1,0 +1,41 @@
+// Privacy-budget accounting across multiple mechanism invocations.
+//
+// Publishing a graph once uses one Gaussian invocation, but the evaluation
+// pipelines (and any real deployment re-publishing over time) compose
+// multiple releases; the accountant tracks the cumulative (ε, δ).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/privacy.hpp"
+
+namespace sgp::dp {
+
+class PrivacyAccountant {
+ public:
+  /// Records one (ε, δ)-DP release. ε must be > 0, δ in [0, 1).
+  void record(const PrivacyParams& params);
+
+  [[nodiscard]] std::size_t num_releases() const { return events_.size(); }
+
+  /// Sequential ("basic") composition: ε and δ add up.
+  [[nodiscard]] PrivacyParams basic_composition() const;
+
+  /// Advanced composition (Dwork–Rothblum–Vadhan): for a slack δ' > 0,
+  ///   ε_total = sqrt(2k ln(1/δ')) · ε_max + k · ε_max (e^{ε_max} − 1),
+  ///   δ_total = Σδᵢ + δ'.
+  /// Tighter than basic when k is large and ε small. Uses the max per-event
+  /// ε (events are typically homogeneous here).
+  [[nodiscard]] PrivacyParams advanced_composition(double delta_slack) const;
+
+  /// The smaller-ε of basic vs advanced composition at the given slack.
+  [[nodiscard]] PrivacyParams best_composition(double delta_slack) const;
+
+  void reset() { events_.clear(); }
+
+ private:
+  std::vector<PrivacyParams> events_;
+};
+
+}  // namespace sgp::dp

@@ -1,0 +1,88 @@
+#include "dp/mechanisms.hpp"
+
+#include <cmath>
+
+#include "random/distributions.hpp"
+#include "util/check.hpp"
+
+namespace sgp::dp {
+namespace {
+
+/// Standard normal CDF.
+double phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+/// Privacy loss of the Gaussian mechanism with noise σ at sensitivity Δ:
+/// the smallest δ for which (ε, δ)-DP holds (Balle & Wang Eq. 6).
+double gaussian_delta(double sensitivity, double sigma, double epsilon) {
+  const double a = sensitivity / (2.0 * sigma);
+  const double b = epsilon * sigma / sensitivity;
+  return phi(a - b) - std::exp(epsilon) * phi(-a - b);
+}
+
+}  // namespace
+
+double gaussian_sigma(double l2_sensitivity, const PrivacyParams& params) {
+  params.validate();
+  util::require(l2_sensitivity > 0.0, "gaussian: sensitivity must be > 0");
+  return l2_sensitivity * std::sqrt(2.0 * std::log(1.25 / params.delta)) /
+         params.epsilon;
+}
+
+double analytic_gaussian_sigma(double l2_sensitivity,
+                               const PrivacyParams& params) {
+  params.validate();
+  util::require(l2_sensitivity > 0.0, "gaussian: sensitivity must be > 0");
+
+  // gaussian_delta is strictly decreasing in σ. Bracket then bisect.
+  double lo = 1e-12 * l2_sensitivity;
+  double hi = gaussian_sigma(l2_sensitivity, params);  // classic bound works
+  // The classic bound is only guaranteed for ε < 1; expand hi if needed.
+  while (gaussian_delta(l2_sensitivity, hi, params.epsilon) > params.delta) {
+    hi *= 2.0;
+    util::ensure(hi < 1e12 * l2_sensitivity,
+                 "analytic gaussian: bracketing failed");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (gaussian_delta(l2_sensitivity, mid, params.epsilon) > params.delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if ((hi - lo) <= 1e-12 * hi) break;
+  }
+  return hi;
+}
+
+double laplace_scale(double l1_sensitivity, double epsilon) {
+  util::require(epsilon > 0.0, "laplace: epsilon must be > 0");
+  util::require(l1_sensitivity > 0.0, "laplace: sensitivity must be > 0");
+  return l1_sensitivity / epsilon;
+}
+
+void add_gaussian_noise(std::span<double> values, double sigma,
+                        random::Rng& rng) {
+  util::require(sigma >= 0.0, "gaussian noise: sigma must be >= 0");
+  if (sigma == 0.0) return;
+  for (double& v : values) v += random::normal(rng, 0.0, sigma);
+}
+
+void add_laplace_noise(std::span<double> values, double scale,
+                       random::Rng& rng) {
+  util::require(scale >= 0.0, "laplace noise: scale must be >= 0");
+  if (scale == 0.0) return;
+  for (double& v : values) v += random::laplace(rng, 0.0, scale);
+}
+
+double randomized_response_keep_probability(double epsilon) {
+  util::require(epsilon > 0.0, "randomized response: epsilon must be > 0");
+  const double e = std::exp(epsilon);
+  return e / (1.0 + e);
+}
+
+bool randomized_response(bool value, double epsilon, random::Rng& rng) {
+  const double keep = randomized_response_keep_probability(epsilon);
+  return random::bernoulli(rng, keep) ? value : !value;
+}
+
+}  // namespace sgp::dp

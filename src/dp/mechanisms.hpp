@@ -1,0 +1,50 @@
+// Differential-privacy noise mechanisms.
+//
+// The paper's mechanism perturbs the projected matrix with Gaussian noise;
+// the σ calibration lives here. The Laplace mechanism and randomized
+// response are provided for the baseline publishers the paper compares
+// against.
+#pragma once
+
+#include <span>
+
+#include "dp/privacy.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::dp {
+
+/// Classic Gaussian-mechanism calibration (Dwork & Roth Thm A.1):
+///   σ = Δ₂ · sqrt(2 ln(1.25/δ)) / ε.
+/// Certified only for ε ∈ (0, 1): beyond that it can *under*-noise (the
+/// returned σ may violate (ε, δ)-DP). Prefer analytic_gaussian_sigma, which
+/// is exact for every ε; this one exists as the textbook baseline and for
+/// the E2 calibration-comparison bench.
+double gaussian_sigma(double l2_sensitivity, const PrivacyParams& params);
+
+/// Analytic Gaussian mechanism (Balle & Wang, ICML 2018): the *smallest* σ
+/// such that adding N(0, σ²) noise to a Δ₂-sensitive query is (ε, δ)-DP,
+/// found by bisecting the exact condition
+///   Φ(Δ/2σ − εσ/Δ) − e^ε · Φ(−Δ/2σ − εσ/Δ) ≤ δ.
+/// Tight for every ε > 0 (including ε > 1, where the classic bound is loose).
+double analytic_gaussian_sigma(double l2_sensitivity,
+                               const PrivacyParams& params);
+
+/// Laplace-mechanism scale b = Δ₁ / ε for pure ε-DP.
+double laplace_scale(double l1_sensitivity, double epsilon);
+
+/// Adds i.i.d. N(0, σ²) noise to every element.
+void add_gaussian_noise(std::span<double> values, double sigma,
+                        random::Rng& rng);
+
+/// Adds i.i.d. Laplace(0, scale) noise to every element.
+void add_laplace_noise(std::span<double> values, double scale,
+                       random::Rng& rng);
+
+/// Randomized response on one bit: report truthfully with probability
+/// e^ε / (1 + e^ε), flipped otherwise. ε-DP for the bit.
+bool randomized_response(bool value, double epsilon, random::Rng& rng);
+
+/// Probability that randomized_response reports the true value.
+double randomized_response_keep_probability(double epsilon);
+
+}  // namespace sgp::dp

@@ -1,0 +1,72 @@
+#include "dp/postprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sgp::dp {
+
+std::vector<double> isotonic_non_decreasing(const std::vector<double>& values) {
+  // Pool Adjacent Violators with block merging: maintain a stack of blocks
+  // (mean, weight); merge while the means decrease.
+  struct Block {
+    double sum;
+    double weight;
+    [[nodiscard]] double mean() const { return sum / weight; }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(values.size());
+  for (double v : values) {
+    Block current{v, 1.0};
+    while (!blocks.empty() && blocks.back().mean() >= current.mean()) {
+      current.sum += blocks.back().sum;
+      current.weight += blocks.back().weight;
+      blocks.pop_back();
+    }
+    blocks.push_back(current);
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Block& b : blocks) {
+    for (double i = 0; i < b.weight; i += 1.0) out.push_back(b.mean());
+  }
+  return out;
+}
+
+std::vector<double> isotonic_non_increasing(const std::vector<double>& values) {
+  std::vector<double> reversed(values.rbegin(), values.rend());
+  std::vector<double> fitted = isotonic_non_decreasing(reversed);
+  return {fitted.rbegin(), fitted.rend()};
+}
+
+std::vector<double> clamp_range(std::vector<double> values, double lo,
+                                double hi) {
+  util::require(lo <= hi, "clamp_range: lo must be <= hi");
+  for (double& v : values) v = std::clamp(v, lo, hi);
+  return values;
+}
+
+std::vector<std::size_t> to_degree_sequence(const std::vector<double>& values,
+                                            std::size_t max_degree) {
+  std::vector<std::size_t> degrees(values.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double clamped =
+        std::clamp(values[i], 0.0, static_cast<double>(max_degree));
+    degrees[i] = static_cast<std::size_t>(std::llround(clamped));
+    total += degrees[i];
+  }
+  if (total % 2 == 1 && !degrees.empty()) {
+    // Fix parity with the smallest valid adjustment on the last element.
+    auto& last = degrees.back();
+    if (last > 0) {
+      --last;
+    } else {
+      ++last;
+    }
+  }
+  return degrees;
+}
+
+}  // namespace sgp::dp

@@ -1,0 +1,31 @@
+// Consistency post-processing for DP releases.
+//
+// Post-processing never costs privacy budget; it only exploits publicly
+// known structure. The key tool here is isotonic regression (Pool Adjacent
+// Violators): a noisy *sorted* sequence (e.g. a degree sequence released
+// with Laplace noise, Hay et al. 2009) is projected back onto the monotone
+// cone, provably reducing L2 error.
+#pragma once
+
+#include <vector>
+
+namespace sgp::dp {
+
+/// L2 isotonic regression onto non-decreasing sequences (PAVA, O(n)).
+/// Returns the closest (in L2) non-decreasing sequence to `values`.
+std::vector<double> isotonic_non_decreasing(const std::vector<double>& values);
+
+/// L2 isotonic regression onto non-increasing sequences.
+std::vector<double> isotonic_non_increasing(const std::vector<double>& values);
+
+/// Clamps every element to [lo, hi] (e.g. degrees to [0, n-1]).
+std::vector<double> clamp_range(std::vector<double> values, double lo,
+                                double hi);
+
+/// Rounds to nearest integers and adjusts the total sum parity to be even —
+/// a valid degree sequence needs an even sum (handshake lemma). The
+/// adjustment (±1 on the last element) is data-independent.
+std::vector<std::size_t> to_degree_sequence(const std::vector<double>& values,
+                                            std::size_t max_degree);
+
+}  // namespace sgp::dp

@@ -1,0 +1,25 @@
+#include "dp/privacy.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace sgp::dp {
+
+void PrivacyParams::validate() const {
+  util::require(epsilon > 0.0, "privacy: epsilon must be > 0");
+  util::require(delta > 0.0 && delta < 1.0, "privacy: delta must be in (0,1)");
+}
+
+void PrivacyParams::validate_pure() const {
+  util::require(epsilon > 0.0, "privacy: epsilon must be > 0");
+  util::require(delta == 0.0, "privacy: pure DP requires delta == 0");
+}
+
+std::string PrivacyParams::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(eps=%g, delta=%g)", epsilon, delta);
+  return buf;
+}
+
+}  // namespace sgp::dp

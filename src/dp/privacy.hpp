@@ -1,0 +1,28 @@
+// Differential-privacy parameter types shared by all mechanisms.
+#pragma once
+
+#include <string>
+
+namespace sgp::dp {
+
+/// An (ε, δ) differential-privacy budget.
+///
+/// Semantics here are *edge-level*: neighboring graphs differ in one edge of
+/// the adjacency matrix (the paper's threat model — hiding the presence or
+/// absence of a single friendship).
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 1e-6;
+
+  /// Validates ε > 0 and δ ∈ (0, 1). Throws std::invalid_argument otherwise.
+  /// Pure ε-DP mechanisms (Laplace) pass delta = 0 through
+  /// `validate_pure()` instead.
+  void validate() const;
+
+  /// Validates ε > 0 and δ == 0 (pure DP).
+  void validate_pure() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sgp::dp

@@ -1,0 +1,67 @@
+#include "dp/rdp_accountant.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sgp::dp {
+namespace {
+
+std::vector<double> default_orders() {
+  std::vector<double> orders{1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0,
+                             5.0,  6.0, 8.0,  16.0, 32.0, 64.0, 128.0,
+                             256.0, 512.0};
+  return orders;
+}
+
+}  // namespace
+
+RdpAccountant::RdpAccountant() : RdpAccountant(default_orders()) {}
+
+RdpAccountant::RdpAccountant(std::vector<double> orders)
+    : orders_(std::move(orders)), rdp_(orders_.size(), 0.0) {
+  util::require(!orders_.empty(), "rdp: order grid must be non-empty");
+  for (double a : orders_) {
+    util::require(a > 1.0, "rdp: all orders must be > 1");
+  }
+}
+
+void RdpAccountant::record_gaussian(double noise_multiplier) {
+  util::require(noise_multiplier > 0.0,
+                "rdp: noise multiplier must be > 0");
+  const double inv = 1.0 / (2.0 * noise_multiplier * noise_multiplier);
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += orders_[i] * inv;
+  }
+  ++releases_;
+}
+
+void RdpAccountant::record_rdp(const std::vector<double>& epsilons_per_order) {
+  util::require(epsilons_per_order.size() == orders_.size(),
+                "rdp: curve must match the order grid");
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    util::require(epsilons_per_order[i] >= 0.0, "rdp: epsilons must be >= 0");
+    rdp_[i] += epsilons_per_order[i];
+  }
+  ++releases_;
+}
+
+PrivacyParams RdpAccountant::to_dp(double delta) const {
+  util::require(delta > 0.0 && delta < 1.0, "rdp: delta must be in (0,1)");
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    const double eps =
+        rdp_[i] + std::log(1.0 / delta) / (orders_[i] - 1.0);
+    best = std::min(best, eps);
+  }
+  if (releases_ == 0) best = 0.0;
+  return {best, delta};
+}
+
+void RdpAccountant::reset() {
+  std::fill(rdp_.begin(), rdp_.end(), 0.0);
+  releases_ = 0;
+}
+
+}  // namespace sgp::dp

@@ -1,0 +1,49 @@
+// Rényi differential privacy accounting (Mironov 2017) — the tighter
+// composition machinery a production deployment of the mechanism would use
+// when re-publishing an evolving graph many times (an extension beyond the
+// paper, which analyzes a single release).
+//
+// The Gaussian mechanism with noise σ at ℓ2-sensitivity Δ satisfies
+// (α, α·Δ²/(2σ²))-RDP for every α > 1; RDP composes by simple addition per
+// order, and converts to (ε, δ)-DP via
+//   ε(δ) = min_α  ε_α + ln(1/δ)/(α − 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/privacy.hpp"
+
+namespace sgp::dp {
+
+class RdpAccountant {
+ public:
+  /// Uses a default grid of Rényi orders (1.25 … 512, log-spaced-ish).
+  RdpAccountant();
+  /// Custom order grid; all orders must be > 1.
+  explicit RdpAccountant(std::vector<double> orders);
+
+  /// Records one Gaussian-mechanism release with the given noise multiplier
+  /// (σ / Δ — the dimensionless ratio). Must be > 0.
+  void record_gaussian(double noise_multiplier);
+
+  /// Records a generic mechanism by its RDP curve sampled on this
+  /// accountant's order grid (values aligned with orders()).
+  void record_rdp(const std::vector<double>& epsilons_per_order);
+
+  /// Converts the accumulated RDP to (ε, δ)-DP at the target δ ∈ (0, 1);
+  /// optimizes over the order grid.
+  [[nodiscard]] PrivacyParams to_dp(double delta) const;
+
+  [[nodiscard]] const std::vector<double>& orders() const { return orders_; }
+  [[nodiscard]] std::size_t num_releases() const { return releases_; }
+
+  void reset();
+
+ private:
+  std::vector<double> orders_;
+  std::vector<double> rdp_;  ///< accumulated ε_α per order
+  std::size_t releases_ = 0;
+};
+
+}  // namespace sgp::dp

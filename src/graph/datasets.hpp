@@ -1,0 +1,48 @@
+// Synthetic stand-ins for the paper's evaluation datasets.
+//
+// The paper uses SNAP's Facebook (4,039 nodes / 88,234 edges), Pokec
+// (1.6M nodes) and LiveJournal (4M nodes) graphs, which cannot be downloaded
+// in this offline environment. Each stand-in below reproduces the properties
+// the mechanism's utility depends on — community structure and heavy-tailed
+// degree — at a scale that runs on a single machine. See DESIGN.md
+// ("Substitutions") for the full rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace sgp::graph {
+
+/// A benchmark dataset: graph, planted community labels, and provenance.
+struct Dataset {
+  std::string name;
+  PlantedGraph planted;
+  std::size_t num_communities = 0;
+};
+
+/// facebook-sim: SBM, 4,000 nodes in 8 communities — matches ego-Facebook's
+/// node count; communities strong enough that the mechanism's utility
+/// transition falls inside the benchmark ε sweep (see datasets.cpp note).
+Dataset facebook_sim(std::uint64_t seed = 1);
+
+/// pokec-sim: SBM + BA hub overlay, 40,000 nodes in 16 communities — the
+/// medium tier with Pokec-style heavy-tailed degrees.
+Dataset pokec_sim(std::uint64_t seed = 2);
+
+/// livejournal-sim: SBM, ~50,000 nodes in 32 communities — the largest tier,
+/// exercising the mechanism's storage/computation efficiency claims.
+Dataset livejournal_sim(std::uint64_t seed = 3);
+
+/// All three stand-ins, smallest first.
+std::vector<Dataset> standard_datasets();
+
+/// Reduced-size variants (≈1/10 nodes) used by integration tests and quick
+/// example runs, preserving each dataset's structural shape.
+Dataset facebook_sim_small(std::uint64_t seed = 1);
+Dataset pokec_sim_small(std::uint64_t seed = 2);
+Dataset livejournal_sim_small(std::uint64_t seed = 3);
+
+}  // namespace sgp::graph

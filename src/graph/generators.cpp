@@ -1,0 +1,189 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "random/distributions.hpp"
+#include "util/check.hpp"
+
+namespace sgp::graph {
+namespace {
+
+/// Appends edges for all pairs (i, j) with i in [lo_i, hi_i), j in
+/// [lo_j, hi_j), j > i, hit with probability p — via geometric skipping over
+/// the linearized pair index, O(#hits).
+void sample_block(std::vector<Edge>& out, std::size_t lo_i, std::size_t hi_i,
+                  std::size_t lo_j, std::size_t hi_j, double p,
+                  random::Rng& rng) {
+  if (p <= 0.0) return;
+  const std::size_t width = hi_j - lo_j;
+  if (width == 0 || hi_i <= lo_i) return;
+  const std::size_t total = (hi_i - lo_i) * width;
+  std::size_t idx = 0;
+  while (true) {
+    // Skip ahead geometrically; p == 1 degenerates to every pair.
+    const std::uint64_t skip = p >= 1.0 ? 0 : random::geometric(rng, p);
+    if (skip >= total - idx) break;
+    idx += skip;
+    const std::size_t i = lo_i + idx / width;
+    const std::size_t j = lo_j + idx % width;
+    if (j > i) {  // keep upper triangle only (i < j)
+      out.push_back(
+          {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+    }
+    ++idx;
+    if (idx >= total) break;
+  }
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, double p, random::Rng& rng) {
+  util::require(p >= 0.0 && p <= 1.0, "erdos_renyi: p must be in [0,1]");
+  std::vector<Edge> edges;
+  if (n >= 2 && p > 0.0) {
+    edges.reserve(static_cast<std::size_t>(
+        p * 0.5 * static_cast<double>(n) * static_cast<double>(n - 1) * 1.1));
+    sample_block(edges, 0, n, 0, n, p, rng);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+PlantedGraph stochastic_block_model(const std::vector<std::size_t>& sizes,
+                                    double p_in, double p_out,
+                                    random::Rng& rng) {
+  util::require(!sizes.empty(), "sbm: at least one community required");
+  util::require(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0,
+                "sbm: probabilities must be in [0,1]");
+  std::vector<std::size_t> start(sizes.size() + 1, 0);
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    util::require(sizes[c] > 0, "sbm: community sizes must be positive");
+    start[c + 1] = start[c] + sizes[c];
+  }
+  const std::size_t n = start.back();
+
+  std::vector<Edge> edges;
+  for (std::size_t a = 0; a < sizes.size(); ++a) {
+    // Within-community block (upper triangle handled by sample_block).
+    sample_block(edges, start[a], start[a + 1], start[a], start[a + 1], p_in,
+                 rng);
+    // Cross blocks a < b: full rectangle, all pairs have i < j.
+    for (std::size_t b = a + 1; b < sizes.size(); ++b) {
+      sample_block(edges, start[a], start[a + 1], start[b], start[b + 1],
+                   p_out, rng);
+    }
+  }
+
+  PlantedGraph out;
+  out.graph = Graph::from_edges(n, edges);
+  out.labels.resize(n);
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    for (std::size_t i = start[c]; i < start[c + 1]; ++i) {
+      out.labels[i] = static_cast<std::uint32_t>(c);
+    }
+  }
+  return out;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, random::Rng& rng) {
+  util::require(attach >= 1, "barabasi_albert: attach must be >= 1");
+  util::require(n > attach, "barabasi_albert: n must exceed attach");
+
+  std::vector<Edge> edges;
+  // `targets` holds one entry per half-edge: sampling uniformly from it is
+  // sampling proportional to degree.
+  std::vector<std::uint32_t> endpoint_pool;
+
+  // Seed clique on attach+1 nodes.
+  const std::size_t seed_n = attach + 1;
+  for (std::uint32_t i = 0; i < seed_n; ++i) {
+    for (std::uint32_t j = i + 1; j < seed_n; ++j) {
+      edges.push_back({i, j});
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(j);
+    }
+  }
+
+  std::vector<std::uint32_t> chosen;
+  for (std::size_t v = seed_n; v < n; ++v) {
+    chosen.clear();
+    // Rejection-sample `attach` distinct targets proportional to degree.
+    while (chosen.size() < attach) {
+      const std::uint32_t t =
+          endpoint_pool[rng.next_below(endpoint_pool.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (std::uint32_t t : chosen) {
+      edges.push_back({static_cast<std::uint32_t>(v), t});
+      endpoint_pool.push_back(static_cast<std::uint32_t>(v));
+      endpoint_pool.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     random::Rng& rng) {
+  util::require(k >= 2 && k % 2 == 0, "watts_strogatz: k must be even >= 2");
+  util::require(n > k, "watts_strogatz: n must exceed k");
+  util::require(beta >= 0.0 && beta <= 1.0,
+                "watts_strogatz: beta must be in [0,1]");
+
+  std::vector<Edge> edges;
+  edges.reserve(n * k / 2);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t d = 1; d <= k / 2; ++d) {
+      std::uint32_t v = static_cast<std::uint32_t>((u + d) % n);
+      if (random::bernoulli(rng, beta)) {
+        // Rewire the far endpoint to a uniform non-self target.
+        std::uint32_t w;
+        do {
+          w = static_cast<std::uint32_t>(rng.next_below(n));
+        } while (w == u);
+        v = w;
+      }
+      edges.push_back({static_cast<std::uint32_t>(u), v});
+    }
+  }
+  return Graph::from_edges(n, edges);  // duplicates merged by the builder
+}
+
+Graph configuration_model(const std::vector<std::size_t>& degrees,
+                          random::Rng& rng) {
+  util::require(!degrees.empty(), "configuration_model: empty degree sequence");
+  std::vector<std::uint32_t> stubs;
+  for (std::size_t u = 0; u < degrees.size(); ++u) {
+    for (std::size_t d = 0; d < degrees[u]; ++d) {
+      stubs.push_back(static_cast<std::uint32_t>(u));
+    }
+  }
+  util::require(stubs.size() % 2 == 0,
+                "configuration_model: degree sum must be even");
+  random::shuffle(rng, stubs);
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1]) continue;  // drop self loop
+    edges.push_back({stubs[i], stubs[i + 1]});
+  }
+  return Graph::from_edges(degrees.size(), edges);  // multi-edges merged
+}
+
+PlantedGraph social_network_model(const std::vector<std::size_t>& sizes,
+                                  double p_in, double p_out,
+                                  std::size_t hub_attach, random::Rng& rng) {
+  PlantedGraph base = stochastic_block_model(sizes, p_in, p_out, rng);
+  const std::size_t n = base.graph.num_nodes();
+  const Graph hubs = barabasi_albert(n, hub_attach, rng);
+
+  std::vector<Edge> merged = base.graph.edges();
+  const std::vector<Edge> overlay = hubs.edges();
+  merged.insert(merged.end(), overlay.begin(), overlay.end());
+  base.graph = Graph::from_edges(n, merged);
+  return base;
+}
+
+}  // namespace sgp::graph

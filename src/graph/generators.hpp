@@ -1,0 +1,59 @@
+// Random graph generators.
+//
+// The paper evaluates on SNAP's Facebook, Pokec, and LiveJournal graphs,
+// which are not redistributable offline. These generators produce synthetic
+// stand-ins with the two properties the mechanism's utility depends on:
+// community structure (stochastic block model — drives clustering utility)
+// and heavy-tailed degrees (Barabási–Albert — drives ranking utility).
+// Erdős–Rényi, Watts–Strogatz and the configuration model round out the
+// substrate for tests and ablations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::graph {
+
+/// G(n, p): every pair independently an edge with probability p.
+/// Sampled with geometric skipping — O(n + |E|), usable for large sparse n.
+Graph erdos_renyi(std::size_t n, double p, random::Rng& rng);
+
+/// A graph with known ground-truth community labels.
+struct PlantedGraph {
+  Graph graph;
+  std::vector<std::uint32_t> labels;  ///< community id per node
+};
+
+/// Stochastic block model: `sizes[c]` nodes in community c; within-community
+/// pairs connect with probability p_in, cross-community with p_out.
+PlantedGraph stochastic_block_model(const std::vector<std::size_t>& sizes,
+                                    double p_in, double p_out,
+                                    random::Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` nodes, each new node attaches to `attach` existing nodes with
+/// probability proportional to degree. Yields power-law degrees.
+Graph barabasi_albert(std::size_t n, std::size_t attach, random::Rng& rng);
+
+/// Watts–Strogatz small world: ring of n nodes each linked to `k` nearest
+/// neighbors (k even), each edge rewired with probability beta.
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     random::Rng& rng);
+
+/// Configuration model for a given degree sequence; multi-edges and self
+/// loops arising from stub matching are dropped, so realized degrees can be
+/// slightly below the request.
+Graph configuration_model(const std::vector<std::size_t>& degrees,
+                          random::Rng& rng);
+
+/// Union of an SBM and a BA overlay on the same node set: community structure
+/// plus heavy-tailed hubs — the closest synthetic analogue of an OSN graph.
+PlantedGraph social_network_model(const std::vector<std::size_t>& sizes,
+                                  double p_in, double p_out,
+                                  std::size_t hub_attach, random::Rng& rng);
+
+}  // namespace sgp::graph

@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace sgp::graph {
+
+Graph Graph::from_edges(std::size_t num_nodes, std::span<const Edge> edges) {
+  // Normalize to both directions, validate, sort, dedup.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    util::require(e.u < num_nodes && e.v < num_nodes,
+                  "from_edges: endpoint out of range");
+    util::require(e.u != e.v, "from_edges: self loops are not allowed");
+    directed.emplace_back(e.u, e.v);
+    directed.emplace_back(e.v, e.u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.offsets_.assign(num_nodes + 1, 0);
+  g.adjacency_.reserve(directed.size());
+  std::size_t i = 0;
+  for (std::size_t u = 0; u < num_nodes; ++u) {
+    while (i < directed.size() && directed[i].first == u) {
+      g.adjacency_.push_back(directed[i].second);
+      ++i;
+    }
+    g.offsets_[u + 1] = g.adjacency_.size();
+  }
+  return g;
+}
+
+std::span<const std::uint32_t> Graph::neighbors(std::size_t u) const {
+  util::require(u < num_nodes(), "neighbors: node out of range");
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t Graph::degree(std::size_t u) const {
+  util::require(u < num_nodes(), "degree: node out of range");
+  return offsets_[u + 1] - offsets_[u];
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  util::require(u < num_nodes() && v < num_nodes(),
+                "has_edge: node out of range");
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(),
+                            static_cast<std::uint32_t>(v));
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    for (std::uint32_t v : neighbors(u)) {
+      if (u < v) out.push_back({static_cast<std::uint32_t>(u), v});
+    }
+  }
+  return out;
+}
+
+linalg::CsrMatrix Graph::adjacency_matrix() const {
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(adjacency_.size());
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    for (std::uint32_t v : neighbors(u)) {
+      trips.push_back({static_cast<std::uint32_t>(u), v, 1.0});
+    }
+  }
+  return linalg::CsrMatrix::from_triplets(num_nodes(), num_nodes(),
+                                          std::move(trips));
+}
+
+double Graph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(num_nodes());
+}
+
+ComponentResult connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+  ComponentResult result;
+  result.labels.assign(n, kUnvisited);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (result.labels[start] != kUnvisited) continue;
+    const auto label = static_cast<std::uint32_t>(result.count++);
+    stack.push_back(static_cast<std::uint32_t>(start));
+    result.labels[start] = label;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (std::uint32_t v : g.neighbors(u)) {
+        if (result.labels[v] == kUnvisited) {
+          result.labels[v] = label;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, std::size_t source) {
+  util::require(source < g.num_nodes(), "bfs: source out of range");
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.num_nodes(), kInf);
+  std::queue<std::uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push(static_cast<std::uint32_t>(source));
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop();
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace sgp::graph

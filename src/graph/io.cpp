@@ -1,0 +1,101 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sgp::graph {
+
+Graph read_edge_list(std::istream& in, IdPolicy policy) {
+  std::unordered_map<std::uint64_t, std::uint32_t> remap;
+  std::vector<Edge> edges;
+  std::string line;
+  std::size_t line_no = 0;
+  std::uint64_t max_raw_id = 0;
+  bool any_edge = false;
+  std::size_t declared_nodes = 0;
+
+  auto intern = [&](std::uint64_t raw) -> std::uint32_t {
+    if (policy == IdPolicy::kPreserve) {
+      util::ensure(raw <= 0xFFFFFFFFULL,
+                   "edge list: node id too large for preserve policy");
+      max_raw_id = std::max(max_raw_id, raw);
+      return static_cast<std::uint32_t>(raw);
+    }
+    return remap.emplace(raw, static_cast<std::uint32_t>(remap.size()))
+        .first->second;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Our own writer declares the node count in a comment; honor it under
+    // kPreserve so trailing isolated nodes survive a round trip.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      if (policy == IdPolicy::kPreserve) {
+        std::istringstream header(line.substr(hash + 1));
+        std::string word;
+        std::size_t count = 0;
+        // Matches "... : <N> nodes ..." from write_edge_list.
+        while (header >> word) {
+          if (word == "nodes" || word == "nodes,") break;
+          std::istringstream num(word);
+          std::size_t candidate = 0;
+          if (num >> candidate && num.eof()) count = candidate;
+        }
+        if (word == "nodes" || word == "nodes,") {
+          declared_nodes = std::max(declared_nodes, count);
+        }
+      }
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::uint64_t u_raw, v_raw;
+    if (!(fields >> u_raw)) continue;  // blank or comment-only line
+    util::ensure(static_cast<bool>(fields >> v_raw),
+                 "edge list parse error at line " + std::to_string(line_no));
+    std::uint64_t extra;
+    util::ensure(!(fields >> extra),
+                 "edge list: more than two fields at line " +
+                     std::to_string(line_no));
+    if (u_raw == v_raw) continue;  // drop self loop
+    edges.push_back({intern(u_raw), intern(v_raw)});
+    any_edge = true;
+  }
+
+  std::size_t num_nodes = remap.size();
+  if (policy == IdPolicy::kPreserve) {
+    num_nodes = any_edge ? static_cast<std::size_t>(max_raw_id) + 1 : 0;
+    num_nodes = std::max(num_nodes, declared_nodes);
+  }
+  return Graph::from_edges(num_nodes, edges);
+}
+
+Graph read_edge_list_file(const std::string& path, IdPolicy policy) {
+  std::ifstream in(path);
+  util::ensure(in.good(), "cannot open edge list file: " + path);
+  return read_edge_list(in, policy);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# sgp edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " edges\n";
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  util::ensure(out.good(), "cannot open output file: " + path);
+  write_edge_list(g, out);
+  out.flush();
+  util::ensure(out.good(), "failed writing edge list to: " + path);
+}
+
+}  // namespace sgp::graph

@@ -1,0 +1,38 @@
+// Edge-list IO in the SNAP text format the paper's datasets ship in:
+// one "u v" pair per line, '#' comment lines ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace sgp::graph {
+
+/// How raw node ids in the file map to graph indices.
+enum class IdPolicy {
+  /// Remap arbitrary (sparse) ids to dense [0, n) in first-appearance order —
+  /// what SNAP downloads need. Isolated nodes are not representable.
+  kCompact,
+  /// Keep numeric ids as indices: node count = max id + 1 (or the count
+  /// declared in an "# sgp edge list: N nodes..." header, if larger).
+  /// Round-trips write_edge_list exactly, including isolated nodes.
+  kPreserve,
+};
+
+/// Parses an edge list from a stream. Self loops are dropped; duplicate
+/// edges merged. Throws std::runtime_error on parse errors.
+Graph read_edge_list(std::istream& in, IdPolicy policy = IdPolicy::kCompact);
+
+/// Loads from a file path. Throws std::runtime_error if unreadable.
+Graph read_edge_list_file(const std::string& path,
+                          IdPolicy policy = IdPolicy::kCompact);
+
+/// Writes "u v" per undirected edge (u < v), preceded by a header comment
+/// declaring the node count (understood by IdPolicy::kPreserve readers).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Saves to a file path. Throws std::runtime_error if unwritable.
+void write_edge_list_file(const Graph& g, const std::string& path);
+
+}  // namespace sgp::graph

@@ -1,0 +1,72 @@
+#include "graph/kcore.hpp"
+
+#include <algorithm>
+
+namespace sgp::graph {
+
+std::vector<std::uint32_t> core_numbers(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> core(n, 0);
+  if (n == 0) return core;
+
+  // Bucket sort nodes by degree (Matula–Beck / Batagelj–Zaveršnik).
+  std::size_t max_degree = 0;
+  std::vector<std::uint32_t> degree(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    degree[u] = static_cast<std::uint32_t>(g.degree(u));
+    max_degree = std::max<std::size_t>(max_degree, degree[u]);
+  }
+  std::vector<std::size_t> bucket_start(max_degree + 2, 0);
+  for (std::size_t u = 0; u < n; ++u) ++bucket_start[degree[u] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<std::uint32_t> order(n);     // nodes sorted by current degree
+  std::vector<std::size_t> position(n);    // node -> index in `order`
+  {
+    std::vector<std::size_t> cursor(bucket_start.begin(),
+                                    bucket_start.end() - 1);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      position[u] = cursor[degree[u]];
+      order[position[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+
+  // Peel in degree order; when a node is removed, its neighbors' degrees
+  // drop by one (swap them one bucket down in O(1)).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t u = order[i];
+    core[u] = degree[u];
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (degree[v] <= degree[u]) continue;  // already peeled or tied
+      const std::uint32_t dv = degree[v];
+      // Swap v with the first node of its bucket, then shrink the bucket.
+      const std::size_t first_pos = bucket_start[dv];
+      const std::uint32_t first_node = order[first_pos];
+      if (first_node != v) {
+        std::swap(order[first_pos], order[position[v]]);
+        std::swap(position[first_node], position[v]);
+      }
+      ++bucket_start[dv];
+      --degree[v];
+    }
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const auto cores = core_numbers(g);
+  std::uint32_t best = 0;
+  for (std::uint32_t c : cores) best = std::max(best, c);
+  return best;
+}
+
+std::vector<bool> k_core_membership(const Graph& g, std::uint32_t k) {
+  const auto cores = core_numbers(g);
+  std::vector<bool> member(cores.size());
+  for (std::size_t u = 0; u < cores.size(); ++u) member[u] = cores[u] >= k;
+  return member;
+}
+
+}  // namespace sgp::graph

@@ -1,0 +1,25 @@
+// k-core decomposition (Matula–Beck peeling, O(n + m)).
+//
+// Core numbers summarize engagement structure in OSN analysis (spam/bot
+// rings sit in shallow cores, tight communities in deep ones) and give the
+// dataset table another comparable statistic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgp::graph {
+
+/// Core number of every node: the largest k such that the node belongs to a
+/// subgraph where every node has degree >= k.
+std::vector<std::uint32_t> core_numbers(const Graph& g);
+
+/// Degeneracy of the graph = max core number (0 for edgeless graphs).
+std::uint32_t degeneracy(const Graph& g);
+
+/// Membership mask of the k-core subgraph (nodes with core number >= k).
+std::vector<bool> k_core_membership(const Graph& g, std::uint32_t k);
+
+}  // namespace sgp::graph

@@ -1,0 +1,144 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sgp::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return stats;
+  stats.min = g.degree(0);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::size_t d = g.degree(u);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += static_cast<double>(d);
+    sum2 += static_cast<double>(d) * static_cast<double>(d);
+  }
+  stats.mean = sum / static_cast<double>(n);
+  const double var = sum2 / static_cast<double>(n) - stats.mean * stats.mean;
+  stats.stddev = std::sqrt(std::max(var, 0.0));
+  return stats;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t d = g.degree(u);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+std::size_t triangle_count(const Graph& g) {
+  // For each edge (u, v) with u < v, count common neighbors w > v: each
+  // triangle {u, v, w} is counted exactly once at its smallest edge.
+  std::size_t triangles = 0;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (std::uint32_t v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      // Merge-intersect the suffixes beyond v.
+      auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double global_clustering_coefficient(const Graph& g) {
+  double wedges = 0.0;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    const double d = static_cast<double>(g.degree(u));
+    wedges += d * (d - 1.0) / 2.0;
+  }
+  if (wedges == 0.0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) / wedges;
+}
+
+double average_local_clustering(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const std::size_t d = nbrs.size();
+    if (d < 2) continue;
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (g.has_edge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return total / static_cast<double>(n);
+}
+
+double density(const Graph& g) {
+  const double n = static_cast<double>(g.num_nodes());
+  if (n < 2.0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) / (n * (n - 1.0));
+}
+
+double modularity(const Graph& g, const std::vector<std::uint32_t>& labels) {
+  util::require(labels.size() == g.num_nodes(),
+                "modularity: labels size must equal node count");
+  const double total_edges = static_cast<double>(g.num_edges());
+  if (total_edges == 0.0) return 0.0;
+
+  std::uint32_t max_label = 0;
+  for (std::uint32_t l : labels) max_label = std::max(max_label, l);
+  std::vector<double> intra(max_label + 1, 0.0);
+  std::vector<double> volume(max_label + 1, 0.0);
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    volume[labels[u]] += static_cast<double>(g.degree(u));
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (u < v && labels[u] == labels[v]) intra[labels[u]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < intra.size(); ++c) {
+    const double frac_vol = volume[c] / (2.0 * total_edges);
+    q += intra[c] / total_edges - frac_vol * frac_vol;
+  }
+  return q;
+}
+
+double conductance(const Graph& g, const std::vector<bool>& in_set) {
+  util::require(in_set.size() == g.num_nodes(),
+                "conductance: membership size must equal node count");
+  std::size_t cut = 0, vol_in = 0, vol_out = 0;
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t d = g.degree(u);
+    (in_set[u] ? vol_in : vol_out) += d;
+    if (!in_set[u]) continue;
+    for (std::uint32_t v : g.neighbors(u)) {
+      if (!in_set[v]) ++cut;
+    }
+  }
+  const std::size_t denom = std::min(vol_in, vol_out);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+}  // namespace sgp::graph

@@ -1,0 +1,51 @@
+// Structural graph statistics — used for the dataset table (E1) and for
+// validating that synthetic stand-ins match the qualitative shape of the
+// OSN graphs the paper evaluates on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgp::graph {
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Histogram of degrees: result[d] = #nodes with degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Number of triangles (each counted once). O(Σ deg²) with sorted merges.
+std::size_t triangle_count(const Graph& g);
+
+/// Global clustering coefficient 3·triangles / #wedges (0 if no wedges).
+double global_clustering_coefficient(const Graph& g);
+
+/// Average of per-node local clustering coefficients (nodes with degree < 2
+/// contribute 0).
+double average_local_clustering(const Graph& g);
+
+/// Edge density 2|E| / (n(n-1)).
+double density(const Graph& g);
+
+/// Conductance of the cut (S, V\S): cut edges / min(vol(S), vol(V\S)).
+/// `in_set[u]` marks membership of u in S. Returns 1 for empty/zero-volume
+/// sides. Lower is a better community.
+double conductance(const Graph& g, const std::vector<bool>& in_set);
+
+/// Newman modularity Q of a node partition (labels per node):
+///   Q = Σ_c [ e_c/|E| − (vol_c / 2|E|)² ],
+/// where e_c is the number of intra-community edges and vol_c the total
+/// degree of community c. In [-1/2, 1); higher means stronger communities.
+/// Returns 0 for edgeless graphs. Useful for scoring clusterings recovered
+/// from a *published* graph, where no ground-truth labels exist.
+double modularity(const Graph& g, const std::vector<std::uint32_t>& labels);
+
+}  // namespace sgp::graph

@@ -1,0 +1,99 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "random/distributions.hpp"
+#include "util/check.hpp"
+
+namespace sgp::graph {
+
+Graph induced_subgraph(const Graph& g, const std::vector<std::uint32_t>& nodes,
+                       std::vector<std::uint32_t>* mapping_out) {
+  std::unordered_map<std::uint32_t, std::uint32_t> index_of;
+  index_of.reserve(nodes.size());
+  for (std::uint32_t original : nodes) {
+    util::require(original < g.num_nodes(),
+                  "induced_subgraph: node out of range");
+    const bool inserted =
+        index_of.emplace(original, static_cast<std::uint32_t>(index_of.size()))
+            .second;
+    util::require(inserted, "induced_subgraph: duplicate node in selection");
+  }
+  std::vector<Edge> edges;
+  for (std::uint32_t original : nodes) {
+    const std::uint32_t u = index_of[original];
+    for (std::uint32_t nbr : g.neighbors(original)) {
+      const auto it = index_of.find(nbr);
+      if (it != index_of.end() && original < nbr) {
+        edges.push_back({u, it->second});
+      }
+    }
+  }
+  if (mapping_out != nullptr) *mapping_out = nodes;
+  return Graph::from_edges(nodes.size(), edges);
+}
+
+Graph node_sample(const Graph& g, std::size_t target_nodes, random::Rng& rng,
+                  std::vector<std::uint32_t>* mapping_out) {
+  util::require(target_nodes >= 1 && target_nodes <= g.num_nodes(),
+                "node_sample: target must be in [1, n]");
+  const auto chosen =
+      random::sample_without_replacement(rng, g.num_nodes(), target_nodes);
+  std::vector<std::uint32_t> nodes(chosen.begin(), chosen.end());
+  return induced_subgraph(g, nodes, mapping_out);
+}
+
+Graph random_walk_sample(const Graph& g, std::size_t target_nodes,
+                         random::Rng& rng,
+                         std::vector<std::uint32_t>* mapping_out) {
+  const std::size_t n = g.num_nodes();
+  util::require(target_nodes >= 1 && target_nodes <= n,
+                "random_walk_sample: target must be in [1, n]");
+
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<std::uint32_t> order;
+  std::uint32_t start = static_cast<std::uint32_t>(rng.next_below(n));
+  std::uint32_t current = start;
+  // Bail out of dead components by teleporting after too many stuck steps.
+  std::size_t stuck_steps = 0;
+  const std::size_t stuck_limit = 100 * target_nodes + 1000;
+
+  while (order.size() < target_nodes) {
+    if (visited.insert(current).second) {
+      order.push_back(current);
+      stuck_steps = 0;
+    } else if (++stuck_steps > stuck_limit) {
+      // Teleport to an unvisited node (uniform restart over the full set).
+      do {
+        current = static_cast<std::uint32_t>(rng.next_below(n));
+      } while (visited.count(current) > 0);
+      continue;
+    }
+    const auto nbrs = g.neighbors(current);
+    if (nbrs.empty() || random::bernoulli(rng, 0.15)) {
+      current = start;  // restart
+      if (nbrs.empty()) {
+        // Start node itself may be isolated; re-seed the walk.
+        start = static_cast<std::uint32_t>(rng.next_below(n));
+        current = start;
+      }
+      continue;
+    }
+    current = nbrs[rng.next_below(nbrs.size())];
+  }
+  return induced_subgraph(g, order, mapping_out);
+}
+
+Graph edge_sample(const Graph& g, double keep_probability, random::Rng& rng) {
+  util::require(keep_probability >= 0.0 && keep_probability <= 1.0,
+                "edge_sample: probability must be in [0,1]");
+  std::vector<Edge> kept;
+  for (const Edge& e : g.edges()) {
+    if (random::bernoulli(rng, keep_probability)) kept.push_back(e);
+  }
+  return Graph::from_edges(g.num_nodes(), kept);
+}
+
+}  // namespace sgp::graph

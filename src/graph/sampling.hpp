@@ -1,0 +1,36 @@
+// Graph down-sampling — standard tooling when full-scale graphs are too
+// large for an analysis or must be scaled to a simulator budget (how the
+// paper's million-node datasets would be brought to laptop scale).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::graph {
+
+/// The induced subgraph on `nodes` (dense re-indexing in the given order).
+/// `mapping_out`, if non-null, receives original-id per new index.
+Graph induced_subgraph(const Graph& g, const std::vector<std::uint32_t>& nodes,
+                       std::vector<std::uint32_t>* mapping_out = nullptr);
+
+/// Uniform node sample: induced subgraph on `target_nodes` uniformly chosen
+/// nodes. Preserves density in expectation, dilutes communities.
+Graph node_sample(const Graph& g, std::size_t target_nodes, random::Rng& rng,
+                  std::vector<std::uint32_t>* mapping_out = nullptr);
+
+/// Random-walk sample (with 15% restart, Leskovec–Faloutsos): collect nodes
+/// visited by a restarting walk until `target_nodes` distinct nodes are
+/// seen, then take the induced subgraph. Biased toward dense cores, which
+/// preserves community/degree structure far better than uniform sampling.
+Graph random_walk_sample(const Graph& g, std::size_t target_nodes,
+                         random::Rng& rng,
+                         std::vector<std::uint32_t>* mapping_out = nullptr);
+
+/// Uniform edge sample: keeps each edge independently with probability
+/// `keep_probability`; node set unchanged.
+Graph edge_sample(const Graph& g, double keep_probability, random::Rng& rng);
+
+}  // namespace sgp::graph

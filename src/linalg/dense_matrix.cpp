@@ -1,0 +1,147 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sgp::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols,
+                         std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  util::require(data_.size() == rows * cols,
+                "dense matrix: data size must equal rows*cols");
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t k) {
+  DenseMatrix eye(k, k);
+  for (std::size_t i = 0; i < k; ++i) eye(i, i) = 1.0;
+  return eye;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  util::require(cols_ == other.rows_, "multiply: inner dimensions mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  util::parallel_for(
+      0, rows_,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) continue;
+            const auto brow = other.row(k);
+            auto orow = out.row(r);
+            for (std::size_t c = 0; c < other.cols_; ++c) orow[c] += a * brow[c];
+          }
+        }
+      },
+      64);
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose_multiply(const DenseMatrix& other) const {
+  util::require(rows_ == other.rows_,
+                "transpose_multiply: row counts must match");
+  DenseMatrix out(cols_, other.cols_);
+  // Accumulate rank-1 updates row by row: out += a_rᵀ b_r.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto arow = row(r);
+    const auto brow = other.row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      auto orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::gram() const {
+  DenseMatrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto arow = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      auto grow = g.row(i);
+      for (std::size_t j = i; j < cols_; ++j) grow[j] += a * arow[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+std::vector<double> DenseMatrix::multiply_vector(
+    std::span<const double> x) const {
+  util::require(x.size() == cols_, "multiply_vector: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto arow = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += arow[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::transpose_multiply_vector(
+    std::span<const double> x) const {
+  util::require(x.size() == rows_, "transpose_multiply_vector: size mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xv = x[r];
+    if (xv == 0.0) continue;
+    const auto arow = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += arow[c] * xv;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double DenseMatrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+void DenseMatrix::add_scaled(const DenseMatrix& other, double alpha) {
+  util::require(rows_ == other.rows_ && cols_ == other.cols_,
+                "add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+DenseMatrix DenseMatrix::first_columns(std::size_t k) const {
+  util::require(k <= cols_, "first_columns: k must be <= cols");
+  DenseMatrix out(rows_, k);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto src = row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < k; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::column(std::size_t c) const {
+  util::require(c < cols_, "column: index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+}  // namespace sgp::linalg

@@ -1,0 +1,189 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+/// Sorts (values, column-vectors) in the requested order.
+void sort_pairs(EigenResult& res, EigenOrder order) {
+  const std::size_t n = res.values.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (order == EigenOrder::kDescending) {
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return res.values[a] > res.values[b];
+    });
+  } else {
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+      return std::fabs(res.values[a]) > std::fabs(res.values[b]);
+    });
+  }
+  std::vector<double> sorted_values(n);
+  DenseMatrix sorted_vectors(res.vectors.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = res.values[perm[j]];
+    for (std::size_t i = 0; i < res.vectors.rows(); ++i) {
+      sorted_vectors(i, j) = res.vectors(i, perm[j]);
+    }
+  }
+  res.values = std::move(sorted_values);
+  res.vectors = std::move(sorted_vectors);
+}
+
+double offdiagonal_norm(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) acc += a(i, j) * a(i, j);
+  }
+  return std::sqrt(2.0 * acc);
+}
+
+}  // namespace
+
+EigenResult jacobi_eigen(const DenseMatrix& a, EigenOrder order,
+                         int max_sweeps, double sym_tol) {
+  const std::size_t n = a.rows();
+  util::require(n == a.cols(), "jacobi_eigen: matrix must be square");
+  util::require(n > 0, "jacobi_eigen: matrix must be non-empty");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      util::require(std::fabs(a(i, j) - a(j, i)) <=
+                        sym_tol * (1.0 + std::fabs(a(i, j))),
+                    "jacobi_eigen: matrix is not symmetric");
+    }
+  }
+
+  DenseMatrix work = a;
+  DenseMatrix v = DenseMatrix::identity(n);
+  const double frob = std::max(work.frobenius_norm(), 1e-300);
+  const double tol = 1e-14 * frob;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiagonal_norm(work) <= tol) {
+      EigenResult res;
+      res.values.resize(n);
+      for (std::size_t i = 0; i < n; ++i) res.values[i] = work(i, i);
+      res.vectors = std::move(v);
+      sort_pairs(res, order);
+      return res;
+    }
+    for (std::size_t p = 0; p < n - 1; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::fabs(apq) <= tol / static_cast<double>(n)) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // tan of the rotation angle, the smaller root for stability.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation J(p, q, θ)ᵀ A J(p, q, θ).
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = work(i, p);
+          const double aiq = work(i, q);
+          work(i, p) = c * aip - s * aiq;
+          work(i, q) = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = work(p, i);
+          const double aqi = work(q, i);
+          work(p, i) = c * api - s * aqi;
+          work(q, i) = s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  throw std::runtime_error("jacobi_eigen: did not converge");
+}
+
+EigenResult tridiagonal_eigen(std::vector<double> diag,
+                              std::vector<double> offdiag, EigenOrder order) {
+  const std::size_t n = diag.size();
+  util::require(n > 0, "tridiagonal_eigen: empty matrix");
+  util::require(offdiag.size() == n - 1 || (n == 1 && offdiag.empty()),
+                "tridiagonal_eigen: offdiag must have size n-1");
+
+  // Convention: e[i] couples d[i] and d[i+1]; e[n-1] is a zero sentinel.
+  std::vector<double> d = std::move(diag);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) e[i] = offdiag[i];
+
+  DenseMatrix z = DenseMatrix::identity(n);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    std::size_t m;
+    do {
+      // Find the first negligible coupling at or after l (splits the block).
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        util::ensure(++iterations <= 50,
+                     "tridiagonal_eigen: QL failed to converge");
+        // Wilkinson shift from the 2x2 block at l.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        const double denom = g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r));
+        g = d[m] - d[l] + e[l] / denom;
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Rotation annihilated prematurely; deflate and retry the block.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          // Accumulate the rotation into the eigenvector matrix.
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  EigenResult res;
+  res.values = std::move(d);
+  res.vectors = std::move(z);
+  sort_pairs(res, order);
+  return res;
+}
+
+}  // namespace sgp::linalg

@@ -1,0 +1,45 @@
+// Dense symmetric eigensolvers:
+//  - cyclic Jacobi for general small symmetric matrices (Gram matrices,
+//    projected covariance), and
+//  - implicit-shift QL for symmetric tridiagonal matrices (the Rayleigh
+//    quotient matrices produced by Lanczos).
+//
+// Both return the full spectrum; callers truncate to top-k.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::linalg {
+
+/// Full eigendecomposition A = V diag(values) Vᵀ.
+/// `vectors` stores eigenvectors as COLUMNS, aligned with `values`.
+struct EigenResult {
+  std::vector<double> values;
+  DenseMatrix vectors;
+};
+
+/// How to order the returned eigenpairs.
+enum class EigenOrder {
+  kDescending,          // algebraically largest first (spectral clustering)
+  kDescendingMagnitude  // |λ| largest first (spectra distortion metrics)
+};
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Input must be
+/// square and symmetric (validated up to `sym_tol`). Converges to machine
+/// precision in a handful of sweeps for the small (k ≤ ~1000) matrices sgp
+/// uses. Throws std::runtime_error if `max_sweeps` is exceeded.
+EigenResult jacobi_eigen(const DenseMatrix& a,
+                         EigenOrder order = EigenOrder::kDescending,
+                         int max_sweeps = 64, double sym_tol = 1e-9);
+
+/// Eigendecomposition of a symmetric tridiagonal matrix given its diagonal
+/// `diag` (size n) and off-diagonal `offdiag` (size n-1), via the implicit
+/// QL algorithm with Wilkinson shifts. Returns eigenpairs in the requested
+/// order; eigenvectors are the columns of `vectors`.
+EigenResult tridiagonal_eigen(std::vector<double> diag,
+                              std::vector<double> offdiag,
+                              EigenOrder order = EigenOrder::kDescending);
+
+}  // namespace sgp::linalg

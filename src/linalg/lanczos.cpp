@@ -1,0 +1,138 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+/// Removes from w its components along the first `count` basis vectors.
+void orthogonalize_against(std::span<double> w,
+                           const std::vector<std::vector<double>>& basis,
+                           std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double coeff = dot(w, basis[i]);
+    axpy(-coeff, basis[i], w);
+  }
+}
+
+/// Draws a random unit vector orthogonal to the current basis.
+std::vector<double> fresh_direction(std::size_t n,
+                                    const std::vector<std::vector<double>>& basis,
+                                    std::size_t count, random::Rng& rng) {
+  std::vector<double> v(n);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    for (double& x : v) x = random::normal(rng);
+    orthogonalize_against(v, basis, count);
+    orthogonalize_against(v, basis, count);  // second pass for safety
+    const double nrm = norm2(v);
+    if (nrm > 1e-8) {
+      scale(v, 1.0 / nrm);
+      return v;
+    }
+  }
+  throw std::runtime_error("lanczos: could not generate a fresh direction");
+}
+
+}  // namespace
+
+LanczosResult lanczos_topk(const SymmetricOperator& op,
+                           const LanczosOptions& options) {
+  const std::size_t n = op.dim;
+  const std::size_t k = options.k;
+  util::require(n > 0 && static_cast<bool>(op.apply),
+                "lanczos: operator must have positive dim and a callback");
+  util::require(k >= 1 && k <= n, "lanczos: k must be in [1, dim]");
+
+  std::size_t max_iter = options.max_iterations;
+  if (max_iter == 0) max_iter = std::min(n, std::max<std::size_t>(6 * k, 100));
+  max_iter = std::min(max_iter, n);
+  util::require(max_iter >= k, "lanczos: max_iterations must be >= k");
+
+  random::Rng rng(options.seed);
+
+  std::vector<std::vector<double>> basis;  // v_0 .. v_{j}
+  basis.reserve(max_iter + 1);
+  std::vector<double> alpha;  // T diagonal
+  std::vector<double> beta;   // T off-diagonal (beta[j] couples j, j+1)
+
+  basis.push_back(fresh_direction(n, basis, 0, rng));
+
+  std::vector<double> w(n, 0.0);
+  LanczosResult result;
+
+  for (std::size_t j = 0; j < max_iter; ++j) {
+    op.apply(basis[j], w);
+    const double a = dot(w, basis[j]);
+    alpha.push_back(a);
+    axpy(-a, basis[j], w);
+    if (j > 0) axpy(-beta[j - 1], basis[j - 1], w);
+    // Full reorthogonalization, two passes (twice is enough — Parlett).
+    orthogonalize_against(w, basis, basis.size());
+    orthogonalize_against(w, basis, basis.size());
+
+    const double b = norm2(w);
+    const std::size_t built = alpha.size();
+
+    // Convergence test on the current tridiagonal Rayleigh quotient.
+    if (built >= k) {
+      std::vector<double> off(beta.begin(), beta.end());
+      EigenResult tri = tridiagonal_eigen(std::vector<double>(alpha), off,
+                                          options.order);
+      const double lam_scale =
+          std::max(std::fabs(tri.values.front()), 1e-300);
+      bool all_converged = true;
+      for (std::size_t i = 0; i < k; ++i) {
+        // Residual bound ‖A x - λ x‖ = |β_m| * |last component of T-eigvec|.
+        const double resid =
+            b * std::fabs(tri.vectors(built - 1, i));
+        if (resid > options.tolerance * lam_scale) {
+          all_converged = false;
+          break;
+        }
+      }
+      // An exhausted Krylov space (b ≈ 0) yields exact Ritz pairs with zero
+      // residuals, but can silently miss *multiplicities* of degenerate
+      // eigenvalues (the space from one start vector sees each eigenspace
+      // once). Do not stop on the trivial-residual signal alone — restart
+      // with a fresh direction below and keep enlarging the space.
+      if ((all_converged && b > 1e-12) || built == max_iter) {
+        // Assemble Ritz vectors X = V Z_k.
+        result.values.assign(tri.values.begin(), tri.values.begin() + k);
+        result.vectors = DenseMatrix(n, k);
+        for (std::size_t row = 0; row < n; ++row) {
+          for (std::size_t col = 0; col < k; ++col) {
+            double acc = 0.0;
+            for (std::size_t row_i = 0; row_i < built; ++row_i) {
+              acc += basis[row_i][row] * tri.vectors(row_i, col);
+            }
+            result.vectors(row, col) = acc;
+          }
+        }
+        result.iterations = built;
+        result.converged = all_converged;
+        return result;
+      }
+    }
+
+    if (b <= 1e-12) {
+      // Invariant subspace exhausted before convergence: restart with a fresh
+      // orthogonal direction (beta = 0 keeps T block-diagonal and valid).
+      beta.push_back(0.0);
+      basis.push_back(fresh_direction(n, basis, basis.size(), rng));
+    } else {
+      beta.push_back(b);
+      scale(w, 1.0 / b);
+      basis.push_back(w);
+    }
+  }
+
+  throw std::runtime_error("lanczos: iteration limit reached unexpectedly");
+}
+
+}  // namespace sgp::linalg

@@ -1,0 +1,79 @@
+#include "linalg/power_iteration.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::linalg {
+
+PowerIterationResult power_iteration_topk(
+    const SymmetricOperator& op, const PowerIterationOptions& options) {
+  const std::size_t n = op.dim;
+  const std::size_t k = options.k;
+  util::require(n > 0 && static_cast<bool>(op.apply),
+                "power iteration: operator must have positive dim");
+  util::require(k >= 1 && k <= n, "power iteration: k must be in [1, dim]");
+
+  random::Rng rng(options.seed);
+  PowerIterationResult result;
+  result.vectors = DenseMatrix(n, k);
+  result.values.resize(k);
+  result.converged = true;
+
+  std::vector<std::vector<double>> found;  // previously found eigenvectors
+  std::vector<double> x(n), next(n);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    for (double& v : x) v = random::normal(rng);
+    // Deflate the start against found vectors.
+    for (const auto& u : found) axpy(-dot(x, u), u, x);
+    double nrm = norm2(x);
+    util::ensure(nrm > 0.0, "power iteration: degenerate start vector");
+    scale(x, 1.0 / nrm);
+
+    double lambda = 0.0;
+    bool pair_converged = false;
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      op.apply(x, next);
+      // Implicit deflation: remove components along found eigenvectors.
+      for (std::size_t f = 0; f < found.size(); ++f) {
+        axpy(-result.values[f] * dot(x, found[f]), found[f], next);
+      }
+      lambda = dot(next, x);  // Rayleigh quotient estimate
+      nrm = norm2(next);
+      if (nrm <= 1e-300) {
+        // Null direction: eigenvalue 0, keep the current basis vector.
+        lambda = 0.0;
+        pair_converged = true;
+        break;
+      }
+      scale(next, 1.0 / nrm);
+      // Convergence on direction change (sign-insensitive).
+      double diff_plus = 0.0, diff_minus = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        diff_plus += (next[i] - x[i]) * (next[i] - x[i]);
+        diff_minus += (next[i] + x[i]) * (next[i] + x[i]);
+      }
+      std::swap(x, next);
+      if (std::min(diff_plus, diff_minus) < options.tolerance * options.tolerance) {
+        pair_converged = true;
+        break;
+      }
+    }
+    // Re-orthogonalize the converged vector for numerical hygiene.
+    for (const auto& u : found) axpy(-dot(x, u), u, x);
+    const double final_norm = norm2(x);
+    if (final_norm > 0.0) scale(x, 1.0 / final_norm);
+
+    result.values[j] = lambda;
+    for (std::size_t i = 0; i < n; ++i) result.vectors(i, j) = x[i];
+    found.push_back(x);
+    result.converged = result.converged && pair_converged;
+  }
+  return result;
+}
+
+}  // namespace sgp::linalg

@@ -1,0 +1,34 @@
+// Power iteration with deflation — the simplest top-k eigensolver for
+// symmetric operators. Slower than Lanczos on clustered spectra but with
+// completely independent failure modes, so it doubles as a cross-check
+// oracle in the test suite (and as the textbook baseline the paper's readers
+// would reach for first).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/lanczos.hpp"  // SymmetricOperator
+
+namespace sgp::linalg {
+
+struct PowerIterationOptions {
+  std::size_t k = 1;                ///< number of eigenpairs (by |λ|)
+  std::size_t max_iterations = 1000;  ///< per eigenpair
+  double tolerance = 1e-10;         ///< eigenvector change (L2) to stop
+  std::uint64_t seed = 7;
+};
+
+struct PowerIterationResult {
+  std::vector<double> values;  ///< eigenvalues, |λ| descending
+  DenseMatrix vectors;         ///< n×k eigenvectors (columns)
+  bool converged = false;      ///< all k pairs met the tolerance
+};
+
+/// Computes the k largest-|λ| eigenpairs by repeated power iteration with
+/// explicit deflation (A ← A − λ v vᵀ applied implicitly). Requires
+/// 1 <= k <= dim. Degenerate/tied eigenvalues converge to an arbitrary
+/// basis of the eigenspace, like any power method.
+PowerIterationResult power_iteration_topk(const SymmetricOperator& op,
+                                          const PowerIterationOptions& options);
+
+}  // namespace sgp::linalg

@@ -1,0 +1,84 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sgp::linalg {
+
+QrResult qr_decompose(const DenseMatrix& a) {
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  util::require(n >= k, "qr: matrix must be tall (rows >= cols)");
+  util::require(k > 0, "qr: matrix must be non-empty");
+
+  // Work in a copy; reflectors are stored below the diagonal, R on and above.
+  DenseMatrix work = a;
+  std::vector<double> tau(k, 0.0);
+
+  for (std::size_t j = 0; j < k; ++j) {
+    // Householder vector for column j, rows j..n-1.
+    double norm_x = 0.0;
+    for (std::size_t i = j; i < n; ++i) norm_x += work(i, j) * work(i, j);
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) {
+      tau[j] = 0.0;  // column already zero below (and at) the diagonal
+      continue;
+    }
+    const double alpha = work(j, j) >= 0.0 ? -norm_x : norm_x;
+    const double v0 = work(j, j) - alpha;
+    // v = (v0, work(j+1..n-1, j)); normalize so v[0] = 1 implicitly.
+    double v_norm2 = v0 * v0;
+    for (std::size_t i = j + 1; i < n; ++i) v_norm2 += work(i, j) * work(i, j);
+    if (v_norm2 == 0.0) {
+      tau[j] = 0.0;
+      work(j, j) = alpha;
+      continue;
+    }
+    tau[j] = 2.0 * v0 * v0 / v_norm2;
+    // Store normalized reflector: work(j,j) holds alpha (R diagonal); the
+    // sub-diagonal part holds v_i / v0 so the reflector can be re-applied.
+    for (std::size_t i = j + 1; i < n; ++i) work(i, j) /= v0;
+    work(j, j) = alpha;
+
+    // Apply reflector to remaining columns: A_c -= tau * v (vᵀ A_c).
+    for (std::size_t c = j + 1; c < k; ++c) {
+      double s = work(j, c);  // v[0] = 1
+      for (std::size_t i = j + 1; i < n; ++i) s += work(i, j) * work(i, c);
+      s *= tau[j];
+      work(j, c) -= s;
+      for (std::size_t i = j + 1; i < n; ++i) work(i, c) -= s * work(i, j);
+    }
+  }
+
+  QrResult out;
+  out.r = DenseMatrix(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) out.r(i, j) = work(i, j);
+  }
+
+  // Form thin Q by applying reflectors (last to first) to the first k columns
+  // of the identity.
+  out.q = DenseMatrix(n, k);
+  for (std::size_t j = 0; j < k; ++j) out.q(j, j) = 1.0;
+  for (std::size_t j = k; j-- > 0;) {
+    if (tau[j] == 0.0) continue;
+    for (std::size_t c = 0; c < k; ++c) {
+      double s = out.q(j, c);
+      for (std::size_t i = j + 1; i < n; ++i) s += work(i, j) * out.q(i, c);
+      s *= tau[j];
+      out.q(j, c) -= s;
+      for (std::size_t i = j + 1; i < n; ++i) {
+        out.q(i, c) -= s * work(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix orthonormalize_columns(const DenseMatrix& a) {
+  return qr_decompose(a).q;
+}
+
+}  // namespace sgp::linalg

@@ -1,0 +1,25 @@
+// Thin QR factorization of tall matrices (n×k, k ≪ n) via Householder
+// reflections. Used by the randomized range finder and to orthonormalize
+// Krylov bases.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::linalg {
+
+/// Result of a thin QR factorization A = Q·R with Q n×k orthonormal columns
+/// and R k×k upper triangular.
+struct QrResult {
+  DenseMatrix q;
+  DenseMatrix r;
+};
+
+/// Computes the thin QR factorization of `a` (rows >= cols required).
+/// Householder-based: numerically stable even for nearly dependent columns
+/// (a rank-deficient column yields a zero diagonal in R, not a crash).
+QrResult qr_decompose(const DenseMatrix& a);
+
+/// Orthonormalizes the columns of `a` in place (returns Q of the thin QR).
+DenseMatrix orthonormalize_columns(const DenseMatrix& a);
+
+}  // namespace sgp::linalg

@@ -1,0 +1,145 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sgp::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    util::require(t.row < rows && t.col < cols,
+                  "from_triplets: entry outside matrix bounds");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::uint32_t c = triplets[i].col;
+      double v = 0.0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;  // merge duplicates
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[r + 1] = m.col_idx_.size();
+  }
+  return m;
+}
+
+std::span<const std::uint32_t> CsrMatrix::row_indices(std::size_t r) const {
+  util::require(r < rows(), "row_indices: row out of range");
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t r) const {
+  util::require(r < rows(), "row_values: row out of range");
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::vector<double> CsrMatrix::multiply_vector(
+    std::span<const double> x) const {
+  util::require(x.size() == cols_, "multiply_vector: size mismatch");
+  std::vector<double> y(rows(), 0.0);
+  util::parallel_for(
+      0, rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            acc += values_[k] * x[col_idx_[k]];
+          }
+          y[r] = acc;
+        }
+      },
+      4096);
+  return y;
+}
+
+std::vector<double> CsrMatrix::transpose_multiply_vector(
+    std::span<const double> x) const {
+  util::require(x.size() == rows(), "transpose_multiply_vector: size mismatch");
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const double xv = x[r];
+    if (xv == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xv;
+    }
+  }
+  return y;
+}
+
+DenseMatrix CsrMatrix::multiply_dense(const DenseMatrix& b) const {
+  util::require(cols_ == b.rows(), "multiply_dense: inner dimension mismatch");
+  DenseMatrix out(rows(), b.cols());
+  util::parallel_for(
+      0, rows(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          auto orow = out.row(r);
+          for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            const double v = values_[k];
+            const auto brow = b.row(col_idx_[k]);
+            for (std::size_t c = 0; c < brow.size(); ++c) orow[c] += v * brow[c];
+          }
+        }
+      },
+      512);
+  return out;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix out(rows(), cols_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  util::require(r < rows() && c < cols_, "at: index out of range");
+  const auto idx = row_indices(r);
+  const auto it = std::lower_bound(idx.begin(), idx.end(),
+                                   static_cast<std::uint32_t>(c));
+  if (it == idx.end() || *it != c) return 0.0;
+  return row_values(r)[static_cast<std::size_t>(it - idx.begin())];
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows() != cols_) return false;
+  for (std::size_t r = 0; r < rows(); ++r) {
+    const auto idx = row_indices(r);
+    const auto val = row_values(r);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      if (std::fabs(at(idx[k], r) - val[k]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double CsrMatrix::sum() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v;
+  return acc;
+}
+
+}  // namespace sgp::linalg

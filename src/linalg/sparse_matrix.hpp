@@ -1,0 +1,74 @@
+// Compressed-sparse-row matrix.
+//
+// This is the in-memory form of an OSN adjacency matrix: n up to millions,
+// average degree tens. All heavy kernels of the mechanism (A·P projection,
+// Lanczos ground-truth spectra) run over this structure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::linalg {
+
+/// One (row, col, value) entry used to assemble a CSR matrix.
+struct Triplet {
+  std::uint32_t row;
+  std::uint32_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() = default;
+
+  /// Assembles from unordered triplets. Duplicate (row, col) entries are
+  /// summed. Entries must lie inside rows × cols.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// Column indices of row r (sorted ascending).
+  [[nodiscard]] std::span<const std::uint32_t> row_indices(std::size_t r) const;
+  /// Values of row r, aligned with row_indices(r).
+  [[nodiscard]] std::span<const double> row_values(std::size_t r) const;
+
+  /// y = A x.
+  [[nodiscard]] std::vector<double> multiply_vector(
+      std::span<const double> x) const;
+
+  /// y = Aᵀ x.
+  [[nodiscard]] std::vector<double> transpose_multiply_vector(
+      std::span<const double> x) const;
+
+  /// Dense product A (rows×cols) * B (cols×k) → rows×k. Parallelized over
+  /// rows; this is the O(nnz · k) projection kernel of the mechanism.
+  [[nodiscard]] DenseMatrix multiply_dense(const DenseMatrix& b) const;
+
+  /// Materializes the dense equivalent (small matrices / tests only).
+  [[nodiscard]] DenseMatrix to_dense() const;
+
+  /// Value at (r, c); zero if not stored. O(log degree(r)).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// True if the matrix equals its transpose (pattern and values).
+  [[nodiscard]] bool is_symmetric(double tol = 0.0) const;
+
+  /// Sum of all stored values.
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace sgp::linalg

@@ -1,0 +1,39 @@
+// Singular value decompositions of tall dense matrices.
+//
+// The published matrix Ỹ is n×m with m ≪ n (m is the projection dimension,
+// typically 100–500). Analysts recover spectral structure from its top-k
+// left singular vectors, so we provide:
+//  - svd_gram: exact thin SVD via the m×m Gram matrix (cheap when m small);
+//  - randomized_svd: Halko–Martinsson–Tropp sketch, for the ablation where
+//    m is large or only a few factors are needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace sgp::linalg {
+
+/// Thin truncated SVD A ≈ U diag(σ) Vᵀ with k factors.
+/// `u` is rows×k, `v` is cols×k, σ descending.
+struct SvdResult {
+  DenseMatrix u;
+  std::vector<double> singular_values;
+  DenseMatrix v;
+};
+
+/// Exact top-k SVD of `a` computed from the Gram matrix AᵀA (cost
+/// O(rows·cols² + cols³)). Requires 1 <= k <= cols. Singular vectors for
+/// numerically zero singular values are returned as zero columns of U.
+SvdResult svd_gram(const DenseMatrix& a, std::size_t k);
+
+/// Randomized top-k SVD (Halko et al. 2011): Gaussian sketch of size
+/// k+oversample, `power_iters` subspace iterations for spectral decay.
+/// Accurate to the k-th spectral gap with overwhelming probability.
+SvdResult randomized_svd(const DenseMatrix& a, std::size_t k,
+                         std::size_t oversample = 10,
+                         std::size_t power_iters = 2, std::uint64_t seed = 7);
+
+}  // namespace sgp::linalg

@@ -1,0 +1,61 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sgp::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  util::require(x.size() == y.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(norm2_squared(x)); }
+
+double norm2_squared(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  util::require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double normalize(std::span<double> x) {
+  const double n = norm2(x);
+  util::ensure(n > 0.0 && std::isfinite(n), "normalize: zero or invalid vector");
+  scale(x, 1.0 / n);
+  return n;
+}
+
+double distance2(std::span<const double> x, std::span<const double> y) {
+  util::require(x.size() == y.size(), "distance2: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void subtract(std::span<const double> x, std::span<const double> y,
+              std::span<double> out) {
+  util::require(x.size() == y.size() && x.size() == out.size(),
+                "subtract: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+}
+
+void fill(std::span<double> x, double value) {
+  for (double& v : x) v = value;
+}
+
+}  // namespace sgp::linalg

@@ -1,0 +1,40 @@
+// Free functions on contiguous double sequences (std::span) — the building
+// blocks every higher-level kernel (Lanczos, QR, k-means) is written against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sgp::linalg {
+
+/// Inner product <x, y>. Sizes must match.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm ‖x‖₂.
+double norm2(std::span<const double> x);
+
+/// Squared Euclidean norm ‖x‖₂².
+double norm2_squared(std::span<const double> x);
+
+/// y += alpha * x. Sizes must match.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<double> x, double alpha);
+
+/// Normalizes x in place to unit 2-norm and returns the original norm.
+/// Throws std::runtime_error if x is (numerically) zero.
+double normalize(std::span<double> x);
+
+/// ‖x - y‖₂. Sizes must match.
+double distance2(std::span<const double> x, std::span<const double> y);
+
+/// Elementwise x - y into out. Sizes must match.
+void subtract(std::span<const double> x, std::span<const double> y,
+              std::span<double> out);
+
+/// Fills x with a constant.
+void fill(std::span<double> x, double value);
+
+}  // namespace sgp::linalg

@@ -1,0 +1,111 @@
+#include "random/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace sgp::random {
+
+double normal(Rng& rng, double mean, double stddev) {
+  util::require(stddev >= 0.0, "normal: stddev must be >= 0");
+  // Marsaglia polar method. We draw fresh pairs each call and discard the
+  // spare so the stream consumed per call is data-independent in expectation;
+  // caching the spare would make interleaved consumers order-sensitive.
+  for (;;) {
+    const double u = 2.0 * rng.next_double() - 1.0;
+    const double v = 2.0 * rng.next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double factor = std::sqrt(-2.0 * std::log(s) / s);
+      return mean + stddev * u * factor;
+    }
+  }
+}
+
+double laplace(Rng& rng, double mean, double scale) {
+  util::require(scale > 0.0, "laplace: scale must be > 0");
+  // Inverse CDF on u ~ Uniform(-1/2, 1/2):  x = mean - b*sgn(u)*ln(1-2|u|).
+  const double u = rng.next_double() - 0.5;
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return mean - scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double exponential(Rng& rng, double rate) {
+  util::require(rate > 0.0, "exponential: rate must be > 0");
+  // -log(1-u) avoids log(0) since next_double() < 1.
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+bool bernoulli(Rng& rng, double p) {
+  util::require(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0,1]");
+  return rng.next_double() < p;
+}
+
+double uniform(Rng& rng, double lo, double hi) {
+  util::require(lo <= hi, "uniform: lo must be <= hi");
+  return lo + (hi - lo) * rng.next_double();
+}
+
+std::uint64_t geometric(Rng& rng, double p) {
+  util::require(p > 0.0 && p <= 1.0, "geometric: p must be in (0,1]");
+  if (p == 1.0) return 0;
+  const double u = 1.0 - rng.next_double();  // in (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  util::require(!weights.empty(), "alias table: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    util::require(w >= 0.0, "alias table: weights must be >= 0");
+    total += w;
+  }
+  util::require(total > 0.0, "alias table: weight sum must be > 0");
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: everything remaining has probability ~1.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t column = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t k) {
+  util::require(k <= n, "sample_without_replacement: k must be <= n");
+  // Floyd's algorithm: k iterations, O(k log k) with an ordered set.
+  std::set<std::size_t> chosen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = rng.next_below(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace sgp::random

@@ -1,0 +1,66 @@
+// Portable distributions over the sgp::random::Rng engine.
+//
+// These are deliberately hand-rolled (rather than <random> distributions) so
+// that the same seed yields the same stream on every platform — a hard
+// requirement for reproducible DP experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.hpp"
+
+namespace sgp::random {
+
+/// Standard normal via Marsaglia's polar method, scaled to N(mean, stddev^2).
+/// stddev must be >= 0.
+double normal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Laplace(mean, scale) via inverse CDF. scale must be > 0.
+double laplace(Rng& rng, double mean, double scale);
+
+/// Exponential(rate) via inverse CDF. rate must be > 0.
+double exponential(Rng& rng, double rate);
+
+/// Bernoulli trial with success probability p in [0, 1].
+bool bernoulli(Rng& rng, double p);
+
+/// Uniform double in [lo, hi).
+double uniform(Rng& rng, double lo, double hi);
+
+/// Geometric: number of failures before the first success, p in (0, 1].
+std::uint64_t geometric(Rng& rng, double p);
+
+/// O(1)-per-sample discrete distribution over {0..n-1} with given
+/// (unnormalized, non-negative) weights, built with Vose's alias method.
+class AliasTable {
+ public:
+  /// weights must be non-empty, all >= 0, with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight.
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(Rng& rng, std::vector<T>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Uniform sample of k distinct indices from {0..n-1} (Floyd's algorithm);
+/// result is in ascending order. Requires k <= n.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t k);
+
+}  // namespace sgp::random

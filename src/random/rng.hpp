@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256++ (Blackman & Vigna) seeded through splitmix64
+// instead of using <random> engines-with-distributions, because the standard
+// distributions are implementation-defined: two platforms given the same seed
+// may produce different streams. Every randomized component in sgp (random
+// projection matrices, DP noise, graph generators) must be reproducible from
+// an explicit 64-bit seed for experiments to be re-runnable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sgp::random {
+
+/// splitmix64 step; used for seeding and cheap stateless mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+/// Period 2^256 - 1; jump() advances 2^128 steps for independent parallel
+/// substreams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64(seed).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 random bits.
+  result_type operator()();
+
+  /// Equivalent to 2^128 calls of operator(); yields a statistically
+  /// independent substream. Used to hand per-thread generators out from a
+  /// single seed.
+  void jump();
+
+  /// Convenience: a copy of *this advanced by `n` jumps. The original is
+  /// unchanged.
+  [[nodiscard]] Rng split(std::uint64_t n) const;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  /// Unbiased uniform integer in [0, bound) via rejection sampling.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace sgp::random

@@ -1,0 +1,87 @@
+#include "ranking/betweenness.hpp"
+
+#include <queue>
+#include <stack>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "util/check.hpp"
+
+namespace sgp::ranking {
+namespace {
+
+/// One Brandes source iteration: BFS from s, then back-propagate pair
+/// dependencies along the shortest-path DAG.
+void accumulate_from_source(const graph::Graph& g, std::size_t s,
+                            std::vector<double>& centrality) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<std::uint32_t>> predecessors(n);
+  std::vector<double> sigma(n, 0.0);     // #shortest paths from s
+  std::vector<std::int64_t> dist(n, -1);
+  std::vector<double> delta(n, 0.0);     // dependency accumulator
+  std::stack<std::uint32_t> order;       // nodes by non-increasing distance
+
+  sigma[s] = 1.0;
+  dist[s] = 0;
+  std::queue<std::uint32_t> frontier;
+  frontier.push(static_cast<std::uint32_t>(s));
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    order.push(v);
+    for (std::uint32_t w : g.neighbors(v)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+      if (dist[w] == dist[v] + 1) {
+        sigma[w] += sigma[v];
+        predecessors[w].push_back(v);
+      }
+    }
+  }
+  while (!order.empty()) {
+    const std::uint32_t w = order.top();
+    order.pop();
+    for (std::uint32_t v : predecessors[w]) {
+      delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    }
+    if (w != s) centrality[w] += delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  util::require(n > 0, "betweenness: empty graph");
+  std::vector<double> centrality(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    accumulate_from_source(g, s, centrality);
+  }
+  // Undirected: every pair was counted twice (once per endpoint as source).
+  for (double& c : centrality) c *= 0.5;
+  return centrality;
+}
+
+std::vector<double> approximate_betweenness(const graph::Graph& g,
+                                            std::size_t num_sources,
+                                            std::uint64_t seed) {
+  const std::size_t n = g.num_nodes();
+  util::require(n > 0, "betweenness: empty graph");
+  util::require(num_sources >= 1, "betweenness: need at least one source");
+  if (num_sources >= n) return betweenness_centrality(g);
+
+  random::Rng rng(seed);
+  const auto sources = random::sample_without_replacement(rng, n, num_sources);
+  std::vector<double> centrality(n, 0.0);
+  for (std::size_t s : sources) {
+    accumulate_from_source(g, s, centrality);
+  }
+  const double scale = static_cast<double>(n) /
+                       (2.0 * static_cast<double>(num_sources));
+  for (double& c : centrality) c *= scale;
+  return centrality;
+}
+
+}  // namespace sgp::ranking

@@ -1,0 +1,24 @@
+// Betweenness centrality (Brandes 2001): the fraction of shortest paths
+// passing through each node. Exact computation is one BFS + dependency
+// accumulation per source, O(n·m) on unweighted graphs; the sampled variant
+// (Brandes–Pich pivots) scales to the larger stand-ins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sgp::ranking {
+
+/// Exact betweenness of every node (undirected convention: each pair's
+/// contribution counted once; endpoints excluded).
+std::vector<double> betweenness_centrality(const graph::Graph& g);
+
+/// Pivot-sampled approximation using `num_sources` BFS sources, rescaled to
+/// the exact estimator's expectation. Exact when num_sources >= n.
+std::vector<double> approximate_betweenness(const graph::Graph& g,
+                                            std::size_t num_sources,
+                                            std::uint64_t seed = 7);
+
+}  // namespace sgp::ranking

@@ -1,0 +1,179 @@
+#include "ranking/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace sgp::ranking {
+namespace {
+
+void require_same_nonempty(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  util::require(a.size() == b.size(),
+                "ranking metrics: score vectors must have equal size");
+  util::require(!a.empty(), "ranking metrics: score vectors must be non-empty");
+}
+
+/// Counts strict inversions (i < j with v[i] > v[j]) by merge sort.
+std::size_t count_inversions(std::vector<double>& v, std::vector<double>& tmp,
+                             std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::size_t inversions = count_inversions(v, tmp, lo, mid) +
+                           count_inversions(v, tmp, mid, hi);
+  std::size_t i = lo, j = mid, out = lo;
+  while (i < mid && j < hi) {
+    if (v[i] <= v[j]) {
+      tmp[out++] = v[i++];
+    } else {
+      inversions += mid - i;  // every remaining left element beats v[j]
+      tmp[out++] = v[j++];
+    }
+  }
+  while (i < mid) tmp[out++] = v[i++];
+  while (j < hi) tmp[out++] = v[j++];
+  std::copy(tmp.begin() + lo, tmp.begin() + hi, v.begin() + lo);
+  return inversions;
+}
+
+/// Σ over equal-value groups of C(group, 2).
+double tied_pairs(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  double ties = 0.0;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i <= values.size(); ++i) {
+    if (i < values.size() && values[i] == values[i - 1]) {
+      ++run;
+    } else {
+      ties += 0.5 * static_cast<double>(run) * static_cast<double>(run - 1);
+      run = 1;
+    }
+  }
+  return ties;
+}
+
+/// Mid-ranks (average rank for ties), rank 1 = smallest score.
+std::vector<double> mid_ranks(const std::vector<double>& scores) {
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return scores[x] < scores[y];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::unordered_set<std::size_t> top_k_set(const std::vector<double>& scores,
+                                          std::size_t k) {
+  const auto order = ranking_from_scores(scores);
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k)};
+}
+
+}  // namespace
+
+std::vector<std::size_t> ranking_from_scores(
+    const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  return order;
+}
+
+double top_k_overlap(const std::vector<double>& scores_a,
+                     const std::vector<double>& scores_b, std::size_t k) {
+  require_same_nonempty(scores_a, scores_b);
+  util::require(k >= 1 && k <= scores_a.size(),
+                "top_k_overlap: k must be in [1, n]");
+  const auto set_a = top_k_set(scores_a, k);
+  const auto set_b = top_k_set(scores_b, k);
+  std::size_t common = 0;
+  for (std::size_t idx : set_a) common += set_b.count(idx);
+  return static_cast<double>(common) / static_cast<double>(k);
+}
+
+double top_k_jaccard(const std::vector<double>& scores_a,
+                     const std::vector<double>& scores_b, std::size_t k) {
+  require_same_nonempty(scores_a, scores_b);
+  util::require(k >= 1 && k <= scores_a.size(),
+                "top_k_jaccard: k must be in [1, n]");
+  const auto set_a = top_k_set(scores_a, k);
+  const auto set_b = top_k_set(scores_b, k);
+  std::size_t common = 0;
+  for (std::size_t idx : set_a) common += set_b.count(idx);
+  const std::size_t uni = 2 * k - common;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+double kendall_tau(const std::vector<double>& scores_a,
+                   const std::vector<double>& scores_b) {
+  require_same_nonempty(scores_a, scores_b);
+  const std::size_t n = scores_a.size();
+  if (n == 1) return 1.0;
+
+  // Sort indices by (a ascending, b ascending): pairs tied in `a` are then
+  // b-ascending and contribute no strict inversion.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (scores_a[x] != scores_a[y]) return scores_a[x] < scores_a[y];
+    return scores_b[x] < scores_b[y];
+  });
+  std::vector<double> b_seq(n);
+  for (std::size_t i = 0; i < n; ++i) b_seq[i] = scores_b[order[i]];
+
+  std::vector<double> tmp(n);
+  const double discordant =
+      static_cast<double>(count_inversions(b_seq, tmp, 0, n));
+
+  const double total = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  const double ties_a = tied_pairs(scores_a);
+  const double ties_b = tied_pairs(scores_b);
+  // Pairs tied in both a and b.
+  std::map<std::pair<double, double>, std::size_t> joint;
+  for (std::size_t i = 0; i < n; ++i) ++joint[{scores_a[i], scores_b[i]}];
+  double ties_ab = 0.0;
+  for (const auto& [key, c] : joint) {
+    ties_ab += 0.5 * static_cast<double>(c) * static_cast<double>(c - 1);
+  }
+  const double concordant = total - discordant - ties_a - ties_b + ties_ab;
+  return (concordant - discordant) / total;  // τ-a
+}
+
+double spearman_rho(const std::vector<double>& scores_a,
+                    const std::vector<double>& scores_b) {
+  require_same_nonempty(scores_a, scores_b);
+  const std::size_t n = scores_a.size();
+  if (n == 1) return 1.0;
+  const auto ra = mid_ranks(scores_a);
+  const auto rb = mid_ranks(scores_b);
+  double mean = 0.5 * static_cast<double>(n + 1);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;  // constant ranking(s)
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace sgp::ranking

@@ -1,0 +1,35 @@
+// Rank-agreement metrics between two score vectors over the same node set —
+// used to quantify ranking utility of the published graph (top-k overlap is
+// the paper's headline ranking metric; Kendall τ and Spearman ρ give the
+// full-ranking view).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sgp::ranking {
+
+/// Indices sorted by descending score; ties broken by ascending index so the
+/// ordering is deterministic.
+std::vector<std::size_t> ranking_from_scores(const std::vector<double>& scores);
+
+/// |top-k(a) ∩ top-k(b)| / k — the fraction of the true top-k recovered.
+/// Requires 1 <= k <= n.
+double top_k_overlap(const std::vector<double>& scores_a,
+                     const std::vector<double>& scores_b, std::size_t k);
+
+/// Jaccard similarity of the two top-k sets.
+double top_k_jaccard(const std::vector<double>& scores_a,
+                     const std::vector<double>& scores_b, std::size_t k);
+
+/// Kendall rank correlation τ-a in [-1, 1], computed in O(n log n) via
+/// merge-sort inversion counting. Ties contribute as concordant-neutral
+/// (τ-a semantics: pairs tied in either ranking count in the denominator).
+double kendall_tau(const std::vector<double>& scores_a,
+                   const std::vector<double>& scores_b);
+
+/// Spearman rank correlation ρ (Pearson correlation of mid-ranks).
+double spearman_rho(const std::vector<double>& scores_a,
+                    const std::vector<double>& scores_b);
+
+}  // namespace sgp::ranking

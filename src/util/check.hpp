@@ -1,0 +1,26 @@
+// Lightweight precondition / invariant checking used at sgp API boundaries.
+//
+// Per C++ Core Guidelines I.6 / E.2 we surface contract violations as
+// exceptions so callers of the public API get a diagnosable error instead of
+// undefined behaviour. Hot inner loops use plain assert() instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sgp::util {
+
+/// Throws std::invalid_argument with `msg` if `cond` is false.
+/// Use for caller-supplied argument validation.
+inline void require(bool cond, std::string_view msg) {
+  if (!cond) throw std::invalid_argument(std::string(msg));
+}
+
+/// Throws std::runtime_error with `msg` if `cond` is false.
+/// Use for internal invariants and environmental failures (IO, convergence).
+inline void ensure(bool cond, std::string_view msg) {
+  if (!cond) throw std::runtime_error(std::string(msg));
+}
+
+}  // namespace sgp::util

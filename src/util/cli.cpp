@@ -1,0 +1,84 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace sgp::util {
+namespace {
+
+bool parse_bool(const std::string& text) {
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    return false;
+  }
+  throw std::invalid_argument("not a boolean: '" + text + "'");
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  require(argc >= 1, "argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string CliArgs::get_string(const std::string& key,
+                                const std::string& def) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool CliArgs::get_bool(const std::string& key, bool def) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  try {
+    return parse_bool(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + key + " expects a boolean, got '" +
+                                it->second + "'");
+  }
+}
+
+}  // namespace sgp::util

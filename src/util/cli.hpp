@@ -1,0 +1,40 @@
+// Tiny command-line flag parser used by the examples and bench harnesses.
+//
+// Accepts `--key=value`, `--key value`, and bare `--flag` (boolean true).
+// Unknown positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgp::util {
+
+/// Parsed command line. Typed getters fall back to the supplied default when
+/// the flag is absent and throw std::invalid_argument on a malformed value.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sgp::util

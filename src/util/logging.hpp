@@ -1,0 +1,47 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library itself logs sparingly (convergence warnings, IO progress);
+// benches and examples use Info level for human-readable narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sgp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Writes one formatted line ("[LEVEL ts] msg") to stderr if enabled.
+void log(LogLevel level, std::string_view msg);
+
+inline void log_debug(std::string_view msg) { log(LogLevel::kDebug, msg); }
+inline void log_info(std::string_view msg) { log(LogLevel::kInfo, msg); }
+inline void log_warn(std::string_view msg) { log(LogLevel::kWarn, msg); }
+inline void log_error(std::string_view msg) { log(LogLevel::kError, msg); }
+
+/// Stream-style building of a log message:
+///   LogStream(LogLevel::kInfo) << "lanczos converged in " << it << " iters";
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sgp::util

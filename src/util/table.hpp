@@ -1,0 +1,42 @@
+// Aligned text tables for bench/example output. The bench harnesses print the
+// same rows/series the paper's tables and figures report, so output needs to
+// be human-readable and easy to diff/plot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgp::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule, e.g.:
+///
+///   epsilon  nmi_rp  nmi_lnpp
+///   -------  ------  --------
+///   0.10     0.4312  0.0712
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  TextTable& new_row();
+  TextTable& add(std::string cell);
+  TextTable& add(double value, int precision = 4);
+  TextTable& add(std::int64_t value);
+  TextTable& add(std::size_t value);
+
+  /// Renders the table (header, rule, rows) with two-space column gaps.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders rows as comma-separated values (header first) for plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgp::util

@@ -1,0 +1,110 @@
+#include "cluster/louvain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "cluster/metrics.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "random/distributions.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+TEST(LouvainTest, EmptyGraph) {
+  const auto res = louvain_cluster(graph::Graph());
+  EXPECT_TRUE(res.assignments.empty());
+}
+
+TEST(LouvainTest, EdgelessGraphSingletons) {
+  const auto g = graph::Graph::from_edges(5, {});
+  const auto res = louvain_cluster(g);
+  EXPECT_EQ(res.num_communities, 5u);
+  EXPECT_DOUBLE_EQ(res.modularity, 0.0);
+}
+
+TEST(LouvainTest, TwoCliquesSeparated) {
+  // Two triangles joined by a single bridge edge.
+  const auto g = graph::Graph::from_edges(
+      6, std::vector<graph::Edge>{
+             {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto res = louvain_cluster(g);
+  EXPECT_EQ(res.num_communities, 2u);
+  EXPECT_EQ(res.assignments[0], res.assignments[1]);
+  EXPECT_EQ(res.assignments[1], res.assignments[2]);
+  EXPECT_EQ(res.assignments[3], res.assignments[4]);
+  EXPECT_EQ(res.assignments[4], res.assignments[5]);
+  EXPECT_NE(res.assignments[0], res.assignments[3]);
+  EXPECT_GT(res.modularity, 0.3);
+}
+
+TEST(LouvainTest, RecoversPlantedSbmCommunities) {
+  random::Rng rng(3);
+  const auto pg = graph::stochastic_block_model({80, 80, 80}, 0.3, 0.01, rng);
+  const auto res = louvain_cluster(pg.graph);
+  EXPECT_GT(normalized_mutual_information(res.assignments, pg.labels), 0.85);
+  EXPECT_GT(res.modularity, 0.4);
+}
+
+TEST(LouvainTest, ModularityMatchesMetricFunction) {
+  random::Rng rng(4);
+  const auto pg = graph::stochastic_block_model({50, 50}, 0.3, 0.02, rng);
+  const auto res = louvain_cluster(pg.graph);
+  EXPECT_NEAR(res.modularity,
+              graph::modularity(pg.graph, res.assignments), 1e-12);
+}
+
+TEST(LouvainTest, LabelsAreDense) {
+  random::Rng rng(5);
+  const auto g = graph::erdos_renyi(120, 0.05, rng);
+  const auto res = louvain_cluster(g);
+  std::set<std::uint32_t> seen(res.assignments.begin(), res.assignments.end());
+  EXPECT_EQ(seen.size(), res.num_communities);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), res.num_communities - 1);
+}
+
+TEST(LouvainTest, DeterministicForSeed) {
+  random::Rng rng(6);
+  const auto g = graph::erdos_renyi(100, 0.08, rng);
+  LouvainOptions opt;
+  opt.seed = 9;
+  const auto a = louvain_cluster(g, opt);
+  const auto b = louvain_cluster(g, opt);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(LouvainTest, BeatsRandomPartitionModularity) {
+  random::Rng rng(7);
+  const auto pg = graph::stochastic_block_model({60, 60}, 0.25, 0.02, rng);
+  const auto res = louvain_cluster(pg.graph);
+  std::vector<std::uint32_t> shuffled = pg.labels;
+  random::shuffle(rng, shuffled);
+  EXPECT_GT(res.modularity, graph::modularity(pg.graph, shuffled) + 0.2);
+}
+
+TEST(LouvainTest, CompleteGraphSingleCommunity) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    for (std::uint32_t j = i + 1; j < 10; ++j) edges.push_back({i, j});
+  }
+  const auto g = graph::Graph::from_edges(10, edges);
+  const auto res = louvain_cluster(g);
+  EXPECT_EQ(res.num_communities, 1u);
+}
+
+TEST(LouvainTest, InvalidOptionsThrow) {
+  const auto g = graph::Graph::from_edges(3, std::vector<graph::Edge>{{0, 1}});
+  LouvainOptions opt;
+  opt.max_levels = 0;
+  EXPECT_THROW(louvain_cluster(g, opt), std::invalid_argument);
+  opt.max_levels = 1;
+  opt.max_sweeps = 0;
+  EXPECT_THROW(louvain_cluster(g, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::cluster

@@ -1,0 +1,118 @@
+#include "cluster/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "random/rng.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+using Labels = std::vector<std::uint32_t>;
+
+TEST(NmiTest, IdenticalPartitionsGiveOne) {
+  const Labels a{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(NmiTest, RelabelingInvariant) {
+  const Labels a{0, 0, 1, 1, 2, 2};
+  const Labels b{2, 2, 0, 0, 1, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  // Large random labelings are nearly independent.
+  random::Rng rng(1);
+  Labels a(10000), b(10000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint32_t>(rng.next_below(4));
+    b[i] = static_cast<std::uint32_t>(rng.next_below(4));
+  }
+  EXPECT_LT(normalized_mutual_information(a, b), 0.01);
+}
+
+TEST(NmiTest, PartialAgreementBetweenZeroAndOne) {
+  const Labels a{0, 0, 0, 0, 1, 1, 1, 1};
+  const Labels b{0, 0, 0, 1, 1, 1, 1, 0};
+  const double nmi = normalized_mutual_information(a, b);
+  EXPECT_GT(nmi, 0.05);
+  EXPECT_LT(nmi, 0.95);
+}
+
+TEST(NmiTest, DegenerateSingleCluster) {
+  const Labels single{0, 0, 0};
+  const Labels split{0, 1, 2};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(single, single), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(single, split), 0.0);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  const Labels a{0, 0, 1, 1, 2, 2, 0, 1};
+  const Labels b{0, 1, 1, 1, 2, 0, 0, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, b),
+              normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST(NmiTest, SizeMismatchThrows) {
+  EXPECT_THROW(normalized_mutual_information({0, 1}, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(normalized_mutual_information({}, {}), std::invalid_argument);
+}
+
+TEST(AriTest, IdenticalIsOne) {
+  const Labels a{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(adjusted_rand_index(a, a), 1.0, 1e-12);
+}
+
+TEST(AriTest, RelabelingInvariant) {
+  const Labels a{0, 0, 1, 1};
+  const Labels b{5, 5, 3, 3};
+  EXPECT_NEAR(adjusted_rand_index(a, b), 1.0, 1e-12);
+}
+
+TEST(AriTest, RandomLabelingsNearZero) {
+  random::Rng rng(2);
+  Labels a(10000), b(10000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint32_t>(rng.next_below(3));
+    b[i] = static_cast<std::uint32_t>(rng.next_below(3));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.02);
+}
+
+TEST(AriTest, CanBeNegative) {
+  // Systematically anti-correlated partition.
+  const Labels a{0, 0, 1, 1};
+  const Labels b{0, 1, 0, 1};
+  EXPECT_LT(adjusted_rand_index(a, b), 1e-12);
+}
+
+TEST(AriTest, BothTrivialPartitionsIsOne) {
+  const Labels a{0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(PurityTest, PerfectClusteringIsOne) {
+  const Labels pred{1, 1, 0, 0};
+  const Labels truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 1.0);
+}
+
+TEST(PurityTest, KnownMixedValue) {
+  // Cluster 0 holds truths {0,0,1} → 2; cluster 1 holds {1,1,0} → 2.
+  const Labels pred{0, 0, 0, 1, 1, 1};
+  const Labels truth{0, 0, 1, 1, 1, 0};
+  EXPECT_NEAR(purity(pred, truth), 4.0 / 6.0, 1e-12);
+}
+
+TEST(PurityTest, SingletonClustersAlwaysPure) {
+  const Labels pred{0, 1, 2, 3};
+  const Labels truth{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 1.0);
+}
+
+}  // namespace
+}  // namespace sgp::cluster

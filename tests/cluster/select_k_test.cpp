@@ -1,0 +1,68 @@
+#include "cluster/select_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/publisher.hpp"
+#include "graph/generators.hpp"
+#include "linalg/svd.hpp"
+#include "random/distributions.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+TEST(EigengapTest, ObviousGap) {
+  EXPECT_EQ(eigengap_k({100, 95, 90, 5, 4, 3}), 3u);
+}
+
+TEST(EigengapTest, GapAtOne) {
+  EXPECT_EQ(eigengap_k({50, 1, 0.9, 0.8}), 1u);
+}
+
+TEST(EigengapTest, TrailingZerosIgnored) {
+  EXPECT_EQ(eigengap_k({10, 9, 8, 0.0, 0.0}), 2u);
+}
+
+TEST(EigengapTest, Validation) {
+  EXPECT_THROW((void)eigengap_k({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)eigengap_k({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(EigengapTest, RecoversPlantedKFromRelease) {
+  // 4 planted communities: the release's singular values should show the
+  // gap after position 4.
+  random::Rng rng(1);
+  const auto pg = graph::stochastic_block_model(
+      std::vector<std::size_t>(4, 120), 0.5, 0.01, rng);
+  core::RandomProjectionPublisher::Options opt;
+  opt.projection_dim = 40;
+  opt.params = {8.0, 1e-6};
+  const auto pub = core::RandomProjectionPublisher(opt).publish(pg.graph);
+  const auto svd = linalg::svd_gram(pub.data, 12);
+  EXPECT_EQ(eigengap_k(svd.singular_values), 4u);
+}
+
+TEST(SilhouetteSelectKTest, FindsPlantedKOnBlobs) {
+  random::Rng rng(2);
+  // Three tight blobs in 2D.
+  linalg::DenseMatrix pts(90, 2);
+  const double centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  for (std::size_t i = 0; i < 90; ++i) {
+    pts(i, 0) = centers[i / 30][0] + random::normal(rng, 0, 0.5);
+    pts(i, 1) = centers[i / 30][1] + random::normal(rng, 0, 0.5);
+  }
+  const auto sel = silhouette_select_k(pts, 2, 6);
+  EXPECT_EQ(sel.best_k, 3u);
+  EXPECT_EQ(sel.silhouette_per_k.size(), 5u);
+}
+
+TEST(SilhouetteSelectKTest, Validation) {
+  linalg::DenseMatrix pts(10, 2);
+  EXPECT_THROW((void)silhouette_select_k(pts, 1, 3), std::invalid_argument);
+  EXPECT_THROW((void)silhouette_select_k(pts, 3, 2), std::invalid_argument);
+  EXPECT_THROW((void)silhouette_select_k(pts, 2, 11), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::cluster

@@ -1,0 +1,94 @@
+#include "cluster/silhouette.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/kmeans.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::cluster {
+namespace {
+
+linalg::DenseMatrix two_blobs(double separation, std::uint64_t seed) {
+  random::Rng rng(seed);
+  linalg::DenseMatrix pts(60, 2);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const double cx = i < 30 ? 0.0 : separation;
+    pts(i, 0) = cx + random::normal(rng, 0, 0.5);
+    pts(i, 1) = random::normal(rng, 0, 0.5);
+  }
+  return pts;
+}
+
+std::vector<std::uint32_t> blob_labels() {
+  std::vector<std::uint32_t> labels(60, 0);
+  for (std::size_t i = 30; i < 60; ++i) labels[i] = 1;
+  return labels;
+}
+
+TEST(SilhouetteTest, WellSeparatedScoresNearOne) {
+  const auto pts = two_blobs(50.0, 1);
+  EXPECT_GT(silhouette_score(pts, blob_labels()), 0.9);
+}
+
+TEST(SilhouetteTest, OverlappingScoresNearZero) {
+  const auto pts = two_blobs(0.0, 2);
+  const double s = silhouette_score(pts, blob_labels());
+  EXPECT_LT(std::fabs(s), 0.2);
+}
+
+TEST(SilhouetteTest, WrongLabelsScoreNegative) {
+  const auto pts = two_blobs(50.0, 3);
+  // Assign half of each blob to the other cluster: worse than random.
+  std::vector<std::uint32_t> scrambled(60);
+  for (std::size_t i = 0; i < 60; ++i) scrambled[i] = i % 2;
+  EXPECT_LT(silhouette_score(pts, scrambled),
+            silhouette_score(pts, blob_labels()));
+}
+
+TEST(SilhouetteTest, SeparationMonotone) {
+  const double weak = silhouette_score(two_blobs(1.0, 4), blob_labels());
+  const double strong = silhouette_score(two_blobs(10.0, 4), blob_labels());
+  EXPECT_GT(strong, weak);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  const auto pts = two_blobs(10.0, 5);
+  EXPECT_DOUBLE_EQ(silhouette_score(pts, std::vector<std::uint32_t>(60, 0)),
+                   0.0);
+}
+
+TEST(SilhouetteTest, SampledApproximatesExact) {
+  const auto pts = two_blobs(5.0, 6);
+  const double exact = silhouette_score(pts, blob_labels());
+  const double sampled = silhouette_score(pts, blob_labels(), 30, 9);
+  EXPECT_NEAR(sampled, exact, 0.15);
+}
+
+TEST(SilhouetteTest, AgreesWithKMeansQuality) {
+  // k-means on well-separated blobs should produce a high-silhouette
+  // partition; a deliberately bad k (k = 5) scores lower.
+  const auto pts = two_blobs(20.0, 7);
+  KMeansOptions k2;
+  k2.k = 2;
+  KMeansOptions k5;
+  k5.k = 5;
+  const auto good = kmeans(pts, k2);
+  const auto bad = kmeans(pts, k5);
+  EXPECT_GT(silhouette_score(pts, good.assignments),
+            silhouette_score(pts, bad.assignments));
+}
+
+TEST(SilhouetteTest, InvalidArgsThrow) {
+  const auto pts = two_blobs(1.0, 8);
+  EXPECT_THROW((void)silhouette_score(pts, std::vector<std::uint32_t>(10, 0)),
+               std::invalid_argument);
+  linalg::DenseMatrix single(1, 2);
+  EXPECT_THROW((void)silhouette_score(single, {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::cluster

@@ -1,0 +1,168 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/metrics.hpp"
+#include "cluster/spectral.hpp"
+#include "dp/mechanisms.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace sgp::core {
+namespace {
+
+graph::PlantedGraph small_sbm(std::uint64_t seed = 1) {
+  random::Rng rng(seed);
+  return graph::stochastic_block_model({40, 40}, 0.4, 0.02, rng);
+}
+
+TEST(DenseGaussianTest, ReleaseIsSymmetricFullMatrix) {
+  const auto pg = small_sbm();
+  const DenseGaussianPublisher publisher({1.0, 1e-6}, 3);
+  const auto pub = publisher.publish(pg.graph);
+  EXPECT_EQ(pub.data.rows(), 80u);
+  EXPECT_EQ(pub.data.cols(), 80u);
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      ASSERT_DOUBLE_EQ(pub.data(i, j), pub.data(j, i));
+    }
+  }
+}
+
+TEST(DenseGaussianTest, SigmaMatchesMechanism) {
+  const DenseGaussianPublisher publisher({1.0, 1e-6});
+  const auto pub = publisher.publish(small_sbm().graph);
+  EXPECT_NEAR(pub.sigma,
+              dp::analytic_gaussian_sigma(std::sqrt(2.0), {1.0, 1e-6}), 1e-9);
+}
+
+TEST(DenseGaussianTest, PublishedBytesQuadratic) {
+  const auto pub = DenseGaussianPublisher({1.0, 1e-6}).publish(small_sbm().graph);
+  EXPECT_EQ(pub.published_bytes(), 80u * 80u * sizeof(double));
+}
+
+TEST(DenseGaussianTest, EmbeddingRecoversCommunitiesAtHighBudget) {
+  const auto pg = small_sbm(2);
+  const DenseGaussianPublisher publisher({8.0, 1e-6}, 5);
+  const auto pub = publisher.publish(pg.graph);
+  const auto emb = dense_spectral_embedding(pub, 2);
+  cluster::SpectralOptions opt;
+  opt.num_clusters = 2;
+  const auto res = cluster::cluster_embedding(emb, opt);
+  EXPECT_GT(cluster::normalized_mutual_information(res.assignments, pg.labels),
+            0.6);
+}
+
+TEST(DenseGaussianTest, InvalidParamsThrow) {
+  EXPECT_THROW(DenseGaussianPublisher({0.0, 1e-6}), std::invalid_argument);
+}
+
+TEST(LnppTest, ReleaseShape) {
+  const auto pg = small_sbm(3);
+  LnppPublisher::Options opt;
+  opt.k = 4;
+  opt.epsilon = 2.0;
+  const LnppPublisher publisher(opt);
+  const auto rel = publisher.publish(pg.graph);
+  EXPECT_EQ(rel.eigenvalues.size(), 4u);
+  EXPECT_EQ(rel.eigenvectors.rows(), 80u);
+  EXPECT_EQ(rel.eigenvectors.cols(), 4u);
+  EXPECT_DOUBLE_EQ(rel.params.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(rel.params.delta, 0.0);  // pure DP
+}
+
+TEST(LnppTest, EigenvaluesRoughlyTrackTruthAtHugeBudget) {
+  const auto pg = small_sbm(4);
+  LnppPublisher::Options opt;
+  opt.k = 2;
+  opt.epsilon = 1000.0;  // effectively no noise
+  const auto rel = LnppPublisher(opt).publish(pg.graph);
+  // SBM(40,40 @ 0.4/0.02): λ1 ≈ within-degree ≈ 16 + cross, λ2 smaller.
+  EXPECT_GT(rel.eigenvalues[0], 10.0);
+  EXPECT_GT(rel.eigenvalues[0], rel.eigenvalues[1]);
+}
+
+TEST(LnppTest, NoiseGrowsAsEpsilonShrinks) {
+  const auto pg = small_sbm(5);
+  auto value_error = [&](double eps) {
+    LnppPublisher::Options opt;
+    opt.k = 2;
+    opt.epsilon = eps;
+    opt.seed = 9;
+    const auto rel = LnppPublisher(opt).publish(pg.graph);
+    LnppPublisher::Options clean_opt = opt;
+    clean_opt.epsilon = 1e6;
+    const auto clean = LnppPublisher(clean_opt).publish(pg.graph);
+    return std::fabs(rel.eigenvalues[0] - clean.eigenvalues[0]);
+  };
+  // Average over a few seeds implicitly via single draw: use generous margin.
+  EXPECT_GT(value_error(0.01) + 1e-9, value_error(100.0));
+}
+
+TEST(LnppTest, InvalidOptionsThrow) {
+  LnppPublisher::Options opt;
+  opt.k = 0;
+  EXPECT_THROW(LnppPublisher{opt}, std::invalid_argument);
+  opt.k = 2;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(LnppPublisher{opt}, std::invalid_argument);
+  opt.epsilon = 1.0;
+  opt.value_share = 1.0;
+  EXPECT_THROW(LnppPublisher{opt}, std::invalid_argument);
+}
+
+TEST(LnppTest, KLargerThanNThrows) {
+  const auto g = graph::Graph::from_edges(3, std::vector<graph::Edge>{{0, 1}});
+  LnppPublisher::Options opt;
+  opt.k = 5;
+  const LnppPublisher publisher(opt);
+  EXPECT_THROW((void)publisher.publish(g), std::invalid_argument);
+}
+
+TEST(EdgeFlipTest, HugeEpsilonPreservesGraph) {
+  const auto pg = small_sbm(6);
+  const EdgeFlipPublisher publisher(50.0, 3);
+  const auto flipped = publisher.publish(pg.graph);
+  EXPECT_EQ(flipped.num_nodes(), pg.graph.num_nodes());
+  EXPECT_EQ(flipped.edges(), pg.graph.edges());
+}
+
+TEST(EdgeFlipTest, TinyEpsilonApproachesCoinFlips) {
+  const auto g = graph::Graph::from_edges(100, {});  // empty graph
+  const EdgeFlipPublisher publisher(1e-6, 4);
+  const auto flipped = publisher.publish(g);
+  // keep ≈ 0.5 → about half of C(100,2) = 4950 pairs become edges.
+  EXPECT_NEAR(static_cast<double>(flipped.num_edges()), 2475.0, 200.0);
+}
+
+TEST(EdgeFlipTest, FlipRateMatchesTheory) {
+  const auto pg = small_sbm(7);
+  const double eps = 1.5;
+  const EdgeFlipPublisher publisher(eps, 5);
+  const auto flipped = publisher.publish(pg.graph);
+  const double keep = dp::randomized_response_keep_probability(eps);
+  // Count surviving original edges.
+  std::size_t survived = 0;
+  for (const graph::Edge& e : pg.graph.edges()) {
+    if (flipped.has_edge(e.u, e.v)) ++survived;
+  }
+  const double rate =
+      static_cast<double>(survived) / static_cast<double>(pg.graph.num_edges());
+  EXPECT_NEAR(rate, keep, 0.05);
+}
+
+TEST(EdgeFlipTest, DeterministicForSeed) {
+  const auto pg = small_sbm(8);
+  const EdgeFlipPublisher a(1.0, 11), b(1.0, 11);
+  EXPECT_EQ(a.publish(pg.graph).edges(), b.publish(pg.graph).edges());
+}
+
+TEST(EdgeFlipTest, InvalidEpsilonThrows) {
+  EXPECT_THROW(EdgeFlipPublisher(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "cluster/metrics.hpp"
+#include "cluster/spectral.hpp"
+#include "core/baselines.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace sgp::core {
+namespace {
+
+TEST(DegreeSequenceTest, ReleaseIsSortedNonIncreasing) {
+  random::Rng rng(1);
+  const auto g = graph::barabasi_albert(300, 3, rng);
+  const DegreeSequencePublisher publisher(1.0, 5);
+  const auto release = publisher.publish(g);
+  ASSERT_EQ(release.noisy_sorted_degrees.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(release.noisy_sorted_degrees.begin(),
+                             release.noisy_sorted_degrees.end(),
+                             std::less<double>()) ||
+              std::is_sorted(release.noisy_sorted_degrees.rbegin(),
+                             release.noisy_sorted_degrees.rend()));
+  // Explicit non-increasing check.
+  for (std::size_t i = 1; i < 300; ++i) {
+    ASSERT_LE(release.noisy_sorted_degrees[i],
+              release.noisy_sorted_degrees[i - 1] + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(release.params.delta, 0.0);  // pure DP
+}
+
+TEST(DegreeSequenceTest, HighBudgetTracksTrueSequence) {
+  random::Rng rng(2);
+  const auto g = graph::barabasi_albert(200, 4, rng);
+  const DegreeSequencePublisher publisher(100.0, 7);
+  const auto release = publisher.publish(g);
+  std::vector<double> truth(200);
+  for (std::size_t u = 0; u < 200; ++u) {
+    truth[u] = static_cast<double>(g.degree(u));
+  }
+  std::sort(truth.begin(), truth.end(), std::greater<double>());
+  double err = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    err += std::fabs(release.noisy_sorted_degrees[i] - truth[i]);
+  }
+  EXPECT_LT(err / 200.0, 0.5);
+}
+
+TEST(DegreeSequenceTest, SynthesizedGraphMatchesDegreeShape) {
+  random::Rng rng(3);
+  const auto g = graph::barabasi_albert(400, 5, rng);
+  const DegreeSequencePublisher publisher(50.0, 9);
+  const auto synthetic = publisher.synthesize(publisher.publish(g));
+  EXPECT_EQ(synthetic.num_nodes(), 400u);
+  // Total edges approximately preserved (configuration model drops a few).
+  const double truth = static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(synthetic.num_edges()), truth, 0.1 * truth);
+  // Max degree in the same ballpark.
+  const auto s_stats = graph::degree_stats(synthetic);
+  const auto g_stats = graph::degree_stats(g);
+  EXPECT_NEAR(static_cast<double>(s_stats.max),
+              static_cast<double>(g_stats.max),
+              0.35 * static_cast<double>(g_stats.max));
+}
+
+TEST(DegreeSequenceTest, CommunitiesDoNotSurvive) {
+  // The paper's point about degree-only baselines: structure is destroyed.
+  random::Rng rng(4);
+  const auto pg = graph::stochastic_block_model({80, 80}, 0.4, 0.02, rng);
+  const DegreeSequencePublisher publisher(100.0, 11);
+  const auto synthetic = publisher.synthesize(publisher.publish(pg.graph));
+  cluster::SpectralOptions opt;
+  opt.num_clusters = 2;
+  const auto res = cluster::spectral_cluster_graph(synthetic, opt);
+  EXPECT_LT(cluster::normalized_mutual_information(res.assignments, pg.labels),
+            0.2);
+}
+
+TEST(DegreeSequenceTest, NoiseScaleShrinksWithEpsilon) {
+  random::Rng rng(5);
+  const auto g = graph::erdos_renyi(200, 0.1, rng);
+  std::vector<double> truth(200);
+  for (std::size_t u = 0; u < 200; ++u) {
+    truth[u] = static_cast<double>(g.degree(u));
+  }
+  std::sort(truth.begin(), truth.end(), std::greater<double>());
+  auto error_at = [&](double eps) {
+    const DegreeSequencePublisher publisher(eps, 13);
+    const auto release = publisher.publish(g);
+    double err = 0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      err += std::fabs(release.noisy_sorted_degrees[i] - truth[i]);
+    }
+    return err;
+  };
+  EXPECT_GT(error_at(0.05), error_at(50.0));
+}
+
+TEST(DegreeSequenceTest, DeterministicForSeed) {
+  random::Rng rng(6);
+  const auto g = graph::erdos_renyi(100, 0.1, rng);
+  const DegreeSequencePublisher a(1.0, 17), b(1.0, 17);
+  EXPECT_EQ(a.publish(g).noisy_sorted_degrees,
+            b.publish(g).noisy_sorted_degrees);
+  EXPECT_EQ(a.synthesize(a.publish(g)).edges(),
+            b.synthesize(b.publish(g)).edges());
+}
+
+TEST(DegreeSequenceTest, InvalidArgsThrow) {
+  EXPECT_THROW(DegreeSequencePublisher(0.0), std::invalid_argument);
+  const DegreeSequencePublisher publisher(1.0);
+  EXPECT_THROW((void)publisher.publish(graph::Graph()),
+               std::invalid_argument);
+  DegreeSequencePublisher::Release empty;
+  EXPECT_THROW((void)publisher.synthesize(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -1,0 +1,92 @@
+#include "core/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace sgp::core {
+namespace {
+
+TEST(ProjectionTest, GaussianShapeAndScale) {
+  random::Rng rng(1);
+  const std::size_t n = 400, m = 100;
+  const auto p = gaussian_projection(n, m, rng);
+  EXPECT_EQ(p.rows(), n);
+  EXPECT_EQ(p.cols(), m);
+  // Entry variance should be 1/m.
+  double sum2 = 0;
+  for (double v : p.data()) sum2 += v * v;
+  EXPECT_NEAR(sum2 / static_cast<double>(n * m), 1.0 / m, 0.1 / m);
+}
+
+TEST(ProjectionTest, GaussianRowNormsConcentrateAroundOne) {
+  random::Rng rng(2);
+  const auto p = gaussian_projection(200, 128, rng);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    const double nrm = linalg::norm2(p.row(i));
+    ASSERT_GT(nrm, 0.6) << "row " << i;
+    ASSERT_LT(nrm, 1.5) << "row " << i;
+  }
+}
+
+TEST(ProjectionTest, AchlioptasEntriesTernary) {
+  random::Rng rng(3);
+  const std::size_t m = 27;
+  const auto p = achlioptas_projection(100, m, rng);
+  const double mag = std::sqrt(3.0 / m);
+  std::size_t zeros = 0;
+  for (double v : p.data()) {
+    ASSERT_TRUE(v == 0.0 || std::fabs(std::fabs(v) - mag) < 1e-12);
+    if (v == 0.0) ++zeros;
+  }
+  // Two thirds should be zero.
+  EXPECT_NEAR(static_cast<double>(zeros) / (100.0 * m), 2.0 / 3.0, 0.03);
+}
+
+TEST(ProjectionTest, AchlioptasUnitVarianceColumns) {
+  random::Rng rng(4);
+  const std::size_t n = 300, m = 64;
+  const auto p = achlioptas_projection(n, m, rng);
+  double sum2 = 0;
+  for (double v : p.data()) sum2 += v * v;
+  EXPECT_NEAR(sum2 / static_cast<double>(n * m), 1.0 / m, 0.15 / m);
+}
+
+TEST(ProjectionTest, PreservesNormsApproximately) {
+  // JL property: ‖xP‖ ≈ ‖x‖ for a fixed sparse row x.
+  random::Rng rng(5);
+  const std::size_t n = 1000, m = 256;
+  for (ProjectionKind kind :
+       {ProjectionKind::kGaussian, ProjectionKind::kAchlioptas}) {
+    const auto p = make_projection(n, m, kind, rng);
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = 0; i < 40; ++i) x[i * 25] = 1.0;  // ‖x‖ = √40
+    const auto y = p.transpose_multiply_vector(x);
+    EXPECT_NEAR(linalg::norm2(y), std::sqrt(40.0), 1.2)
+        << to_string(kind);
+  }
+}
+
+TEST(ProjectionTest, DeterministicGivenRngState) {
+  random::Rng r1(9), r2(9);
+  const auto p1 = gaussian_projection(50, 10, r1);
+  const auto p2 = gaussian_projection(50, 10, r2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(ProjectionTest, InvalidDimensionsThrow) {
+  random::Rng rng(1);
+  EXPECT_THROW(gaussian_projection(0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(achlioptas_projection(5, 0, rng), std::invalid_argument);
+}
+
+TEST(ProjectionTest, ToStringNames) {
+  EXPECT_EQ(to_string(ProjectionKind::kGaussian), "gaussian");
+  EXPECT_EQ(to_string(ProjectionKind::kAchlioptas), "achlioptas");
+}
+
+}  // namespace
+}  // namespace sgp::core

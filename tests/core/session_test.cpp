@@ -1,0 +1,101 @@
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace sgp::core {
+namespace {
+
+graph::Graph small_graph(std::uint64_t seed = 1) {
+  random::Rng rng(seed);
+  return graph::erdos_renyi(100, 0.1, rng);
+}
+
+PublishingSession::Options session_options(double per_eps, double total_eps) {
+  PublishingSession::Options opt;
+  opt.publisher.projection_dim = 20;
+  opt.publisher.params = {per_eps, 1e-7};
+  opt.publisher.seed = 5;
+  opt.total_budget = {total_eps, 1e-5};
+  return opt;
+}
+
+TEST(SessionTest, StartsEmpty) {
+  PublishingSession session(session_options(1.0, 10.0));
+  EXPECT_EQ(session.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(session.spent().epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(session.remaining_epsilon(), 10.0);
+}
+
+TEST(SessionTest, PublishChargesBudget) {
+  PublishingSession session(session_options(1.0, 10.0));
+  const auto g = small_graph();
+  (void)session.publish(g);
+  EXPECT_EQ(session.num_releases(), 1u);
+  EXPECT_GT(session.spent().epsilon, 0.0);
+  EXPECT_LE(session.spent().epsilon, 1.0 + 1e-9);
+  EXPECT_LT(session.remaining_epsilon(), 10.0);
+}
+
+TEST(SessionTest, RefusesToExceedCap) {
+  PublishingSession session(session_options(1.0, 2.5));
+  const auto g = small_graph();
+  bool refused = false;
+  std::size_t published = 0;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      (void)session.publish(g);
+      ++published;
+      // Invariant: the spent budget never exceeds the cap.
+      ASSERT_LE(session.spent().epsilon, 2.5 + 1e-9);
+    } catch (const std::runtime_error&) {
+      refused = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(refused) << "session never enforced the cap";
+  EXPECT_GE(published, 2u);  // cap allows at least basic 2 x 1.0
+  EXPECT_EQ(session.num_releases(), published);  // refusal not charged
+}
+
+TEST(SessionTest, PerReleaseAboveCapRejectedAtConstruction) {
+  EXPECT_THROW(PublishingSession(session_options(5.0, 2.0)),
+               std::invalid_argument);
+}
+
+TEST(SessionTest, ReleasesUseFreshRandomness) {
+  PublishingSession session(session_options(1.0, 10.0));
+  const auto g = small_graph();
+  const auto a = session.publish(g);
+  const auto b = session.publish(g);
+  EXPECT_NE(a.data, b.data);
+}
+
+TEST(SessionTest, RdpBeatsBasicForManySmallReleases) {
+  // 50 releases at eps=0.2: basic composition says 10; RDP should do
+  // noticeably better, leaving headroom under a cap of 10.
+  auto opt = session_options(0.2, 10.0);
+  PublishingSession session(opt);
+  const auto g = small_graph();
+  for (int i = 0; i < 50; ++i) (void)session.publish(g);
+  EXPECT_LT(session.spent().epsilon, 10.0 * 0.9);
+  EXPECT_GT(session.remaining_epsilon(), 0.0);
+}
+
+TEST(SessionTest, SpentIsMonotone) {
+  PublishingSession session(session_options(0.5, 20.0));
+  const auto g = small_graph();
+  double last = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    (void)session.publish(g);
+    const double now = session.spent().epsilon;
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -1,0 +1,124 @@
+#include "core/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/metrics.hpp"
+#include "cluster/spectral.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace sgp::core {
+namespace {
+
+struct Setup {
+  graph::PlantedGraph planted;
+  PublishedGraph pub;
+};
+
+Setup make_setup(double epsilon, std::uint64_t seed = 3) {
+  Setup s;
+  random::Rng rng(seed);
+  s.planted = graph::stochastic_block_model({100, 100}, 0.4, 0.02, rng);
+  RandomProjectionPublisher::Options opt;
+  opt.projection_dim = 60;
+  opt.params = {epsilon, 1e-6};
+  opt.seed = seed;
+  s.pub = RandomProjectionPublisher(opt).publish(s.planted.graph);
+  return s;
+}
+
+TEST(RdpgPositionsTest, ShapeAndScaling) {
+  const auto s = make_setup(8.0);
+  const auto x = rdpg_positions(s.pub, 4);
+  EXPECT_EQ(x.rows(), 200u);
+  EXPECT_EQ(x.cols(), 4u);
+  // Column norms should equal the singular values^{1/2}·1 = sqrt(σ_j)·‖u_j‖
+  // = sqrt(σ_j); leading column dominated by the top singular value.
+  double lead = 0, trail = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    lead += x(i, 0) * x(i, 0);
+    trail += x(i, 3) * x(i, 3);
+  }
+  EXPECT_GT(lead, trail);
+}
+
+TEST(RdpgPositionsTest, InvalidRankThrows) {
+  const auto s = make_setup(4.0);
+  EXPECT_THROW((void)rdpg_positions(s.pub, 0), std::invalid_argument);
+  EXPECT_THROW((void)rdpg_positions(s.pub, 61), std::invalid_argument);
+}
+
+TEST(SurrogateTest, EdgeCountRoughlyPreservedAtHighBudget) {
+  const auto s = make_setup(50.0);
+  SurrogateOptions opt;
+  opt.rank = 4;
+  const auto surrogate = sample_surrogate_graph(s.pub, opt);
+  const double truth = static_cast<double>(s.planted.graph.num_edges());
+  EXPECT_EQ(surrogate.num_nodes(), 200u);
+  EXPECT_NEAR(static_cast<double>(surrogate.num_edges()), truth, 0.35 * truth);
+}
+
+TEST(SurrogateTest, CommunityStructureSurvives) {
+  const auto s = make_setup(50.0);
+  SurrogateOptions opt;
+  opt.rank = 4;
+  opt.seed = 11;
+  const auto surrogate = sample_surrogate_graph(s.pub, opt);
+  // Cluster the surrogate itself; communities should match the planted ones.
+  cluster::SpectralOptions copt;
+  copt.num_clusters = 2;
+  const auto res = cluster::spectral_cluster_graph(surrogate, copt);
+  EXPECT_GT(cluster::normalized_mutual_information(res.assignments,
+                                                   s.planted.labels),
+            0.7);
+}
+
+TEST(SurrogateTest, WithinCommunityDensityHigher) {
+  const auto s = make_setup(50.0);
+  SurrogateOptions opt;
+  opt.rank = 4;
+  const auto surrogate = sample_surrogate_graph(s.pub, opt);
+  std::size_t within = 0, cross = 0;
+  for (const auto& e : surrogate.edges()) {
+    (s.planted.labels[e.u] == s.planted.labels[e.v] ? within : cross) += 1;
+  }
+  EXPECT_GT(within, 2 * cross);
+}
+
+TEST(SurrogateTest, DeterministicForSeed) {
+  const auto s = make_setup(10.0);
+  SurrogateOptions opt;
+  opt.rank = 3;
+  opt.seed = 21;
+  const auto a = sample_surrogate_graph(s.pub, opt);
+  const auto b = sample_surrogate_graph(s.pub, opt);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(SurrogateTest, MaxProbabilityCapsDensity) {
+  const auto s = make_setup(50.0);
+  SurrogateOptions loose;
+  loose.rank = 4;
+  SurrogateOptions tight = loose;
+  tight.max_probability = 0.05;
+  const auto dense = sample_surrogate_graph(s.pub, loose);
+  const auto sparse = sample_surrogate_graph(s.pub, tight);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(SurrogateTest, InvalidOptionsThrow) {
+  const auto s = make_setup(4.0);
+  SurrogateOptions opt;
+  opt.max_probability = 0.0;
+  EXPECT_THROW((void)sample_surrogate_graph(s.pub, opt),
+               std::invalid_argument);
+  opt.max_probability = 1.5;
+  EXPECT_THROW((void)sample_surrogate_graph(s.pub, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -1,0 +1,90 @@
+#include "dp/accountant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgp::dp {
+namespace {
+
+TEST(AccountantTest, EmptyBudgetIsZero) {
+  PrivacyAccountant acc;
+  EXPECT_EQ(acc.num_releases(), 0u);
+  const auto total = acc.basic_composition();
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(total.delta, 0.0);
+}
+
+TEST(AccountantTest, BasicCompositionAdds) {
+  PrivacyAccountant acc;
+  acc.record({0.5, 1e-6});
+  acc.record({0.3, 2e-6});
+  const auto total = acc.basic_composition();
+  EXPECT_NEAR(total.epsilon, 0.8, 1e-12);
+  EXPECT_NEAR(total.delta, 3e-6, 1e-18);
+  EXPECT_EQ(acc.num_releases(), 2u);
+}
+
+TEST(AccountantTest, RecordValidates) {
+  PrivacyAccountant acc;
+  EXPECT_THROW(acc.record({0.0, 1e-6}), std::invalid_argument);
+  EXPECT_THROW(acc.record({1.0, 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(acc.record({1.0, 0.0}));  // pure DP event is fine
+}
+
+TEST(AccountantTest, AdvancedCompositionFormula) {
+  PrivacyAccountant acc;
+  const double eps = 0.1;
+  const int k = 100;
+  for (int i = 0; i < k; ++i) acc.record({eps, 1e-7});
+  const double slack = 1e-5;
+  const auto adv = acc.advanced_composition(slack);
+  const double expect =
+      std::sqrt(2.0 * k * std::log(1.0 / slack)) * eps +
+      k * eps * (std::exp(eps) - 1.0);
+  EXPECT_NEAR(adv.epsilon, expect, 1e-9);
+  EXPECT_NEAR(adv.delta, k * 1e-7 + slack, 1e-12);
+}
+
+TEST(AccountantTest, AdvancedBeatsBasicForManySmallReleases) {
+  PrivacyAccountant acc;
+  for (int i = 0; i < 200; ++i) acc.record({0.05, 1e-8});
+  const auto basic = acc.basic_composition();
+  const auto adv = acc.advanced_composition(1e-5);
+  EXPECT_LT(adv.epsilon, basic.epsilon);
+}
+
+TEST(AccountantTest, BasicBeatsAdvancedForFewReleases) {
+  PrivacyAccountant acc;
+  acc.record({1.0, 1e-6});
+  const auto best = acc.best_composition(1e-6);
+  EXPECT_NEAR(best.epsilon, 1.0, 1e-12);
+}
+
+TEST(AccountantTest, BestPicksSmallerEpsilon) {
+  PrivacyAccountant acc;
+  for (int i = 0; i < 500; ++i) acc.record({0.01, 0.0});
+  const auto best = acc.best_composition(1e-6);
+  const auto basic = acc.basic_composition();
+  const auto adv = acc.advanced_composition(1e-6);
+  EXPECT_DOUBLE_EQ(best.epsilon, std::min(basic.epsilon, adv.epsilon));
+}
+
+TEST(AccountantTest, InvalidSlackThrows) {
+  PrivacyAccountant acc;
+  acc.record({0.1, 0.0});
+  EXPECT_THROW((void)acc.advanced_composition(0.0), std::invalid_argument);
+  EXPECT_THROW((void)acc.advanced_composition(1.0), std::invalid_argument);
+}
+
+TEST(AccountantTest, ResetClears) {
+  PrivacyAccountant acc;
+  acc.record({1.0, 1e-6});
+  acc.reset();
+  EXPECT_EQ(acc.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(acc.basic_composition().epsilon, 0.0);
+}
+
+}  // namespace
+}  // namespace sgp::dp

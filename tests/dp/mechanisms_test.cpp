@@ -1,0 +1,167 @@
+#include "dp/mechanisms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::dp {
+namespace {
+
+TEST(PrivacyParamsTest, ValidationRules) {
+  EXPECT_NO_THROW((PrivacyParams{1.0, 1e-6}).validate());
+  EXPECT_THROW((PrivacyParams{0.0, 1e-6}).validate(), std::invalid_argument);
+  EXPECT_THROW((PrivacyParams{-1.0, 1e-6}).validate(), std::invalid_argument);
+  EXPECT_THROW((PrivacyParams{1.0, 0.0}).validate(), std::invalid_argument);
+  EXPECT_THROW((PrivacyParams{1.0, 1.0}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW((PrivacyParams{1.0, 0.0}).validate_pure());
+  EXPECT_THROW((PrivacyParams{1.0, 0.5}).validate_pure(),
+               std::invalid_argument);
+}
+
+TEST(PrivacyParamsTest, ToStringMentionsBoth) {
+  const auto s = PrivacyParams{0.5, 1e-5}.to_string();
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+  EXPECT_NE(s.find("1e-05"), std::string::npos);
+}
+
+TEST(GaussianSigmaTest, ClassicFormula) {
+  const PrivacyParams p{1.0, 1e-5};
+  const double expect = std::sqrt(2.0 * std::log(1.25 / 1e-5));
+  EXPECT_NEAR(gaussian_sigma(1.0, p), expect, 1e-12);
+  // Scales linearly with sensitivity, inversely with epsilon.
+  EXPECT_NEAR(gaussian_sigma(2.0, p), 2.0 * expect, 1e-12);
+  EXPECT_NEAR(gaussian_sigma(1.0, {0.5, 1e-5}), 2.0 * expect, 1e-12);
+}
+
+TEST(GaussianSigmaTest, InvalidArgsThrow) {
+  EXPECT_THROW(gaussian_sigma(0.0, {1.0, 1e-5}), std::invalid_argument);
+  EXPECT_THROW(gaussian_sigma(1.0, {0.0, 1e-5}), std::invalid_argument);
+}
+
+TEST(AnalyticGaussianTest, NeverLooserThanClassic) {
+  for (double eps : {0.1, 0.5, 1.0}) {
+    const PrivacyParams p{eps, 1e-6};
+    EXPECT_LE(analytic_gaussian_sigma(1.0, p), gaussian_sigma(1.0, p) + 1e-9)
+        << "eps=" << eps;
+  }
+}
+
+TEST(AnalyticGaussianTest, ExactConditionHoldsAcrossEpsilonRange) {
+  // The classic calibration is only certified for ε < 1 (it under-noises for
+  // large ε); the analytic σ must satisfy the exact Gaussian-mechanism DP
+  // condition at every ε, sitting exactly on the boundary.
+  auto phi = [](double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); };
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    const PrivacyParams p{eps, 1e-6};
+    const double sigma = analytic_gaussian_sigma(1.0, p);
+    auto delta_of = [&](double s) {
+      const double a = 1.0 / (2.0 * s);
+      const double b = eps * s;
+      return phi(a - b) - std::exp(eps) * phi(-a - b);
+    };
+    EXPECT_LE(delta_of(sigma), p.delta * (1.0 + 1e-6)) << "eps=" << eps;
+    EXPECT_GE(delta_of(0.98 * sigma), p.delta) << "eps=" << eps;
+  }
+}
+
+TEST(AnalyticGaussianTest, MonotoneInEpsilonAndDelta) {
+  const double s1 = analytic_gaussian_sigma(1.0, {0.5, 1e-6});
+  const double s2 = analytic_gaussian_sigma(1.0, {1.0, 1e-6});
+  const double s3 = analytic_gaussian_sigma(1.0, {1.0, 1e-4});
+  EXPECT_GT(s1, s2);  // smaller ε → more noise
+  EXPECT_GT(s2, s3);  // smaller δ → more noise
+}
+
+TEST(AnalyticGaussianTest, SatisfiesPrivacyConditionTightly) {
+  // At the returned σ the exact δ(σ) should be ≤ δ but close to it.
+  const PrivacyParams p{1.0, 1e-5};
+  const double sigma = analytic_gaussian_sigma(1.0, p);
+  auto phi = [](double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); };
+  auto delta_of = [&](double s) {
+    const double a = 1.0 / (2.0 * s);
+    const double b = p.epsilon * s;
+    return phi(a - b) - std::exp(p.epsilon) * phi(-a - b);
+  };
+  EXPECT_LE(delta_of(sigma), p.delta * (1.0 + 1e-6));
+  EXPECT_GE(delta_of(sigma * 0.99), p.delta);  // 1% less noise would violate
+}
+
+TEST(LaplaceScaleTest, Formula) {
+  EXPECT_DOUBLE_EQ(laplace_scale(2.0, 0.5), 4.0);
+  EXPECT_THROW(laplace_scale(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(laplace_scale(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(AddNoiseTest, GaussianMomentsMatch) {
+  random::Rng rng(1);
+  std::vector<double> values(200000, 5.0);
+  add_gaussian_noise(values, 2.0, rng);
+  double sum = 0, sum2 = 0;
+  for (double v : values) {
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / values.size();
+  const double var = sum2 / values.size() - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(AddNoiseTest, LaplaceMomentsMatch) {
+  random::Rng rng(2);
+  std::vector<double> values(200000, -1.0);
+  add_laplace_noise(values, 1.5, rng);
+  double sum = 0, sum2 = 0;
+  for (double v : values) {
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / values.size();
+  const double var = sum2 / values.size() - mean * mean;
+  EXPECT_NEAR(mean, -1.0, 0.05);
+  EXPECT_NEAR(var, 2.0 * 1.5 * 1.5, 0.15);
+}
+
+TEST(AddNoiseTest, ZeroSigmaIsIdentity) {
+  random::Rng rng(3);
+  std::vector<double> values{1, 2, 3};
+  add_gaussian_noise(values, 0.0, rng);
+  EXPECT_EQ(values, (std::vector<double>{1, 2, 3}));
+  add_laplace_noise(values, 0.0, rng);
+  EXPECT_EQ(values, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(AddNoiseTest, NegativeScaleThrows) {
+  random::Rng rng(4);
+  std::vector<double> values{1.0};
+  EXPECT_THROW(add_gaussian_noise(values, -1.0, rng), std::invalid_argument);
+  EXPECT_THROW(add_laplace_noise(values, -1.0, rng), std::invalid_argument);
+}
+
+TEST(RandomizedResponseTest, KeepProbability) {
+  EXPECT_NEAR(randomized_response_keep_probability(std::log(3.0)), 0.75,
+              1e-12);
+  EXPECT_GT(randomized_response_keep_probability(10.0), 0.9999);
+}
+
+TEST(RandomizedResponseTest, EmpiricalKeepRate) {
+  random::Rng rng(5);
+  const double eps = 1.0;
+  const double keep = randomized_response_keep_probability(eps);
+  int kept = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (randomized_response(true, eps, rng)) ++kept;
+  }
+  EXPECT_NEAR(kept / static_cast<double>(n), keep, 0.01);
+}
+
+TEST(RandomizedResponseTest, InvalidEpsilonThrows) {
+  random::Rng rng(6);
+  EXPECT_THROW(randomized_response(true, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::dp

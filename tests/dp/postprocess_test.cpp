@@ -1,0 +1,117 @@
+#include "dp/postprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::dp {
+namespace {
+
+bool non_decreasing(const std::vector<double>& v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+TEST(IsotonicTest, AlreadyMonotoneUnchanged) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_EQ(isotonic_non_decreasing(v), v);
+}
+
+TEST(IsotonicTest, SimpleViolatorPooled) {
+  // {3, 1} → both become their mean 2.
+  const auto fitted = isotonic_non_decreasing({3, 1});
+  EXPECT_DOUBLE_EQ(fitted[0], 2.0);
+  EXPECT_DOUBLE_EQ(fitted[1], 2.0);
+}
+
+TEST(IsotonicTest, KnownExample) {
+  // Classic PAVA example: {1, 3, 2, 4} → {1, 2.5, 2.5, 4}.
+  const auto fitted = isotonic_non_decreasing({1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(fitted[0], 1.0);
+  EXPECT_DOUBLE_EQ(fitted[1], 2.5);
+  EXPECT_DOUBLE_EQ(fitted[2], 2.5);
+  EXPECT_DOUBLE_EQ(fitted[3], 4.0);
+}
+
+TEST(IsotonicTest, OutputAlwaysMonotone) {
+  random::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(50);
+    for (double& x : v) x = random::normal(rng);
+    EXPECT_TRUE(non_decreasing(isotonic_non_decreasing(v))) << trial;
+  }
+}
+
+TEST(IsotonicTest, PreservesMean) {
+  // The L2 projection onto the monotone cone preserves the total sum.
+  random::Rng rng(2);
+  std::vector<double> v(40);
+  for (double& x : v) x = random::normal(rng, 0, 3);
+  const auto fitted = isotonic_non_decreasing(v);
+  EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0),
+              std::accumulate(fitted.begin(), fitted.end(), 0.0), 1e-9);
+}
+
+TEST(IsotonicTest, ReducesL2ErrorTowardMonotoneTruth) {
+  // Truth is monotone; noisy observations; PAVA must not increase error.
+  random::Rng rng(3);
+  std::vector<double> truth(100);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<double>(i) * 0.5;
+  }
+  std::vector<double> noisy = truth;
+  for (double& x : noisy) x += random::laplace(rng, 0.0, 4.0);
+  const auto fitted = isotonic_non_decreasing(noisy);
+  double err_noisy = 0, err_fitted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    err_noisy += (noisy[i] - truth[i]) * (noisy[i] - truth[i]);
+    err_fitted += (fitted[i] - truth[i]) * (fitted[i] - truth[i]);
+  }
+  EXPECT_LE(err_fitted, err_noisy);
+}
+
+TEST(IsotonicTest, NonIncreasingMirror) {
+  const auto fitted = isotonic_non_increasing({1, 3, 2, 0});
+  EXPECT_TRUE(std::is_sorted(fitted.begin(), fitted.end(),
+                             std::less<double>()) == false ||
+              fitted.front() == fitted.back());
+  // Exact expectation: {2, 2, 2, 0}.
+  EXPECT_DOUBLE_EQ(fitted[0], 2.0);
+  EXPECT_DOUBLE_EQ(fitted[1], 2.0);
+  EXPECT_DOUBLE_EQ(fitted[2], 2.0);
+  EXPECT_DOUBLE_EQ(fitted[3], 0.0);
+}
+
+TEST(IsotonicTest, EmptyAndSingleton) {
+  EXPECT_TRUE(isotonic_non_decreasing({}).empty());
+  EXPECT_EQ(isotonic_non_decreasing({5.0}), (std::vector<double>{5.0}));
+}
+
+TEST(ClampRangeTest, Clamps) {
+  const auto out = clamp_range({-1, 0.5, 2}, 0.0, 1.0);
+  EXPECT_EQ(out, (std::vector<double>{0.0, 0.5, 1.0}));
+  EXPECT_THROW(clamp_range({1.0}, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(ToDegreeSequenceTest, RoundsAndFixesParity) {
+  // Sum of rounded = 1+2+2 = 5 (odd) → last element adjusted down.
+  const auto degrees = to_degree_sequence({1.2, 2.4, 1.8}, 10);
+  std::size_t total = 0;
+  for (auto d : degrees) total += d;
+  EXPECT_EQ(total % 2, 0u);
+  EXPECT_EQ(degrees[0], 1u);
+  EXPECT_EQ(degrees[1], 2u);
+}
+
+TEST(ToDegreeSequenceTest, ClampsToMaxDegree) {
+  const auto degrees = to_degree_sequence({100.0, -5.0}, 8);
+  EXPECT_EQ(degrees[0], 8u);
+  EXPECT_EQ(degrees[1], 0u);
+}
+
+}  // namespace
+}  // namespace sgp::dp

@@ -1,0 +1,96 @@
+#include "dp/rdp_accountant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sgp::dp {
+namespace {
+
+TEST(RdpTest, EmptyAccountantIsZero) {
+  RdpAccountant acc;
+  const auto params = acc.to_dp(1e-6);
+  EXPECT_DOUBLE_EQ(params.epsilon, 0.0);
+  EXPECT_EQ(acc.num_releases(), 0u);
+}
+
+TEST(RdpTest, SingleGaussianMatchesHandComputation) {
+  // With orders {2}, one Gaussian at multiplier 1: eps_2 = 2 * 1/2 = 1;
+  // to_dp: 1 + ln(1/δ)/(2−1).
+  RdpAccountant acc({2.0});
+  acc.record_gaussian(1.0);
+  const double delta = 1e-6;
+  EXPECT_NEAR(acc.to_dp(delta).epsilon, 1.0 + std::log(1.0 / delta), 1e-12);
+}
+
+TEST(RdpTest, OptimizesOverOrderGrid) {
+  // With a rich grid the conversion must be no worse than any single order.
+  RdpAccountant rich;
+  RdpAccountant coarse({2.0});
+  rich.record_gaussian(2.0);
+  coarse.record_gaussian(2.0);
+  EXPECT_LE(rich.to_dp(1e-6).epsilon, coarse.to_dp(1e-6).epsilon + 1e-12);
+}
+
+TEST(RdpTest, CompositionIsAdditivePerOrder) {
+  RdpAccountant once({4.0});
+  RdpAccountant tenTimes({4.0});
+  once.record_gaussian(1.5);
+  for (int i = 0; i < 10; ++i) tenTimes.record_gaussian(1.5);
+  // eps_alpha scales by 10; conversion adds the same log term.
+  const double delta = 1e-5;
+  const double log_term = std::log(1.0 / delta) / 3.0;
+  const double eps1 = once.to_dp(delta).epsilon - log_term;
+  const double eps10 = tenTimes.to_dp(delta).epsilon - log_term;
+  EXPECT_NEAR(eps10, 10.0 * eps1, 1e-9);
+}
+
+TEST(RdpTest, BeatsBasicCompositionForManyReleases) {
+  // 100 Gaussian releases at multiplier 5 (each ~(0.7, 1e-6)-DP classically).
+  RdpAccountant acc;
+  for (int i = 0; i < 100; ++i) acc.record_gaussian(5.0);
+  const auto total = acc.to_dp(1e-5);
+  // Basic composition of 100 × 0.7 would be ε = 70; RDP gives ~ sqrt scale.
+  EXPECT_LT(total.epsilon, 20.0);
+  EXPECT_GT(total.epsilon, 0.0);
+}
+
+TEST(RdpTest, MoreNoiseLessEpsilon) {
+  RdpAccountant noisy;
+  RdpAccountant quiet;
+  noisy.record_gaussian(10.0);
+  quiet.record_gaussian(1.0);
+  EXPECT_LT(noisy.to_dp(1e-6).epsilon, quiet.to_dp(1e-6).epsilon);
+}
+
+TEST(RdpTest, RecordCustomCurve) {
+  RdpAccountant acc({2.0, 4.0});
+  acc.record_rdp({0.5, 1.5});
+  acc.record_rdp({0.5, 1.5});
+  const double delta = 1e-3;
+  const double via2 = 1.0 + std::log(1.0 / delta) / 1.0;
+  const double via4 = 3.0 + std::log(1.0 / delta) / 3.0;
+  EXPECT_NEAR(acc.to_dp(delta).epsilon, std::min(via2, via4), 1e-12);
+}
+
+TEST(RdpTest, ResetClears) {
+  RdpAccountant acc;
+  acc.record_gaussian(1.0);
+  acc.reset();
+  EXPECT_EQ(acc.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(acc.to_dp(1e-6).epsilon, 0.0);
+}
+
+TEST(RdpTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(RdpAccountant({1.0}), std::invalid_argument);
+  EXPECT_THROW(RdpAccountant(std::vector<double>{}), std::invalid_argument);
+  RdpAccountant acc({2.0});
+  EXPECT_THROW(acc.record_gaussian(0.0), std::invalid_argument);
+  EXPECT_THROW(acc.record_rdp({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(acc.record_rdp({-1.0}), std::invalid_argument);
+  EXPECT_THROW((void)acc.to_dp(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::dp

@@ -1,0 +1,74 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace sgp::graph {
+namespace {
+
+TEST(DatasetsTest, FacebookSimShape) {
+  const auto d = facebook_sim();
+  EXPECT_EQ(d.name, "facebook-sim");
+  EXPECT_EQ(d.planted.graph.num_nodes(), 4000u);
+  EXPECT_EQ(d.num_communities, 8u);
+  const auto stats = degree_stats(d.planted.graph);
+  // E[deg] ≈ 0.2·499 + 0.004·3500 ≈ 114.
+  EXPECT_GT(stats.mean, 95.0);
+  EXPECT_LT(stats.mean, 135.0);
+}
+
+TEST(DatasetsTest, SmallVariantsShrinkButKeepStructure) {
+  const auto small = facebook_sim_small();
+  EXPECT_EQ(small.planted.graph.num_nodes(), 400u);
+  EXPECT_EQ(small.num_communities, 8u);
+
+  const auto pokec = pokec_sim_small();
+  EXPECT_EQ(pokec.planted.graph.num_nodes(), 2000u);
+  EXPECT_EQ(pokec.num_communities, 16u);
+
+  const auto lj = livejournal_sim_small();
+  EXPECT_EQ(lj.planted.graph.num_nodes(), 4992u);
+  EXPECT_EQ(lj.num_communities, 32u);
+}
+
+TEST(DatasetsTest, LabelsCoverAllCommunities) {
+  const auto d = facebook_sim_small();
+  std::vector<bool> seen(d.num_communities, false);
+  for (std::uint32_t label : d.planted.labels) {
+    ASSERT_LT(label, d.num_communities);
+    seen[label] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  const auto a = facebook_sim_small(5);
+  const auto b = facebook_sim_small(5);
+  EXPECT_EQ(a.planted.graph.num_edges(), b.planted.graph.num_edges());
+  EXPECT_EQ(a.planted.graph.edges(), b.planted.graph.edges());
+}
+
+TEST(DatasetsTest, DifferentSeedsDiffer) {
+  const auto a = facebook_sim_small(1);
+  const auto b = facebook_sim_small(2);
+  EXPECT_NE(a.planted.graph.edges(), b.planted.graph.edges());
+}
+
+TEST(DatasetsTest, PokecSimHasHubs) {
+  const auto d = pokec_sim_small();
+  const auto stats = degree_stats(d.planted.graph);
+  EXPECT_GT(static_cast<double>(stats.max), 2.0 * stats.mean);
+}
+
+TEST(DatasetsTest, CommunityStructurePresent) {
+  const auto d = facebook_sim_small();
+  std::size_t within = 0, cross = 0;
+  for (const Edge& e : d.planted.graph.edges()) {
+    (d.planted.labels[e.u] == d.planted.labels[e.v] ? within : cross) += 1;
+  }
+  EXPECT_GT(within, cross);
+}
+
+}  // namespace
+}  // namespace sgp::graph

@@ -1,0 +1,183 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
+
+namespace sgp::graph {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  random::Rng rng(1);
+  const std::size_t n = 500;
+  const double p = 0.05;
+  const auto g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityIsEmpty) {
+  random::Rng rng(2);
+  const auto g = erdos_renyi(100, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, ProbabilityOneIsComplete) {
+  random::Rng rng(3);
+  const auto g = erdos_renyi(20, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 20u * 19u / 2u);
+}
+
+TEST(ErdosRenyiTest, InvalidProbabilityThrows) {
+  random::Rng rng(4);
+  EXPECT_THROW(erdos_renyi(10, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(10, 1.1, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  random::Rng r1(5), r2(5);
+  const auto g1 = erdos_renyi(100, 0.1, r1);
+  const auto g2 = erdos_renyi(100, 0.1, r2);
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(SbmTest, LabelsMatchBlocks) {
+  random::Rng rng(6);
+  const auto pg = stochastic_block_model({10, 20, 30}, 0.5, 0.01, rng);
+  EXPECT_EQ(pg.graph.num_nodes(), 60u);
+  ASSERT_EQ(pg.labels.size(), 60u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(pg.labels[i], 0u);
+  for (std::size_t i = 10; i < 30; ++i) EXPECT_EQ(pg.labels[i], 1u);
+  for (std::size_t i = 30; i < 60; ++i) EXPECT_EQ(pg.labels[i], 2u);
+}
+
+TEST(SbmTest, WithinDensityExceedsCross) {
+  random::Rng rng(7);
+  const auto pg = stochastic_block_model({100, 100}, 0.2, 0.01, rng);
+  std::size_t within = 0, cross = 0;
+  for (const Edge& e : pg.graph.edges()) {
+    (pg.labels[e.u] == pg.labels[e.v] ? within : cross) += 1;
+  }
+  // Expected within ≈ 2 * C(100,2) * 0.2 = 990; cross ≈ 10000*0.01 = 100.
+  EXPECT_GT(within, 800u);
+  EXPECT_LT(cross, 200u);
+}
+
+TEST(SbmTest, EdgeCountsMatchProbabilities) {
+  random::Rng rng(8);
+  const auto pg = stochastic_block_model({200, 200}, 0.1, 0.02, rng);
+  std::size_t within = 0, cross = 0;
+  for (const Edge& e : pg.graph.edges()) {
+    (pg.labels[e.u] == pg.labels[e.v] ? within : cross) += 1;
+  }
+  const double expect_within = 2 * (200.0 * 199.0 / 2) * 0.1;
+  const double expect_cross = 200.0 * 200.0 * 0.02;
+  EXPECT_NEAR(within, expect_within, 5 * std::sqrt(expect_within));
+  EXPECT_NEAR(cross, expect_cross, 5 * std::sqrt(expect_cross));
+}
+
+TEST(SbmTest, InvalidArgsThrow) {
+  random::Rng rng(9);
+  EXPECT_THROW(stochastic_block_model({}, 0.1, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(stochastic_block_model({0, 5}, 0.1, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(stochastic_block_model({5}, 1.5, 0.1, rng),
+               std::invalid_argument);
+}
+
+TEST(BarabasiAlbertTest, NodeAndEdgeCounts) {
+  random::Rng rng(10);
+  const std::size_t n = 1000, attach = 3;
+  const auto g = barabasi_albert(n, attach, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique C(4,2)=6 edges plus (n - 4) * 3 attachments (some may merge,
+  // but distinct-target sampling prevents duplicates within a step).
+  EXPECT_EQ(g.num_edges(), 6u + (n - 4) * attach);
+}
+
+TEST(BarabasiAlbertTest, HeavyTailedDegrees) {
+  random::Rng rng(11);
+  const auto g = barabasi_albert(3000, 2, rng);
+  const auto stats = degree_stats(g);
+  // Hubs should dwarf the mean in a BA graph.
+  EXPECT_GT(static_cast<double>(stats.max), 8.0 * stats.mean);
+}
+
+TEST(BarabasiAlbertTest, MinDegreeAtLeastAttach) {
+  random::Rng rng(12);
+  const auto g = barabasi_albert(500, 4, rng);
+  EXPECT_GE(degree_stats(g).min, 4u);
+}
+
+TEST(BarabasiAlbertTest, InvalidArgsThrow) {
+  random::Rng rng(13);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatzTest, NoRewireIsRingLattice) {
+  random::Rng rng(14);
+  const auto g = watts_strogatz(20, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 40u);
+  for (std::size_t u = 0; u < 20; ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 18));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(WattsStrogatzTest, RewiringReducesClustering) {
+  random::Rng rng(15);
+  const auto lattice = watts_strogatz(500, 8, 0.0, rng);
+  const auto rewired = watts_strogatz(500, 8, 1.0, rng);
+  EXPECT_GT(average_local_clustering(lattice),
+            average_local_clustering(rewired) + 0.2);
+}
+
+TEST(WattsStrogatzTest, InvalidArgsThrow) {
+  random::Rng rng(16);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 4, 2.0, rng), std::invalid_argument);
+}
+
+TEST(ConfigurationModelTest, DegreesApproximatelyRealized) {
+  random::Rng rng(17);
+  std::vector<std::size_t> degrees(200, 4);
+  const auto g = configuration_model(degrees, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // Stub matching drops a few self loops / multi-edges.
+  EXPECT_GE(g.num_edges(), 380u);
+  EXPECT_LE(g.num_edges(), 400u);
+}
+
+TEST(ConfigurationModelTest, OddSumThrows) {
+  random::Rng rng(18);
+  EXPECT_THROW(configuration_model({3}, rng), std::invalid_argument);
+}
+
+TEST(SocialNetworkModelTest, CombinesCommunitiesAndHubs) {
+  random::Rng rng(19);
+  const auto pg = social_network_model({200, 200, 200}, 0.05, 0.002, 3, rng);
+  EXPECT_EQ(pg.graph.num_nodes(), 600u);
+  ASSERT_EQ(pg.labels.size(), 600u);
+  // Hubs from the BA overlay.
+  const auto stats = degree_stats(pg.graph);
+  EXPECT_GT(static_cast<double>(stats.max), 3.0 * stats.mean);
+  // Community structure retained.
+  std::size_t within = 0, cross = 0;
+  for (const Edge& e : pg.graph.edges()) {
+    (pg.labels[e.u] == pg.labels[e.v] ? within : cross) += 1;
+  }
+  EXPECT_GT(within, cross);
+}
+
+}  // namespace
+}  // namespace sgp::graph

@@ -1,0 +1,113 @@
+#include "graph/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace sgp::graph {
+namespace {
+
+Graph complete(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+TEST(KCoreTest, EmptyAndEdgeless) {
+  EXPECT_TRUE(core_numbers(Graph()).empty());
+  const auto g = Graph::from_edges(4, {});
+  const auto cores = core_numbers(g);
+  for (auto c : cores) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(degeneracy(g), 0u);
+}
+
+TEST(KCoreTest, CompleteGraphIsNMinusOneCore) {
+  const auto g = complete(6);
+  const auto cores = core_numbers(g);
+  for (auto c : cores) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(degeneracy(g), 5u);
+}
+
+TEST(KCoreTest, PathIsOneCore) {
+  const auto g =
+      Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  for (auto c : core_numbers(g)) EXPECT_EQ(c, 1u);
+}
+
+TEST(KCoreTest, CliqueWithPendants) {
+  // Triangle 0-1-2 plus pendant 3 on node 0 and a chain 3-4.
+  const auto g = Graph::from_edges(
+      5, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}});
+  const auto cores = core_numbers(g);
+  EXPECT_EQ(cores[0], 2u);
+  EXPECT_EQ(cores[1], 2u);
+  EXPECT_EQ(cores[2], 2u);
+  EXPECT_EQ(cores[3], 1u);
+  EXPECT_EQ(cores[4], 1u);
+}
+
+TEST(KCoreTest, TwoLevelStructure) {
+  // K4 core {0..3} with a cycle of pendatt nodes attached.
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = i + 1; j < 4; ++j) edges.push_back({i, j});
+  }
+  // Cycle 4-5-6-7-4, attached to the clique at node 4-0.
+  edges.push_back({4, 5});
+  edges.push_back({5, 6});
+  edges.push_back({6, 7});
+  edges.push_back({7, 4});
+  edges.push_back({4, 0});
+  const auto g = Graph::from_edges(8, edges);
+  const auto cores = core_numbers(g);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cores[i], 3u) << i;
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(cores[i], 2u) << i;
+}
+
+TEST(KCoreTest, SatisfiesCoreDefinition) {
+  // Property: inside the k-core subgraph, every node has degree >= k.
+  random::Rng rng(5);
+  const auto g = erdos_renyi(300, 0.03, rng);
+  const auto cores = core_numbers(g);
+  const std::uint32_t k = degeneracy(g);
+  const auto member = k_core_membership(g, k);
+  bool any = false;
+  for (std::size_t u = 0; u < 300; ++u) {
+    if (!member[u]) continue;
+    any = true;
+    std::size_t internal_degree = 0;
+    for (std::uint32_t v : g.neighbors(u)) internal_degree += member[v];
+    EXPECT_GE(internal_degree, k) << "node " << u;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(KCoreTest, CoreNumberAtMostDegree) {
+  random::Rng rng(6);
+  const auto g = barabasi_albert(500, 3, rng);
+  const auto cores = core_numbers(g);
+  for (std::size_t u = 0; u < 500; ++u) {
+    EXPECT_LE(cores[u], g.degree(u));
+  }
+  // BA with attach=3: every node joins with 3 edges → degeneracy is 3.
+  EXPECT_EQ(degeneracy(g), 3u);
+}
+
+TEST(KCoreTest, MembershipMonotoneInK) {
+  random::Rng rng(7);
+  const auto g = erdos_renyi(200, 0.05, rng);
+  const auto m1 = k_core_membership(g, 1);
+  const auto m2 = k_core_membership(g, 2);
+  for (std::size_t u = 0; u < 200; ++u) {
+    if (m2[u]) {
+      EXPECT_TRUE(m1[u]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgp::graph

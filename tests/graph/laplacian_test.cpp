@@ -1,0 +1,126 @@
+#include "graph/laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/metrics.hpp"
+#include "cluster/spectral.hpp"
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace sgp::graph {
+namespace {
+
+Graph path(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, static_cast<std::uint32_t>(i + 1)});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+TEST(LaplacianTest, EntriesMatchDefinition) {
+  const auto g = Graph::from_edges(
+      3, std::vector<Edge>{{0, 1}, {1, 2}});
+  const auto l = laplacian_matrix(g);
+  EXPECT_DOUBLE_EQ(l.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 2), 0.0);
+  EXPECT_TRUE(l.is_symmetric());
+}
+
+TEST(LaplacianTest, RowSumsAreZero) {
+  random::Rng rng(1);
+  const auto g = erdos_renyi(50, 0.1, rng);
+  const auto l = laplacian_matrix(g);
+  const std::vector<double> ones(50, 1.0);
+  const auto y = l.multiply_vector(ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(LaplacianTest, QuadraticFormCountsCutEdges) {
+  // xᵀLx = Σ_(u,v)∈E (x_u − x_v)²; indicator vector of a set counts cut.
+  const auto g = Graph::from_edges(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const std::vector<double> x{1, 1, 0, 0};
+  const auto lx = laplacian_matrix(g).multiply_vector(x);
+  EXPECT_DOUBLE_EQ(linalg::dot(x, lx), 2.0);  // edges (1,2) and (3,0) cut
+}
+
+TEST(NormalizedAdjacencyTest, SpectrumBounded) {
+  const auto g = path(4);
+  const auto norm = normalized_adjacency_matrix(g);
+  // Largest |eigenvalue| of N is <= 1; N of a path: check values directly.
+  EXPECT_NEAR(norm.at(0, 1), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(norm.at(1, 2), 0.5, 1e-12);
+  EXPECT_TRUE(norm.is_symmetric(1e-12));
+}
+
+TEST(NormalizedAdjacencyTest, IsolatedNodesAreZeroRows) {
+  const auto g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  const auto norm = normalized_adjacency_matrix(g);
+  EXPECT_DOUBLE_EQ(norm.at(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(norm.at(2, 1), 0.0);
+}
+
+TEST(AlgebraicConnectivityTest, DisconnectedIsZero) {
+  const auto g = Graph::from_edges(
+      4, std::vector<Edge>{{0, 1}, {2, 3}});
+  EXPECT_NEAR(algebraic_connectivity(g), 0.0, 1e-8);
+}
+
+TEST(AlgebraicConnectivityTest, PathFormula) {
+  // λ2 of a path P_n is 2(1 − cos(π/n)).
+  const auto g = path(6);
+  EXPECT_NEAR(algebraic_connectivity(g), 2.0 * (1.0 - std::cos(M_PI / 6.0)),
+              1e-7);
+}
+
+TEST(AlgebraicConnectivityTest, CompleteGraphEqualsN) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    for (std::uint32_t j = i + 1; j < 6; ++j) edges.push_back({i, j});
+  }
+  const auto g = Graph::from_edges(6, edges);
+  EXPECT_NEAR(algebraic_connectivity(g), 6.0, 1e-7);
+}
+
+TEST(AlgebraicConnectivityTest, StrongerCommunitiesLowerConnectivity) {
+  random::Rng rng(2);
+  const auto tight = stochastic_block_model({40, 40}, 0.5, 0.01, rng);
+  const auto loose = stochastic_block_model({40, 40}, 0.5, 0.2, rng);
+  EXPECT_LT(algebraic_connectivity(tight.graph),
+            algebraic_connectivity(loose.graph));
+}
+
+TEST(AlgebraicConnectivityTest, TooSmallThrows) {
+  EXPECT_THROW((void)algebraic_connectivity(Graph::from_edges(1, {})),
+               std::invalid_argument);
+}
+
+TEST(NormalizedSpectralClusteringTest, RecoversCommunitiesWithHubs) {
+  // Degree heterogeneity: hubs distort the raw-adjacency embedding less
+  // when the normalized operator is used.
+  random::Rng rng(3);
+  const auto pg = social_network_model({60, 60}, 0.4, 0.02, 5, rng);
+  cluster::SpectralOptions opt;
+  opt.num_clusters = 2;
+  opt.matrix = cluster::SpectralMatrix::kNormalizedAdjacency;
+  const auto res = cluster::spectral_cluster_graph(pg.graph, opt);
+  EXPECT_GT(cluster::normalized_mutual_information(res.assignments, pg.labels),
+            0.8);
+}
+
+TEST(NormalizedSpectralClusteringTest, EmbeddingShape) {
+  random::Rng rng(4);
+  const auto g = erdos_renyi(40, 0.2, rng);
+  const auto emb = cluster::normalized_spectral_embedding(g, 3);
+  EXPECT_EQ(emb.rows(), 40u);
+  EXPECT_EQ(emb.cols(), 3u);
+}
+
+}  // namespace
+}  // namespace sgp::graph

@@ -1,0 +1,126 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace sgp::graph {
+namespace {
+
+Graph complete(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, static_cast<std::uint32_t>(i + 1)});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+TEST(DegreeStatsTest, CompleteGraph) {
+  const auto stats = degree_stats(complete(5));
+  EXPECT_EQ(stats.min, 4u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(DegreeStatsTest, Path) {
+  const auto stats = degree_stats(path(4));
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean, 1.5);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const auto stats = degree_stats(Graph());
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(DegreeHistogramTest, Counts) {
+  const auto hist = degree_histogram(path(4));
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 2u);
+}
+
+TEST(TriangleCountTest, KnownGraphs) {
+  EXPECT_EQ(triangle_count(complete(3)), 1u);
+  EXPECT_EQ(triangle_count(complete(4)), 4u);
+  EXPECT_EQ(triangle_count(complete(6)), 20u);  // C(6,3)
+  EXPECT_EQ(triangle_count(path(5)), 0u);
+  EXPECT_EQ(triangle_count(Graph::from_edges(3, {})), 0u);
+}
+
+TEST(ClusteringTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(average_local_clustering(complete(5)), 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(path(6)), 0.0);
+  EXPECT_DOUBLE_EQ(average_local_clustering(path(6)), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  const auto g = Graph::from_edges(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  // Wedges: deg(0)=3 → 3, deg(1)=deg(2)=2 → 1 each, deg(3)=1 → 0. Total 5.
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 3.0 / 5.0);
+  // Local: node0 = 1/3, nodes1,2 = 1, node3 = 0 → avg = (1/3+1+1+0)/4.
+  EXPECT_NEAR(average_local_clustering(g), (1.0 / 3.0 + 2.0) / 4.0, 1e-12);
+}
+
+TEST(DensityTest, Values) {
+  EXPECT_DOUBLE_EQ(density(complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(density(Graph::from_edges(5, {})), 0.0);
+  EXPECT_DOUBLE_EQ(density(Graph()), 0.0);
+}
+
+TEST(ConductanceTest, PerfectCommunityLowCut) {
+  // Two triangles joined by one edge.
+  const auto g = Graph::from_edges(
+      6, std::vector<Edge>{
+             {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  std::vector<bool> in_set{true, true, true, false, false, false};
+  // vol(S) = 2+2+3 = 7, cut = 1 → 1/7.
+  EXPECT_NEAR(conductance(g, in_set), 1.0 / 7.0, 1e-12);
+}
+
+TEST(ConductanceTest, EmptySideIsOne) {
+  const auto g = complete(4);
+  EXPECT_DOUBLE_EQ(conductance(g, std::vector<bool>(4, false)), 1.0);
+  EXPECT_DOUBLE_EQ(conductance(g, std::vector<bool>(4, true)), 1.0);
+}
+
+TEST(ConductanceTest, SizeMismatchThrows) {
+  EXPECT_THROW(conductance(complete(3), std::vector<bool>(2, true)),
+               std::invalid_argument);
+}
+
+TEST(ConductanceTest, SbmCommunityBeatsRandomSet) {
+  random::Rng rng(20);
+  const auto pg = stochastic_block_model({50, 50}, 0.4, 0.02, rng);
+  std::vector<bool> community(100, false);
+  for (std::size_t i = 0; i < 50; ++i) community[i] = true;
+  std::vector<bool> random_half(100, false);
+  for (std::size_t i = 0; i < 100; i += 2) random_half[i] = true;
+  EXPECT_LT(conductance(pg.graph, community),
+            conductance(pg.graph, random_half));
+}
+
+}  // namespace
+}  // namespace sgp::graph

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "random/distributions.hpp"
+
+namespace sgp::graph {
+namespace {
+
+TEST(ModularityTest, SingleCommunityIsZero) {
+  // One community: Q = |E|/|E| − 1² = 0.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const auto g = Graph::from_edges(3, edges);
+  EXPECT_NEAR(modularity(g, {0, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, TwoCliquesPerfectSplit) {
+  // Two triangles joined by one edge; the natural split has high Q.
+  const auto g = Graph::from_edges(
+      6, std::vector<Edge>{
+             {0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const double good = modularity(g, {0, 0, 0, 1, 1, 1});
+  const double bad = modularity(g, {0, 1, 0, 1, 0, 1});
+  EXPECT_GT(good, 0.3);
+  EXPECT_GT(good, bad);
+}
+
+TEST(ModularityTest, HandComputedValue) {
+  // Path 0-1-2-3 split {0,1} | {2,3}: |E|=3, intra=2 (edges 01, 23),
+  // vols: {1+2, 2+1} = {3, 3} → Q = 2/3 − 2·(3/6)² = 2/3 − 1/2 = 1/6.
+  const auto g =
+      Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_NEAR(modularity(g, {0, 0, 1, 1}), 1.0 / 6.0, 1e-12);
+}
+
+TEST(ModularityTest, EdgelessGraphIsZero) {
+  const auto g = Graph::from_edges(4, {});
+  EXPECT_DOUBLE_EQ(modularity(g, {0, 1, 2, 3}), 0.0);
+}
+
+TEST(ModularityTest, PlantedPartitionScoresHigh) {
+  random::Rng rng(3);
+  const auto pg = stochastic_block_model({60, 60, 60}, 0.4, 0.01, rng);
+  const double planted = modularity(pg.graph, pg.labels);
+  std::vector<std::uint32_t> shuffled = pg.labels;
+  random::shuffle(rng, shuffled);
+  EXPECT_GT(planted, 0.5);
+  EXPECT_LT(modularity(pg.graph, shuffled), 0.1);
+}
+
+TEST(ModularityTest, SizeMismatchThrows) {
+  const auto g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  EXPECT_THROW((void)modularity(g, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::graph

@@ -1,0 +1,103 @@
+#include "graph/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace sgp::graph {
+namespace {
+
+TEST(InducedSubgraphTest, PreservesInternalEdges) {
+  // Triangle 0-1-2 plus pendant 3; induce on {0, 1, 2}.
+  const auto g = Graph::from_edges(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  const auto sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);
+}
+
+TEST(InducedSubgraphTest, MappingReportsOriginalIds) {
+  const auto g = Graph::from_edges(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  std::vector<std::uint32_t> mapping;
+  const auto sub = induced_subgraph(g, {3, 1}, &mapping);
+  EXPECT_EQ(mapping, (std::vector<std::uint32_t>{3, 1}));
+  EXPECT_EQ(sub.num_edges(), 0u);  // 3 and 1 not adjacent
+}
+
+TEST(InducedSubgraphTest, RejectsInvalidSelections) {
+  const auto g = Graph::from_edges(3, std::vector<Edge>{{0, 1}});
+  EXPECT_THROW((void)induced_subgraph(g, {0, 3}), std::invalid_argument);
+  EXPECT_THROW((void)induced_subgraph(g, {0, 0}), std::invalid_argument);
+}
+
+TEST(NodeSampleTest, SizeAndValidity) {
+  random::Rng rng(1);
+  const auto g = erdos_renyi(200, 0.05, rng);
+  const auto sub = node_sample(g, 50, rng);
+  EXPECT_EQ(sub.num_nodes(), 50u);
+}
+
+TEST(NodeSampleTest, DensityPreservedInExpectation) {
+  random::Rng rng(2);
+  const auto g = erdos_renyi(400, 0.05, rng);
+  double total_density = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    total_density += density(node_sample(g, 100, rng));
+  }
+  EXPECT_NEAR(total_density / 10.0, density(g), 0.01);
+}
+
+TEST(RandomWalkSampleTest, SizeAndConnectivityBias) {
+  random::Rng rng(3);
+  const auto pg = stochastic_block_model({150, 150}, 0.2, 0.005, rng);
+  std::vector<std::uint32_t> mapping;
+  const auto sub = random_walk_sample(pg.graph, 60, rng, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 60u);
+  EXPECT_EQ(mapping.size(), 60u);
+  // Walk-based sampling preserves local density better than uniform.
+  const auto uniform = node_sample(pg.graph, 60, rng);
+  EXPECT_GE(sub.average_degree(), uniform.average_degree() * 0.8);
+}
+
+TEST(RandomWalkSampleTest, HandlesIsolatedStartNodes) {
+  // Graph dominated by isolated nodes; the walk must still finish.
+  random::Rng rng(4);
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  const auto g = Graph::from_edges(50, edges);
+  const auto sub = random_walk_sample(g, 10, rng);
+  EXPECT_EQ(sub.num_nodes(), 10u);
+}
+
+TEST(RandomWalkSampleTest, InvalidTargetThrows) {
+  random::Rng rng(5);
+  const auto g = erdos_renyi(20, 0.2, rng);
+  EXPECT_THROW((void)random_walk_sample(g, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_walk_sample(g, 21, rng), std::invalid_argument);
+}
+
+TEST(EdgeSampleTest, KeepsExpectedFraction) {
+  random::Rng rng(6);
+  const auto g = erdos_renyi(300, 0.1, rng);
+  const auto sampled = edge_sample(g, 0.3, rng);
+  EXPECT_EQ(sampled.num_nodes(), 300u);
+  const double expect = 0.3 * static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(sampled.num_edges()), expect,
+              4.0 * std::sqrt(expect));
+}
+
+TEST(EdgeSampleTest, BoundaryProbabilities) {
+  random::Rng rng(7);
+  const auto g = erdos_renyi(100, 0.1, rng);
+  EXPECT_EQ(edge_sample(g, 1.0, rng).num_edges(), g.num_edges());
+  EXPECT_EQ(edge_sample(g, 0.0, rng).num_edges(), 0u);
+  EXPECT_THROW((void)edge_sample(g, 1.5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::graph

@@ -1,0 +1,122 @@
+// Failure injection: malformed inputs, corrupted artifacts, and adversarial
+// parameter combinations must produce clean exceptions — never UB, hangs, or
+// silent wrong results.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/serialization.hpp"
+#include "graph/io.hpp"
+#include "linalg/lanczos.hpp"
+#include "random/rng.hpp"
+
+namespace sgp {
+namespace {
+
+// --------------------------------------------------------------------------
+// Edge-list parser vs garbage.
+class EdgeListFuzz : public testing::TestWithParam<const char*> {};
+
+TEST_P(EdgeListFuzz, ThrowsOrParsesNeverCrashes) {
+  std::istringstream in(GetParam());
+  try {
+    const auto g = graph::read_edge_list(in);
+    // If it parsed, the result must be internally consistent.
+    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+      for (auto v : g.neighbors(u)) {
+        ASSERT_LT(v, g.num_nodes());
+        ASSERT_TRUE(g.has_edge(v, u));
+      }
+    }
+  } catch (const std::exception&) {
+    // Clean rejection is acceptable.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Garbage, EdgeListFuzz,
+    testing::Values("", "\n\n\n", "0", "0 1 2", "a b", "0 a",
+                    "99999999999999999999999 1",
+                    "-1 2", "0 1\n1", "0 1\nxyzzy", "# only\n# comments",
+                    "0 0\n0 0\n0 0", "1 2 # ok\n3", "\t \t", "0\t1\n2\t3"));
+
+// --------------------------------------------------------------------------
+// Release loader vs corrupted artifacts.
+class ReleaseFuzz : public testing::TestWithParam<const char*> {};
+
+TEST_P(ReleaseFuzz, CorruptedHeaderRejected) {
+  std::istringstream in(GetParam());
+  EXPECT_THROW((void)core::load_published(in), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corrupted, ReleaseFuzz,
+    testing::Values(
+        "",                                   // empty
+        "garbage",                            // wrong magic
+        "sgp-published-graph v2\n",           // wrong version
+        "sgp-published-graph v1\n",           // truncated after magic
+        "sgp-published-graph v1\nnodes x dim 5\n",  // non-numeric n
+        "sgp-published-graph v1\nnodes 0 dim 5\n",  // zero nodes
+        "sgp-published-graph v1\nnodes 5 dim 0\n",  // zero dim
+        "sgp-published-graph v1\nnodes 4 dim 2\nepsilon 1\n",  // short line
+        "sgp-published-graph v1\nnodes 4 dim 2\n"
+        "epsilon 1 delta 1e-6 sigma 2 sensitivity 1\nprojection dense\n"
+        "data\n",  // unknown kind
+        "sgp-published-graph v1\nnodes 4 dim 2\n"
+        "epsilon 1 delta 1e-6 sigma 2 sensitivity 1\n"
+        "projection gaussian\nDATA\n",  // wrong marker
+        "sgp-published-graph v1\nnodes 4 dim 2\n"
+        "epsilon 1 delta 1e-6 sigma 2 sensitivity 1\n"
+        "projection gaussian\ndata\nshort"));  // truncated payload
+
+// --------------------------------------------------------------------------
+// Numerically hostile operators through Lanczos.
+TEST(NumericalHostilityTest, LanczosOnHugeMagnitudeOperator) {
+  // Entries around 1e12: must converge without overflow.
+  const std::size_t n = 30;
+  linalg::SymmetricOperator op{
+      n, [](std::span<const double> x, std::span<double> y) {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          y[i] = 1e12 * static_cast<double>(i + 1) * x[i];
+        }
+      }};
+  linalg::LanczosOptions opt;
+  opt.k = 2;
+  opt.max_iterations = 30;
+  const auto res = linalg::lanczos_topk(op, opt);
+  EXPECT_NEAR(res.values[0], 3e13, 1e7);
+}
+
+TEST(NumericalHostilityTest, LanczosOnTinyMagnitudeOperator) {
+  const std::size_t n = 30;
+  linalg::SymmetricOperator op{
+      n, [](std::span<const double> x, std::span<double> y) {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          y[i] = 1e-12 * static_cast<double>(i + 1) * x[i];
+        }
+      }};
+  linalg::LanczosOptions opt;
+  opt.k = 2;
+  opt.max_iterations = 30;
+  const auto res = linalg::lanczos_topk(op, opt);
+  EXPECT_NEAR(res.values[0], 3e-11, 1e-15);
+}
+
+TEST(NumericalHostilityTest, ZeroOperatorConverges) {
+  const std::size_t n = 20;
+  linalg::SymmetricOperator op{
+      n, [](std::span<const double>, std::span<double> y) {
+        std::fill(y.begin(), y.end(), 0.0);
+      }};
+  linalg::LanczosOptions opt;
+  opt.k = 3;
+  opt.max_iterations = 20;
+  const auto res = linalg::lanczos_topk(op, opt);
+  for (double v : res.values) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sgp

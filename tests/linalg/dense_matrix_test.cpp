@@ -1,0 +1,192 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+DenseMatrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  random::Rng rng(seed);
+  DenseMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = random::normal(rng);
+  }
+  return m;
+}
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(DenseMatrixTest, FromDataValidatesSize) {
+  EXPECT_THROW(DenseMatrix(2, 2, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(DenseMatrixTest, RowMajorLayout) {
+  DenseMatrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+}
+
+TEST(DenseMatrixTest, RowSpanIsWritable) {
+  DenseMatrix m(2, 2);
+  auto r = m.row(1);
+  r[0] = 9;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  const auto eye = DenseMatrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, Multiply) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const auto c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(DenseMatrixTest, MultiplyDimensionMismatchThrows) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 2);
+  EXPECT_THROW((void)a.multiply(b), std::invalid_argument);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentity) {
+  const auto a = random_matrix(5, 5, 1);
+  const auto c = a.multiply(DenseMatrix::identity(5));
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(c(i, j), a(i, j));
+  }
+}
+
+TEST(DenseMatrixTest, TransposeMultiplyMatchesExplicit) {
+  const auto a = random_matrix(7, 3, 2);
+  const auto b = random_matrix(7, 4, 3);
+  const auto fast = a.transpose_multiply(b);
+  const auto ref = a.transposed().multiply(b);
+  ASSERT_EQ(fast.rows(), 3u);
+  ASSERT_EQ(fast.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(fast(i, j), ref(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, GramMatchesExplicit) {
+  const auto a = random_matrix(6, 4, 4);
+  const auto g = a.gram();
+  const auto ref = a.transposed().multiply(a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(g(i, j), ref(i, j), 1e-12);
+  }
+}
+
+TEST(DenseMatrixTest, GramIsSymmetric) {
+  const auto g = random_matrix(8, 5, 5).gram();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(DenseMatrixTest, MultiplyVector) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> x{1, 0, -1};
+  const auto y = a.multiply_vector(x);
+  EXPECT_DOUBLE_EQ(y[0], -2);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+}
+
+TEST(DenseMatrixTest, TransposeMultiplyVector) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> x{1, 1};
+  const auto y = a.transpose_multiply_vector(x);
+  EXPECT_DOUBLE_EQ(y[0], 5);
+  EXPECT_DOUBLE_EQ(y[1], 7);
+  EXPECT_DOUBLE_EQ(y[2], 9);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(j, i), a(i, j));
+  }
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(DenseMatrixTest, AddScaled) {
+  DenseMatrix a(1, 2, {1, 2});
+  DenseMatrix b(1, 2, {10, 20});
+  a.add_scaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6);
+  EXPECT_DOUBLE_EQ(a(0, 1), 12);
+}
+
+TEST(DenseMatrixTest, AddScaledShapeMismatchThrows) {
+  DenseMatrix a(1, 2);
+  DenseMatrix b(2, 1);
+  EXPECT_THROW(a.add_scaled(b, 1.0), std::invalid_argument);
+}
+
+TEST(DenseMatrixTest, FirstColumns) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto sub = a.first_columns(2);
+  EXPECT_EQ(sub.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sub(0, 1), 2);
+  EXPECT_DOUBLE_EQ(sub(1, 1), 5);
+  EXPECT_THROW((void)a.first_columns(4), std::invalid_argument);
+}
+
+TEST(DenseMatrixTest, Column) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const auto col = a.column(2);
+  EXPECT_EQ(col, (std::vector<double>{3, 6}));
+  EXPECT_THROW((void)a.column(3), std::invalid_argument);
+}
+
+TEST(DenseMatrixTest, LargeMultiplyParallelConsistency) {
+  // multiply() runs chunks on the thread pool; verify against a serial
+  // reference computed via multiply_vector columns.
+  const auto a = random_matrix(300, 40, 6);
+  const auto b = random_matrix(40, 7, 7);
+  const auto c = a.multiply(b);
+  for (std::size_t j = 0; j < 7; ++j) {
+    const auto ref = a.multiply_vector(b.column(j));
+    for (std::size_t i = 0; i < 300; ++i) {
+      ASSERT_NEAR(c(i, j), ref[i], 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgp::linalg

@@ -1,0 +1,128 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+DenseMatrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  random::Rng rng(seed);
+  DenseMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = random::normal(rng);
+  }
+  return m;
+}
+
+void expect_orthonormal_columns(const DenseMatrix& q, double tol = 1e-10) {
+  const auto gram = q.gram();
+  for (std::size_t i = 0; i < q.cols(); ++i) {
+    for (std::size_t j = 0; j < q.cols(); ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, tol)
+          << "gram(" << i << "," << j << ")";
+    }
+  }
+}
+
+void expect_reconstructs(const DenseMatrix& a, const QrResult& qr,
+                         double tol = 1e-10) {
+  const auto recon = qr.q.multiply(qr.r);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), tol);
+    }
+  }
+}
+
+TEST(QrTest, SquareMatrix) {
+  const auto a = random_matrix(5, 5, 1);
+  const auto qr = qr_decompose(a);
+  expect_orthonormal_columns(qr.q);
+  expect_reconstructs(a, qr);
+}
+
+TEST(QrTest, TallMatrix) {
+  const auto a = random_matrix(50, 8, 2);
+  const auto qr = qr_decompose(a);
+  EXPECT_EQ(qr.q.rows(), 50u);
+  EXPECT_EQ(qr.q.cols(), 8u);
+  EXPECT_EQ(qr.r.rows(), 8u);
+  expect_orthonormal_columns(qr.q);
+  expect_reconstructs(a, qr);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  const auto qr = qr_decompose(random_matrix(10, 4, 3));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(qr.r(i, j), 0.0);
+    }
+  }
+}
+
+TEST(QrTest, WideMatrixThrows) {
+  EXPECT_THROW(qr_decompose(random_matrix(3, 5, 4)), std::invalid_argument);
+}
+
+TEST(QrTest, SingleColumn) {
+  DenseMatrix a(3, 1, {3, 0, 4});
+  const auto qr = qr_decompose(a);
+  EXPECT_NEAR(std::fabs(qr.r(0, 0)), 5.0, 1e-12);
+  expect_reconstructs(a, qr);
+}
+
+TEST(QrTest, RankDeficientDoesNotCrash) {
+  // Second column is a multiple of the first.
+  DenseMatrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);
+  }
+  const auto qr = qr_decompose(a);
+  EXPECT_NEAR(std::fabs(qr.r(1, 1)), 0.0, 1e-10);
+  expect_reconstructs(a, qr, 1e-9);
+}
+
+TEST(QrTest, ZeroColumnHandled) {
+  DenseMatrix a(3, 2);
+  a(0, 1) = 1.0;  // first column all zeros
+  const auto qr = qr_decompose(a);
+  expect_reconstructs(a, qr, 1e-12);
+}
+
+TEST(QrTest, OrthonormalizeColumnsIdempotentSpan) {
+  const auto a = random_matrix(30, 5, 5);
+  const auto q = orthonormalize_columns(a);
+  expect_orthonormal_columns(q);
+  // Q spans the same space: A = Q (QᵀA).
+  const auto coeff = q.transpose_multiply(a);
+  const auto recon = q.multiply(coeff);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(recon(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(QrTest, NearlyDependentColumnsStayOrthonormal) {
+  // Classic Gram–Schmidt would lose orthogonality here; Householder must not.
+  DenseMatrix a(20, 3);
+  random::Rng rng(6);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double base = random::normal(rng);
+    a(i, 0) = base;
+    a(i, 1) = base + 1e-10 * random::normal(rng);
+    a(i, 2) = base + 1e-10 * random::normal(rng);
+  }
+  const auto q = orthonormalize_columns(a);
+  expect_orthonormal_columns(q, 1e-8);
+}
+
+}  // namespace
+}  // namespace sgp::linalg

@@ -1,0 +1,145 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "random/rng.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+CsrMatrix small() {
+  // [1 0 2]
+  // [0 0 0]
+  // [3 4 0]
+  return CsrMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+}
+
+TEST(CsrTest, Dimensions) {
+  const auto m = small();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  const auto m = CsrMatrix::from_triplets(2, 2, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  const auto y = m.multiply_vector(std::vector<double>{1, 1});
+  EXPECT_EQ(y, (std::vector<double>{0, 0}));
+}
+
+TEST(CsrTest, OutOfBoundsTripletThrows) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, 2, {{0, 2, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(CsrTest, DuplicatesAreSummed) {
+  const auto m =
+      CsrMatrix::from_triplets(1, 1, {{0, 0, 1.5}, {0, 0, 2.5}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 4.0);
+}
+
+TEST(CsrTest, RowAccessSorted) {
+  const auto m = small();
+  const auto idx = m.row_indices(2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  const auto val = m.row_values(2);
+  EXPECT_DOUBLE_EQ(val[0], 3.0);
+  EXPECT_DOUBLE_EQ(val[1], 4.0);
+}
+
+TEST(CsrTest, EmptyRow) {
+  const auto m = small();
+  EXPECT_EQ(m.row_indices(1).size(), 0u);
+}
+
+TEST(CsrTest, At) {
+  const auto m = small();
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 4.0);
+  EXPECT_THROW((void)m.at(3, 0), std::invalid_argument);
+}
+
+TEST(CsrTest, MultiplyVector) {
+  const auto m = small();
+  const auto y = m.multiply_vector(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(y, (std::vector<double>{7, 0, 11}));
+}
+
+TEST(CsrTest, TransposeMultiplyVector) {
+  const auto m = small();
+  const auto y = m.transpose_multiply_vector(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(y, (std::vector<double>{10, 12, 2}));
+}
+
+TEST(CsrTest, MultiplyVectorSizeMismatchThrows) {
+  const auto m = small();
+  EXPECT_THROW((void)m.multiply_vector(std::vector<double>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(CsrTest, MultiplyDenseMatchesDenseReference) {
+  const auto m = small();
+  DenseMatrix b(3, 2, {1, 2, 3, 4, 5, 6});
+  const auto fast = m.multiply_dense(b);
+  const auto ref = m.to_dense().multiply(b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(fast(i, j), ref(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CsrTest, ToDense) {
+  const auto d = small().to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(2, 0), 3.0);
+}
+
+TEST(CsrTest, IsSymmetric) {
+  const auto sym = CsrMatrix::from_triplets(
+      2, 2, {{0, 1, 5.0}, {1, 0, 5.0}, {0, 0, 1.0}});
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_FALSE(small().is_symmetric());
+  const auto rect = CsrMatrix::from_triplets(2, 3, {});
+  EXPECT_FALSE(rect.is_symmetric());
+}
+
+TEST(CsrTest, Sum) {
+  EXPECT_DOUBLE_EQ(small().sum(), 10.0);
+}
+
+TEST(CsrTest, LargeRandomMatvecMatchesDense) {
+  random::Rng rng(42);
+  std::vector<Triplet> trips;
+  const std::size_t n = 200;
+  for (int e = 0; e < 2000; ++e) {
+    trips.push_back({static_cast<std::uint32_t>(rng.next_below(n)),
+                     static_cast<std::uint32_t>(rng.next_below(n)),
+                     rng.next_double()});
+  }
+  const auto sp = CsrMatrix::from_triplets(n, n, trips);
+  const auto dn = sp.to_dense();
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+  const auto ys = sp.multiply_vector(x);
+  const auto yd = dn.multiply_vector(x);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(ys[i], yd[i], 1e-10);
+  const auto ts = sp.transpose_multiply_vector(x);
+  const auto td = dn.transpose_multiply_vector(x);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(ts[i], td[i], 1e-10);
+}
+
+}  // namespace
+}  // namespace sgp::linalg

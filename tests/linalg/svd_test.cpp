@@ -1,0 +1,167 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/qr.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+DenseMatrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  random::Rng rng(seed);
+  DenseMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = random::normal(rng);
+  }
+  return m;
+}
+
+/// Builds a rows×cols matrix with prescribed singular values.
+DenseMatrix with_spectrum(std::size_t rows, std::size_t cols,
+                          const std::vector<double>& sigma,
+                          std::uint64_t seed) {
+  const auto u = orthonormalize_columns(random_matrix(rows, sigma.size(), seed));
+  const auto v =
+      orthonormalize_columns(random_matrix(cols, sigma.size(), seed + 1));
+  DenseMatrix scaled = u;
+  for (std::size_t j = 0; j < sigma.size(); ++j) {
+    for (std::size_t i = 0; i < rows; ++i) scaled(i, j) *= sigma[j];
+  }
+  return scaled.multiply(v.transposed());
+}
+
+TEST(SvdGramTest, RecoversKnownSpectrum) {
+  const std::vector<double> sigma{9.0, 4.0, 1.0};
+  const auto a = with_spectrum(40, 10, sigma, 1);
+  const auto svd = svd_gram(a, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(svd.singular_values[i], sigma[i], 1e-8) << i;
+  }
+}
+
+TEST(SvdGramTest, FullRankReconstruction) {
+  const auto a = random_matrix(20, 6, 2);
+  const auto svd = svd_gram(a, 6);
+  // A = U Σ Vᵀ.
+  DenseMatrix us = svd.u;
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t i = 0; i < 20; ++i) us(i, j) *= svd.singular_values[j];
+  }
+  const auto recon = us.multiply(svd.v.transposed());
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      ASSERT_NEAR(recon(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(SvdGramTest, SingularVectorsOrthonormal) {
+  const auto a = random_matrix(30, 8, 3);
+  const auto svd = svd_gram(a, 5);
+  const auto gu = svd.u.gram();
+  const auto gv = svd.v.gram();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(gu(i, j), i == j ? 1.0 : 0.0, 1e-8);
+      EXPECT_NEAR(gv(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SvdGramTest, SingularValuesDescendingNonNegative) {
+  const auto a = random_matrix(25, 7, 4);
+  const auto svd = svd_gram(a, 7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_GE(svd.singular_values[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1]);
+    }
+  }
+}
+
+TEST(SvdGramTest, RankDeficientYieldsZeroSigma) {
+  // Rank-2 matrix asked for 4 factors.
+  const auto a = with_spectrum(20, 8, {5.0, 2.0}, 5);
+  const auto svd = svd_gram(a, 4);
+  EXPECT_NEAR(svd.singular_values[0], 5.0, 1e-8);
+  EXPECT_NEAR(svd.singular_values[1], 2.0, 1e-8);
+  EXPECT_NEAR(svd.singular_values[2], 0.0, 1e-6);
+  EXPECT_NEAR(svd.singular_values[3], 0.0, 1e-6);
+}
+
+TEST(SvdGramTest, InvalidKThrows) {
+  const auto a = random_matrix(5, 3, 6);
+  EXPECT_THROW(svd_gram(a, 0), std::invalid_argument);
+  EXPECT_THROW(svd_gram(a, 4), std::invalid_argument);
+}
+
+TEST(SvdGramTest, FrobeniusIdentity) {
+  // ‖A‖F² = Σ σᵢ².
+  const auto a = random_matrix(15, 5, 7);
+  const auto svd = svd_gram(a, 5);
+  double sum = 0;
+  for (double s : svd.singular_values) sum += s * s;
+  EXPECT_NEAR(sum, a.frobenius_norm() * a.frobenius_norm(), 1e-8);
+}
+
+TEST(RandomizedSvdTest, MatchesGramOnLowRank) {
+  const std::vector<double> sigma{10.0, 6.0, 3.0, 0.5};
+  const auto a = with_spectrum(120, 40, sigma, 8);
+  const auto exact = svd_gram(a, 4);
+  const auto approx = randomized_svd(a, 4, 10, 2, 99);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(approx.singular_values[i], exact.singular_values[i], 1e-6);
+  }
+}
+
+TEST(RandomizedSvdTest, LeftVectorsAlignWithExact) {
+  const auto a = with_spectrum(80, 30, {8.0, 4.0, 2.0}, 9);
+  const auto exact = svd_gram(a, 2);
+  const auto approx = randomized_svd(a, 2, 8, 2, 100);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double d = 0;
+    for (std::size_t i = 0; i < 80; ++i) {
+      d += exact.u(i, j) * approx.u(i, j);
+    }
+    EXPECT_NEAR(std::fabs(d), 1.0, 1e-5) << "column " << j;
+  }
+}
+
+TEST(RandomizedSvdTest, DeterministicForSeed) {
+  const auto a = random_matrix(50, 20, 10);
+  const auto r1 = randomized_svd(a, 3, 5, 1, 42);
+  const auto r2 = randomized_svd(a, 3, 5, 1, 42);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(r1.singular_values[i], r2.singular_values[i]);
+  }
+}
+
+TEST(RandomizedSvdTest, InvalidKThrows) {
+  const auto a = random_matrix(10, 5, 11);
+  EXPECT_THROW(randomized_svd(a, 0), std::invalid_argument);
+  EXPECT_THROW(randomized_svd(a, 6), std::invalid_argument);
+}
+
+TEST(RandomizedSvdTest, PowerIterationsImproveAccuracy) {
+  // Slowly decaying spectrum: more power iterations → better σ estimates.
+  std::vector<double> sigma(20);
+  for (std::size_t i = 0; i < 20; ++i) sigma[i] = 1.0 / (1.0 + i * 0.2);
+  const auto a = with_spectrum(200, 60, sigma, 12);
+  const auto exact = svd_gram(a, 5);
+  double err0 = 0, err3 = 0;
+  const auto approx0 = randomized_svd(a, 5, 5, 0, 7);
+  const auto approx3 = randomized_svd(a, 5, 5, 3, 7);
+  for (std::size_t i = 0; i < 5; ++i) {
+    err0 += std::fabs(approx0.singular_values[i] - exact.singular_values[i]);
+    err3 += std::fabs(approx3.singular_values[i] - exact.singular_values[i]);
+  }
+  EXPECT_LE(err3, err0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace sgp::linalg

@@ -1,0 +1,82 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::linalg {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+}
+
+TEST(VectorOpsTest, DotSizeMismatchThrows) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1};
+  EXPECT_THROW((void)dot(x, y), std::invalid_argument);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm2_squared(x), 25.0);
+}
+
+TEST(VectorOpsTest, NormOfEmptyIsZero) {
+  const std::vector<double> x;
+  EXPECT_DOUBLE_EQ(norm2(x), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  const std::vector<double> x{1, 2, 3};
+  std::vector<double> y{10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x{1, -2, 3};
+  scale(x, -2.0);
+  EXPECT_EQ(x, (std::vector<double>{-2, 4, -6}));
+}
+
+TEST(VectorOpsTest, NormalizeReturnsOriginalNorm) {
+  std::vector<double> x{3, 4};
+  const double n = normalize(x);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+  EXPECT_DOUBLE_EQ(x[1], 0.8);
+}
+
+TEST(VectorOpsTest, NormalizeZeroThrows) {
+  std::vector<double> x{0, 0, 0};
+  EXPECT_THROW(normalize(x), std::runtime_error);
+}
+
+TEST(VectorOpsTest, Distance2) {
+  const std::vector<double> x{1, 1};
+  const std::vector<double> y{4, 5};
+  EXPECT_DOUBLE_EQ(distance2(x, y), 5.0);
+}
+
+TEST(VectorOpsTest, Subtract) {
+  const std::vector<double> x{5, 7};
+  const std::vector<double> y{2, 3};
+  std::vector<double> out(2);
+  subtract(x, y, out);
+  EXPECT_EQ(out, (std::vector<double>{3, 4}));
+}
+
+TEST(VectorOpsTest, Fill) {
+  std::vector<double> x(4, 1.0);
+  fill(x, -2.5);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, -2.5);
+}
+
+}  // namespace
+}  // namespace sgp::linalg

@@ -1,0 +1,174 @@
+// Cross-solver property suite: three independent symmetric eigensolvers
+// (cyclic Jacobi, Lanczos, deflated power iteration) must agree on the
+// top-of-spectrum across qualitatively different matrix families. Any
+// disagreement localizes a solver bug immediately.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/power_iteration.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::linalg {
+namespace {
+
+enum class Family {
+  kRandomDense,       // GOE-like: continuous spectrum
+  kClustered,         // many near-equal eigenvalues (hard for Lanczos)
+  kLowRank,           // rank 3 + zeros (hard for power iteration deflation)
+  kGraphLike,         // 0/1 symmetric with planted block structure
+  kIllConditioned,    // eigenvalues spanning 10 orders of magnitude
+};
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kRandomDense: return "random_dense";
+    case Family::kClustered: return "clustered";
+    case Family::kLowRank: return "low_rank";
+    case Family::kGraphLike: return "graph_like";
+    case Family::kIllConditioned: return "ill_conditioned";
+  }
+  return "?";
+}
+
+DenseMatrix make_matrix(Family family, std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  DenseMatrix a(n, n);
+  switch (family) {
+    case Family::kRandomDense: {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+          const double v = random::normal(rng);
+          a(i, j) = v;
+          a(j, i) = v;
+        }
+      }
+      break;
+    }
+    case Family::kClustered: {
+      // Q diag(10, 10+ε, 10+2ε, 1, 1, ..., 1) Qᵀ via random rotations.
+      DenseMatrix base(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        base(i, i) = i < 3 ? 10.0 + 1e-4 * static_cast<double>(i) : 1.0;
+      }
+      // Random orthogonal similarity: apply Jacobi rotations.
+      for (int sweep = 0; sweep < 3; ++sweep) {
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+          const double theta = random::uniform(rng, 0.0, 3.14159);
+          const double c = std::cos(theta), s = std::sin(theta);
+          const std::size_t q = (p + 1 + rng.next_below(n - 1)) % n;
+          if (q == p) continue;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double bp = base(i, p), bq = base(i, q);
+            base(i, p) = c * bp - s * bq;
+            base(i, q) = s * bp + c * bq;
+          }
+          for (std::size_t i = 0; i < n; ++i) {
+            const double bp = base(p, i), bq = base(q, i);
+            base(p, i) = c * bp - s * bq;
+            base(q, i) = s * bp + c * bq;
+          }
+        }
+      }
+      a = base;
+      break;
+    }
+    case Family::kLowRank: {
+      DenseMatrix u(n, 3);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) u(i, j) = random::normal(rng);
+      }
+      const double scales[3] = {9.0, 4.0, 1.5};
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = r; c < n; ++c) {
+          double v = 0;
+          for (std::size_t j = 0; j < 3; ++j) {
+            v += scales[j] * u(r, j) * u(c, j) / static_cast<double>(n);
+          }
+          a(r, c) = v;
+          a(c, r) = v;
+        }
+      }
+      break;
+    }
+    case Family::kGraphLike: {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const bool same_block = (i < n / 2) == (j < n / 2);
+          const double p = same_block ? 0.5 : 0.05;
+          const double v = random::bernoulli(rng, p) ? 1.0 : 0.0;
+          a(i, j) = v;
+          a(j, i) = v;
+        }
+      }
+      break;
+    }
+    case Family::kIllConditioned: {
+      // Distinct eigenvalues spanning ~8 orders of magnitude. (Exact
+      // repeated eigenvalues are excluded by design: residual-based Lanczos
+      // cannot detect missing multiplicities without exhausting the space —
+      // see the documented limitation in linalg/lanczos.hpp; the
+      // IdentityOperatorDegenerateSpectrum test covers the exhaustion path.)
+      for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = std::pow(10.0, -static_cast<double>(i) / 3.0);
+      }
+      break;
+    }
+  }
+  return a;
+}
+
+SymmetricOperator dense_op(const DenseMatrix& a) {
+  return {a.rows(), [&a](std::span<const double> x, std::span<double> y) {
+            const auto r = a.multiply_vector(x);
+            std::copy(r.begin(), r.end(), y.begin());
+          }};
+}
+
+class EigensolverAgreement
+    : public testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(EigensolverAgreement, TopOfSpectrumMatchesAcrossSolvers) {
+  const auto [family, seed] = GetParam();
+  const std::size_t n = 24;
+  const auto a = make_matrix(family, n, seed);
+  const double scale_ref = std::max(1.0, a.frobenius_norm());
+
+  const auto jacobi = jacobi_eigen(a, EigenOrder::kDescendingMagnitude);
+
+  LanczosOptions lopt;
+  lopt.k = 3;
+  lopt.max_iterations = n;
+  lopt.order = EigenOrder::kDescendingMagnitude;
+  const auto lanczos = lanczos_topk(dense_op(a), lopt);
+
+  PowerIterationOptions popt;
+  popt.k = 3;
+  popt.max_iterations = 200000;
+  popt.tolerance = 1e-13;
+  const auto power = power_iteration_topk(dense_op(a), popt);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(lanczos.values[i], jacobi.values[i], 1e-7 * scale_ref)
+        << family_name(family) << " lanczos idx " << i;
+    // Power iteration struggles on near-ties; allow a looser budget there.
+    const double power_tol =
+        family == Family::kClustered ? 2e-4 * scale_ref : 1e-6 * scale_ref;
+    EXPECT_NEAR(power.values[i], jacobi.values[i], power_tol)
+        << family_name(family) << " power idx " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EigensolverAgreement,
+    testing::Combine(testing::Values(Family::kRandomDense, Family::kClustered,
+                                     Family::kLowRank, Family::kGraphLike,
+                                     Family::kIllConditioned),
+                     testing::Values(1ULL, 2ULL, 3ULL)));
+
+}  // namespace
+}  // namespace sgp::linalg

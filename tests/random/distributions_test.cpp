@@ -1,0 +1,243 @@
+#include "random/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::random {
+namespace {
+
+constexpr int kSamples = 200000;
+
+struct Moments {
+  double mean = 0;
+  double var = 0;
+};
+
+template <typename Draw>
+Moments estimate(Draw draw) {
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = draw();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kSamples;
+  return {mean, sum2 / kSamples - mean * mean};
+}
+
+TEST(NormalTest, MomentsMatch) {
+  Rng rng(1);
+  const auto m = estimate([&] { return normal(rng, 2.0, 3.0); });
+  EXPECT_NEAR(m.mean, 2.0, 0.05);
+  EXPECT_NEAR(m.var, 9.0, 0.2);
+}
+
+TEST(NormalTest, StandardNormalTails) {
+  Rng rng(2);
+  int outside3 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::fabs(normal(rng)) > 3.0) ++outside3;
+  }
+  // P(|Z| > 3) ~ 0.0027
+  EXPECT_NEAR(outside3 / static_cast<double>(kSamples), 0.0027, 0.001);
+}
+
+TEST(NormalTest, NegativeStddevThrows) {
+  Rng rng(1);
+  EXPECT_THROW(normal(rng, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(NormalTest, ZeroStddevIsConstant) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(normal(rng, 5.0, 0.0), 5.0);
+}
+
+TEST(LaplaceTest, MomentsMatch) {
+  Rng rng(3);
+  const double b = 2.0;
+  const auto m = estimate([&] { return laplace(rng, 1.0, b); });
+  EXPECT_NEAR(m.mean, 1.0, 0.05);
+  EXPECT_NEAR(m.var, 2 * b * b, 0.3);  // Var = 2b^2
+}
+
+TEST(LaplaceTest, SymmetricAroundMean) {
+  Rng rng(4);
+  int above = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (laplace(rng, 0.0, 1.0) > 0) ++above;
+  }
+  EXPECT_NEAR(above / static_cast<double>(kSamples), 0.5, 0.01);
+}
+
+TEST(LaplaceTest, NonPositiveScaleThrows) {
+  Rng rng(1);
+  EXPECT_THROW(laplace(rng, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(laplace(rng, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(ExponentialTest, MomentsMatch) {
+  Rng rng(5);
+  const double rate = 0.5;
+  const auto m = estimate([&] { return exponential(rng, rate); });
+  EXPECT_NEAR(m.mean, 1.0 / rate, 0.05);
+  EXPECT_NEAR(m.var, 1.0 / (rate * rate), 0.2);
+}
+
+TEST(ExponentialTest, AlwaysNonNegative) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(exponential(rng, 2.0), 0.0);
+}
+
+TEST(ExponentialTest, NonPositiveRateThrows) {
+  Rng rng(1);
+  EXPECT_THROW(exponential(rng, 0.0), std::invalid_argument);
+}
+
+TEST(BernoulliTest, FrequencyMatchesP) {
+  Rng rng(7);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i) hits += bernoulli(rng, p) ? 1 : 0;
+    EXPECT_NEAR(hits / 50000.0, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(BernoulliTest, OutOfRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(bernoulli(rng, -0.1), std::invalid_argument);
+  EXPECT_THROW(bernoulli(rng, 1.1), std::invalid_argument);
+}
+
+TEST(UniformTest, StaysInRangeAndCentered) {
+  Rng rng(8);
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = uniform(rng, -2.0, 6.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 6.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+}
+
+TEST(UniformTest, InvertedRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(uniform(rng, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(GeometricTest, MeanMatches) {
+  Rng rng(9);
+  const double p = 0.25;
+  double sum = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(geometric(rng, p));
+  }
+  EXPECT_NEAR(sum / kSamples, (1 - p) / p, 0.05);
+}
+
+TEST(GeometricTest, PEqualOneIsZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(geometric(rng, 1.0), 0u);
+}
+
+TEST(GeometricTest, InvalidPThrows) {
+  Rng rng(1);
+  EXPECT_THROW(geometric(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(geometric(rng, 1.5), std::invalid_argument);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(10);
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), weights[i] / total, 0.01)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(11);
+  AliasTable table({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) ASSERT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTableTest, SingleEntry) {
+  Rng rng(12);
+  AliasTable table({5.0});
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTableTest, InvalidWeightsThrow) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ShuffleTest, IsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(rng, shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // astronomically unlikely to be identity
+}
+
+TEST(ShuffleTest, UniformFirstPosition) {
+  Rng rng(14);
+  std::vector<int> counts(5, 0);
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    shuffle(rng, v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctSortedWithinRange) {
+  Rng rng(15);
+  const auto sample = sample_without_replacement(rng, 100, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    ASSERT_LT(sample[i], 100u);
+    if (i > 0) {
+      ASSERT_LT(sample[i - 1], sample[i]);
+    }
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullSampleIsIdentitySet) {
+  Rng rng(16);
+  const auto sample = sample_without_replacement(rng, 5, 5);
+  const std::vector<std::size_t> expect{0, 1, 2, 3, 4};
+  EXPECT_EQ(sample, expect);
+}
+
+TEST(SampleWithoutReplacementTest, KGreaterThanNThrows) {
+  Rng rng(1);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacementTest, ApproximatelyUniformInclusion) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (std::size_t idx : sample_without_replacement(rng, 10, 3)) {
+      ++counts[idx];
+    }
+  }
+  for (int c : counts) EXPECT_NEAR(c, 6000, 300);  // 20000 * 3/10
+}
+
+}  // namespace
+}  // namespace sgp::random

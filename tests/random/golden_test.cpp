@@ -1,0 +1,44 @@
+// Golden-value regression tests: the exact output streams of the RNG and
+// distributions are part of the library contract (experiments must be
+// bit-reproducible across machines and releases). Any change to these
+// values is a breaking change and must be deliberate.
+#include <gtest/gtest.h>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::random {
+namespace {
+
+TEST(GoldenTest, Xoshiro256ppStream) {
+  Rng rng(42);
+  EXPECT_EQ(rng(), 15021278609987233951ULL);
+  EXPECT_EQ(rng(), 5881210131331364753ULL);
+  EXPECT_EQ(rng(), 18149643915985481100ULL);
+}
+
+TEST(GoldenTest, UnitDoubles) {
+  Rng rng(42);
+  EXPECT_DOUBLE_EQ(rng.next_double(), 0.81430514512290986);
+  EXPECT_DOUBLE_EQ(rng.next_double(), 0.31882104006166112);
+}
+
+TEST(GoldenTest, NormalStream) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(normal(rng), 1.674036445441065);
+  EXPECT_DOUBLE_EQ(normal(rng), 0.53789816819896552);
+}
+
+TEST(GoldenTest, LaplaceStream) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(laplace(rng, 0.0, 1.0), -2.2007429027809056);
+}
+
+TEST(GoldenTest, JumpedStream) {
+  Rng rng(42);
+  rng.jump();
+  EXPECT_EQ(rng(), 13886555598616206053ULL);
+}
+
+}  // namespace
+}  // namespace sgp::random

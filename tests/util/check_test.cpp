@@ -1,0 +1,45 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sgp::util {
+namespace {
+
+TEST(CheckTest, RequirePassesWhenTrue) {
+  EXPECT_NO_THROW(require(true, "never thrown"));
+}
+
+TEST(CheckTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(require(false, "bad arg"), std::invalid_argument);
+}
+
+TEST(CheckTest, RequireMessagePropagates) {
+  try {
+    require(false, "epsilon must be positive");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "epsilon must be positive");
+  }
+}
+
+TEST(CheckTest, EnsurePassesWhenTrue) {
+  EXPECT_NO_THROW(ensure(true, "never thrown"));
+}
+
+TEST(CheckTest, EnsureThrowsRuntimeError) {
+  EXPECT_THROW(ensure(false, "invariant broken"), std::runtime_error);
+}
+
+TEST(CheckTest, EnsureMessagePropagates) {
+  try {
+    ensure(false, "lanczos failed to converge");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lanczos failed to converge");
+  }
+}
+
+}  // namespace
+}  // namespace sgp::util

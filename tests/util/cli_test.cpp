@@ -1,0 +1,88 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::util {
+namespace {
+
+CliArgs make(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, ProgramNameCaptured) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliTest, EqualsSyntax) {
+  const auto args = make({"prog", "--epsilon=0.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("epsilon", 1.0), 0.5);
+}
+
+TEST(CliTest, SpaceSyntax) {
+  const auto args = make({"prog", "--dim", "128"});
+  EXPECT_EQ(args.get_int("dim", 0), 128);
+}
+
+TEST(CliTest, BareFlagIsTrue) {
+  const auto args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliTest, MissingFlagUsesDefault) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get_int("dim", 42), 42);
+  EXPECT_EQ(args.get_string("name", "fallback"), "fallback");
+  EXPECT_FALSE(args.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(args.get_double("epsilon", 2.5), 2.5);
+}
+
+TEST(CliTest, PositionalCollectedInOrder) {
+  const auto args = make({"prog", "input.txt", "--k=3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(CliTest, HasReportsPresence) {
+  const auto args = make({"prog", "--seed=7"});
+  EXPECT_TRUE(args.has("seed"));
+  EXPECT_FALSE(args.has("epsilon"));
+}
+
+TEST(CliTest, MalformedIntThrows) {
+  const auto args = make({"prog", "--dim=abc"});
+  EXPECT_THROW((void)args.get_int("dim", 0), std::invalid_argument);
+}
+
+TEST(CliTest, MalformedDoubleThrows) {
+  const auto args = make({"prog", "--epsilon=xyz"});
+  EXPECT_THROW((void)args.get_double("epsilon", 0.0), std::invalid_argument);
+}
+
+TEST(CliTest, MalformedBoolThrows) {
+  const auto args = make({"prog", "--verbose=maybe"});
+  EXPECT_THROW((void)args.get_bool("verbose", false), std::invalid_argument);
+}
+
+TEST(CliTest, BoolSpellings) {
+  for (const char* yes : {"1", "true", "yes", "on"}) {
+    const auto args = make({"prog", "--f", yes});
+    EXPECT_TRUE(args.get_bool("f", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "no", "off"}) {
+    const auto args = make({"prog", "--f", no});
+    EXPECT_FALSE(args.get_bool("f", true)) << no;
+  }
+}
+
+TEST(CliTest, LaterValueWins) {
+  const auto args = make({"prog", "--k=1", "--k=2"});
+  EXPECT_EQ(args.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace sgp::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sgp::util {
+namespace {
+
+TEST(TableTest, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TableTest, RendersHeaderAndRule) {
+  TextTable t({"a", "bb"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a  bb"), std::string::npos);
+  EXPECT_NE(s.find("-  --"), std::string::npos);
+}
+
+TEST(TableTest, AddBeforeNewRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add("x"), std::runtime_error);
+}
+
+TEST(TableTest, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.new_row().add("x");
+  EXPECT_THROW(t.add("y"), std::runtime_error);
+}
+
+TEST(TableTest, NumericFormatting) {
+  TextTable t({"eps", "nmi", "n"});
+  t.new_row().add(0.5, 2).add(0.98765, 3).add(std::int64_t{42});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+  EXPECT_NE(s.find("0.988"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  TextTable t({"x", "y"});
+  t.new_row().add("longcell").add("1");
+  t.new_row().add("s").add("2");
+  const std::string s = t.to_string();
+  // Every line should place column y at the same offset.
+  const auto first_nl = s.find('\n');
+  const std::string header = s.substr(0, first_nl);
+  EXPECT_EQ(header.find('y'), std::string("longcell  ").size());
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.new_row().add("1").add("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.new_row().add("1");
+  t.new_row().add("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace sgp::util

@@ -1,0 +1,94 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sgp::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); }).get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SizeIsAtLeastOne) {
+  ThreadPool pool(0);  // 0 -> hardware concurrency, clamped to >= 1
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversWholeRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      64);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  std::vector<int> hits(10, 0);
+  parallel_for(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i] += 1;
+      },
+      1024);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ParallelForTest, ExceptionRethrownOnCaller) {
+  EXPECT_THROW(parallel_for(
+                   0, 100000,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 0) throw std::runtime_error("chunk failed");
+                   },
+                   16),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sgp::util

@@ -1,0 +1,40 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sgp::util {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  WallTimer timer;
+  const double t1 = timer.seconds();
+  const double t2 = timer.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(TimerTest, MeasuresSleep) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  WallTimer timer;
+  const double s = timer.seconds();
+  const double ms = timer.millis();
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_LT(ms, (s + 0.1) * 1e3);
+}
+
+}  // namespace
+}  // namespace sgp::util
