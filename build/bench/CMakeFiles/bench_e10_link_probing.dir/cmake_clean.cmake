@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_link_probing.dir/bench_e10_link_probing.cpp.o"
+  "CMakeFiles/bench_e10_link_probing.dir/bench_e10_link_probing.cpp.o.d"
+  "bench_e10_link_probing"
+  "bench_e10_link_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_link_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

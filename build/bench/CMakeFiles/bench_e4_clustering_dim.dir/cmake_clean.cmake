@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_clustering_dim.dir/bench_e4_clustering_dim.cpp.o"
+  "CMakeFiles/bench_e4_clustering_dim.dir/bench_e4_clustering_dim.cpp.o.d"
+  "bench_e4_clustering_dim"
+  "bench_e4_clustering_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_clustering_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_ranking_depth.dir/bench_e6_ranking_depth.cpp.o"
+  "CMakeFiles/bench_e6_ranking_depth.dir/bench_e6_ranking_depth.cpp.o.d"
+  "bench_e6_ranking_depth"
+  "bench_e6_ranking_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_ranking_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

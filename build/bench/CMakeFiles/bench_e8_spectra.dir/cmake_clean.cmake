@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_spectra.dir/bench_e8_spectra.cpp.o"
+  "CMakeFiles/bench_e8_spectra.dir/bench_e8_spectra.cpp.o.d"
+  "bench_e8_spectra"
+  "bench_e8_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/influencer_ranking.dir/influencer_ranking.cpp.o"
+  "CMakeFiles/influencer_ranking.dir/influencer_ranking.cpp.o.d"
+  "influencer_ranking"
+  "influencer_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/influencer_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_budget_planner.dir/privacy_budget_planner.cpp.o"
+  "CMakeFiles/privacy_budget_planner.dir/privacy_budget_planner.cpp.o.d"
+  "privacy_budget_planner"
+  "privacy_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/republishing_session.dir/republishing_session.cpp.o"
+  "CMakeFiles/republishing_session.dir/republishing_session.cpp.o.d"
+  "republishing_session"
+  "republishing_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/republishing_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_interactions.dir/weighted_interactions.cpp.o"
+  "CMakeFiles/weighted_interactions.dir/weighted_interactions.cpp.o.d"
+  "weighted_interactions"
+  "weighted_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

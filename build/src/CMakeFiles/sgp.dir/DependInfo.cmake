@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cpp" "src/CMakeFiles/sgp.dir/cluster/kmeans.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/cluster/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/louvain.cpp" "src/CMakeFiles/sgp.dir/cluster/louvain.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/cluster/louvain.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/CMakeFiles/sgp.dir/cluster/metrics.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/cluster/metrics.cpp.o.d"
+  "/root/repo/src/cluster/select_k.cpp" "src/CMakeFiles/sgp.dir/cluster/select_k.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/cluster/select_k.cpp.o.d"
+  "/root/repo/src/cluster/silhouette.cpp" "src/CMakeFiles/sgp.dir/cluster/silhouette.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/cluster/silhouette.cpp.o.d"
+  "/root/repo/src/cluster/spectral.cpp" "src/CMakeFiles/sgp.dir/cluster/spectral.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/cluster/spectral.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/sgp.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/CMakeFiles/sgp.dir/core/projection.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/projection.cpp.o.d"
+  "/root/repo/src/core/publisher.cpp" "src/CMakeFiles/sgp.dir/core/publisher.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/publisher.cpp.o.d"
+  "/root/repo/src/core/reconstruction.cpp" "src/CMakeFiles/sgp.dir/core/reconstruction.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/reconstruction.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/CMakeFiles/sgp.dir/core/serialization.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/serialization.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/sgp.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/stats_publisher.cpp" "src/CMakeFiles/sgp.dir/core/stats_publisher.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/stats_publisher.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/CMakeFiles/sgp.dir/core/surrogate.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/surrogate.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/CMakeFiles/sgp.dir/core/theory.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/core/theory.cpp.o.d"
+  "/root/repo/src/dp/accountant.cpp" "src/CMakeFiles/sgp.dir/dp/accountant.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/dp/accountant.cpp.o.d"
+  "/root/repo/src/dp/mechanisms.cpp" "src/CMakeFiles/sgp.dir/dp/mechanisms.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/dp/mechanisms.cpp.o.d"
+  "/root/repo/src/dp/postprocess.cpp" "src/CMakeFiles/sgp.dir/dp/postprocess.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/dp/postprocess.cpp.o.d"
+  "/root/repo/src/dp/privacy.cpp" "src/CMakeFiles/sgp.dir/dp/privacy.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/dp/privacy.cpp.o.d"
+  "/root/repo/src/dp/rdp_accountant.cpp" "src/CMakeFiles/sgp.dir/dp/rdp_accountant.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/dp/rdp_accountant.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/CMakeFiles/sgp.dir/graph/datasets.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/datasets.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/sgp.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/sgp.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/sgp.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/kcore.cpp" "src/CMakeFiles/sgp.dir/graph/kcore.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/kcore.cpp.o.d"
+  "/root/repo/src/graph/laplacian.cpp" "src/CMakeFiles/sgp.dir/graph/laplacian.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/laplacian.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/CMakeFiles/sgp.dir/graph/metrics.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/metrics.cpp.o.d"
+  "/root/repo/src/graph/sampling.cpp" "src/CMakeFiles/sgp.dir/graph/sampling.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/graph/sampling.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/CMakeFiles/sgp.dir/linalg/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/CMakeFiles/sgp.dir/linalg/eigen_sym.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/CMakeFiles/sgp.dir/linalg/lanczos.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/power_iteration.cpp" "src/CMakeFiles/sgp.dir/linalg/power_iteration.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/power_iteration.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/sgp.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cpp" "src/CMakeFiles/sgp.dir/linalg/sparse_matrix.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/sparse_matrix.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/CMakeFiles/sgp.dir/linalg/svd.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/svd.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/sgp.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/random/distributions.cpp" "src/CMakeFiles/sgp.dir/random/distributions.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/random/distributions.cpp.o.d"
+  "/root/repo/src/random/rng.cpp" "src/CMakeFiles/sgp.dir/random/rng.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/random/rng.cpp.o.d"
+  "/root/repo/src/ranking/betweenness.cpp" "src/CMakeFiles/sgp.dir/ranking/betweenness.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/ranking/betweenness.cpp.o.d"
+  "/root/repo/src/ranking/centrality.cpp" "src/CMakeFiles/sgp.dir/ranking/centrality.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/ranking/centrality.cpp.o.d"
+  "/root/repo/src/ranking/metrics.cpp" "src/CMakeFiles/sgp.dir/ranking/metrics.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/ranking/metrics.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/sgp.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/sgp.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sgp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/sgp.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sgp.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

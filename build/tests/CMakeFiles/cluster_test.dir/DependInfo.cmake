@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/kmeans_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/kmeans_test.cpp.o.d"
+  "/root/repo/tests/cluster/louvain_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/louvain_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/louvain_test.cpp.o.d"
+  "/root/repo/tests/cluster/metrics_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/metrics_test.cpp.o.d"
+  "/root/repo/tests/cluster/select_k_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/select_k_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/select_k_test.cpp.o.d"
+  "/root/repo/tests/cluster/silhouette_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/silhouette_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/silhouette_test.cpp.o.d"
+  "/root/repo/tests/cluster/spectral_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/spectral_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/spectral_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster/kmeans_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/kmeans_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/louvain_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/louvain_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/metrics_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/metrics_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/select_k_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/select_k_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/silhouette_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/silhouette_test.cpp.o.d"
+  "CMakeFiles/cluster_test.dir/cluster/spectral_test.cpp.o"
+  "CMakeFiles/cluster_test.dir/cluster/spectral_test.cpp.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/core_test.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/degree_sequence_test.cpp" "tests/CMakeFiles/core_test.dir/core/degree_sequence_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/degree_sequence_test.cpp.o.d"
+  "/root/repo/tests/core/projection_test.cpp" "tests/CMakeFiles/core_test.dir/core/projection_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/projection_test.cpp.o.d"
+  "/root/repo/tests/core/publisher_test.cpp" "tests/CMakeFiles/core_test.dir/core/publisher_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/publisher_test.cpp.o.d"
+  "/root/repo/tests/core/reconstruction_test.cpp" "tests/CMakeFiles/core_test.dir/core/reconstruction_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/reconstruction_test.cpp.o.d"
+  "/root/repo/tests/core/serialization_test.cpp" "tests/CMakeFiles/core_test.dir/core/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/serialization_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "/root/repo/tests/core/stats_publisher_test.cpp" "tests/CMakeFiles/core_test.dir/core/stats_publisher_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stats_publisher_test.cpp.o.d"
+  "/root/repo/tests/core/surrogate_test.cpp" "tests/CMakeFiles/core_test.dir/core/surrogate_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/surrogate_test.cpp.o.d"
+  "/root/repo/tests/core/theory_test.cpp" "tests/CMakeFiles/core_test.dir/core/theory_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/theory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/degree_sequence_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/degree_sequence_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/projection_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/projection_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/publisher_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/publisher_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/reconstruction_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/reconstruction_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/serialization_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/serialization_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/session_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/stats_publisher_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/stats_publisher_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/surrogate_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/surrogate_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/theory_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/theory_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dp/accountant_test.cpp" "tests/CMakeFiles/dp_test.dir/dp/accountant_test.cpp.o" "gcc" "tests/CMakeFiles/dp_test.dir/dp/accountant_test.cpp.o.d"
+  "/root/repo/tests/dp/mechanisms_test.cpp" "tests/CMakeFiles/dp_test.dir/dp/mechanisms_test.cpp.o" "gcc" "tests/CMakeFiles/dp_test.dir/dp/mechanisms_test.cpp.o.d"
+  "/root/repo/tests/dp/postprocess_test.cpp" "tests/CMakeFiles/dp_test.dir/dp/postprocess_test.cpp.o" "gcc" "tests/CMakeFiles/dp_test.dir/dp/postprocess_test.cpp.o.d"
+  "/root/repo/tests/dp/rdp_accountant_test.cpp" "tests/CMakeFiles/dp_test.dir/dp/rdp_accountant_test.cpp.o" "gcc" "tests/CMakeFiles/dp_test.dir/dp/rdp_accountant_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

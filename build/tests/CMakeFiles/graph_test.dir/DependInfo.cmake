@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/datasets_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/datasets_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/kcore_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/kcore_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/kcore_test.cpp.o.d"
+  "/root/repo/tests/graph/laplacian_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/laplacian_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/laplacian_test.cpp.o.d"
+  "/root/repo/tests/graph/metrics_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/metrics_test.cpp.o.d"
+  "/root/repo/tests/graph/modularity_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/modularity_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/modularity_test.cpp.o.d"
+  "/root/repo/tests/graph/sampling_test.cpp" "tests/CMakeFiles/graph_test.dir/graph/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/sampling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/dense_matrix_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/dense_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/dense_matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/eigen_sym_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/eigen_sym_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/eigen_sym_test.cpp.o.d"
+  "/root/repo/tests/linalg/lanczos_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/lanczos_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/lanczos_test.cpp.o.d"
+  "/root/repo/tests/linalg/power_iteration_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/power_iteration_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/power_iteration_test.cpp.o.d"
+  "/root/repo/tests/linalg/qr_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/qr_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/qr_test.cpp.o.d"
+  "/root/repo/tests/linalg/sparse_matrix_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/sparse_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/sparse_matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/svd_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/svd_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/svd_test.cpp.o.d"
+  "/root/repo/tests/linalg/vector_ops_test.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/vector_ops_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/vector_ops_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test.dir/linalg/dense_matrix_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/dense_matrix_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/eigen_sym_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/eigen_sym_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/lanczos_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/lanczos_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/power_iteration_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/power_iteration_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/qr_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/qr_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/sparse_matrix_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/sparse_matrix_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/svd_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/svd_test.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/vector_ops_test.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/vector_ops_test.cpp.o.d"
+  "linalg_test"
+  "linalg_test.pdb"
+  "linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ranking/betweenness_test.cpp" "tests/CMakeFiles/ranking_test.dir/ranking/betweenness_test.cpp.o" "gcc" "tests/CMakeFiles/ranking_test.dir/ranking/betweenness_test.cpp.o.d"
+  "/root/repo/tests/ranking/centrality_test.cpp" "tests/CMakeFiles/ranking_test.dir/ranking/centrality_test.cpp.o" "gcc" "tests/CMakeFiles/ranking_test.dir/ranking/centrality_test.cpp.o.d"
+  "/root/repo/tests/ranking/closeness_test.cpp" "tests/CMakeFiles/ranking_test.dir/ranking/closeness_test.cpp.o" "gcc" "tests/CMakeFiles/ranking_test.dir/ranking/closeness_test.cpp.o.d"
+  "/root/repo/tests/ranking/metrics_test.cpp" "tests/CMakeFiles/ranking_test.dir/ranking/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ranking_test.dir/ranking/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

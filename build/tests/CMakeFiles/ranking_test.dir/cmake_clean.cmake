@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_test.dir/ranking/betweenness_test.cpp.o"
+  "CMakeFiles/ranking_test.dir/ranking/betweenness_test.cpp.o.d"
+  "CMakeFiles/ranking_test.dir/ranking/centrality_test.cpp.o"
+  "CMakeFiles/ranking_test.dir/ranking/centrality_test.cpp.o.d"
+  "CMakeFiles/ranking_test.dir/ranking/closeness_test.cpp.o"
+  "CMakeFiles/ranking_test.dir/ranking/closeness_test.cpp.o.d"
+  "CMakeFiles/ranking_test.dir/ranking/metrics_test.cpp.o"
+  "CMakeFiles/ranking_test.dir/ranking/metrics_test.cpp.o.d"
+  "ranking_test"
+  "ranking_test.pdb"
+  "ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_analyze.dir/sgp_analyze.cpp.o"
+  "CMakeFiles/sgp_analyze.dir/sgp_analyze.cpp.o.d"
+  "sgp_analyze"
+  "sgp_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_generate.dir/sgp_generate.cpp.o"
+  "CMakeFiles/sgp_generate.dir/sgp_generate.cpp.o.d"
+  "sgp_generate"
+  "sgp_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_publish.dir/sgp_publish.cpp.o"
+  "CMakeFiles/sgp_publish.dir/sgp_publish.cpp.o.d"
+  "sgp_publish"
+  "sgp_publish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

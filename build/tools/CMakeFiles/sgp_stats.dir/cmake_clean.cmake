@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgp_stats.dir/sgp_stats.cpp.o"
+  "CMakeFiles/sgp_stats.dir/sgp_stats.cpp.o.d"
+  "sgp_stats"
+  "sgp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
