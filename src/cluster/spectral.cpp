@@ -4,15 +4,25 @@
 #include <cmath>
 
 #include "graph/laplacian.hpp"
+#include "linalg/eigen_sym.hpp"
 #include "linalg/lanczos.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "linalg/vector_ops.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/logging.hpp"
 
 namespace sgp::cluster {
 
 namespace {
 
+/// Graceful-degradation ladder for the embedding eigensolve:
+///   1. Lanczos with the default iteration budget (the fast path);
+///   2. on ConvergenceError, Lanczos again with the full Krylov budget
+///      (max_iterations = n) and a reseeded start vector;
+///   3. on a second failure, the dense symmetric eigensolver — O(n³) but
+///      unconditionally convergent.
+/// Anything other than a convergence failure propagates unchanged.
 linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
                                           std::size_t n, std::size_t dim,
                                           std::uint64_t seed) {
@@ -25,7 +35,25 @@ linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
   opt.k = dim;
   opt.seed = seed;
   opt.order = linalg::EigenOrder::kDescending;
-  return linalg::lanczos_topk(op, opt).vectors;
+  try {
+    return linalg::lanczos_topk(op, opt).vectors;
+  } catch (const util::ConvergenceError& e) {
+    util::LogStream(util::LogLevel::kWarn)
+        << "spectral: lanczos failed (" << e.what()
+        << "); retrying with max_iterations=" << n;
+  }
+  try {
+    opt.max_iterations = n;
+    opt.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+    return linalg::lanczos_topk(op, opt).vectors;
+  } catch (const util::ConvergenceError& e) {
+    util::LogStream(util::LogLevel::kWarn)
+        << "spectral: lanczos retry failed (" << e.what()
+        << "); falling back to the dense eigensolver (O(n^3), n=" << n << ")";
+  }
+  const linalg::EigenResult full =
+      linalg::jacobi_eigen(a.to_dense(), linalg::EigenOrder::kDescending);
+  return full.vectors.first_columns(dim);
 }
 
 }  // namespace
@@ -44,22 +72,11 @@ linalg::DenseMatrix adjacency_spectral_embedding(const graph::Graph& g,
                                                  std::uint64_t seed) {
   util::require(dim >= 1 && dim <= g.num_nodes(),
                 "spectral embedding: dim must be in [1, n]");
-  const linalg::CsrMatrix a = g.adjacency_matrix();
-  linalg::SymmetricOperator op{
-      g.num_nodes(),
-      [&a](std::span<const double> x, std::span<double> y) {
-        const auto r = a.multiply_vector(x);
-        std::copy(r.begin(), r.end(), y.begin());
-      }};
-  linalg::LanczosOptions opt;
-  opt.k = dim;
-  opt.seed = seed;
   // Spectral clustering wants the algebraically largest eigenvectors of A
   // (community indicators); magnitude order would drag in the bipartite-like
   // negative extreme.
-  opt.order = linalg::EigenOrder::kDescending;
-  const linalg::LanczosResult res = linalg::lanczos_topk(op, opt);
-  return res.vectors;
+  const linalg::CsrMatrix a = g.adjacency_matrix();
+  return embedding_from_matrix(a, g.num_nodes(), dim, seed);
 }
 
 KMeansResult cluster_embedding(const linalg::DenseMatrix& embedding,

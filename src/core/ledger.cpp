@@ -1,0 +1,184 @@
+#include "core/ledger.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SGP_HAVE_FSYNC 1
+#endif
+
+namespace sgp::core {
+namespace {
+
+constexpr const char kMagic[] = "sgp-budget-ledger v1";
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table built on first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = crc_table()[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// The record line up to (not including) the " crc <hex>" suffix.
+std::string record_body(const BudgetLedger::Record& r) {
+  std::ostringstream out;
+  out.precision(17);  // max_digits10: values must survive a round trip
+  out << "release " << r.index << " epsilon " << r.epsilon << " delta "
+      << r.delta << " sigma " << r.sigma << " sensitivity " << r.sensitivity;
+  return out.str();
+}
+
+std::string record_line(const BudgetLedger::Record& r) {
+  const std::string body = record_body(r);
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", crc32(body));
+  return body + " crc " + crc_hex;
+}
+
+[[noreturn]] void corrupt(const std::string& path, std::size_t line_no,
+                          const std::string& why) {
+  throw util::LedgerCorruptError("budget ledger " + path + ": line " +
+                                 std::to_string(line_no) + ": " + why);
+}
+
+BudgetLedger::Record parse_record(const std::string& path,
+                                  std::size_t line_no,
+                                  const std::string& line,
+                                  std::uint64_t expected_index) {
+  const std::size_t crc_at = line.rfind(" crc ");
+  if (crc_at == std::string::npos) corrupt(path, line_no, "missing checksum");
+  const std::string body = line.substr(0, crc_at);
+  const std::string crc_field = line.substr(crc_at + 5);
+
+  char expected_hex[16];
+  std::snprintf(expected_hex, sizeof(expected_hex), "%08x", crc32(body));
+  if (crc_field != expected_hex) {
+    corrupt(path, line_no, "checksum mismatch (record altered or truncated)");
+  }
+
+  BudgetLedger::Record r;
+  std::istringstream fields(body);
+  std::string t_release, t_eps, t_delta, t_sigma, t_sens;
+  if (!(fields >> t_release >> r.index >> t_eps >> r.epsilon >> t_delta >>
+        r.delta >> t_sigma >> r.sigma >> t_sens >> r.sensitivity) ||
+      t_release != "release" || t_eps != "epsilon" || t_delta != "delta" ||
+      t_sigma != "sigma" || t_sens != "sensitivity") {
+    corrupt(path, line_no, "malformed record");
+  }
+  std::string extra;
+  if (fields >> extra) corrupt(path, line_no, "trailing fields in record");
+  if (r.index != expected_index) {
+    corrupt(path, line_no,
+            "record index " + std::to_string(r.index) + " out of order "
+            "(expected " + std::to_string(expected_index) + ")");
+  }
+  return r;
+}
+
+}  // namespace
+
+BudgetLedger::BudgetLedger(std::string path) : path_(std::move(path)) {
+  util::require(!path_.empty(), "budget ledger: path must be non-empty");
+  std::error_code ec;
+  if (!std::filesystem::exists(path_, ec)) return;  // fresh ledger
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.good()) {
+    throw util::IoError("budget ledger: cannot open " + path_);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    corrupt(path_, 1, "empty file (missing magic line)");
+  }
+  if (line != kMagic) {
+    corrupt(path_, 1,
+            "bad magic/version '" + line + "' (expected '" + kMagic + "')");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) corrupt(path_, line_no, "blank line inside ledger");
+    records_.push_back(
+        parse_record(path_, line_no, line, records_.size() + 1));
+  }
+  if (in.bad()) {
+    throw util::IoError("budget ledger: read error on " + path_);
+  }
+  // A file ending without a final newline means the tail record was cut
+  // mid-write; the checksum above already rejects a cut *within* the crc
+  // field, and a cut before it loses " crc" and is rejected too, so at this
+  // point every parsed record is intact.
+}
+
+void BudgetLedger::append(const Record& record) {
+  util::fault_point("ledger.append");
+  util::require(record.index == records_.size() + 1,
+                "budget ledger: record index must be size() + 1");
+
+  const std::string tmp = path_ + ".tmp";
+  std::string content;
+  content.reserve((records_.size() + 2) * 96);
+  content += kMagic;
+  content += '\n';
+  for (const Record& r : records_) {
+    content += record_line(r);
+    content += '\n';
+  }
+  content += record_line(record);
+  content += '\n';
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw util::IoError("budget ledger: cannot open temp file " + tmp + ": " +
+                        std::strerror(errno));
+  }
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size() &&
+      std::fflush(f) == 0;
+#ifdef SGP_HAVE_FSYNC
+  const bool synced = !wrote || ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = true;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    throw util::IoError("budget ledger: failed writing temp file " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw util::IoError("budget ledger: rename " + tmp + " -> " + path_ +
+                        " failed: " + std::strerror(err));
+  }
+  records_.push_back(record);
+}
+
+}  // namespace sgp::core

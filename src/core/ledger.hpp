@@ -1,0 +1,63 @@
+// Crash-safe write-ahead ledger for privacy-budget accounting.
+//
+// The privacy budget is the one resource this system must never lose track
+// of: a crash between perturbation and accounting would let a restarted
+// session double-spend ε and silently void the (ε, δ) guarantee. The ledger
+// therefore records every release *before* the artifact is handed to the
+// caller (write-ahead discipline), and each append rewrites the file through
+// a temp-file + fsync + atomic-rename sequence so the on-disk ledger is
+// always either the old complete state or the new complete state — never a
+// torn write.
+//
+// File format (text, one record per line, versioned + per-record CRC32;
+// full spec in docs/robustness.md):
+//
+//   sgp-budget-ledger v1
+//   release 1 epsilon <e> delta <d> sigma <s> sensitivity <c> crc <8 hex>
+//   release 2 ...
+//
+// The CRC covers the record line up to (not including) " crc", computed
+// over the exact bytes written, so float round-tripping can never produce
+// a false mismatch. Loading validates magic/version, per-record checksums,
+// and the contiguous 1-based index sequence; any deviation raises
+// util::LedgerCorruptError and nothing is loaded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgp::core {
+
+class BudgetLedger {
+ public:
+  struct Record {
+    std::uint64_t index = 0;   ///< 1-based release index (contiguous)
+    double epsilon = 0.0;      ///< per-release ε charged
+    double delta = 0.0;        ///< per-release δ charged
+    double sigma = 0.0;        ///< Gaussian noise scale actually used
+    double sensitivity = 0.0;  ///< ℓ2-sensitivity the noise was calibrated to
+  };
+
+  /// Opens the ledger at `path`, loading and validating any existing
+  /// records. A missing file is an empty ledger (nothing is created until
+  /// the first append). Throws util::LedgerCorruptError on any validation
+  /// failure and util::IoError if the file exists but cannot be read.
+  explicit BudgetLedger(std::string path);
+
+  /// Durably appends one record: writes the full ledger to `path + ".tmp"`,
+  /// fsyncs, then atomically renames over `path`. The record's index must
+  /// be size() + 1. Throws util::IoError on any failure — in which case the
+  /// on-disk ledger is unchanged and the record is NOT considered appended.
+  void append(const Record& record);
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+}  // namespace sgp::core

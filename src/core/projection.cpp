@@ -4,6 +4,7 @@
 
 #include "random/distributions.hpp"
 #include "util/check.hpp"
+#include "util/fault_injection.hpp"
 
 namespace sgp::core {
 
@@ -19,6 +20,9 @@ std::string to_string(ProjectionKind kind) {
 
 linalg::DenseMatrix make_projection(std::size_t n, std::size_t m,
                                     ProjectionKind kind, random::Rng& rng) {
+  // n×m doubles — the single largest allocation of a publish; the fault
+  // point lets chaos tests exercise the std::bad_alloc path on demand.
+  util::fault_point("alloc");
   switch (kind) {
     case ProjectionKind::kGaussian:
       return gaussian_projection(n, m, rng);

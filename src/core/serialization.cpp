@@ -11,6 +11,8 @@
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 
 namespace sgp::core {
 namespace {
@@ -28,6 +30,7 @@ void write_doubles(std::ostream& out, std::span<const double> values) {
 }  // namespace
 
 void save_published(const PublishedGraph& published, std::ostream& out) {
+  util::fault_point("io.write");
   out.precision(17);  // max_digits10: header doubles must round-trip exactly
   out << kMagic << '\n';
   out << "nodes " << published.num_nodes << " dim " << published.projection_dim
@@ -38,70 +41,81 @@ void save_published(const PublishedGraph& published, std::ostream& out) {
   out << "projection " << to_string(published.projection) << '\n';
   out << "data\n";
   write_doubles(out, published.data.data());
-  util::ensure(out.good(), "save_published: stream write failed");
+  if (!out.good()) {
+    throw util::IoError("save_published: stream write failed");
+  }
 }
 
 void save_published_file(const PublishedGraph& published,
                          const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  util::ensure(out.good(), "save_published: cannot open " + path);
+  if (!out.good()) {
+    throw util::IoError("save_published: cannot open " + path);
+  }
   save_published(published, out);
 }
 
 PublishedGraph load_published(std::istream& in) {
+  util::fault_point("io.read");
   std::string line;
-  util::ensure(static_cast<bool>(std::getline(in, line)) && line == kMagic,
-               "load_published: bad magic line");
+  if (!std::getline(in, line) || line != kMagic) {
+    throw util::ParseError("load_published: bad magic line");
+  }
 
   PublishedGraph pub;
   std::string token;
-  util::ensure(static_cast<bool>(std::getline(in, line)),
-               "load_published: truncated header");
+  if (!std::getline(in, line)) {
+    throw util::ParseError("load_published: truncated header");
+  }
   {
     std::istringstream fields(line);
     std::size_t n = 0, m = 0;
-    util::ensure(
-        static_cast<bool>(fields >> token >> n >> token >> m) && n > 0 && m > 0,
-        "load_published: bad dimensions line");
+    if (!(fields >> token >> n >> token >> m) || n == 0 || m == 0) {
+      throw util::ParseError("load_published: bad dimensions line");
+    }
     pub.num_nodes = n;
     pub.projection_dim = m;
   }
-  util::ensure(static_cast<bool>(std::getline(in, line)),
-               "load_published: truncated header");
+  if (!std::getline(in, line)) {
+    throw util::ParseError("load_published: truncated header");
+  }
   {
     std::istringstream fields(line);
-    util::ensure(static_cast<bool>(
-                     fields >> token >> pub.params.epsilon >> token >>
-                     pub.params.delta >> token >> pub.calibration.sigma >>
-                     token >> pub.calibration.sensitivity),
-                 "load_published: bad privacy line");
+    if (!(fields >> token >> pub.params.epsilon >> token >> pub.params.delta >>
+          token >> pub.calibration.sigma >> token >>
+          pub.calibration.sensitivity)) {
+      throw util::ParseError("load_published: bad privacy line");
+    }
   }
-  util::ensure(static_cast<bool>(std::getline(in, line)),
-               "load_published: truncated header");
+  if (!std::getline(in, line)) {
+    throw util::ParseError("load_published: truncated header");
+  }
   {
     std::istringstream fields(line);
     std::string kind;
-    util::ensure(static_cast<bool>(fields >> token >> kind) &&
-                     token == "projection",
-                 "load_published: bad projection line");
+    if (!(fields >> token >> kind) || token != "projection") {
+      throw util::ParseError("load_published: bad projection line");
+    }
     if (kind == "gaussian") {
       pub.projection = ProjectionKind::kGaussian;
     } else if (kind == "achlioptas") {
       pub.projection = ProjectionKind::kAchlioptas;
     } else {
-      throw std::runtime_error("load_published: unknown projection kind '" +
-                               kind + "'");
+      throw util::ParseError("load_published: unknown projection kind '" +
+                             kind + "'");
     }
   }
-  util::ensure(static_cast<bool>(std::getline(in, line)) && line == "data",
-               "load_published: missing data marker");
+  if (!std::getline(in, line) || line != "data") {
+    throw util::ParseError("load_published: missing data marker");
+  }
 
   std::vector<double> values(pub.num_nodes * pub.projection_dim);
   in.read(reinterpret_cast<char*>(values.data()),
           static_cast<std::streamsize>(values.size() * sizeof(double)));
-  util::ensure(in.gcount() ==
-                   static_cast<std::streamsize>(values.size() * sizeof(double)),
-               "load_published: truncated payload");
+  if (in.gcount() !=
+      static_cast<std::streamsize>(values.size() * sizeof(double))) {
+    throw util::ParseError("load_published: truncated payload");
+  }
   pub.data = linalg::DenseMatrix(pub.num_nodes, pub.projection_dim,
                                  std::move(values));
   return pub;
@@ -109,13 +123,16 @@ PublishedGraph load_published(std::istream& in) {
 
 PublishedGraph load_published_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  util::ensure(in.good(), "load_published: cannot open " + path);
+  if (!in.good()) {
+    throw util::IoError("load_published: cannot open " + path);
+  }
   return load_published(in);
 }
 
 void publish_to_stream(const graph::Graph& g,
                        const RandomProjectionPublisher::Options& options,
                        std::ostream& out) {
+  util::fault_point("io.write");
   const std::size_t n = g.num_nodes();
   const std::size_t m = options.projection_dim;
   util::require(n >= 1, "publish_to_stream: graph must have nodes");
@@ -161,7 +178,9 @@ void publish_to_stream(const graph::Graph& g,
     }
     write_doubles(out, row);
   }
-  util::ensure(out.good(), "publish_to_stream: stream write failed");
+  if (!out.good()) {
+    throw util::IoError("publish_to_stream: stream write failed");
+  }
 }
 
 }  // namespace sgp::core

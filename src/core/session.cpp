@@ -1,12 +1,24 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/theory.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace sgp::core {
+namespace {
+
+/// Recorded and configured per-release budgets must agree bit-for-bit up to
+/// the text round trip (the ledger prints max_digits10, so exact equality
+/// is expected; the epsilon tolerance only forgives the last ulp).
+bool close(double a, double b) {
+  return std::fabs(a - b) <= 1e-12 * std::max(1.0, std::fabs(a));
+}
+
+}  // namespace
 
 PublishingSession::PublishingSession(Options options)
     : options_(std::move(options)) {
@@ -15,6 +27,29 @@ PublishingSession::PublishingSession(Options options)
   per_release.validate();
   util::require(per_release.epsilon <= options_.total_budget.epsilon,
                 "session: per-release epsilon exceeds the total budget");
+}
+
+PublishingSession::PublishingSession(Options options,
+                                     const std::string& ledger_path)
+    : PublishingSession(std::move(options)) {
+  ledger_ = std::make_unique<BudgetLedger>(ledger_path);
+  const auto& per = options_.publisher.params;
+  const NoiseCalibration cal = calibrate_noise(
+      options_.publisher.projection_dim, per,
+      options_.publisher.analytic_calibration, options_.publisher.delta_split);
+  for (const BudgetLedger::Record& r : ledger_->records()) {
+    if (!close(r.epsilon, per.epsilon) || !close(r.delta, per.delta)) {
+      throw util::LedgerCorruptError(
+          "budget ledger " + ledger_->path() + ": record " +
+          std::to_string(r.index) +
+          " was written under different per-release parameters than this "
+          "session is configured with — refusing to recover");
+    }
+    basic_.record({r.epsilon, r.delta});
+    rdp_.record_gaussian(r.sigma / r.sensitivity);
+    delta_projection_sum_ += cal.delta_projection;
+  }
+  releases_ = ledger_->size();
 }
 
 dp::PrivacyParams PublishingSession::spent_after(std::size_t releases) const {
@@ -45,21 +80,38 @@ dp::PrivacyParams PublishingSession::spent_after(std::size_t releases) const {
 
 PublishedGraph PublishingSession::publish(const graph::Graph& g) {
   const auto projected = spent_after(releases_ + 1);
-  util::ensure(projected.epsilon <= options_.total_budget.epsilon,
-               "session: publishing would exceed the total privacy budget");
+  if (projected.epsilon > options_.total_budget.epsilon) {
+    throw util::BudgetExhaustedError(
+        "session: publishing would exceed the total privacy budget (spent " +
+        spent().to_string() + " of cap " + options_.total_budget.to_string() +
+        ")");
+  }
 
   RandomProjectionPublisher::Options opt = options_.publisher;
   // Fresh randomness per release: mix the release index into the seed.
   std::uint64_t mix = opt.seed + 0x9e3779b97f4a7c15ULL * (releases_ + 1);
   opt.seed = random::splitmix64(mix);
-  const RandomProjectionPublisher publisher(opt);
-  PublishedGraph out = publisher.publish(g);
 
+  // Write-ahead accounting: persist the charge (and charge in memory)
+  // BEFORE computing the artifact. If the process dies — or the publisher
+  // throws — after this point, the budget reads as spent even though no
+  // artifact went out: an over-count, which is the safe direction. The
+  // reverse order could hand out an unaccounted release.
+  const NoiseCalibration cal = calibrate_noise(
+      opt.projection_dim, opt.params, opt.analytic_calibration,
+      opt.delta_split);
+  if (ledger_ != nullptr) {
+    ledger_->append({static_cast<std::uint64_t>(releases_ + 1),
+                     opt.params.epsilon, opt.params.delta, cal.sigma,
+                     cal.sensitivity});
+  }
   ++releases_;
   basic_.record(opt.params);
-  rdp_.record_gaussian(out.calibration.sigma / out.calibration.sensitivity);
-  delta_projection_sum_ += out.calibration.delta_projection;
-  return out;
+  rdp_.record_gaussian(cal.sigma / cal.sensitivity);
+  delta_projection_sum_ += cal.delta_projection;
+
+  const RandomProjectionPublisher publisher(opt);
+  return publisher.publish(g);
 }
 
 dp::PrivacyParams PublishingSession::spent() const {

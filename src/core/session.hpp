@@ -5,10 +5,21 @@
 // wraps the publisher with two accountants — classic composition and Rényi
 // (tighter for many Gaussian releases) — charges each release against a
 // total (ε, δ) cap, and refuses to publish past it.
+//
+// A session can optionally be backed by a crash-safe BudgetLedger
+// (core/ledger.hpp): every release is then durably recorded *before* the
+// artifact is returned, and a session re-constructed from the same ledger
+// path after a crash recovers the spent budget. A crash can therefore only
+// ever over-count spent ε (a recorded release whose artifact was never
+// delivered) — never under-count it, which is the failure that would void
+// the (ε, δ) guarantee.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
+#include "core/ledger.hpp"
 #include "core/publisher.hpp"
 #include "dp/accountant.hpp"
 #include "dp/rdp_accountant.hpp"
@@ -24,10 +35,19 @@ class PublishingSession {
 
   explicit PublishingSession(Options options);
 
+  /// Durable session: every release is write-ahead recorded in the ledger
+  /// at `ledger_path` before the artifact is returned. If the ledger
+  /// already holds records (crash recovery), the spent budget is restored
+  /// from it. Throws util::LedgerCorruptError if the ledger fails
+  /// validation or was written under different per-release parameters.
+  PublishingSession(Options options, const std::string& ledger_path);
+
   /// Publishes `g`, charging the configured per-release budget. Each release
   /// uses fresh randomness (the publisher seed is mixed with the release
-  /// index). Throws std::runtime_error if the release would push the spent
-  /// budget past the cap — the graph is NOT published in that case.
+  /// index). Throws util::BudgetExhaustedError if the release would push the
+  /// spent budget past the cap — the graph is NOT published and nothing is
+  /// charged in that case. With a ledger attached, util::IoError from the
+  /// append likewise means nothing was published or charged.
   PublishedGraph publish(const graph::Graph& g);
 
   /// Cumulative (ε, δ) consumed so far, at the session's total δ: the
@@ -40,6 +60,10 @@ class PublishingSession {
   [[nodiscard]] std::size_t num_releases() const { return releases_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  [[nodiscard]] bool has_ledger() const { return ledger_ != nullptr; }
+  /// The backing ledger, or nullptr for an in-memory session.
+  [[nodiscard]] const BudgetLedger* ledger() const { return ledger_.get(); }
+
  private:
   [[nodiscard]] dp::PrivacyParams spent_after(std::size_t releases) const;
 
@@ -48,6 +72,7 @@ class PublishingSession {
   dp::RdpAccountant rdp_;
   double delta_projection_sum_ = 0.0;
   std::size_t releases_ = 0;
+  std::unique_ptr<BudgetLedger> ledger_;
 };
 
 }  // namespace sgp::core

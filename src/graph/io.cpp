@@ -8,10 +8,29 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 
 namespace sgp::graph {
+namespace {
 
-Graph read_edge_list(std::istream& in, IdPolicy policy) {
+constexpr const char* kLineWhitespace = " \t\r";
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+  throw util::ParseError("edge list: line " + std::to_string(line_no) + ": " +
+                         why);
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in, IdPolicy policy,
+                     std::uint64_t max_preserved_id) {
+  util::fault_point("io.read");
+  // The id type caps preserved ids at 2^32 - 1 regardless of the caller's
+  // configured limit.
+  const std::uint64_t id_cap =
+      std::min<std::uint64_t>(max_preserved_id, 0xFFFFFFFFULL);
+
   std::unordered_map<std::uint64_t, std::uint32_t> remap;
   std::vector<Edge> edges;
   std::string line;
@@ -22,8 +41,11 @@ Graph read_edge_list(std::istream& in, IdPolicy policy) {
 
   auto intern = [&](std::uint64_t raw) -> std::uint32_t {
     if (policy == IdPolicy::kPreserve) {
-      util::ensure(raw <= 0xFFFFFFFFULL,
-                   "edge list: node id too large for preserve policy");
+      if (raw > id_cap) {
+        parse_fail(line_no, "node id " + std::to_string(raw) +
+                                " exceeds the preserve-policy cap of " +
+                                std::to_string(id_cap));
+      }
       max_raw_id = std::max(max_raw_id, raw);
       return static_cast<std::uint32_t>(raw);
     }
@@ -49,23 +71,46 @@ Graph read_edge_list(std::istream& in, IdPolicy policy) {
           if (num >> candidate && num.eof()) count = candidate;
         }
         if (word == "nodes" || word == "nodes,") {
+          // A lying header is as dangerous as a hostile id: it sizes the
+          // node arrays directly.
+          if (count > id_cap + 1) {
+            parse_fail(line_no,
+                       "header declares " + std::to_string(count) +
+                           " nodes, above the preserve-policy cap of " +
+                           std::to_string(id_cap + 1));
+          }
           declared_nodes = std::max(declared_nodes, count);
         }
       }
       line.erase(hash);
     }
+    if (line.find_first_not_of(kLineWhitespace) == std::string::npos) {
+      continue;  // blank or comment-only line
+    }
     std::istringstream fields(line);
     std::uint64_t u_raw, v_raw;
-    if (!(fields >> u_raw)) continue;  // blank or comment-only line
-    util::ensure(static_cast<bool>(fields >> v_raw),
-                 "edge list parse error at line " + std::to_string(line_no));
-    std::uint64_t extra;
-    util::ensure(!(fields >> extra),
-                 "edge list: more than two fields at line " +
-                     std::to_string(line_no));
+    if (!(fields >> u_raw)) {
+      parse_fail(line_no, "expected a numeric node id");
+    }
+    if (!(fields >> v_raw)) {
+      parse_fail(line_no, "expected two node ids, got one");
+    }
+    // Reject anything after the second id that is not whitespace — a third
+    // field, stray NUL bytes, or binary garbage all indicate a format the
+    // caller did not intend to feed us.
+    fields.clear();
+    std::string trailing;
+    std::getline(fields, trailing);
+    if (trailing.find_first_not_of(kLineWhitespace) != std::string::npos) {
+      parse_fail(line_no, "unexpected trailing content after the two ids");
+    }
     if (u_raw == v_raw) continue;  // drop self loop
     edges.push_back({intern(u_raw), intern(v_raw)});
     any_edge = true;
+  }
+  if (in.bad()) {
+    throw util::IoError("edge list: stream read error at line " +
+                        std::to_string(line_no));
   }
 
   std::size_t num_nodes = remap.size();
@@ -76,13 +121,17 @@ Graph read_edge_list(std::istream& in, IdPolicy policy) {
   return Graph::from_edges(num_nodes, edges);
 }
 
-Graph read_edge_list_file(const std::string& path, IdPolicy policy) {
+Graph read_edge_list_file(const std::string& path, IdPolicy policy,
+                          std::uint64_t max_preserved_id) {
   std::ifstream in(path);
-  util::ensure(in.good(), "cannot open edge list file: " + path);
-  return read_edge_list(in, policy);
+  if (!in.good()) {
+    throw util::IoError("cannot open edge list file: " + path);
+  }
+  return read_edge_list(in, policy, max_preserved_id);
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
+  util::fault_point("io.write");
   out << "# sgp edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
       << " edges\n";
   for (const Edge& e : g.edges()) {
@@ -92,10 +141,14 @@ void write_edge_list(const Graph& g, std::ostream& out) {
 
 void write_edge_list_file(const Graph& g, const std::string& path) {
   std::ofstream out(path);
-  util::ensure(out.good(), "cannot open output file: " + path);
+  if (!out.good()) {
+    throw util::IoError("cannot open output file: " + path);
+  }
   write_edge_list(g, out);
   out.flush();
-  util::ensure(out.good(), "failed writing edge list to: " + path);
+  if (!out.good()) {
+    throw util::IoError("failed writing edge list to: " + path);
+  }
 }
 
 }  // namespace sgp::graph

@@ -2,6 +2,7 @@
 // one "u v" pair per line, '#' comment lines ignored.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -20,19 +21,29 @@ enum class IdPolicy {
   kPreserve,
 };
 
-/// Parses an edge list from a stream. Self loops are dropped; duplicate
-/// edges merged. Throws std::runtime_error on parse errors.
-Graph read_edge_list(std::istream& in, IdPolicy policy = IdPolicy::kCompact);
+/// Largest node id accepted under IdPolicy::kPreserve by default. One
+/// hostile line ("4000000000 1") would otherwise make the reader attempt a
+/// multi-gigabyte allocation; real inputs that legitimately need more can
+/// raise the cap explicitly (hard limit: 2^32 - 1, the id type).
+inline constexpr std::uint64_t kDefaultMaxPreservedNodeId = 1ULL << 31;
 
-/// Loads from a file path. Throws std::runtime_error if unreadable.
+/// Parses an edge list from a stream. Self loops are dropped; duplicate
+/// edges merged. Throws util::ParseError on malformed lines, and — under
+/// kPreserve — on node ids or declared header node counts above
+/// `max_preserved_id` (ignored under kCompact, which remaps ids).
+Graph read_edge_list(std::istream& in, IdPolicy policy = IdPolicy::kCompact,
+                     std::uint64_t max_preserved_id = kDefaultMaxPreservedNodeId);
+
+/// Loads from a file path. Throws util::IoError if unreadable.
 Graph read_edge_list_file(const std::string& path,
-                          IdPolicy policy = IdPolicy::kCompact);
+                          IdPolicy policy = IdPolicy::kCompact,
+                          std::uint64_t max_preserved_id = kDefaultMaxPreservedNodeId);
 
 /// Writes "u v" per undirected edge (u < v), preceded by a header comment
 /// declaring the node count (understood by IdPolicy::kPreserve readers).
 void write_edge_list(const Graph& g, std::ostream& out);
 
-/// Saves to a file path. Throws std::runtime_error if unwritable.
+/// Saves to a file path. Throws util::IoError if unwritable.
 void write_edge_list_file(const Graph& g, const std::string& path);
 
 }  // namespace sgp::graph

@@ -7,6 +7,8 @@
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 
 namespace sgp::linalg {
 namespace {
@@ -36,7 +38,8 @@ std::vector<double> fresh_direction(std::size_t n,
       return v;
     }
   }
-  throw std::runtime_error("lanczos: could not generate a fresh direction");
+  throw util::ConvergenceError(
+      "lanczos: could not generate a fresh direction");
 }
 
 }  // namespace
@@ -67,6 +70,7 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
   LanczosResult result;
 
   for (std::size_t j = 0; j < max_iter; ++j) {
+    util::fault_point("solver.iteration");
     op.apply(basis[j], w);
     const double a = dot(w, basis[j]);
     alpha.push_back(a);
@@ -132,7 +136,8 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
     }
   }
 
-  throw std::runtime_error("lanczos: iteration limit reached unexpectedly");
+  throw util::ConvergenceError(
+      "lanczos: iteration limit reached unexpectedly");
 }
 
 }  // namespace sgp::linalg

@@ -6,6 +6,7 @@
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
+#include "util/fault_injection.hpp"
 
 namespace sgp::linalg {
 
@@ -37,6 +38,7 @@ PowerIterationResult power_iteration_topk(
     double lambda = 0.0;
     bool pair_converged = false;
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      util::fault_point("solver.iteration");
       op.apply(x, next);
       // Implicit deflation: remove components along found eigenvectors.
       for (std::size_t f = 0; f < found.size(); ++f) {

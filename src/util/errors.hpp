@@ -1,0 +1,81 @@
+// Typed error taxonomy for sgp API boundaries.
+//
+// Every failure the library can surface falls into one of a small set of
+// categories so that callers (and the CLI tools, which map these onto
+// documented exit codes — see docs/robustness.md) can react without string
+// matching on what(). All types derive from SgpError, which itself derives
+// from std::runtime_error, so pre-taxonomy callers that catch
+// std::runtime_error keep working unchanged.
+//
+// Caller mistakes (bad arguments to a function) remain
+// std::invalid_argument via util::require — they are bugs in the calling
+// code, not environmental failures, and are not part of this taxonomy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sgp::util {
+
+/// Coarse category of an SgpError, usable for switch-style dispatch
+/// (e.g. the CLI exit-code mapping).
+enum class ErrorKind {
+  kParse,            ///< malformed input data (edge lists, release headers)
+  kIo,               ///< environmental IO failure (open/read/write/rename)
+  kConvergence,      ///< an iterative solver exhausted its budget
+  kBudgetExhausted,  ///< a release would exceed the session privacy cap
+  kLedgerCorrupt,    ///< budget ledger failed validation on load
+};
+
+/// Root of the sgp error taxonomy.
+class SgpError : public std::runtime_error {
+ public:
+  SgpError(ErrorKind kind, const std::string& msg)
+      : std::runtime_error(msg), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Input data did not conform to its format (recoverable: fix the input).
+class ParseError : public SgpError {
+ public:
+  explicit ParseError(const std::string& msg)
+      : SgpError(ErrorKind::kParse, msg) {}
+};
+
+/// The environment failed us: cannot open/read/write/rename a file.
+class IoError : public SgpError {
+ public:
+  explicit IoError(const std::string& msg) : SgpError(ErrorKind::kIo, msg) {}
+};
+
+/// An iterative solver (Lanczos, power iteration, Jacobi) did not converge
+/// within its budget. Callers may retry with a larger budget or fall back
+/// to a direct method (see cluster/spectral.cpp).
+class ConvergenceError : public SgpError {
+ public:
+  explicit ConvergenceError(const std::string& msg)
+      : SgpError(ErrorKind::kConvergence, msg) {}
+};
+
+/// Publishing was refused because it would push the session past its
+/// total (ε, δ) cap. Nothing was released and no budget was charged.
+class BudgetExhaustedError : public SgpError {
+ public:
+  explicit BudgetExhaustedError(const std::string& msg)
+      : SgpError(ErrorKind::kBudgetExhausted, msg) {}
+};
+
+/// A budget ledger failed validation (bad magic/version, checksum mismatch,
+/// truncation, out-of-order records, or configuration mismatch). The ledger
+/// is never partially loaded: the session refuses to start.
+class LedgerCorruptError : public SgpError {
+ public:
+  explicit LedgerCorruptError(const std::string& msg)
+      : SgpError(ErrorKind::kLedgerCorrupt, msg) {}
+};
+
+}  // namespace sgp::util

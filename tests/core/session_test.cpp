@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "graph/generators.hpp"
+#include "util/errors.hpp"
 
 namespace sgp::core {
 namespace {
@@ -83,6 +85,55 @@ TEST(SessionTest, RdpBeatsBasicForManySmallReleases) {
   for (int i = 0; i < 50; ++i) (void)session.publish(g);
   EXPECT_LT(session.spent().epsilon, 10.0 * 0.9);
   EXPECT_GT(session.remaining_epsilon(), 0.0);
+}
+
+TEST(SessionTest, ReleaseExactlyAtTheCapIsAllowed) {
+  // Two releases of ε=1.0 under a cap of exactly 2.0: sequential composition
+  // lands exactly on the cap, which is "<=", not "past" — both must succeed.
+  PublishingSession session(session_options(1.0, 2.0));
+  const auto g = small_graph();
+  (void)session.publish(g);
+  (void)session.publish(g);
+  EXPECT_EQ(session.num_releases(), 2u);
+  EXPECT_LE(session.spent().epsilon, 2.0 + 1e-12);
+}
+
+TEST(SessionTest, RefusalIsTypedAndUncharged) {
+  PublishingSession session(session_options(1.0, 2.0));
+  const auto g = small_graph();
+  bool refused = false;
+  for (int i = 0; i < 50 && !refused; ++i) {
+    try {
+      (void)session.publish(g);
+    } catch (const util::BudgetExhaustedError&) {
+      refused = true;
+    }
+  }
+  ASSERT_TRUE(refused);
+  const auto releases_at_refusal = session.num_releases();
+  const auto spent_at_refusal = session.spent().epsilon;
+  // A refused publish charges nothing: state identical after another refusal.
+  EXPECT_THROW((void)session.publish(g), util::BudgetExhaustedError);
+  EXPECT_EQ(session.num_releases(), releases_at_refusal);
+  EXPECT_DOUBLE_EQ(session.spent().epsilon, spent_at_refusal);
+}
+
+TEST(SessionTest, LedgerBackedSessionRecoversSpentBudget) {
+  const std::string path = testing::TempDir() + "/sgp_session_ledger_test.ledger";
+  std::remove(path.c_str());
+  const auto g = small_graph();
+  double spent = 0.0;
+  {
+    PublishingSession session(session_options(0.5, 10.0), path);
+    ASSERT_TRUE(session.has_ledger());
+    (void)session.publish(g);
+    (void)session.publish(g);
+    spent = session.spent().epsilon;
+  }
+  PublishingSession recovered(session_options(0.5, 10.0), path);
+  EXPECT_EQ(recovered.num_releases(), 2u);
+  EXPECT_DOUBLE_EQ(recovered.spent().epsilon, spent);
+  std::remove(path.c_str());
 }
 
 TEST(SessionTest, SpentIsMonotone) {

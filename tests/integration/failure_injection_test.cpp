@@ -11,27 +11,34 @@
 #include "graph/io.hpp"
 #include "linalg/lanczos.hpp"
 #include "random/rng.hpp"
+#include "util/errors.hpp"
 
 namespace sgp {
 namespace {
 
 // --------------------------------------------------------------------------
-// Edge-list parser vs garbage.
-class EdgeListFuzz : public testing::TestWithParam<const char*> {};
+// Edge-list parser vs garbage — under both id policies: whatever parses
+// must be internally consistent and must never have triggered an absurd
+// allocation; everything else must be rejected with a clean exception.
+class EdgeListFuzz : public testing::TestWithParam<std::string> {};
 
 TEST_P(EdgeListFuzz, ThrowsOrParsesNeverCrashes) {
-  std::istringstream in(GetParam());
-  try {
-    const auto g = graph::read_edge_list(in);
-    // If it parsed, the result must be internally consistent.
-    for (std::size_t u = 0; u < g.num_nodes(); ++u) {
-      for (auto v : g.neighbors(u)) {
-        ASSERT_LT(v, g.num_nodes());
-        ASSERT_TRUE(g.has_edge(v, u));
+  for (const auto policy :
+       {graph::IdPolicy::kCompact, graph::IdPolicy::kPreserve}) {
+    std::istringstream in(GetParam());
+    try {
+      const auto g = graph::read_edge_list(in, policy);
+      // If it parsed, the result must be internally consistent.
+      ASSERT_LE(g.num_nodes(), graph::kDefaultMaxPreservedNodeId + 1);
+      for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+        for (auto v : g.neighbors(u)) {
+          ASSERT_LT(v, g.num_nodes());
+          ASSERT_TRUE(g.has_edge(v, u));
+        }
       }
+    } catch (const std::exception&) {
+      // Clean rejection is acceptable.
     }
-  } catch (const std::exception&) {
-    // Clean rejection is acceptable.
   }
 }
 
@@ -41,6 +48,68 @@ INSTANTIATE_TEST_SUITE_P(
                     "99999999999999999999999 1",
                     "-1 2", "0 1\n1", "0 1\nxyzzy", "# only\n# comments",
                     "0 0\n0 0\n0 0", "1 2 # ok\n3", "\t \t", "0\t1\n2\t3"));
+
+INSTANTIATE_TEST_SUITE_P(
+    HostileInputs, EdgeListFuzz,
+    testing::Values(
+        // One hostile line asking for a multi-GB node array.
+        std::string("4294967295 1"),            // 2^32 - 1 (max uint32)
+        std::string("4294967296 1"),            // 2^32 (overflows uint32)
+        std::string("2147483648 0"),            // 2^31 (above preserve cap)
+        std::string("18446744073709551615 1"),  // uint64 max
+        std::string("0 99999999999999999999"),  // overflows uint64 itself
+        // Embedded NUL bytes (mid-line and a NUL-only line).
+        std::string("0 1\0 2\n3 4\n", 12),
+        std::string("\0\0\n0 1\n", 7),
+        // CRLF line endings from a Windows-exported edge list.
+        std::string("0 1\r\n2 3\r\n"),
+        std::string("0 1\r\r\n"),
+        // Headers that lie about the node count (kPreserve trusts them).
+        std::string("# sgp edge list: 99999999999 nodes, 1 edges\n0 1\n"),
+        std::string("# sgp edge list: 4294967297 nodes, 1 edges\n0 1\n"),
+        std::string("# sgp edge list: -7 nodes, 1 edges\n0 1\n"),
+        std::string("# sgp edge list: twelve nodes, 1 edges\n0 1\n"),
+        std::string("0 1\n# sgp edge list: 2147483650 nodes, 0 edges\n")));
+
+TEST(EdgeListHardeningTest, PreservePolicyRejectsAbsurdIdWithParseError) {
+  std::istringstream in("3000000000 1\n");  // > 2^31 default cap
+  EXPECT_THROW((void)graph::read_edge_list(in, graph::IdPolicy::kPreserve),
+               util::ParseError);
+}
+
+TEST(EdgeListHardeningTest, PreservePolicyRejectsLyingHeader) {
+  std::istringstream in("# sgp edge list: 99999999999 nodes, 1 edges\n0 1\n");
+  EXPECT_THROW((void)graph::read_edge_list(in, graph::IdPolicy::kPreserve),
+               util::ParseError);
+}
+
+TEST(EdgeListHardeningTest, PreserveCapIsConfigurable) {
+  {
+    std::istringstream in("5000 1\n");
+    EXPECT_THROW(
+        (void)graph::read_edge_list(in, graph::IdPolicy::kPreserve, 4096),
+        util::ParseError);
+  }
+  {
+    std::istringstream in("5000 1\n");
+    const auto g =
+        graph::read_edge_list(in, graph::IdPolicy::kPreserve, 8192);
+    EXPECT_EQ(g.num_nodes(), 5001u);
+  }
+}
+
+TEST(EdgeListHardeningTest, CompactPolicyStillAcceptsHugeSparseIds) {
+  // kCompact remaps, so huge ids cost nothing and must keep working.
+  std::istringstream in("18446744073709551615 7\n");
+  const auto g = graph::read_edge_list(in, graph::IdPolicy::kCompact);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(EdgeListHardeningTest, TrailingGarbageAfterIdsRejected) {
+  std::istringstream in(std::string("0 1\0garbage\n", 12));
+  EXPECT_THROW((void)graph::read_edge_list(in), util::ParseError);
+}
 
 // --------------------------------------------------------------------------
 // Release loader vs corrupted artifacts.

@@ -19,6 +19,7 @@
 #include "core/serialization.hpp"
 #include "linalg/svd.hpp"
 #include "ranking/metrics.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -30,10 +31,10 @@ int main(int argc, char** argv) {
                  "usage: %s --release release.bin --task info|cluster|rank "
                  "[--clusters K] [--top N] [--seed S]\n",
                  args.program().c_str());
-    return 2;
+    return sgp::tools::kExitUsage;
   }
 
-  try {
+  return sgp::tools::run_tool([&]() -> int {
     const auto release = sgp::core::load_published_file(release_path);
     std::fprintf(stderr, "release: n=%zu m=%zu %s sigma=%.3f projection=%s\n",
                  release.num_nodes, release.projection_dim,
@@ -88,9 +89,6 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::fprintf(stderr, "error: unknown task '%s'\n", task.c_str());
-    return 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+    return sgp::tools::kExitUsage;
+  });
 }

@@ -17,22 +17,26 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 
 namespace {
 
-int write_labels(const std::vector<std::uint32_t>& labels,
-                 const std::string& path) {
+void write_labels(const std::vector<std::uint32_t>& labels,
+                  const std::string& path) {
   std::ofstream out(path);
   if (!out.good()) {
-    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    return 1;
+    throw sgp::util::IoError("cannot open " + path);
   }
   out << "# node community\n";
   for (std::size_t u = 0; u < labels.size(); ++u) {
     out << u << ' ' << labels[u] << '\n';
   }
-  return 0;
+  out.flush();
+  if (!out.good()) {
+    throw sgp::util::IoError("failed writing labels to " + path);
+  }
 }
 
 }  // namespace
@@ -46,10 +50,10 @@ int main(int argc, char** argv) {
                  "usage: %s --model sbm|ba|er|ws --out graph.txt [model "
                  "params; see header comment]\n",
                  args.program().c_str());
-    return 2;
+    return sgp::tools::kExitUsage;
   }
 
-  try {
+  return sgp::tools::run_tool([&]() -> int {
     sgp::random::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
     sgp::graph::Graph graph;
 
@@ -61,10 +65,7 @@ int main(int argc, char** argv) {
           std::vector<std::size_t>(communities, size),
           args.get_double("p-in", 0.2), args.get_double("p-out", 0.004), rng);
       graph = planted.graph;
-      if (const int rc = write_labels(planted.labels, out_path + ".labels");
-          rc != 0) {
-        return rc;
-      }
+      write_labels(planted.labels, out_path + ".labels");
     } else if (model == "ba") {
       graph = sgp::graph::barabasi_albert(
           static_cast<std::size_t>(args.get_int("nodes", 4000)),
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
           args.get_double("beta", 0.1), rng);
     } else {
       std::fprintf(stderr, "error: unknown model '%s'\n", model.c_str());
-      return 2;
+      return sgp::tools::kExitUsage;
     }
 
     sgp::graph::write_edge_list_file(graph, out_path);
@@ -89,9 +90,6 @@ int main(int argc, char** argv) {
                  "wrote %s: %zu nodes, %zu edges, avg deg %.1f, max deg %zu\n",
                  out_path.c_str(), graph.num_nodes(), graph.num_edges(),
                  stats.mean, stats.max);
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+    return sgp::tools::kExitOk;
+  });
 }

@@ -3,15 +3,26 @@
 //   sgp_publish --edges graph.txt --out release.bin
 //               [--epsilon 1.0] [--delta 1e-6] [--dim 100]
 //               [--projection gaussian|achlioptas] [--seed 7] [--streaming]
+//               [--ledger budget.ledger --budget-epsilon 10 --budget-delta 1e-5]
 //
 // With --streaming the release is computed row by row (≈half the peak
 // memory); output bytes are identical either way.
+//
+// With --ledger the release is charged against a crash-safe budget ledger:
+// repeated invocations against the same ledger accumulate spent (ε, δ), and
+// once the total cap (--budget-epsilon/--budget-delta) would be exceeded the
+// tool refuses with exit code 4 and publishes nothing. See
+// docs/robustness.md for the ledger format and recovery semantics.
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "core/serialization.hpp"
+#include "core/session.hpp"
 #include "graph/io.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/errors.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -23,12 +34,13 @@ int main(int argc, char** argv) {
                  "usage: %s --edges graph.txt --out release.bin "
                  "[--epsilon E] [--delta D] [--dim M] "
                  "[--projection gaussian|achlioptas] [--seed S] "
-                 "[--streaming]\n",
+                 "[--streaming] [--ledger budget.ledger "
+                 "--budget-epsilon E --budget-delta D]\n",
                  args.program().c_str());
-    return 2;
+    return sgp::tools::kExitUsage;
   }
 
-  try {
+  return sgp::tools::run_tool([&]() -> int {
     sgp::util::WallTimer timer;
     const auto policy = args.get_bool("preserve-ids", false)
                             ? sgp::graph::IdPolicy::kPreserve
@@ -47,11 +59,32 @@ int main(int argc, char** argv) {
     }
 
     timer.reset();
+    const std::string ledger_path = args.get_string("ledger", "");
+    if (!ledger_path.empty()) {
+      // The cap is the point of the ledger — refuse to default it silently.
+      if (args.get_string("budget-epsilon", "").empty()) {
+        throw std::invalid_argument("--ledger requires --budget-epsilon");
+      }
+      sgp::core::PublishingSession::Options sopt;
+      sopt.publisher = opt;
+      sopt.total_budget = {args.get_double("budget-epsilon", 10.0),
+                           args.get_double("budget-delta", 1e-5)};
+      sgp::core::PublishingSession session(sopt, ledger_path);
+      std::fprintf(stderr, "ledger %s: %zu prior releases, spent %s\n",
+                   ledger_path.c_str(), session.num_releases(),
+                   session.spent().to_string().c_str());
+      const auto release = session.publish(graph);
+      sgp::core::save_published_file(release, out_path);
+      std::fprintf(stderr,
+                   "published %s; session now at %s (%.3f epsilon left)\n",
+                   out_path.c_str(), session.spent().to_string().c_str(),
+                   session.remaining_epsilon());
+      return sgp::tools::kExitOk;
+    }
     if (args.get_bool("streaming", false)) {
       std::ofstream out(out_path, std::ios::binary);
       if (!out.good()) {
-        std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
-        return 1;
+        throw sgp::util::IoError("cannot open " + out_path);
       }
       sgp::core::publish_to_stream(graph, opt, out);
     } else {
@@ -61,9 +94,6 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "published %s under %s in %.2fs\n", out_path.c_str(),
                  opt.params.to_string().c_str(), timer.seconds());
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+    return sgp::tools::kExitOk;
+  });
 }

@@ -11,6 +11,7 @@
 #include "core/stats_publisher.hpp"
 #include "dp/accountant.hpp"
 #include "graph/io.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -21,10 +22,10 @@ int main(int argc, char** argv) {
                  "usage: %s --edges graph.txt [--epsilon E] [--max-degree D] "
                  "[--degree-bound B] [--seed S]\n",
                  args.program().c_str());
-    return 2;
+    return sgp::tools::kExitUsage;
   }
 
-  try {
+  return sgp::tools::run_tool([&]() -> int {
     const auto graph = sgp::graph::read_edge_list_file(edges_path);
     const double total_eps = args.get_double("epsilon", 1.0);
     const auto max_degree =
@@ -68,9 +69,6 @@ int main(int argc, char** argv) {
     const auto spent = accountant.basic_composition();
     std::fprintf(stderr, "total budget consumed: %s over %zu releases\n",
                  spent.to_string().c_str(), accountant.num_releases());
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+    return sgp::tools::kExitOk;
+  });
 }

@@ -1,0 +1,61 @@
+// Shared top-level error handling for the sgp_* CLI tools.
+//
+// Every tool wraps its body in run_tool(), which maps the sgp error
+// taxonomy (util/errors.hpp) onto documented, scriptable exit codes —
+// instead of each tool improvising (or worse, letting an exception escape
+// main into std::terminate):
+//
+//   0  success
+//   2  usage error (bad flags, missing required arguments)
+//   3  data error (unreadable/corrupt input, IO failure, corrupt ledger)
+//   4  privacy budget exhausted (nothing was released)
+//   5  internal error (solver non-convergence, allocation failure, bugs)
+//
+// The codes are part of the CLI contract; see docs/robustness.md.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <new>
+#include <stdexcept>
+
+#include "util/errors.hpp"
+
+namespace sgp::tools {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitData = 3;
+inline constexpr int kExitBudget = 4;
+inline constexpr int kExitInternal = 5;
+
+template <typename Fn>
+int run_tool(Fn&& body) {
+  try {
+    return body();
+  } catch (const util::BudgetExhaustedError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBudget;
+  } catch (const util::ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitData;
+  } catch (const util::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitData;
+  } catch (const util::LedgerCorruptError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitData;
+  } catch (const std::invalid_argument& e) {
+    // util::require / CliArgs: the caller passed something malformed.
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return kExitUsage;
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "internal error: out of memory\n");
+    return kExitInternal;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
+  }
+}
+
+}  // namespace sgp::tools
