@@ -65,11 +65,19 @@ int main() {
 
   sgp::random::Rng rng(kSeed);
   const auto g = sgp::graph::erdos_renyi(2000, 0.02, rng);
+  sgp::bench::BenchReport report("E10");
+  report.meta("nodes", static_cast<std::uint64_t>(g.num_nodes()))
+      .meta("edges", static_cast<std::uint64_t>(g.num_edges()))
+      .meta("m", static_cast<std::uint64_t>(128))
+      .meta("delta", 1e-6)
+      .meta("seed", static_cast<std::uint64_t>(kSeed));
   std::printf("graph: n=%zu, |E|=%zu, m=128\n\n", g.num_nodes(),
               g.num_edges());
 
   sgp::util::TextTable table({"epsilon", "sigma", "link_auc"});
   for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    sgp::obs::ScopedTimer timer("bench.sweep");
+    timer.attr("epsilon", eps);
     sgp::core::RandomProjectionPublisher::Options opt;
     opt.projection_dim = 128;
     opt.params = {eps, 1e-6};

@@ -22,11 +22,19 @@ int main() {
 
   const auto dataset = sgp::graph::facebook_sim();
   const std::uint64_t seed = 59;
+  sgp::bench::BenchReport report("E11");
+  report.meta("dataset", dataset.name)
+      .meta("nodes",
+            static_cast<std::uint64_t>(dataset.planted.graph.num_nodes()))
+      .meta("m", static_cast<std::uint64_t>(100))
+      .meta("delta", 1e-6)
+      .meta("seed", seed);
 
   sgp::util::TextTable table({"epsilon", "direct_nmi", "surrogate_spectral",
                               "surrogate_louvain", "surrogate_edges"});
   for (double eps : {4.0, 8.0, 16.0, 32.0}) {
-    sgp::util::WallTimer timer;
+    sgp::obs::ScopedTimer timer("bench.sweep");
+    timer.attr("epsilon", eps);
     sgp::core::RandomProjectionPublisher::Options opt;
     opt.projection_dim = 100;
     opt.params = {eps, 1e-6};
@@ -61,7 +69,7 @@ int main() {
              3)
         .add(surrogate.num_edges());
     std::fprintf(stderr, "[e11] eps=%.0f done in %.1fs\n", eps,
-                 timer.seconds());
+                 timer.stop());
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\noriginal graph edges: %zu\n",

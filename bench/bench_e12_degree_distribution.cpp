@@ -57,6 +57,12 @@ int main() {
 
   const auto dataset = sgp::graph::facebook_sim();
   const auto& g = dataset.planted.graph;
+  sgp::bench::BenchReport report("E12");
+  report.meta("dataset", dataset.name)
+      .meta("nodes", static_cast<std::uint64_t>(g.num_nodes()))
+      .meta("m", static_cast<std::uint64_t>(100))
+      .meta("delta", 1e-6)
+      .meta("seed", static_cast<std::uint64_t>(kSeed));
 
   std::vector<double> truth_degrees(g.num_nodes());
   for (std::size_t u = 0; u < g.num_nodes(); ++u) {
@@ -66,7 +72,8 @@ int main() {
 
   sgp::util::TextTable table({"epsilon", "tv_rp", "tv_hay", "tv_edgeflip"});
   for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-    sgp::util::WallTimer timer;
+    sgp::obs::ScopedTimer timer("bench.sweep");
+    timer.attr("epsilon", eps);
     // (a) projected release row norms.
     sgp::core::RandomProjectionPublisher::Options opt;
     opt.projection_dim = 100;
@@ -96,7 +103,7 @@ int main() {
         .add(total_variation(truth_hist, hay_hist), 3)
         .add(total_variation(truth_hist, flip_hist), 3);
     std::fprintf(stderr, "[e12] eps=%.1f done in %.1fs\n", eps,
-                 timer.seconds());
+                 timer.stop());
   }
   std::printf("%s", table.to_string().c_str());
   return 0;

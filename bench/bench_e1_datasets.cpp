@@ -10,15 +10,19 @@
 #include "graph/metrics.hpp"
 
 int main() {
+  sgp::bench::BenchReport report("E1");
   sgp::bench::banner(
       "E1 / Table 1: dataset statistics",
       "Synthetic stand-ins for the SNAP graphs used in the paper.");
 
   sgp::util::TextTable table({"dataset", "nodes", "edges", "avg_deg",
                               "max_deg", "global_cc", "communities"});
+  std::uint64_t total_nodes = 0;
   for (const auto& dataset : sgp::graph::standard_datasets()) {
-    sgp::util::WallTimer timer;
+    sgp::obs::ScopedTimer timer("bench.dataset");
+    timer.attr("dataset", dataset.name);
     const auto& g = dataset.planted.graph;
+    total_nodes += g.num_nodes();
     const auto stats = sgp::graph::degree_stats(g);
     const double cc = sgp::graph::global_clustering_coefficient(g);
     table.new_row()
@@ -30,8 +34,9 @@ int main() {
         .add(cc, 4)
         .add(dataset.num_communities);
     std::fprintf(stderr, "[e1] %s done in %.1fs\n", dataset.name.c_str(),
-                 timer.seconds());
+                 timer.stop());
   }
+  report.meta("total_nodes", total_nodes);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

@@ -13,12 +13,17 @@
 #include "dp/mechanisms.hpp"
 
 int main() {
+  sgp::bench::BenchReport report("E2");
+  report.meta("m_max", static_cast<std::uint64_t>(200))
+      .meta("epsilon_max", 10.0)
+      .meta("delta_min", 1e-6);
   sgp::bench::banner(
       "E2: calibrated noise vs privacy budget",
       "sigma per entry of the published n x m matrix; sensitivity -> 1 as m "
       "grows (independent of n).");
 
   {
+    sgp::obs::ScopedTimer timer("bench.sigma_table");
     sgp::util::TextTable table({"epsilon", "delta", "m", "sensitivity",
                                 "sigma_analytic", "sigma_classic"});
     for (double delta : {1e-4, 1e-5, 1e-6}) {
@@ -41,6 +46,7 @@ int main() {
   }
 
   {
+    sgp::obs::ScopedTimer timer("bench.noise_energy");
     std::printf(
         "Noise energy comparison at eps=1, delta=1e-6 (Frobenius norm of the "
         "added noise):\n");

@@ -94,6 +94,10 @@ void add_optional(sgp::util::TextTable& table, std::optional<double> value) {
 }  // namespace
 
 int main() {
+  sgp::bench::BenchReport report("E3");
+  report.meta("m", static_cast<std::uint64_t>(kProjectionDim))
+      .meta("delta", 1e-6)
+      .meta("seed", static_cast<std::uint64_t>(kSeed));
   sgp::bench::banner(
       "E3: clustering utility (NMI) vs epsilon",
       "Higher is better; 'reference' is the non-private spectral pipeline. "
@@ -113,13 +117,14 @@ int main() {
         small ? std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0}
               : std::vector<double>{2.0, 4.0, 8.0, 16.0};
     for (double epsilon : epsilons) {
-      sgp::util::WallTimer timer;
+      sgp::obs::ScopedTimer timer("bench.sweep");
+      timer.attr("dataset", dataset.name).attr("epsilon", epsilon);
       table.new_row().add(epsilon, 1).add(rp_nmi(dataset, epsilon), 3);
       table.add(lnpp_nmi(dataset, epsilon), 3);
       add_optional(table, edge_flip_nmi(dataset, epsilon));
       add_optional(table, dense_gaussian_nmi(dataset, epsilon));
       std::fprintf(stderr, "[e3] %s eps=%.1f done in %.1fs\n",
-                   dataset.name.c_str(), epsilon, timer.seconds());
+                   dataset.name.c_str(), epsilon, timer.stop());
     }
     std::printf("%s\n", table.to_string().c_str());
   }

@@ -17,13 +17,21 @@ int main() {
 
   const auto dataset = sgp::graph::facebook_sim();
   const std::uint64_t seed = 23;
+  sgp::bench::BenchReport report("E4");
+  report.meta("dataset", dataset.name)
+      .meta("nodes",
+            static_cast<std::uint64_t>(dataset.planted.graph.num_nodes()))
+      .meta("epsilon_grid", "4,8")
+      .meta("delta", 1e-6)
+      .meta("seed", seed);
   const auto reference = sgp::bench::non_private_reference(dataset, seed);
   std::printf("non-private NMI = %.3f\n", reference.nmi_vs_truth);
 
   sgp::util::TextTable table({"m", "nmi_eps4", "nmi_eps8", "sigma_eps4",
                               "published_MiB"});
   for (std::size_t m : {16, 32, 64, 128, 256, 512}) {
-    sgp::util::WallTimer timer;
+    sgp::obs::ScopedTimer timer("bench.sweep");
+    timer.attr("m", static_cast<std::uint64_t>(m));
     double nmi[2] = {0.0, 0.0};
     double sigma4 = 0.0;
     double mib = 0.0;
@@ -48,7 +56,7 @@ int main() {
         .add(nmi[1], 3)
         .add(sigma4, 3)
         .add(mib, 2);
-    std::fprintf(stderr, "[e4] m=%zu done in %.1fs\n", m, timer.seconds());
+    std::fprintf(stderr, "[e4] m=%zu done in %.1fs\n", m, timer.stop());
   }
   std::printf("%s", table.to_string().c_str());
   return 0;

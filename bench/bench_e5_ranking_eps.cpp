@@ -48,6 +48,10 @@ std::vector<RankingDataset> ranking_datasets() {
 }  // namespace
 
 int main() {
+  sgp::bench::BenchReport report("E5");
+  report.meta("m", static_cast<std::uint64_t>(kProjectionDim))
+      .meta("delta", 1e-6)
+      .meta("seed", static_cast<std::uint64_t>(kSeed));
   sgp::bench::banner(
       "E5: ranking utility (top-1% overlap) vs epsilon",
       "Overlap of the top-1% node shortlist computed from the release vs the "
@@ -56,18 +60,20 @@ int main() {
   for (const auto& dataset : ranking_datasets()) {
     const auto& g = dataset.graph;
     const std::size_t top_k = std::max<std::size_t>(1, g.num_nodes() / 100);
-    sgp::util::WallTimer truth_timer;
+    sgp::obs::ScopedTimer truth_timer("bench.ground_truth");
+    truth_timer.attr("dataset", dataset.name);
     const auto true_degree = sgp::ranking::degree_centrality(g);
     const auto true_eigen = sgp::ranking::eigenvector_centrality(g);
     std::fprintf(stderr, "[e5] %s ground truth in %.1fs\n",
-                 dataset.name.c_str(), truth_timer.seconds());
+                 dataset.name.c_str(), truth_timer.stop());
     std::printf("dataset %s (n=%zu), top-k=%zu\n", dataset.name.c_str(),
                 g.num_nodes(), top_k);
 
     sgp::util::TextTable table({"epsilon", "deg_overlap_rp", "eig_overlap_rp",
                                 "eig_overlap_lnpp", "deg_kendall_rp"});
     for (double epsilon : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-      sgp::util::WallTimer timer;
+      sgp::obs::ScopedTimer timer("bench.sweep");
+      timer.attr("dataset", dataset.name).attr("epsilon", epsilon);
       sgp::core::RandomProjectionPublisher::Options opt;
       opt.projection_dim = kProjectionDim;
       opt.params = {epsilon, 1e-6};
@@ -91,7 +97,7 @@ int main() {
           .add(sgp::ranking::top_k_overlap(true_eigen, lnpp_eigen, top_k), 3)
           .add(sgp::ranking::kendall_tau(true_degree, est_degree), 3);
       std::fprintf(stderr, "[e5] %s eps=%.1f done in %.1fs\n",
-                   dataset.name.c_str(), epsilon, timer.seconds());
+                   dataset.name.c_str(), epsilon, timer.stop());
     }
     std::printf("%s\n", table.to_string().c_str());
   }

@@ -24,9 +24,16 @@ int main() {
   const std::uint64_t seed = 31;
   sgp::random::Rng graph_rng(seed);
   const auto g = sgp::graph::barabasi_albert(40000, 14, graph_rng);
-  sgp::util::WallTimer truth_timer;
+  sgp::bench::BenchReport report("E6");
+  report.meta("nodes", static_cast<std::uint64_t>(g.num_nodes()))
+      .meta("edges", static_cast<std::uint64_t>(g.num_edges()))
+      .meta("m", static_cast<std::uint64_t>(100))
+      .meta("epsilon_grid", "4,16")
+      .meta("delta", 1e-6)
+      .meta("seed", seed);
+  sgp::obs::ScopedTimer truth_timer("bench.ground_truth");
   const auto true_degree = sgp::ranking::degree_centrality(g);
-  std::fprintf(stderr, "[e6] ground truth in %.1fs\n", truth_timer.seconds());
+  std::fprintf(stderr, "[e6] ground truth in %.1fs\n", truth_timer.stop());
 
   sgp::util::TextTable table({"top_percent", "k", "overlap_eps4",
                               "jaccard_eps4", "overlap_eps16",
@@ -34,6 +41,8 @@ int main() {
 
   std::vector<std::vector<double>> estimates;
   for (double epsilon : {4.0, 16.0}) {
+    sgp::obs::ScopedTimer timer("bench.publish");
+    timer.attr("epsilon", epsilon);
     sgp::core::RandomProjectionPublisher::Options opt;
     opt.projection_dim = 100;
     opt.params = {epsilon, 1e-6};

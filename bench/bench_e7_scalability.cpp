@@ -123,12 +123,23 @@ void print_storage_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  sgp::bench::BenchReport report("E7");
+  report.meta("m", static_cast<std::uint64_t>(kProjectionDim))
+      .meta("epsilon", 1.0)
+      .meta("delta", 1e-6)
+      .meta("max_nodes", static_cast<std::uint64_t>(50000));
   sgp::bench::banner(
       "E7: publishing cost vs graph size",
       "Wall-clock publish time (google-benchmark, 1 iteration per size) and "
       "release bytes. RP scales with |E|*m; dense baselines scale with n^2.");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_storage_table();
+  {
+    sgp::obs::ScopedTimer timer("bench.google_benchmark");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  {
+    sgp::obs::ScopedTimer timer("bench.storage_table");
+    print_storage_table();
+  }
   return 0;
 }

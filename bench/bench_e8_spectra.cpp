@@ -60,10 +60,17 @@ int main() {
 
   const auto dataset = sgp::graph::facebook_sim();
   const auto& g = dataset.planted.graph;
+  sgp::bench::BenchReport report("E8");
+  report.meta("dataset", dataset.name)
+      .meta("nodes", static_cast<std::uint64_t>(g.num_nodes()))
+      .meta("top_k", static_cast<std::uint64_t>(kTopK))
+      .meta("epsilon_noisy", 8.0)
+      .meta("delta", 1e-6)
+      .meta("seed", static_cast<std::uint64_t>(kSeed));
 
   // Ground-truth top-k eigenpairs by magnitude (the SVD of the projected
   // matrix approximates |lambda|).
-  sgp::util::WallTimer timer;
+  sgp::obs::ScopedTimer timer("bench.ground_truth");
   const auto a = g.adjacency_matrix();
   sgp::linalg::SymmetricOperator op{
       g.num_nodes(), [&a](std::span<const double> x, std::span<double> y) {
@@ -76,7 +83,7 @@ int main() {
   lopt.order = sgp::linalg::EigenOrder::kDescendingMagnitude;
   const auto truth = sgp::linalg::lanczos_topk(op, lopt);
   std::fprintf(stderr, "[e8] ground-truth spectrum in %.1fs\n",
-               timer.seconds());
+               timer.stop());
   std::printf("true |lambda| top-%zu: ", kTopK);
   for (double v : truth.values) std::printf("%.1f ", std::fabs(v));
   std::printf("\n\n");
@@ -86,7 +93,9 @@ int main() {
   for (std::size_t m : {25, 50, 100, 200, 400}) {
     for (auto kind : {sgp::core::ProjectionKind::kGaussian,
                       sgp::core::ProjectionKind::kAchlioptas}) {
-      sgp::util::WallTimer row_timer;
+      sgp::obs::ScopedTimer row_timer("bench.sweep");
+      row_timer.attr("m", static_cast<std::uint64_t>(m))
+          .attr("projection", sgp::core::to_string(kind));
       // Noiseless projection: enormous epsilon drives sigma to ~0.
       sgp::core::RandomProjectionPublisher::Options clean;
       clean.projection_dim = m;
@@ -111,7 +120,7 @@ int main() {
           .add(noisy_stats.value_rel_error, 4)
           .add(noisy_stats.subspace_cosine, 4);
       std::fprintf(stderr, "[e8] m=%zu %s done in %.1fs\n", m,
-                   sgp::core::to_string(kind).c_str(), row_timer.seconds());
+                   sgp::core::to_string(kind).c_str(), row_timer.stop());
     }
   }
   std::printf("%s", table.to_string().c_str());

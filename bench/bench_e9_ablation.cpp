@@ -37,8 +37,14 @@ int main() {
       "projection family at fixed (eps, delta).");
 
   const auto dataset = sgp::graph::facebook_sim();
+  sgp::bench::BenchReport report("E9");
+  report.meta("dataset", dataset.name)
+      .meta("m", static_cast<std::uint64_t>(100))
+      .meta("delta", 1e-6)
+      .meta("seed", static_cast<std::uint64_t>(kSeed));
 
   {
+    sgp::obs::ScopedTimer timer("bench.calibration");
     std::printf("(a) analytic vs classic Gaussian calibration, m=100:\n");
     sgp::util::TextTable table(
         {"epsilon", "sigma_analytic", "nmi_analytic", "sigma_classic",
@@ -66,6 +72,7 @@ int main() {
   }
 
   {
+    sgp::obs::ScopedTimer timer("bench.delta_split");
     std::printf("(b) delta split (fraction spent on the sensitivity bound), "
                 "eps=6, m=100:\n");
     sgp::util::TextTable table({"delta_split", "sensitivity", "sigma", "nmi"});
@@ -88,6 +95,7 @@ int main() {
   }
 
   {
+    sgp::obs::ScopedTimer timer("bench.projection_family");
     std::printf("(c) projection family under noise, m=100:\n");
     sgp::util::TextTable table({"epsilon", "nmi_gaussian", "nmi_achlioptas"});
     for (double eps : {4.0, 6.0, 8.0}) {

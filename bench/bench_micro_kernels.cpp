@@ -1,9 +1,16 @@
 // Micro-benchmarks of the kernels the publish/analyze pipelines spend their
 // time in — regression guardrails for performance work (google-benchmark
 // with proper auto-iteration, unlike the one-shot macro timings of E7).
+//
+// The BM_Obs* group measures the observability primitives themselves: the
+// disabled paths are the cost every instrumented call site pays when no one
+// asked for metrics (one relaxed atomic load — the docs/observability.md
+// overhead numbers come from here), the enabled paths bound the cost of
+// running with --metrics-out / --trace.
 #include <benchmark/benchmark.h>
 
 #include "cluster/kmeans.hpp"
+#include "common.hpp"
 #include "core/projection.hpp"
 #include "graph/generators.hpp"
 #include "linalg/eigen_sym.hpp"
@@ -115,6 +122,90 @@ void BM_KendallTau(benchmark::State& state) {
 }
 BENCHMARK(BM_KendallTau)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
 
+// --- observability primitives ---------------------------------------------
+// Each benchmark saves and restores the global gates so it composes with
+// the harness state (main enables both for the BENCH_MICRO.json report).
+
+class GateGuard {
+ public:
+  GateGuard(bool metrics, bool trace)
+      : metrics_was_(sgp::obs::metrics_enabled()),
+        trace_was_(sgp::obs::trace_enabled()) {
+    sgp::obs::set_metrics_enabled(metrics);
+    sgp::obs::set_trace_enabled(trace);
+  }
+  ~GateGuard() {
+    sgp::obs::set_metrics_enabled(metrics_was_);
+    sgp::obs::set_trace_enabled(trace_was_);
+  }
+
+ private:
+  bool metrics_was_;
+  bool trace_was_;
+};
+
+void BM_ObsCounterDisabled(benchmark::State& state) {
+  const GateGuard guard(false, false);
+  auto& c = sgp::obs::counter("bench.obs.counter");
+  for (auto _ : state) {
+    c.add();
+  }
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  const GateGuard guard(true, false);
+  auto& c = sgp::obs::counter("bench.obs.counter");
+  for (auto _ : state) {
+    c.add();
+  }
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+void BM_ObsHistogramEnabled(benchmark::State& state) {
+  const GateGuard guard(true, false);
+  auto& h = sgp::obs::histogram("bench.obs.histogram");
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v *= 1.0000001;  // vary the bucket a little
+  }
+}
+BENCHMARK(BM_ObsHistogramEnabled);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  const GateGuard guard(false, false);
+  for (auto _ : state) {
+    sgp::obs::Span span("bench.obs.span");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  const GateGuard guard(true, true);
+  for (auto _ : state) {
+    sgp::obs::Span span("bench.obs.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  // Spans are collected globally; drop the pile this loop produced so the
+  // emitted BENCH_MICRO.json stays small.
+  sgp::obs::clear_spans();
+}
+// Fixed iteration count: every enabled span is materialized in memory until
+// the clear above, so don't let the auto-tuner pick millions.
+BENCHMARK(BM_ObsSpanEnabled)->Iterations(100000);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sgp::bench::BenchReport report("MICRO");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    sgp::obs::ScopedTimer timer("bench.google_benchmark");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

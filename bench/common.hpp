@@ -4,15 +4,26 @@
 // prints a header naming the experiment, then an aligned table whose rows
 // are the series the paper reports. Progress/status goes to stderr so stdout
 // stays machine-readable.
+//
+// In addition every bench emits BENCH_<id>.json (schema "sgp-obs-report v1",
+// see obs/report.hpp): declare a BenchReport at the top of main and the
+// destructor writes phase timings, counter snapshots, and metadata to the
+// working directory — or $SGP_BENCH_JSON_DIR when set. Validate with
+// tools/sgp_bench_check.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "cluster/metrics.hpp"
 #include "cluster/spectral.hpp"
 #include "graph/datasets.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -23,6 +34,57 @@ namespace sgp::bench {
 inline void banner(const std::string& id, const std::string& claim) {
   std::printf("=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
 }
+
+/// RAII harness state for one experiment: enables metrics + tracing on
+/// construction and writes BENCH_<id>.json on destruction (or on an explicit
+/// emit()), so the report lands even if the bench exits through an early
+/// return. Metadata added via meta() ends up in the report's "meta" object.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string id) : id_(std::move(id)), report_(id_) {
+    obs::set_metrics_enabled(true);
+    obs::set_trace_enabled(true);
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { emit(); }
+
+  template <typename T>
+  BenchReport& meta(std::string_view key, const T& value) {
+    report_.meta(key, value);
+    return *this;
+  }
+
+  /// Destination: $SGP_BENCH_JSON_DIR/BENCH_<id>.json, or ./BENCH_<id>.json.
+  std::string path() const {
+    std::string dir;
+    if (const char* env = std::getenv("SGP_BENCH_JSON_DIR")) dir = env;
+    if (!dir.empty() && dir.back() != '/') dir += '/';
+    return dir + "BENCH_" + id_ + ".json";
+  }
+
+  /// Writes the report now (idempotent; later calls are no-ops). A write
+  /// failure warns on stderr instead of throwing — the bench's tables are
+  /// the primary output and must not be lost to a read-only directory.
+  void emit() {
+    if (emitted_) return;
+    emitted_ = true;
+    const std::string out = path();
+    try {
+      report_.write_file(out);
+      std::fprintf(stderr, "[bench] wrote %s\n", out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench] warning: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::string id_;
+  obs::Report report_;
+  bool emitted_ = false;
+};
 
 /// Spectral clustering of the original (non-private) graph — the reference
 /// that published-graph clustering is scored against, plus its NMI vs the
@@ -37,12 +99,14 @@ inline Reference non_private_reference(const graph::Dataset& dataset,
   cluster::SpectralOptions opt;
   opt.num_clusters = dataset.num_communities;
   opt.seed = seed;
-  util::WallTimer timer;
+  obs::ScopedTimer timer("bench.reference");
+  timer.attr("dataset", dataset.name);
   const auto result =
       cluster::spectral_cluster_graph(dataset.planted.graph, opt);
   util::LogStream(util::LogLevel::kInfo)
-      << dataset.name << ": non-private spectral reference in "
-      << timer.seconds() << "s";
+      .with("dataset", dataset.name)
+      .with("seconds", timer.stop())
+      << "non-private spectral reference";
   Reference ref;
   ref.assignments = result.assignments;
   ref.nmi_vs_truth = cluster::normalized_mutual_information(

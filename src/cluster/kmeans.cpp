@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
@@ -115,6 +117,8 @@ KMeansResult lloyd_run(const linalg::DenseMatrix& points,
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster at a random point: keeps k clusters alive.
+        static obs::Counter& reseeds = obs::counter("kmeans.reseeds");
+        reseeds.add();
         const std::size_t pick = rng.next_below(n);
         std::copy(points.row(pick).begin(), points.row(pick).end(),
                   result.centroids.row(c).begin());
@@ -143,10 +147,16 @@ KMeansResult kmeans(const linalg::DenseMatrix& points,
   util::require(options.restarts >= 1, "kmeans: restarts must be >= 1");
 
   random::Rng rng(options.seed);
+  obs::ScopedTimer timer("kmeans");
+  timer.attr("points", n).attr("k", options.k);
+  static obs::Counter& runs = obs::counter("kmeans.runs");
+  static obs::Counter& iterations = obs::counter("kmeans.iterations");
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
   for (std::size_t r = 0; r < options.restarts; ++r) {
     KMeansResult candidate = lloyd_run(points, options, rng);
+    runs.add();
+    iterations.add(candidate.iterations);
     if (candidate.inertia < best.inertia) best = std::move(candidate);
   }
   return best;

@@ -8,6 +8,8 @@
 #include "linalg/lanczos.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/logging.hpp"
@@ -26,6 +28,8 @@ namespace {
 linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
                                           std::size_t n, std::size_t dim,
                                           std::uint64_t seed) {
+  obs::ScopedTimer embed_timer("spectral.embed");
+  embed_timer.attr("n", n).attr("dim", dim);
   linalg::SymmetricOperator op{
       n, [&a](std::span<const double> x, std::span<double> y) {
         const auto r = a.multiply_vector(x);
@@ -38,7 +42,9 @@ linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
   try {
     return linalg::lanczos_topk(op, opt).vectors;
   } catch (const util::ConvergenceError& e) {
+    obs::counter("spectral.lanczos_retries").add();
     util::LogStream(util::LogLevel::kWarn)
+        .with("n", n)
         << "spectral: lanczos failed (" << e.what()
         << "); retrying with max_iterations=" << n;
   }
@@ -47,9 +53,11 @@ linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
     opt.seed = seed ^ 0x9e3779b97f4a7c15ULL;
     return linalg::lanczos_topk(op, opt).vectors;
   } catch (const util::ConvergenceError& e) {
+    obs::counter("spectral.dense_fallbacks").add();
     util::LogStream(util::LogLevel::kWarn)
+        .with("n", n)
         << "spectral: lanczos retry failed (" << e.what()
-        << "); falling back to the dense eigensolver (O(n^3), n=" << n << ")";
+        << "); falling back to the dense eigensolver (O(n^3))";
   }
   const linalg::EigenResult full =
       linalg::jacobi_eigen(a.to_dense(), linalg::EigenOrder::kDescending);

@@ -8,9 +8,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/timer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -80,6 +82,7 @@ BudgetLedger::Record parse_record(const std::string& path,
   char expected_hex[16];
   std::snprintf(expected_hex, sizeof(expected_hex), "%08x", crc32(body));
   if (crc_field != expected_hex) {
+    obs::counter("ledger.crc_failures").add();
     corrupt(path, line_no, "checksum mismatch (record altered or truncated)");
   }
 
@@ -135,9 +138,15 @@ BudgetLedger::BudgetLedger(std::string path) : path_(std::move(path)) {
   // mid-write; the checksum above already rejects a cut *within* the crc
   // field, and a cut before it loses " crc" and is rejected too, so at this
   // point every parsed record is intact.
+  obs::counter("ledger.recoveries").add();
+  obs::counter("ledger.recovered_records").add(records_.size());
 }
 
 void BudgetLedger::append(const Record& record) {
+  static obs::Counter& attempts = obs::counter("ledger.append_attempts");
+  static obs::Counter& appends = obs::counter("ledger.appends");
+  attempts.add();
+  const util::WallTimer append_timer;
   util::fault_point("ledger.append");
   util::require(record.index == records_.size() + 1,
                 "budget ledger: record index must be size() + 1");
@@ -179,6 +188,11 @@ void BudgetLedger::append(const Record& record) {
                         " failed: " + std::strerror(err));
   }
   records_.push_back(record);
+  appends.add();
+  if (obs::metrics_enabled()) {
+    static obs::Histogram& latency = obs::histogram("ledger.append.seconds");
+    latency.record(append_timer.seconds());
+  }
 }
 
 }  // namespace sgp::core

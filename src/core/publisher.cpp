@@ -4,6 +4,8 @@
 #include "dp/mechanisms.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "random/rng.hpp"
 #include "ranking/centrality.hpp"
 #include "util/check.hpp"
@@ -34,13 +36,21 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
 
   random::Rng rng(options_.seed);
 
+  obs::Span publish_span("publish");
+  publish_span.attr("n", n);
+  publish_span.attr("m", m);
+
   // Step 1: project. A is sparse CSR, so A·P costs O(nnz·m).
+  obs::ScopedTimer project_timer("publish.project");
+  project_timer.attr("nnz", matrix.nnz());
   const linalg::DenseMatrix p = make_projection(n, m, options_.projection, rng);
   linalg::DenseMatrix y = matrix.multiply_dense(p);
+  project_timer.stop();
 
   // Step 2: perturb with σ calibrated to the projected-row sensitivity
   // (scaled by the per-entry change bound — the row change is
   // ±max_entry_change·P_j).
+  obs::ScopedTimer perturb_timer("publish.perturb");
   PublishedGraph out;
   out.calibration =
       calibrate_noise(m, options_.params, options_.analytic_calibration,
@@ -51,6 +61,13 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   // does not correlate noise across runs.
   random::Rng noise_rng = rng.split(1);
   dp::add_gaussian_noise(y.data(), out.calibration.sigma, noise_rng);
+  perturb_timer.attr("sigma", out.calibration.sigma);
+  perturb_timer.stop();
+
+  static obs::Counter& releases = obs::counter("publish.releases");
+  static obs::Counter& cells = obs::counter("publish.cells");
+  releases.add();
+  cells.add(static_cast<std::uint64_t>(n) * m);
 
   // Step 3: assemble the release.
   out.data = std::move(y);
@@ -65,6 +82,10 @@ linalg::DenseMatrix spectral_embedding(const PublishedGraph& published,
                                        std::size_t k) {
   util::require(k >= 1 && k <= published.projection_dim,
                 "spectral_embedding: k must be in [1, m]");
+  obs::ScopedTimer embed_timer("publish.embed");
+  embed_timer.attr("k", k);
+  static obs::Counter& embeds = obs::counter("publish.embeds");
+  embeds.add();
   const linalg::SvdResult svd = linalg::svd_gram(published.data, k);
   return svd.u;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/theory.hpp"
+#include "obs/scoped_timer.hpp"
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
@@ -31,6 +32,8 @@ void write_doubles(std::ostream& out, std::span<const double> values) {
 
 void save_published(const PublishedGraph& published, std::ostream& out) {
   util::fault_point("io.write");
+  obs::ScopedTimer timer("io.save_release");
+  timer.attr("bytes", published.published_bytes());
   out.precision(17);  // max_digits10: header doubles must round-trip exactly
   out << kMagic << '\n';
   out << "nodes " << published.num_nodes << " dim " << published.projection_dim
@@ -57,6 +60,7 @@ void save_published_file(const PublishedGraph& published,
 
 PublishedGraph load_published(std::istream& in) {
   util::fault_point("io.read");
+  obs::ScopedTimer timer("io.load_release");
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
     throw util::ParseError("load_published: bad magic line");
@@ -133,6 +137,8 @@ void publish_to_stream(const graph::Graph& g,
                        const RandomProjectionPublisher::Options& options,
                        std::ostream& out) {
   util::fault_point("io.write");
+  obs::ScopedTimer timer("publish.stream");
+  timer.attr("n", g.num_nodes()).attr("m", options.projection_dim);
   const std::size_t n = g.num_nodes();
   const std::size_t m = options.projection_dim;
   util::require(n >= 1, "publish_to_stream: graph must have nodes");

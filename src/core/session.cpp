@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/theory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
@@ -79,8 +81,11 @@ dp::PrivacyParams PublishingSession::spent_after(std::size_t releases) const {
 }
 
 PublishedGraph PublishingSession::publish(const graph::Graph& g) {
+  obs::Span span("session.publish");
+  span.attr("release_index", releases_ + 1);
   const auto projected = spent_after(releases_ + 1);
   if (projected.epsilon > options_.total_budget.epsilon) {
+    obs::counter("session.budget_refusals").add();
     throw util::BudgetExhaustedError(
         "session: publishing would exceed the total privacy budget (spent " +
         spent().to_string() + " of cap " + options_.total_budget.to_string() +
@@ -109,6 +114,9 @@ PublishedGraph PublishingSession::publish(const graph::Graph& g) {
   basic_.record(opt.params);
   rdp_.record_gaussian(cal.sigma / cal.sensitivity);
   delta_projection_sum_ += cal.delta_projection;
+
+  static obs::Counter& publishes = obs::counter("session.publishes");
+  publishes.add();
 
   const RandomProjectionPublisher publisher(opt);
   return publisher.publish(g);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace sgp::linalg {
@@ -63,7 +64,12 @@ EigenResult jacobi_eigen(const DenseMatrix& a, EigenOrder order,
   const double frob = std::max(work.frobenius_norm(), 1e-300);
   const double tol = 1e-14 * frob;
 
+  static obs::Counter& solves = obs::counter("jacobi.solves");
+  static obs::Counter& sweeps = obs::counter("jacobi.sweeps");
+  solves.add();
+
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    sweeps.add();
     if (offdiagonal_norm(work) <= tol) {
       EigenResult res;
       res.values.resize(n);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
@@ -59,6 +61,15 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
 
   random::Rng rng(options.seed);
 
+  obs::Span span("lanczos");
+  span.attr("n", n);
+  span.attr("k", k);
+  static obs::Counter& solves = obs::counter("lanczos.solves");
+  static obs::Counter& iterations = obs::counter("lanczos.iterations");
+  static obs::Counter& restarts = obs::counter("lanczos.restarts");
+  static obs::Counter& failures = obs::counter("lanczos.failures");
+  solves.add();
+
   std::vector<std::vector<double>> basis;  // v_0 .. v_{j}
   basis.reserve(max_iter + 1);
   std::vector<double> alpha;  // T diagonal
@@ -71,6 +82,7 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
 
   for (std::size_t j = 0; j < max_iter; ++j) {
     util::fault_point("solver.iteration");
+    iterations.add();
     op.apply(basis[j], w);
     const double a = dot(w, basis[j]);
     alpha.push_back(a);
@@ -120,6 +132,8 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
         }
         result.iterations = built;
         result.converged = all_converged;
+        span.attr("iterations", built);
+        span.attr("converged", result.converged ? "true" : "false");
         return result;
       }
     }
@@ -127,6 +141,7 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
     if (b <= 1e-12) {
       // Invariant subspace exhausted before convergence: restart with a fresh
       // orthogonal direction (beta = 0 keeps T block-diagonal and valid).
+      restarts.add();
       beta.push_back(0.0);
       basis.push_back(fresh_direction(n, basis, basis.size(), rng));
     } else {
@@ -136,6 +151,7 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
     }
   }
 
+  failures.add();
   throw util::ConvergenceError(
       "lanczos: iteration limit reached unexpectedly");
 }

@@ -1,0 +1,66 @@
+// One timing primitive for benches, tools, and library phases.
+//
+// ScopedTimer replaces the ad-hoc util::WallTimer + manual logging pattern:
+// it opens a trace span under the timer's name, and on stop() (or scope
+// exit) records the elapsed time into the "<name>.seconds" latency
+// histogram. The same measurement therefore feeds the human-readable bench
+// tables, the span tree, and the metrics snapshot — one source of truth.
+//
+// seconds() can be read while running (for progress lines); stop() is
+// idempotent and returns the final elapsed time.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace sgp::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name)
+      : name_(name), span_(name) {}
+
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (while running) or the final time (after stop).
+  [[nodiscard]] double seconds() const {
+    return stopped_ ? elapsed_ : timer_.seconds();
+  }
+
+  /// Attaches an attribute to the underlying span (no-op when tracing is
+  /// disabled).
+  template <typename T>
+  ScopedTimer& attr(std::string_view key, T value) {
+    span_.attr(key, value);
+    return *this;
+  }
+
+  /// Ends the measurement: closes the span and records the duration into
+  /// the "<name>.seconds" histogram. Returns the elapsed seconds.
+  double stop() {
+    if (stopped_) return elapsed_;
+    stopped_ = true;
+    elapsed_ = timer_.seconds();
+    span_.close();
+    if (metrics_enabled()) {
+      histogram(name_ + ".seconds").record(elapsed_);
+    }
+    return elapsed_;
+  }
+
+ private:
+  std::string name_;
+  util::WallTimer timer_;
+  Span span_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace sgp::obs

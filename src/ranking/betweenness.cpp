@@ -3,6 +3,8 @@
 #include <queue>
 #include <stack>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
@@ -14,6 +16,8 @@ namespace {
 /// dependencies along the shortest-path DAG.
 void accumulate_from_source(const graph::Graph& g, std::size_t s,
                             std::vector<double>& centrality) {
+  static obs::Counter& sources = obs::counter("betweenness.bfs_sources");
+  sources.add();
   const std::size_t n = g.num_nodes();
   std::vector<std::vector<std::uint32_t>> predecessors(n);
   std::vector<double> sigma(n, 0.0);     // #shortest paths from s
@@ -55,6 +59,8 @@ void accumulate_from_source(const graph::Graph& g, std::size_t s,
 std::vector<double> betweenness_centrality(const graph::Graph& g) {
   const std::size_t n = g.num_nodes();
   util::require(n > 0, "betweenness: empty graph");
+  obs::ScopedTimer timer("betweenness.exact");
+  timer.attr("n", n);
   std::vector<double> centrality(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) {
     accumulate_from_source(g, s, centrality);
@@ -72,6 +78,8 @@ std::vector<double> approximate_betweenness(const graph::Graph& g,
   util::require(num_sources >= 1, "betweenness: need at least one source");
   if (num_sources >= n) return betweenness_centrality(g);
 
+  obs::ScopedTimer timer("betweenness.approx");
+  timer.attr("n", n).attr("sources", num_sources);
   random::Rng rng(seed);
   const auto sources = random::sample_without_replacement(rng, n, num_sources);
   std::vector<double> centrality(n, 0.0);

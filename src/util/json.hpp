@@ -1,0 +1,72 @@
+// Minimal JSON support: an escaping writer for the obs exporters and a
+// strict recursive-descent parser used by the BENCH_*.json schema checker
+// and the exporter tests. No external dependencies; numbers are doubles
+// (sufficient for metric snapshots — exact 64-bit ids do not travel
+// through JSON in this codebase).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgp::util {
+
+/// Parsed JSON value. Objects preserve no duplicate keys (last wins is NOT
+/// accepted — duplicates are a parse error, which keeps schema checks honest).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one throws std::logic_error.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error). Throws
+/// util::ParseError with a byte offset on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Formats a double the way the exporters write numbers: integral values
+/// without a fraction part, everything else with max_digits10 precision so
+/// values survive a parse round trip.
+std::string json_number(double value);
+std::string json_number(std::uint64_t value);
+
+}  // namespace sgp::util

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <mutex>
 
@@ -10,7 +11,6 @@ namespace sgp::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,13 +27,70 @@ const char* level_name(LogLevel level) {
   }
 }
 
+char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Applies SGP_LOG_LEVEL once, lazily, before the first threshold read. An
+/// explicit set_log_level() also marks initialization done, so the explicit
+/// call always wins regardless of ordering.
+std::once_flag g_env_once;
+
+void init_level_from_env() {
+  const char* env = std::getenv("SGP_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel parsed;
+  if (parse_log_level(env, parsed)) {
+    g_level.store(parsed);
+  } else {
+    // Mis-set environment should be loud, not silent: one warning line.
+    std::fprintf(stderr,
+                 "[WARN ] SGP_LOG_LEVEL='%s' is not "
+                 "debug|info|warn|error|off; keeping default\n",
+                 env);
+  }
+}
+
+void ensure_env_applied() {
+  std::call_once(g_env_once, init_level_from_env);
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+bool parse_log_level(std::string_view text, LogLevel& out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) lower.push_back(ascii_lower(c));
+  if (lower == "debug") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    out = LogLevel::kError;
+  } else if (lower == "off") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
 
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  // Claim the env slot first so a concurrent first log() cannot overwrite
+  // the explicit choice with the environment value.
+  std::call_once(g_env_once, [] {});
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  ensure_env_applied();
+  return g_level.load();
+}
 
 void log(LogLevel level, std::string_view msg) {
+  ensure_env_applied();
   if (level < g_level.load() || level == LogLevel::kOff) return;
   const auto now = std::chrono::system_clock::now();
   const std::time_t tt = std::chrono::system_clock::to_time_t(now);
@@ -43,10 +100,20 @@ void log(LogLevel level, std::string_view msg) {
                   1000;
   std::tm tm{};
   localtime_r(&tt, &tm);
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s %02d:%02d:%02d.%03d] %.*s\n", level_name(level),
-               tm.tm_hour, tm.tm_min, tm.tm_sec, static_cast<int>(ms),
-               static_cast<int>(msg.size()), msg.data());
+
+  // One line, one buffer, one write: fwrite locks the stream internally, so
+  // concurrent workers cannot interleave within a line.
+  char prefix[40];
+  const int prefix_len =
+      std::snprintf(prefix, sizeof(prefix), "[%s %02d:%02d:%02d.%03d] ",
+                    level_name(level), tm.tm_hour, tm.tm_min, tm.tm_sec,
+                    static_cast<int>(ms));
+  std::string line;
+  line.reserve(static_cast<std::size_t>(prefix_len) + msg.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(prefix_len));
+  line.append(msg);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace sgp::util

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace sgp::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -24,6 +26,8 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  static obs::Counter& tasks = obs::counter("threadpool.tasks");
+  tasks.add();
   std::packaged_task<void()> task(std::move(fn));
   auto future = task.get_future();
   {
@@ -50,6 +54,8 @@ void ThreadPool::worker_loop() {
 
 ThreadPool& global_pool() {
   static ThreadPool pool;
+  static obs::Gauge& threads = obs::gauge("threadpool.threads");
+  threads.set(static_cast<double>(pool.size()));
   return pool;
 }
 

@@ -1,0 +1,153 @@
+// Concurrency and correctness tests for the sharded metrics registry.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sgp::obs::set_metrics_enabled(true);
+    sgp::obs::reset_all_metrics();
+  }
+  void TearDown() override {
+    sgp::obs::reset_all_metrics();
+    sgp::obs::set_metrics_enabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterCountsExactly) {
+  auto& c = sgp::obs::counter("test.metrics.basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, DisabledCounterIsNoOp) {
+  auto& c = sgp::obs::counter("test.metrics.disabled");
+  sgp::obs::set_metrics_enabled(false);
+  c.add(1000);
+  EXPECT_EQ(c.value(), 0u);
+  sgp::obs::set_metrics_enabled(true);
+  c.add(3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  auto& a = sgp::obs::counter("test.metrics.stable");
+  auto& b = sgp::obs::counter("test.metrics.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(MetricsTest, CrossKindNameCollisionThrows) {
+  sgp::obs::counter("test.metrics.collision");
+  EXPECT_THROW(sgp::obs::gauge("test.metrics.collision"), std::logic_error);
+  EXPECT_THROW(sgp::obs::histogram("test.metrics.collision"),
+               std::logic_error);
+}
+
+TEST_F(MetricsTest, ThreadPoolWorkersCountExactly) {
+  // The acceptance test for the sharded design: many pool workers hammer
+  // one counter; after the futures drain, the total must be exact.
+  constexpr int kTasks = 32;
+  constexpr int kAddsPerTask = 100000;
+  auto& c = sgp::obs::counter("test.metrics.hammer");
+  sgp::util::ThreadPool pool(8);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.submit([&c] {
+      for (int i = 0; i < kAddsPerTask; ++i) c.add();
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+}
+
+TEST_F(MetricsTest, ThreadsLandOnStableShards) {
+  const std::size_t here = sgp::obs::this_thread_shard();
+  EXPECT_LT(here, sgp::obs::kMetricShards);
+  EXPECT_EQ(here, sgp::obs::this_thread_shard());  // stable per thread
+  std::size_t other = sgp::obs::kMetricShards;
+  std::thread([&other] { other = sgp::obs::this_thread_shard(); }).join();
+  EXPECT_LT(other, sgp::obs::kMetricShards);
+}
+
+TEST_F(MetricsTest, GaugeLastWriteWins) {
+  auto& g = sgp::obs::gauge("test.metrics.gauge");
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsArePowerOfTwoMicros) {
+  using H = sgp::obs::Histogram;
+  EXPECT_DOUBLE_EQ(H::upper_bound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(H::upper_bound(1), 2e-6);
+  // Values beyond the largest finite bound land in the +Inf bucket.
+  EXPECT_EQ(H::bucket_for(1e9), H::kBuckets - 1);
+  // Bucket ranges are [lower, upper): the bound itself goes one bucket up.
+  const double b3 = H::upper_bound(3);
+  EXPECT_EQ(H::bucket_for(b3), H::bucket_for(b3 * 0.99) + 1);
+}
+
+TEST_F(MetricsTest, HistogramTotalsExactUnderConcurrency) {
+  constexpr int kTasks = 16;
+  constexpr int kRecordsPerTask = 20000;
+  auto& h = sgp::obs::histogram("test.metrics.hist");
+  sgp::util::ThreadPool pool(8);
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.submit([&h] {
+      for (int i = 0; i < kRecordsPerTask; ++i) h.record(0.5);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  const auto snap = h.snapshot();
+  const auto total = static_cast<std::uint64_t>(kTasks) * kRecordsPerTask;
+  EXPECT_EQ(snap.count, total);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 * static_cast<double>(total));
+  std::uint64_t bucket_total = 0;
+  for (auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, total);
+  // All records identical, so exactly one bucket is populated.
+  EXPECT_EQ(snap.buckets[sgp::obs::Histogram::bucket_for(0.5)], total);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsNames) {
+  auto& c = sgp::obs::counter("test.metrics.resettable");
+  c.add(7);
+  sgp::obs::reset_all_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  const auto snap = sgp::obs::snapshot_metrics();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.metrics.resettable") {
+      found = true;
+      EXPECT_EQ(value, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  sgp::obs::counter("test.metrics.zz");
+  sgp::obs::counter("test.metrics.aa");
+  const auto snap = sgp::obs::snapshot_metrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+}  // namespace

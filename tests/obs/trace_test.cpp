@@ -1,0 +1,169 @@
+// Tests for the RAII trace spans: nesting, attributes, and per-thread
+// hierarchies.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/scoped_timer.hpp"
+
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sgp::obs::set_trace_enabled(true);
+    sgp::obs::clear_spans();
+  }
+  void TearDown() override {
+    sgp::obs::clear_spans();
+    sgp::obs::set_trace_enabled(false);
+  }
+
+  static const sgp::obs::SpanRecord* find(
+      const std::vector<sgp::obs::SpanRecord>& spans, std::string_view name) {
+    const auto it = std::find_if(
+        spans.begin(), spans.end(),
+        [&](const sgp::obs::SpanRecord& s) { return s.name == name; });
+    return it == spans.end() ? nullptr : &*it;
+  }
+};
+
+TEST_F(TraceTest, DisabledSpanIsInert) {
+  sgp::obs::set_trace_enabled(false);
+  {
+    sgp::obs::Span span("test.trace.off");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(sgp::obs::collected_spans().empty());
+}
+
+TEST_F(TraceTest, NestedSpansLinkParentToChild) {
+  {
+    sgp::obs::Span outer("test.trace.outer");
+    {
+      sgp::obs::Span inner("test.trace.inner");
+      inner.attr("k", std::string_view("v"));
+    }
+  }
+  const auto spans = sgp::obs::collected_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const auto* outer = find(spans, "test.trace.outer");
+  const auto* inner = find(spans, "test.trace.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->id);
+  // Children complete first, times nest.
+  EXPECT_GE(inner->start_seconds, outer->start_seconds);
+  EXPECT_LE(inner->duration_seconds, outer->duration_seconds);
+  ASSERT_EQ(inner->attrs.size(), 1u);
+  EXPECT_EQ(inner->attrs[0].first, "k");
+  EXPECT_EQ(inner->attrs[0].second, "v");
+}
+
+TEST_F(TraceTest, SiblingsShareAParent) {
+  {
+    sgp::obs::Span root("test.trace.root");
+    { sgp::obs::Span a("test.trace.a"); }
+    { sgp::obs::Span b("test.trace.b"); }
+  }
+  const auto spans = sgp::obs::collected_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const auto* root = find(spans, "test.trace.root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(find(spans, "test.trace.a")->parent_id, root->id);
+  EXPECT_EQ(find(spans, "test.trace.b")->parent_id, root->id);
+}
+
+TEST_F(TraceTest, CloseIsIdempotent) {
+  sgp::obs::Span span("test.trace.close");
+  span.close();
+  span.close();
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(sgp::obs::collected_spans().size(), 1u);
+}
+
+TEST_F(TraceTest, AttributeTypesRender) {
+  {
+    sgp::obs::Span span("test.trace.attrs");
+    span.attr("str", "text");
+    span.attr("int", std::int64_t{-5});
+    span.attr("uint", std::uint64_t{7});
+    span.attr("dbl", 2.5);
+  }
+  const auto spans = sgp::obs::collected_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 4u);
+  EXPECT_EQ(spans[0].attrs[0].second, "text");
+  EXPECT_EQ(spans[0].attrs[1].second, "-5");
+  EXPECT_EQ(spans[0].attrs[2].second, "7");
+}
+
+TEST_F(TraceTest, EachThreadGetsItsOwnHierarchy) {
+  // Spans opened on a worker thread must become that thread's roots, not
+  // children of whatever the spawning thread had open.
+  sgp::obs::Span main_root("test.trace.main");
+  std::thread t1([] {
+    sgp::obs::Span root("test.trace.t1");
+    sgp::obs::Span child("test.trace.t1.child");
+  });
+  std::thread t2([] { sgp::obs::Span root("test.trace.t2"); });
+  t1.join();
+  t2.join();
+  main_root.close();
+
+  const auto spans = sgp::obs::collected_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  const auto* m = find(spans, "test.trace.main");
+  const auto* r1 = find(spans, "test.trace.t1");
+  const auto* c1 = find(spans, "test.trace.t1.child");
+  const auto* r2 = find(spans, "test.trace.t2");
+  EXPECT_EQ(m->parent_id, 0u);
+  EXPECT_EQ(r1->parent_id, 0u);  // not a child of main
+  EXPECT_EQ(r2->parent_id, 0u);
+  EXPECT_EQ(c1->parent_id, r1->id);
+  EXPECT_EQ(c1->thread, r1->thread);
+  EXPECT_NE(r1->thread, m->thread);
+  EXPECT_NE(r2->thread, r1->thread);
+}
+
+TEST_F(TraceTest, ScopedTimerRecordsSpanAndHistogram) {
+  sgp::obs::set_metrics_enabled(true);
+  sgp::obs::reset_all_metrics();
+  {
+    sgp::obs::ScopedTimer timer("test.trace.timer");
+    timer.attr("n", std::uint64_t{3});
+    EXPECT_GE(timer.seconds(), 0.0);
+  }
+  const auto spans = sgp::obs::collected_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.trace.timer");
+  const auto snap =
+      sgp::obs::histogram("test.trace.timer.seconds").snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  sgp::obs::set_metrics_enabled(false);
+}
+
+TEST_F(TraceTest, ScopedTimerStopReturnsElapsedOnce) {
+  sgp::obs::ScopedTimer timer("test.trace.stop");
+  const double first = timer.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(timer.stop(), first);
+  EXPECT_DOUBLE_EQ(timer.seconds(), first);
+}
+
+TEST_F(TraceTest, ClearSpansDropsOnlyFinishedSpans) {
+  sgp::obs::Span open("test.trace.still_open");
+  { sgp::obs::Span done("test.trace.done"); }
+  sgp::obs::clear_spans();
+  EXPECT_TRUE(sgp::obs::collected_spans().empty());
+  open.close();
+  const auto spans = sgp::obs::collected_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.trace.still_open");
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Tests for the minimal JSON writer/parser behind the obs exporters.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace {
+
+TEST(JsonNumberTest, IntegralDoublesHaveNoFraction) {
+  EXPECT_EQ(sgp::util::json_number(3.0), "3");
+  EXPECT_EQ(sgp::util::json_number(-17.0), "-17");
+  EXPECT_EQ(sgp::util::json_number(0.0), "0");
+  EXPECT_EQ(sgp::util::json_number(std::uint64_t{42}), "42");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(sgp::util::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(sgp::util::json_number(std::nan("")), "null");
+}
+
+TEST(JsonNumberTest, FractionsRoundTripThroughParse) {
+  const double v = 0.524288;
+  const auto doc = sgp::util::parse_json(sgp::util::json_number(v));
+  EXPECT_DOUBLE_EQ(doc.as_number(), v);
+}
+
+TEST(JsonStringTest, EscapesSpecials) {
+  std::string out;
+  sgp::util::append_json_string(out, "a\"b\\c\n\t");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\"");
+  const auto doc = sgp::util::parse_json(out);
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\n\t");
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  const auto doc = sgp::util::parse_json(
+      R"({"a": 1, "b": [true, null, "x"], "c": {"d": -2.5}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 1.0);
+  const auto& arr = doc.find("b")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_EQ(arr[2].as_string(), "x");
+  EXPECT_DOUBLE_EQ(doc.find("c")->find("d")->as_number(), -2.5);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_THROW(sgp::util::parse_json(""), sgp::util::ParseError);
+  EXPECT_THROW(sgp::util::parse_json("{"), sgp::util::ParseError);
+  EXPECT_THROW(sgp::util::parse_json("[1,]"), sgp::util::ParseError);
+  EXPECT_THROW(sgp::util::parse_json("{\"a\": 1} trailing"),
+               sgp::util::ParseError);
+  EXPECT_THROW(sgp::util::parse_json("nul"), sgp::util::ParseError);
+}
+
+TEST(JsonParseTest, RejectsDuplicateKeys) {
+  EXPECT_THROW(sgp::util::parse_json(R"({"a": 1, "a": 2})"),
+               sgp::util::ParseError);
+}
+
+TEST(JsonParseTest, WrongAccessorThrows) {
+  const auto doc = sgp::util::parse_json("[1]");
+  EXPECT_THROW(doc.as_object(), std::logic_error);
+  EXPECT_THROW(doc.as_number(), std::logic_error);
+}
+
+}  // namespace

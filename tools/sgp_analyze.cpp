@@ -10,6 +10,9 @@
 //
 // Output: one line per node on stdout (cluster id, or rank order), metadata
 // on stderr. The original graph is never needed.
+//
+// Shares the observability flags of all sgp_* tools:
+// [--metrics-out metrics.json [--metrics-format prometheus]] [--trace]
 #include <cstdio>
 #include <string>
 
@@ -18,6 +21,7 @@
 #include "core/reconstruction.hpp"
 #include "core/serialization.hpp"
 #include "linalg/svd.hpp"
+#include "obs/scoped_timer.hpp"
 #include "ranking/metrics.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
@@ -29,12 +33,15 @@ int main(int argc, char** argv) {
   if (release_path.empty()) {
     std::fprintf(stderr,
                  "usage: %s --release release.bin --task info|cluster|rank "
-                 "[--clusters K] [--top N] [--seed S]\n",
+                 "[--clusters K] [--top N] [--seed S] "
+                 "[--metrics-out metrics.json] [--trace]\n",
                  args.program().c_str());
     return sgp::tools::kExitUsage;
   }
+  const sgp::tools::ObsScope obs_scope(args, "sgp_analyze");
 
   return sgp::tools::run_tool([&]() -> int {
+    sgp::obs::ScopedTimer task_timer("tool." + task);
     const auto release = sgp::core::load_published_file(release_path);
     std::fprintf(stderr, "release: n=%zu m=%zu %s sigma=%.3f projection=%s\n",
                  release.num_nodes, release.projection_dim,

@@ -1,0 +1,48 @@
+// sgp_bench_check — validates BENCH_*.json / --metrics-out files against the
+// "sgp-obs-report v1" schema (obs/report.hpp).
+//
+//   sgp_bench_check BENCH_E2.json [BENCH_E7.json ...]
+//
+// Exit 0 when every file parses and validates, 3 on the first failure (the
+// shared "data error" exit code; see tool_common.hpp). One status line per
+// file goes to stderr, so CI logs name the offending report.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "tool_common.hpp"
+#include "util/errors.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+void check_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw sgp::util::IoError("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const sgp::util::JsonValue doc = sgp::util::parse_json(buf.str());
+  if (const auto err = sgp::obs::validate_report_json(doc)) {
+    throw sgp::util::ParseError(path + ": " + *err);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s report.json [report.json ...]\n", argv[0]);
+    return sgp::tools::kExitUsage;
+  }
+  return sgp::tools::run_tool([&]() -> int {
+    for (int i = 1; i < argc; ++i) {
+      check_file(argv[i]);
+      std::fprintf(stderr, "%s: ok\n", argv[i]);
+    }
+    return sgp::tools::kExitOk;
+  });
+}

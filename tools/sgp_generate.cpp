@@ -10,6 +10,9 @@
 //
 // For --model sbm the planted community labels are written next to the
 // edge list as <out>.labels (one "node community" pair per line).
+//
+// Shares the observability flags of all sgp_* tools:
+// [--metrics-out metrics.json [--metrics-format prometheus]] [--trace]
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -17,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
@@ -48,12 +52,16 @@ int main(int argc, char** argv) {
   if (model.empty()) {
     std::fprintf(stderr,
                  "usage: %s --model sbm|ba|er|ws --out graph.txt [model "
-                 "params; see header comment]\n",
+                 "params; see header comment] "
+                 "[--metrics-out metrics.json] [--trace]\n",
                  args.program().c_str());
     return sgp::tools::kExitUsage;
   }
+  const sgp::tools::ObsScope obs_scope(args, "sgp_generate");
 
   return sgp::tools::run_tool([&]() -> int {
+    sgp::obs::ScopedTimer generate_timer("tool.generate");
+    generate_timer.attr("model", model);
     sgp::random::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
     sgp::graph::Graph graph;
 

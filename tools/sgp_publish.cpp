@@ -4,6 +4,8 @@
 //               [--epsilon 1.0] [--delta 1e-6] [--dim 100]
 //               [--projection gaussian|achlioptas] [--seed 7] [--streaming]
 //               [--ledger budget.ledger --budget-epsilon 10 --budget-delta 1e-5]
+//               [--metrics-out metrics.json [--metrics-format prometheus]]
+//               [--trace]
 //
 // With --streaming the release is computed row by row (≈half the peak
 // memory); output bytes are identical either way.
@@ -20,10 +22,10 @@
 #include "core/serialization.hpp"
 #include "core/session.hpp"
 #include "graph/io.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
-#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   const sgp::util::CliArgs args(argc, argv);
@@ -35,19 +37,21 @@ int main(int argc, char** argv) {
                  "[--epsilon E] [--delta D] [--dim M] "
                  "[--projection gaussian|achlioptas] [--seed S] "
                  "[--streaming] [--ledger budget.ledger "
-                 "--budget-epsilon E --budget-delta D]\n",
+                 "--budget-epsilon E --budget-delta D] "
+                 "[--metrics-out metrics.json] [--trace]\n",
                  args.program().c_str());
     return sgp::tools::kExitUsage;
   }
+  const sgp::tools::ObsScope obs_scope(args, "sgp_publish");
 
   return sgp::tools::run_tool([&]() -> int {
-    sgp::util::WallTimer timer;
+    sgp::obs::ScopedTimer load_timer("tool.load_graph");
     const auto policy = args.get_bool("preserve-ids", false)
                             ? sgp::graph::IdPolicy::kPreserve
                             : sgp::graph::IdPolicy::kCompact;
     const auto graph = sgp::graph::read_edge_list_file(edges_path, policy);
     std::fprintf(stderr, "loaded %zu nodes / %zu edges in %.2fs\n",
-                 graph.num_nodes(), graph.num_edges(), timer.seconds());
+                 graph.num_nodes(), graph.num_edges(), load_timer.stop());
 
     sgp::core::RandomProjectionPublisher::Options opt;
     opt.projection_dim = static_cast<std::size_t>(args.get_int("dim", 100));
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
       opt.projection = sgp::core::ProjectionKind::kAchlioptas;
     }
 
-    timer.reset();
+    sgp::obs::ScopedTimer publish_timer("tool.publish");
     const std::string ledger_path = args.get_string("ledger", "");
     if (!ledger_path.empty()) {
       // The cap is the point of the ledger — refuse to default it silently.
@@ -93,7 +97,7 @@ int main(int argc, char** argv) {
       sgp::core::save_published_file(release, out_path);
     }
     std::fprintf(stderr, "published %s under %s in %.2fs\n", out_path.c_str(),
-                 opt.params.to_string().c_str(), timer.seconds());
+                 opt.params.to_string().c_str(), publish_timer.stop());
     return sgp::tools::kExitOk;
   });
 }

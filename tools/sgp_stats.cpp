@@ -6,11 +6,15 @@
 // Splits ε evenly across the requested statistics (sequential composition;
 // the exact split is printed). --degree-bound > 0 additionally releases a
 // triangle count under that promised bound.
+//
+// Shares the observability flags of all sgp_* tools:
+// [--metrics-out metrics.json [--metrics-format prometheus]] [--trace]
 #include <cstdio>
 
 #include "core/stats_publisher.hpp"
 #include "dp/accountant.hpp"
 #include "graph/io.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 
@@ -20,12 +24,15 @@ int main(int argc, char** argv) {
   if (edges_path.empty()) {
     std::fprintf(stderr,
                  "usage: %s --edges graph.txt [--epsilon E] [--max-degree D] "
-                 "[--degree-bound B] [--seed S]\n",
+                 "[--degree-bound B] [--seed S] "
+                 "[--metrics-out metrics.json] [--trace]\n",
                  args.program().c_str());
     return sgp::tools::kExitUsage;
   }
+  const sgp::tools::ObsScope obs_scope(args, "sgp_stats");
 
   return sgp::tools::run_tool([&]() -> int {
+    sgp::obs::ScopedTimer stats_timer("tool.stats");
     const auto graph = sgp::graph::read_edge_list_file(edges_path);
     const double total_eps = args.get_double("epsilon", 1.0);
     const auto max_degree =

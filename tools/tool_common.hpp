@@ -12,13 +12,29 @@
 //   5  internal error (solver non-convergence, allocation failure, bugs)
 //
 // The codes are part of the CLI contract; see docs/robustness.md.
+// Observability flags shared by every tool (see docs/observability.md):
+//
+//   --metrics-out <path>   enable metrics and write an obs::Report JSON
+//                          (counters, histograms, phases, spans) on exit —
+//                          also on error exits, so failed runs are
+//                          diagnosable
+//   --metrics-format prometheus   write the Prometheus text format instead
+//   --trace                enable trace spans; a human-readable span tree
+//                          is printed to stderr on exit
 #pragma once
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <iostream>
 #include <new>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
 #include "util/errors.hpp"
 
 namespace sgp::tools {
@@ -28,6 +44,76 @@ inline constexpr int kExitUsage = 2;
 inline constexpr int kExitData = 3;
 inline constexpr int kExitBudget = 4;
 inline constexpr int kExitInternal = 5;
+
+/// Parses the shared observability flags, enables the subsystems they ask
+/// for, and emits the outputs from its destructor — so the report is
+/// written whether the tool body succeeds, fails, or throws.
+class ObsScope {
+ public:
+  ObsScope(const util::CliArgs& args, std::string tool_name)
+      : tool_name_(std::move(tool_name)),
+        metrics_path_(args.get_string("metrics-out", "")),
+        prometheus_(args.get_string("metrics-format", "json") == "prometheus"),
+        trace_(args.get_bool("trace", false)) {
+    if (!metrics_path_.empty()) obs::set_metrics_enabled(true);
+    if (trace_) {
+      obs::set_metrics_enabled(true);
+      obs::set_trace_enabled(true);
+    }
+    if (!metrics_path_.empty() || trace_) {
+      // Pre-register the pipeline's headline metrics (Prometheus-style
+      // up-front declaration) so every report carries them, zero-valued
+      // when the corresponding stage did not run.
+      for (const char* name :
+           {"publish.releases", "publish.embeds", "ledger.appends",
+            "ledger.append_attempts", "ledger.recoveries",
+            "ledger.crc_failures", "fault.trips"}) {
+        obs::counter(name);
+      }
+      for (const char* name : {"publish.project.seconds",
+                               "publish.perturb.seconds",
+                               "publish.embed.seconds",
+                               "ledger.append.seconds"}) {
+        obs::histogram(name);
+      }
+    }
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() {
+    if (trace_) {
+      std::fprintf(stderr, "--- trace (%s) ---\n", tool_name_.c_str());
+      obs::write_trace_text(std::cerr);
+    }
+    if (metrics_path_.empty()) return;
+    try {
+      if (prometheus_) {
+        std::ofstream out(metrics_path_, std::ios::binary | std::ios::trunc);
+        if (!out.good()) {
+          throw util::IoError("cannot open " + metrics_path_);
+        }
+        obs::write_metrics_prometheus(out);
+        out.flush();
+        if (!out.good()) {
+          throw util::IoError("failed writing " + metrics_path_);
+        }
+      } else {
+        obs::Report(tool_name_).write_file(metrics_path_);
+      }
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: failed writing metrics: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::string tool_name_;
+  std::string metrics_path_;
+  bool prometheus_;
+  bool trace_;
+};
 
 template <typename Fn>
 int run_tool(Fn&& body) {
