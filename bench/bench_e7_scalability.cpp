@@ -18,7 +18,11 @@
 
 #include "common.hpp"
 #include "core/baselines.hpp"
+#include "core/projection.hpp"
 #include "core/publisher.hpp"
+#include "core/theory.hpp"
+#include "dp/mechanisms.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -50,6 +54,52 @@ void BM_RandomProjectionPublish(benchmark::State& state) {
     benchmark::DoNotOptimize(pub.data.data().data());
   }
   state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+
+// The pre-counter-RNG publish pipeline, kept here as the baseline the fused
+// kernel (BM_RandomProjectionPublish above) is measured against: materialize
+// the full n×m P with the sequential Rng, SpMM, then perturb serially.
+void BM_LegacyMaterializedPublish(benchmark::State& state) {
+  const auto& g = cached_graph(static_cast<std::size_t>(state.range(0)));
+  const std::size_t m = kProjectionDim;
+  for (auto _ : state) {
+    sgp::random::Rng rng(43);
+    const sgp::linalg::DenseMatrix p =
+        sgp::core::make_projection(g.num_nodes(), m,
+                                   sgp::core::ProjectionKind::kGaussian, rng);
+    sgp::linalg::DenseMatrix y = g.adjacency_matrix().multiply_dense(p);
+    const auto calibration = sgp::core::calibrate_noise(m, {1.0, 1e-6});
+    sgp::random::Rng noise_rng = rng.split(1);
+    sgp::dp::add_gaussian_noise(y.data(), calibration.sigma, noise_rng);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+
+// Thread-scaling of the fused Y = A·P kernel alone: same graph, explicit
+// pools of 1/2/4/8 workers (the host core count does not gate correctness —
+// results are bit-identical per thread count; only wall-clock moves).
+void BM_FusedProjectThreads(benchmark::State& state) {
+  const auto& g = cached_graph(10000);
+  const sgp::linalg::CsrMatrix a = g.adjacency_matrix();
+  const std::size_t m = kProjectionDim;
+  sgp::util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const sgp::random::CounterRng p_rng = sgp::core::projection_counter_rng(43);
+  sgp::linalg::GeneratedTileOptions opts;
+  opts.pool = &pool;
+  for (auto _ : state) {
+    sgp::linalg::DenseMatrix y = a.multiply_generated(
+        m,
+        [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1,
+            double* out) {
+          sgp::core::fill_projection_tile(
+              p_rng, m, sgp::core::ProjectionKind::kGaussian, r0, r1, c0, c1,
+              out);
+        },
+        opts);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.counters["threads"] = static_cast<double>(pool.size());
 }
 
 void BM_DenseGaussianPublish(benchmark::State& state) {
@@ -85,6 +135,14 @@ void BM_EdgeFlipPublish(benchmark::State& state) {
 
 BENCHMARK(BM_RandomProjectionPublish)
     ->Arg(1000)->Arg(2000)->Arg(5000)->Arg(10000)->Arg(20000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_LegacyMaterializedPublish)
+    ->Arg(1000)->Arg(2000)->Arg(5000)->Arg(10000)->Arg(20000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_FusedProjectThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 BENCHMARK(BM_DenseGaussianPublish)
@@ -127,7 +185,11 @@ int main(int argc, char** argv) {
   report.meta("m", static_cast<std::uint64_t>(kProjectionDim))
       .meta("epsilon", 1.0)
       .meta("delta", 1e-6)
-      .meta("max_nodes", static_cast<std::uint64_t>(50000));
+      .meta("max_nodes", static_cast<std::uint64_t>(50000))
+      .meta("projection_rng",
+            sgp::core::to_string(sgp::core::ProjectionRngKind::kCounterV1))
+      .meta("threads",
+            static_cast<std::uint64_t>(sgp::util::global_pool().size()));
   sgp::bench::banner(
       "E7: publishing cost vs graph size",
       "Wall-clock publish time (google-benchmark, 1 iteration per size) and "

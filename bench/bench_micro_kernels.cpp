@@ -67,6 +67,58 @@ void BM_AchlioptasProjection(benchmark::State& state) {
 }
 BENCHMARK(BM_AchlioptasProjection)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// --- counter-RNG / fused-publish kernels ----------------------------------
+
+void BM_CounterBits(benchmark::State& state) {
+  const sgp::random::CounterRng rng(2, 0);
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bits(c++));
+  }
+}
+BENCHMARK(BM_CounterBits);
+
+void BM_CounterNormal(benchmark::State& state) {
+  const sgp::random::CounterRng rng(2, 0);
+  std::uint64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal(c++));
+  }
+}
+BENCHMARK(BM_CounterNormal);
+
+void BM_ProjectionTileFill(benchmark::State& state) {
+  const sgp::random::CounterRng rng = sgp::core::projection_counter_rng(2);
+  const auto kind = static_cast<sgp::core::ProjectionKind>(state.range(0));
+  constexpr std::size_t kM = 100;
+  std::vector<double> tile(512 * 64);
+  for (auto _ : state) {
+    sgp::core::fill_projection_tile(rng, kM, kind, 0, 512, 0, 64, tile.data());
+    benchmark::DoNotOptimize(tile.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 64);
+}
+BENCHMARK(BM_ProjectionTileFill)
+    ->Arg(static_cast<int>(sgp::core::ProjectionKind::kGaussian))
+    ->Arg(static_cast<int>(sgp::core::ProjectionKind::kAchlioptas));
+
+void BM_FusedSpMM(benchmark::State& state) {
+  const auto a = bench_graph().adjacency_matrix();
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const sgp::random::CounterRng rng = sgp::core::projection_counter_rng(2);
+  for (auto _ : state) {
+    auto y = a.multiply_generated(
+        m, [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1,
+               double* out) {
+          sgp::core::fill_projection_tile(
+              rng, m, sgp::core::ProjectionKind::kGaussian, r0, r1, c0, c1,
+              out);
+        });
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_FusedSpMM)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
 void BM_SvdGram(benchmark::State& state) {
   const auto a = random_dense(4000, static_cast<std::size_t>(state.range(0)), 4);
   for (auto _ : state) {

@@ -1,9 +1,11 @@
 #include "core/projection.hpp"
 
 #include <cmath>
+#include <new>
 
 #include "random/distributions.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 #include "util/fault_injection.hpp"
 
 namespace sgp::core {
@@ -20,16 +22,24 @@ std::string to_string(ProjectionKind kind) {
 
 linalg::DenseMatrix make_projection(std::size_t n, std::size_t m,
                                     ProjectionKind kind, random::Rng& rng) {
-  // n×m doubles — the single largest allocation of a publish; the fault
-  // point lets chaos tests exercise the std::bad_alloc path on demand.
-  util::fault_point("alloc");
-  switch (kind) {
-    case ProjectionKind::kGaussian:
-      return gaussian_projection(n, m, rng);
-    case ProjectionKind::kAchlioptas:
-      return achlioptas_projection(n, m, rng);
+  // n×m doubles — the single largest allocation of a materialized publish;
+  // the fault point lets chaos tests exercise the out-of-memory path on
+  // demand. Both it and a genuine allocation failure surface as the typed
+  // ResourceError so the CLI exit-code contract holds.
+  try {
+    util::fault_point("alloc");
+    switch (kind) {
+      case ProjectionKind::kGaussian:
+        return gaussian_projection(n, m, rng);
+      case ProjectionKind::kAchlioptas:
+        return achlioptas_projection(n, m, rng);
+    }
+  } catch (const std::bad_alloc&) {
+    throw util::ResourceError("make_projection: out of memory allocating " +
+                              std::to_string(n) + "x" + std::to_string(m) +
+                              " projection");
   }
-  throw std::invalid_argument("make_projection: unknown kind");
+  throw util::InternalError("make_projection: unknown kind");
 }
 
 linalg::DenseMatrix gaussian_projection(std::size_t n, std::size_t m,
@@ -63,6 +73,73 @@ linalg::DenseMatrix achlioptas_projection(std::size_t n, std::size_t m,
     }
   }
   return p;
+}
+
+random::CounterRng projection_counter_rng(std::uint64_t seed) {
+  return random::CounterRng(seed, kProjectionStreamId);
+}
+
+random::CounterRng noise_counter_rng(std::uint64_t seed) {
+  return random::CounterRng(seed, kNoiseStreamId);
+}
+
+void fill_projection_tile(const random::CounterRng& rng, std::size_t m,
+                          ProjectionKind kind, std::size_t row_begin,
+                          std::size_t row_end, std::size_t col_begin,
+                          std::size_t col_end, double* out) {
+  util::require(m >= 1, "fill_projection_tile: m must be >= 1");
+  util::require(row_begin <= row_end && col_begin <= col_end && col_end <= m,
+                "fill_projection_tile: tile out of bounds");
+  const std::size_t width = col_end - col_begin;
+  switch (kind) {
+    case ProjectionKind::kGaussian: {
+      const double stddev = 1.0 / std::sqrt(static_cast<double>(m));
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        double* row = out + (i - row_begin) * width;
+        const std::uint64_t base = i * m;
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          row[j - col_begin] = stddev * rng.normal(base + j);
+        }
+      }
+      return;
+    }
+    case ProjectionKind::kAchlioptas: {
+      const double magnitude = std::sqrt(3.0 / static_cast<double>(m));
+      for (std::size_t i = row_begin; i < row_end; ++i) {
+        double* row = out + (i - row_begin) * width;
+        const std::uint64_t base = i * m;
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+          const double u = rng.uniform(base + j);
+          double v = 0.0;
+          if (u < 1.0 / 6.0) {
+            v = magnitude;
+          } else if (u < 2.0 / 6.0) {
+            v = -magnitude;
+          }
+          row[j - col_begin] = v;
+        }
+      }
+      return;
+    }
+  }
+  throw util::InternalError("fill_projection_tile: unknown kind");
+}
+
+linalg::DenseMatrix make_projection_counter(std::size_t n, std::size_t m,
+                                            ProjectionKind kind,
+                                            std::uint64_t seed) {
+  util::require(n >= 1 && m >= 1, "projection: dimensions must be >= 1");
+  try {
+    util::fault_point("alloc");
+    linalg::DenseMatrix p(n, m);
+    const random::CounterRng rng = projection_counter_rng(seed);
+    fill_projection_tile(rng, m, kind, 0, n, 0, m, p.data().data());
+    return p;
+  } catch (const std::bad_alloc&) {
+    throw util::ResourceError(
+        "make_projection_counter: out of memory allocating " +
+        std::to_string(n) + "x" + std::to_string(m) + " projection");
+  }
 }
 
 }  // namespace sgp::core

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "linalg/dense_matrix.hpp"
+#include "random/counter_rng.hpp"
 #include "random/rng.hpp"
 
 namespace sgp::core {
@@ -31,5 +32,41 @@ linalg::DenseMatrix gaussian_projection(std::size_t n, std::size_t m,
 /// −1 w.p. 1/6}. Same JL guarantees, 3× fewer multiplications.
 linalg::DenseMatrix achlioptas_projection(std::size_t n, std::size_t m,
                                           random::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Counter-based projection ("counter-v1" releases).
+//
+// P[i][j] is a pure function of (seed, i, j): entry (i, j) of an n×m
+// projection draws from counter i·m + j of a CounterRng keyed on the release
+// seed and a fixed stream id. Any tile can therefore be generated on demand,
+// bit-identically, from any thread — the fused publish kernel never holds
+// more of P than one thread-local tile.
+
+/// Domain-separation stream ids (recorded implicitly by the release format's
+/// `projection_rng counter-v1` tag — changing them breaks old releases).
+inline constexpr std::uint64_t kProjectionStreamId = 0;
+inline constexpr std::uint64_t kNoiseStreamId = 1;
+
+/// The generator whose counters t = i·m + j define P[i][j] for a release seed.
+[[nodiscard]] random::CounterRng projection_counter_rng(std::uint64_t seed);
+
+/// The independent generator for the Gaussian noise N[i][j] (counter i·m + j).
+[[nodiscard]] random::CounterRng noise_counter_rng(std::uint64_t seed);
+
+/// Fills `out` (row-major, stride col_end - col_begin) with the tile
+/// P[row_begin..row_end) × [col_begin..col_end) of the counter-based n×m
+/// projection. `m` is the full column count (it fixes the counter layout).
+/// Pure and thread-safe; matches the linalg::TileFiller shape once bound.
+void fill_projection_tile(const random::CounterRng& rng, std::size_t m,
+                          ProjectionKind kind, std::size_t row_begin,
+                          std::size_t row_end, std::size_t col_begin,
+                          std::size_t col_end, double* out);
+
+/// Materializes the full counter-based n×m projection for `seed` — the
+/// reference the fused kernel is bit-identical to. Used by reconstruction
+/// (regenerate_projection) and tests; publishing itself never calls this.
+linalg::DenseMatrix make_projection_counter(std::size_t n, std::size_t m,
+                                            ProjectionKind kind,
+                                            std::uint64_t seed);
 
 }  // namespace sgp::core

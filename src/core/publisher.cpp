@@ -1,16 +1,38 @@
 #include "core/publisher.hpp"
 
+#include <new>
+
 #include "cluster/spectral.hpp"
 #include "dp/mechanisms.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "random/counter_rng.hpp"
 #include "random/rng.hpp"
 #include "ranking/centrality.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgp::core {
+
+std::string to_string(ProjectionRngKind kind) {
+  switch (kind) {
+    case ProjectionRngKind::kSequentialLegacy:
+      return "sequential-v0";
+    case ProjectionRngKind::kCounterV1:
+      return "counter-v1";
+  }
+  return "unknown";
+}
+
+ProjectionRngKind parse_projection_rng(const std::string& s) {
+  if (s == "sequential-v0") return ProjectionRngKind::kSequentialLegacy;
+  if (s == "counter-v1") return ProjectionRngKind::kCounterV1;
+  throw util::ParseError("unknown projection_rng: " + s);
+}
 
 RandomProjectionPublisher::RandomProjectionPublisher(Options options)
     : options_(std::move(options)) {
@@ -34,17 +56,35 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
                 "publish: max_entry_change must be > 0");
   util::require(m <= n, "publish: projection_dim must be <= num_nodes");
 
-  random::Rng rng(options_.seed);
-
   obs::Span publish_span("publish");
   publish_span.attr("n", n);
   publish_span.attr("m", m);
 
-  // Step 1: project. A is sparse CSR, so A·P costs O(nnz·m).
+  // Step 1: project, fused. P is never materialized: the kernel generates
+  // counter-based tiles of it on demand (P[i][j] = f(seed, i·m+j), see
+  // core/projection.hpp) and accumulates Y = A·P directly, so peak memory is
+  // Y plus one tile per pool thread and the generation parallelizes over
+  // column blocks of Y. The fault point stands in for the Y allocation — the
+  // largest of a publish now that P is virtual — and both it and a genuine
+  // failure surface as the typed ResourceError.
   obs::ScopedTimer project_timer("publish.project");
   project_timer.attr("nnz", matrix.nnz());
-  const linalg::DenseMatrix p = make_projection(n, m, options_.projection, rng);
-  linalg::DenseMatrix y = matrix.multiply_dense(p);
+  linalg::DenseMatrix y;
+  try {
+    util::fault_point("alloc");
+    const random::CounterRng p_rng = projection_counter_rng(options_.seed);
+    const ProjectionKind kind = options_.projection;
+    y = matrix.multiply_generated(
+        m,
+        [&p_rng, m, kind](std::size_t r0, std::size_t r1, std::size_t c0,
+                          std::size_t c1, double* out_tile) {
+          fill_projection_tile(p_rng, m, kind, r0, r1, c0, c1, out_tile);
+        });
+  } catch (const std::bad_alloc&) {
+    throw util::ResourceError("publish: out of memory allocating " +
+                              std::to_string(n) + "x" + std::to_string(m) +
+                              " release");
+  }
   project_timer.stop();
 
   // Step 2: perturb with σ calibrated to the projected-row sensitivity
@@ -57,10 +97,22 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
                       options_.delta_split);
   out.calibration.sensitivity *= max_entry_change;
   out.calibration.sigma *= max_entry_change;
-  // Independent noise stream: jump past the projection stream so changing m
-  // does not correlate noise across runs.
-  random::Rng noise_rng = rng.split(1);
-  dp::add_gaussian_noise(y.data(), out.calibration.sigma, noise_rng);
+  // Independent noise stream: a separate counter stream id, so the noise is
+  // uncorrelated with P for the same seed and — being counter-based — the
+  // perturbation parallelizes with bit-identical results per thread count.
+  {
+    const random::CounterRng noise = noise_counter_rng(options_.seed);
+    const double sigma = out.calibration.sigma;
+    util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t r = lo; r < hi; ++r) {
+        auto row = y.row(r);
+        const std::uint64_t base = static_cast<std::uint64_t>(r) * m;
+        for (std::size_t c = 0; c < m; ++c) {
+          row[c] += sigma * noise.normal(base + c);
+        }
+      }
+    });
+  }
   perturb_timer.attr("sigma", out.calibration.sigma);
   perturb_timer.stop();
 
@@ -75,6 +127,7 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   out.projection_dim = m;
   out.params = options_.params;
   out.projection = options_.projection;
+  out.projection_rng = ProjectionRngKind::kCounterV1;
   return out;
 }
 

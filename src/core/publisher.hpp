@@ -23,6 +23,23 @@
 
 namespace sgp::core {
 
+/// Which generator family produced P (and the noise) for a release. Recorded
+/// in the release metadata so reconstruction can regenerate P exactly.
+enum class ProjectionRngKind {
+  /// Pre-counter releases: P drawn row-major from the sequential
+  /// xoshiro-based Rng seeded with the release seed, noise from rng.split(1).
+  /// Kept so old on-disk releases keep round-tripping.
+  kSequentialLegacy,
+  /// Counter-based releases (the fused kernel): P[i][j] and N[i][j] are pure
+  /// functions of (seed, i·m + j) — see core/projection.hpp.
+  kCounterV1,
+};
+
+[[nodiscard]] std::string to_string(ProjectionRngKind kind);
+/// Inverse of to_string ("sequential-v0" / "counter-v1"); throws
+/// util::ParseError for anything else.
+[[nodiscard]] ProjectionRngKind parse_projection_rng(const std::string& s);
+
 /// The artifact a data owner releases. Everything in here is safe to share:
 /// `data` is the perturbed projection; the metadata (n, m, ε, δ, σ) is
 /// data-independent.
@@ -33,6 +50,9 @@ struct PublishedGraph {
   dp::PrivacyParams params;      ///< budget consumed by this release
   NoiseCalibration calibration;  ///< σ and sensitivity actually used
   ProjectionKind projection = ProjectionKind::kGaussian;
+  /// Generator family of this release; new releases are always kCounterV1,
+  /// kSequentialLegacy only appears on releases loaded from old files.
+  ProjectionRngKind projection_rng = ProjectionRngKind::kCounterV1;
 
   /// Size of the release in bytes (doubles of Ỹ) — the storage-efficiency
   /// metric of experiment E7.

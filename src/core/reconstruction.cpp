@@ -6,16 +6,28 @@
 #include "linalg/vector_ops.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace sgp::core {
 
 linalg::DenseMatrix regenerate_projection(const PublishedGraph& published,
                                           std::uint64_t publisher_seed) {
-  // Must mirror RandomProjectionPublisher::publish: the projection consumes
-  // the base stream seeded with the publisher seed.
-  random::Rng rng(publisher_seed);
-  return make_projection(published.num_nodes, published.projection_dim,
-                         published.projection, rng);
+  // Must mirror the publisher that produced the release, which the release
+  // records in projection_rng: counter-v1 releases define P[i][j] as a pure
+  // function of (seed, i·m+j); legacy (v1-file) releases drew P row-major
+  // from the sequential Rng seeded with the publisher seed.
+  switch (published.projection_rng) {
+    case ProjectionRngKind::kCounterV1:
+      return make_projection_counter(published.num_nodes,
+                                     published.projection_dim,
+                                     published.projection, publisher_seed);
+    case ProjectionRngKind::kSequentialLegacy: {
+      random::Rng rng(publisher_seed);
+      return make_projection(published.num_nodes, published.projection_dim,
+                             published.projection, rng);
+    }
+  }
+  throw util::InternalError("regenerate_projection: unknown projection_rng");
 }
 
 double edge_score(const PublishedGraph& published,

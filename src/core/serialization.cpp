@@ -7,10 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "core/projection.hpp"
 #include "core/theory.hpp"
 #include "obs/scoped_timer.hpp"
-#include "random/distributions.hpp"
-#include "random/rng.hpp"
+#include "random/counter_rng.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
@@ -18,7 +18,12 @@
 namespace sgp::core {
 namespace {
 
-constexpr char kMagic[] = "sgp-published-graph v1";
+// v2 adds the `projection_rng` header line (counter-v1 vs sequential-v0).
+// v1 files predate counter-based generation: they carry no tag and are
+// loaded as sequential-v0 so reconstruction regenerates their P with the
+// old sequential Rng.
+constexpr char kMagic[] = "sgp-published-graph v2";
+constexpr char kMagicV1[] = "sgp-published-graph v1";
 
 void write_doubles(std::ostream& out, std::span<const double> values) {
   // Assumes a little-endian IEEE-754 host (x86-64 / aarch64) — asserted at
@@ -42,6 +47,7 @@ void save_published(const PublishedGraph& published, std::ostream& out) {
       << published.params.delta << " sigma " << published.calibration.sigma
       << " sensitivity " << published.calibration.sensitivity << '\n';
   out << "projection " << to_string(published.projection) << '\n';
+  out << "projection_rng " << to_string(published.projection_rng) << '\n';
   out << "data\n";
   write_doubles(out, published.data.data());
   if (!out.good()) {
@@ -62,7 +68,13 @@ PublishedGraph load_published(std::istream& in) {
   util::fault_point("io.read");
   obs::ScopedTimer timer("io.load_release");
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!std::getline(in, line)) {
+    throw util::ParseError("load_published: bad magic line");
+  }
+  bool legacy_v1 = false;
+  if (line == kMagicV1) {
+    legacy_v1 = true;
+  } else if (line != kMagic) {
     throw util::ParseError("load_published: bad magic line");
   }
 
@@ -109,6 +121,21 @@ PublishedGraph load_published(std::istream& in) {
                              kind + "'");
     }
   }
+  if (legacy_v1) {
+    // v1 files predate the projection_rng tag: their P/noise came from the
+    // sequential Rng, so reconstruction must use the legacy regeneration.
+    pub.projection_rng = ProjectionRngKind::kSequentialLegacy;
+  } else {
+    if (!std::getline(in, line)) {
+      throw util::ParseError("load_published: truncated header");
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> token >> tag) || token != "projection_rng") {
+      throw util::ParseError("load_published: bad projection_rng line");
+    }
+    pub.projection_rng = parse_projection_rng(tag);
+  }
   if (!std::getline(in, line) || line != "data") {
     throw util::ParseError("load_published: missing data marker");
   }
@@ -146,41 +173,40 @@ void publish_to_stream(const graph::Graph& g,
                 "publish_to_stream: projection_dim must be in [1, n]");
   options.params.validate();
 
-  // Replicate the publisher's randomness exactly: the projection consumes
-  // the base stream, the noise uses a jumped substream of the post-
-  // projection state (see RandomProjectionPublisher::publish).
-  random::Rng rng(options.seed);
-  const linalg::DenseMatrix p =
-      make_projection(n, m, options.projection, rng);
-  random::Rng noise_rng = rng.split(1);
+  // Replicate the fused publisher's randomness exactly: P and the noise are
+  // counter-based pure functions of the seed (core/projection.hpp), so the
+  // needed row of P regenerates on demand per neighbor and nothing n×m is
+  // ever held. Per output cell, neighbors are visited in ascending order —
+  // the same accumulation order as the fused kernel — so the payload is
+  // byte-identical to save_published(publish(g)) in O(m) memory.
+  const random::CounterRng p_rng = projection_counter_rng(options.seed);
+  const random::CounterRng noise = noise_counter_rng(options.seed);
 
-  PublishedGraph header_only;
-  header_only.num_nodes = n;
-  header_only.projection_dim = m;
-  header_only.params = options.params;
-  header_only.projection = options.projection;
-  header_only.calibration = calibrate_noise(
+  const NoiseCalibration calibration = calibrate_noise(
       m, options.params, options.analytic_calibration, options.delta_split);
-  // Write the header through the normal path with an empty payload...
   out.precision(17);
   out << kMagic << '\n';
   out << "nodes " << n << " dim " << m << '\n';
   out << "epsilon " << options.params.epsilon << " delta "
-      << options.params.delta << " sigma " << header_only.calibration.sigma
-      << " sensitivity " << header_only.calibration.sensitivity << '\n';
+      << options.params.delta << " sigma " << calibration.sigma
+      << " sensitivity " << calibration.sensitivity << '\n';
   out << "projection " << to_string(options.projection) << '\n';
+  out << "projection_rng " << to_string(ProjectionRngKind::kCounterV1) << '\n';
   out << "data\n";
 
-  // ...then stream one published row at a time.
+  // Stream one published row at a time: Ỹ_i = Σ_{j∈N(i)} P_j + σ·N_i.
   std::vector<double> row(m);
+  std::vector<double> prow(m);
   for (std::size_t i = 0; i < n; ++i) {
     std::fill(row.begin(), row.end(), 0.0);
     for (std::uint32_t j : g.neighbors(i)) {
-      const auto prow = p.row(j);
+      fill_projection_tile(p_rng, m, options.projection, j, j + 1, 0, m,
+                           prow.data());
       for (std::size_t c = 0; c < m; ++c) row[c] += prow[c];
     }
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * m;
     for (std::size_t c = 0; c < m; ++c) {
-      row[c] += random::normal(noise_rng, 0.0, header_only.calibration.sigma);
+      row[c] += calibration.sigma * noise.normal(base + c);
     }
     write_doubles(out, row);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -102,6 +103,64 @@ DenseMatrix CsrMatrix::multiply_dense(const DenseMatrix& b) const {
         }
       },
       512);
+  return out;
+}
+
+DenseMatrix CsrMatrix::multiply_generated(
+    std::size_t b_cols, const TileFiller& fill_tile,
+    const GeneratedTileOptions& opts) const {
+  util::require(rows() == cols_, "multiply_generated: matrix must be square");
+  util::require(static_cast<bool>(fill_tile),
+                "multiply_generated: fill_tile must be callable");
+  const std::size_t n = rows();
+  DenseMatrix out(n, b_cols);
+  if (n == 0 || b_cols == 0) return out;
+
+  util::ThreadPool& pool = opts.pool ? *opts.pool : util::global_pool();
+  const std::size_t tile_rows = std::max<std::size_t>(1, opts.tile_rows);
+  std::size_t tile_cols = opts.tile_cols;
+  if (tile_cols == 0) {
+    // Narrow auto blocks: at least two blocks per thread so the pool stays
+    // busy even for the paper's small m (~100), floor 8 to keep the inner
+    // FMA loop vectorizable, cap 64 so a tile row stays within one page.
+    tile_cols = std::clamp<std::size_t>(
+        (b_cols + 2 * pool.size() - 1) / (2 * pool.size()), 8, 64);
+  }
+  tile_cols = std::min(tile_cols, b_cols);
+
+  static obs::Counter& tiles = obs::counter("linalg.fused_tiles");
+
+  // Each chunk of columns is owned by exactly one task, so the scatter
+  // Y[r, c0..c1) += v · tile[j, c0..c1) never races: tasks write disjoint
+  // column slabs of `out`. Per output cell (r, c) the contributions arrive
+  // in ascending j (outer row-block loop, then rows within the tile), which
+  // matches the ascending-column accumulation of multiply_dense on a
+  // symmetric matrix — hence bit-identical results for any tiling/threads.
+  util::parallel_for(
+      pool, 0, b_cols,
+      [&](std::size_t col_lo, std::size_t col_hi) {
+        std::vector<double> scratch(tile_rows * tile_cols);
+        for (std::size_t c0 = col_lo; c0 < col_hi; c0 += tile_cols) {
+          const std::size_t c1 = std::min(col_hi, c0 + tile_cols);
+          const std::size_t width = c1 - c0;
+          for (std::size_t j0 = 0; j0 < n; j0 += tile_rows) {
+            const std::size_t j1 = std::min(n, j0 + tile_rows);
+            fill_tile(j0, j1, c0, c1, scratch.data());
+            tiles.add();
+            for (std::size_t j = j0; j < j1; ++j) {
+              const double* tile_row = scratch.data() + (j - j0) * width;
+              for (std::size_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k) {
+                const double v = values_[k];
+                double* orow = out.row(col_idx_[k]).data() + c0;
+                for (std::size_t c = 0; c < width; ++c) {
+                  orow[c] += v * tile_row[c];
+                }
+              }
+            }
+          }
+        }
+      },
+      tile_cols);
   return out;
 }
 

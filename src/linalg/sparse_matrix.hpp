@@ -7,12 +7,38 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "linalg/dense_matrix.hpp"
 
+namespace sgp::util {
+class ThreadPool;
+}  // namespace sgp::util
+
 namespace sgp::linalg {
+
+/// Fills `out` (row-major, stride col_end - col_begin) with the tile
+/// B[row_begin..row_end) × [col_begin..col_end) of a virtual dense operand.
+/// Must be a pure function of its arguments (no mutable state): the fused
+/// kernel calls it from multiple threads, in tile order it chooses.
+using TileFiller = std::function<void(std::size_t row_begin,
+                                      std::size_t row_end,
+                                      std::size_t col_begin,
+                                      std::size_t col_end, double* out)>;
+
+/// Tuning knobs for CsrMatrix::multiply_generated.
+struct GeneratedTileOptions {
+  /// Rows of B generated per tile.
+  std::size_t tile_rows = 512;
+  /// Columns per tile; 0 = auto (narrow blocks sized so every pool thread
+  /// gets work even for small m — generation cost dominates the FMAs, so
+  /// narrow blocks cost little).
+  std::size_t tile_cols = 0;
+  /// Pool to run on; nullptr = util::global_pool().
+  util::ThreadPool* pool = nullptr;
+};
 
 /// One (row, col, value) entry used to assemble a CSR matrix.
 struct Triplet {
@@ -51,6 +77,24 @@ class CsrMatrix {
   /// Dense product A (rows×cols) * B (cols×k) → rows×k. Parallelized over
   /// rows; this is the O(nnz · k) projection kernel of the mechanism.
   [[nodiscard]] DenseMatrix multiply_dense(const DenseMatrix& b) const;
+
+  /// Fused product A (n×n, must be symmetric) * B (n×b_cols) → n×b_cols,
+  /// where B is never materialized: `fill_tile` generates each needed tile
+  /// into a per-thread scratch buffer on demand (total generation work is
+  /// n·b_cols, each tile exactly once). Work is partitioned over *column*
+  /// blocks of the output, so each thread owns its slab of Y and no write
+  /// races exist; within a (row, col) cell, contributions accumulate in
+  /// ascending source-row order — the same order as multiply_dense, so for a
+  /// symmetric A the result is bit-identical to
+  /// multiply_dense(materialized B), for every tiling and thread count.
+  ///
+  /// Symmetry is required because the kernel scatters through row j of A to
+  /// reach column j of A (Y[r] += A[j][r]·B[j]). Squareness is checked;
+  /// symmetry is the caller's contract (checking it would cost a full
+  /// O(nnz·log d) pass per multiply — publish_matrix already documents it).
+  [[nodiscard]] DenseMatrix multiply_generated(
+      std::size_t b_cols, const TileFiller& fill_tile,
+      const GeneratedTileOptions& opts = {}) const;
 
   /// Materializes the dense equivalent (small matrices / tests only).
   [[nodiscard]] DenseMatrix to_dense() const;

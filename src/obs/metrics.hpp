@@ -87,11 +87,12 @@ class Counter {
 
 /// Last-write-wins instantaneous value. Gauges are set from configuration
 /// paths (pool size, graph dimensions), not hot loops, so a single atomic
-/// cell suffices.
+/// cell suffices. Unlike Counter/Histogram, set() ignores the enable gate:
+/// gauges record set-once configuration (e.g. threadpool.threads at pool
+/// construction) that must survive metrics being enabled later.
 class Gauge {
  public:
   void set(double v) noexcept {
-    if (!metrics_enabled()) return;
     value_.store(v, std::memory_order_relaxed);
   }
 

@@ -1,0 +1,54 @@
+#include "random/counter_rng.hpp"
+
+#include <cmath>
+
+#include "random/rng.hpp"
+
+namespace sgp::random {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925287;
+
+/// splitmix64 finalizer (Stafford mix of the counter), without the state
+/// increment — the caller supplies the word to scramble.
+constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CounterRng::CounterRng(std::uint64_t seed, std::uint64_t stream) {
+  // Warm a splitmix64 chain on the seed, then fold the stream id through a
+  // second chain so (seed, stream) pairs land on unrelated key pairs even
+  // for adjacent seeds and streams.
+  std::uint64_t s = seed;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  std::uint64_t t = stream ^ b;
+  key0_ = a ^ splitmix64(t);
+  key1_ = splitmix64(t);
+}
+
+std::uint64_t CounterRng::bits(std::uint64_t counter) const noexcept {
+  // Two keyed rounds: counter + key0 → mix → ^ key1 → mix. The additive
+  // pre-whitening plus two full-avalanche rounds decorrelates consecutive
+  // counters and consecutive keys (streams).
+  return mix(mix(counter + key0_) ^ key1_);
+}
+
+double CounterRng::uniform(std::uint64_t counter) const noexcept {
+  return static_cast<double>(bits(counter) >> 11) * 0x1.0p-53;
+}
+
+double CounterRng::normal(std::uint64_t counter) const noexcept {
+  const std::uint64_t w0 = bits(2 * counter);
+  const std::uint64_t w1 = bits(2 * counter + 1);
+  // u1 in (0, 1] so log(u1) is finite; u2 in [0, 1).
+  const double u1 = (static_cast<double>(w0 >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = static_cast<double>(w1 >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace sgp::random

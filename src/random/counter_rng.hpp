@@ -1,0 +1,54 @@
+// Counter-based (stateless, keyed) pseudo-random generation.
+//
+// A CounterRng is a pure function f(key, counter) -> 64 bits: there is no
+// mutable stream state, so any slice of the sequence can be generated on
+// demand, in any order, from any thread, bit-identically. This is what lets
+// the fused publish kernel (core/publisher.cpp) produce tiles of the
+// projection matrix P and of the noise matrix N without materializing either,
+// independent of traversal order, tiling, or thread count:
+//
+//   P[i][j] = g(key_P,     i*m + j)
+//   N[i][j] = g(key_noise, i*m + j)
+//
+// The generator is splitmix64-style: two rounds of the splitmix64 finalizer
+// with an independent key word injected between the rounds (Philox-like
+// key schedule, much cheaper arithmetic). One round of that finalizer is
+// already a full-avalanche mixer; two rounds with distinct keys make
+// related-counter and related-key sequences statistically independent for
+// our purposes (JL projections, DP noise). Like the sequential Rng, it is
+// hand-rolled so identical seeds reproduce identically across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace sgp::random {
+
+/// Keyed counter generator. Copyable value type; all sampling methods are
+/// const and thread-safe (they touch no mutable state).
+class CounterRng {
+ public:
+  /// Derives the two key words from (seed, stream) via splitmix64. Distinct
+  /// stream ids yield independent generators from the same seed — the
+  /// publisher uses one stream for P and another for the noise.
+  CounterRng(std::uint64_t seed, std::uint64_t stream);
+
+  /// 64 random bits for `counter`. Pure function of (key, counter).
+  [[nodiscard]] std::uint64_t bits(std::uint64_t counter) const noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  [[nodiscard]] double uniform(std::uint64_t counter) const noexcept;
+
+  /// Standard normal N(0, 1) via Box–Muller on words (2·counter, 2·counter+1).
+  /// Exactly two words per call — unlike rejection methods, the consumption
+  /// is fixed, which is what keeps the mapping counter → value stable.
+  /// Callers index by entry (e.g. i*m + j); the word doubling is internal.
+  [[nodiscard]] double normal(std::uint64_t counter) const noexcept;
+
+  bool operator==(const CounterRng&) const = default;
+
+ private:
+  std::uint64_t key0_ = 0;
+  std::uint64_t key1_ = 0;
+};
+
+}  // namespace sgp::random

@@ -25,6 +25,8 @@ enum class ErrorKind {
   kConvergence,      ///< an iterative solver exhausted its budget
   kBudgetExhausted,  ///< a release would exceed the session privacy cap
   kLedgerCorrupt,    ///< budget ledger failed validation on load
+  kResource,         ///< the host ran out of a resource (memory, …)
+  kInternal,         ///< a library invariant broke — a bug, not the caller
 };
 
 /// Root of the sgp error taxonomy.
@@ -76,6 +78,25 @@ class LedgerCorruptError : public SgpError {
  public:
   explicit LedgerCorruptError(const std::string& msg)
       : SgpError(ErrorKind::kLedgerCorrupt, msg) {}
+};
+
+/// The host denied a resource the operation needs — today always memory
+/// (std::bad_alloc surfaced from a sized allocation such as the n×m release
+/// or a materialized projection), typed so CLI callers get the documented
+/// internal-error exit instead of an anonymous terminate.
+class ResourceError : public SgpError {
+ public:
+  explicit ResourceError(const std::string& msg)
+      : SgpError(ErrorKind::kResource, msg) {}
+};
+
+/// A library invariant failed (e.g. an enum value outside its domain
+/// reached a dispatch). Always a bug in sgp or memory corruption — callers
+/// cannot fix it by changing inputs.
+class InternalError : public SgpError {
+ public:
+  explicit InternalError(const std::string& msg)
+      : SgpError(ErrorKind::kInternal, msg) {}
 };
 
 }  // namespace sgp::util

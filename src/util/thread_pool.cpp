@@ -5,6 +5,17 @@
 #include "obs/metrics.hpp"
 
 namespace sgp::util {
+namespace {
+
+// Set (permanently) by worker_loop on each pool thread. parallel_for checks
+// it to run nested bodies inline: a body submitted to the pool that itself
+// calls parallel_for would otherwise block on futures that only the already-
+// occupied workers could run — with every worker nested, a deadlock.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+bool in_pool_worker() noexcept { return tls_in_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -39,6 +50,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 }
 
 void ThreadPool::worker_loop() {
+  tls_in_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -54,18 +66,25 @@ void ThreadPool::worker_loop() {
 
 ThreadPool& global_pool() {
   static ThreadPool pool;
-  static obs::Gauge& threads = obs::gauge("threadpool.threads");
-  threads.set(static_cast<double>(pool.size()));
+  // The gauge is a configuration value that never changes after the pool
+  // exists, so record it exactly once — not on every call, which would put
+  // an avoidable store on the hot path of each parallel_for.
+  static const bool gauge_recorded = [] {
+    obs::gauge("threadpool.threads").set(static_cast<double>(pool.size()));
+    return true;
+  }();
+  (void)gauge_recorded;
   return pool;
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain) {
   if (begin >= end) return;
-  ThreadPool& pool = global_pool();
   const std::size_t n = end - begin;
-  if (n < grain || pool.size() <= 1) {
+  // Run inline when the range is small, the pool cannot parallelize, or we
+  // are already on a pool worker (nested call — see tls_in_pool_worker).
+  if (n < grain || pool.size() <= 1 || in_pool_worker()) {
     body(begin, end);
     return;
   }
@@ -78,6 +97,13 @@ void parallel_for(std::size_t begin, std::size_t end,
     futures.push_back(pool.submit([&body, lo, hi] { body(lo, hi); }));
   }
   for (auto& f : futures) f.get();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  parallel_for(global_pool(), begin, end, body, grain);
 }
 
 }  // namespace sgp::util

@@ -46,10 +46,22 @@ class ThreadPool {
 /// Process-wide pool, lazily constructed; used by parallel_for below.
 ThreadPool& global_pool();
 
-/// Splits [begin, end) into contiguous chunks and runs `body(lo, hi)` on the
-/// global pool, blocking until all chunks finish. Falls back to a direct call
-/// when the range is small (< grain) or the pool has one thread. Exceptions
-/// from any chunk are rethrown on the calling thread.
+/// True when called from inside a ThreadPool worker thread (any pool).
+/// parallel_for uses this to run nested bodies inline instead of blocking a
+/// worker on futures only the already-occupied workers could execute.
+[[nodiscard]] bool in_pool_worker() noexcept;
+
+/// Splits [begin, end) into contiguous chunks and runs `body(lo, hi)` on
+/// `pool`, blocking until all chunks finish. Falls back to a direct call when
+/// the range is small (< grain), the pool has one thread, or the caller is
+/// itself a pool worker (nested parallelism would deadlock — see
+/// in_pool_worker). Exceptions from any chunk are rethrown on the calling
+/// thread.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 1024);
+
+/// Same, on the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain = 1024);

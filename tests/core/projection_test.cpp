@@ -4,8 +4,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "linalg/vector_ops.hpp"
+#include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgp::core {
 namespace {
@@ -86,6 +89,125 @@ TEST(ProjectionTest, InvalidDimensionsThrow) {
 TEST(ProjectionTest, ToStringNames) {
   EXPECT_EQ(to_string(ProjectionKind::kGaussian), "gaussian");
   EXPECT_EQ(to_string(ProjectionKind::kAchlioptas), "achlioptas");
+}
+
+TEST(ProjectionTest, UnknownKindIsInternalError) {
+  random::Rng rng(1);
+  EXPECT_THROW(make_projection(4, 2, static_cast<ProjectionKind>(99), rng),
+               util::InternalError);
+}
+
+// achlioptas_projection writes only the non-zero entries and relies on
+// DenseMatrix(n, m) zero-initializing the 2/3 that stay zero. Pin that
+// contract explicitly so a future DenseMatrix change (e.g. uninitialized
+// storage for speed) cannot silently corrupt projections.
+TEST(ProjectionTest, DenseMatrixZeroInitBacksAchlioptasZeros) {
+  const linalg::DenseMatrix fresh(17, 13);
+  for (double v : fresh.data()) {
+    ASSERT_EQ(v, 0.0);
+  }
+}
+
+TEST(ProjectionTest, AchlioptasFrequenciesMatchOneSixthSplit) {
+  random::Rng rng(11);
+  const std::size_t n = 600, m = 100;
+  const auto p = achlioptas_projection(n, m, rng);
+  const double mag = std::sqrt(3.0 / m);
+  std::size_t plus = 0, minus = 0, zero = 0;
+  for (double v : p.data()) {
+    if (v == 0.0) {
+      ++zero;
+    } else if (std::fabs(v - mag) < 1e-12) {
+      ++plus;
+    } else {
+      ASSERT_NEAR(v, -mag, 1e-12);
+      ++minus;
+    }
+  }
+  const double total = static_cast<double>(n * m);
+  EXPECT_NEAR(plus / total, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(minus / total, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(zero / total, 2.0 / 3.0, 0.01);
+}
+
+// --- counter-based projection ---------------------------------------------
+
+TEST(CounterProjectionTest, MatchesTileFillOnFullRange) {
+  const std::size_t n = 60, m = 33;
+  for (ProjectionKind kind :
+       {ProjectionKind::kGaussian, ProjectionKind::kAchlioptas}) {
+    const auto p = make_projection_counter(n, m, kind, 42);
+    const random::CounterRng rng = projection_counter_rng(42);
+    // Any sub-tile must reproduce the same entries bit-for-bit.
+    std::vector<double> tile(20 * 7);
+    fill_projection_tile(rng, m, kind, 30, 50, 5, 12, tile.data());
+    for (std::size_t i = 0; i < 20; ++i) {
+      for (std::size_t j = 0; j < 7; ++j) {
+        ASSERT_EQ(tile[i * 7 + j], p(30 + i, 5 + j))
+            << to_string(kind) << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CounterProjectionTest, BitIdenticalAcrossThreadCounts) {
+  // Generate the same projection through pools of 1, 2, and 8 workers by
+  // tiling it with parallel_for; every tiling must agree bit-for-bit
+  // because each entry is a pure function of (seed, i·m + j).
+  const std::size_t n = 128, m = 48;
+  const random::CounterRng rng = projection_counter_rng(7);
+  const auto reference = make_projection_counter(n, m,
+                                                 ProjectionKind::kGaussian, 7);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    linalg::DenseMatrix p(n, m);
+    util::parallel_for(
+        pool, 0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          fill_projection_tile(rng, m, ProjectionKind::kGaussian, lo, hi, 0, m,
+                               p.row(lo).data());
+        },
+        8);
+    ASSERT_EQ(p, reference) << threads << " threads";
+  }
+}
+
+TEST(CounterProjectionTest, GaussianStatisticsHold) {
+  const std::size_t n = 400, m = 100;
+  const auto p = make_projection_counter(n, m, ProjectionKind::kGaussian, 3);
+  double sum2 = 0;
+  for (double v : p.data()) sum2 += v * v;
+  EXPECT_NEAR(sum2 / static_cast<double>(n * m), 1.0 / m, 0.1 / m);
+}
+
+TEST(CounterProjectionTest, AchlioptasStatisticsHold) {
+  const std::size_t n = 400, m = 100;
+  const auto p = make_projection_counter(n, m, ProjectionKind::kAchlioptas, 3);
+  const double mag = std::sqrt(3.0 / m);
+  std::size_t zeros = 0;
+  for (double v : p.data()) {
+    ASSERT_TRUE(v == 0.0 || std::fabs(std::fabs(v) - mag) < 1e-12);
+    if (v == 0.0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(n * m),
+              2.0 / 3.0, 0.02);
+}
+
+TEST(CounterProjectionTest, SeedAndStreamSeparateGenerators) {
+  EXPECT_EQ(projection_counter_rng(5), projection_counter_rng(5));
+  EXPECT_NE(projection_counter_rng(5), projection_counter_rng(6));
+  EXPECT_NE(projection_counter_rng(5), noise_counter_rng(5));
+}
+
+TEST(CounterProjectionTest, TileBoundsValidated) {
+  const random::CounterRng rng = projection_counter_rng(1);
+  std::vector<double> tile(16);
+  EXPECT_THROW(
+      fill_projection_tile(rng, 4, ProjectionKind::kGaussian, 0, 2, 3, 5,
+                           tile.data()),
+      std::invalid_argument);
+  EXPECT_THROW(make_projection_counter(0, 4, ProjectionKind::kGaussian, 1),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 #include "graph/generators.hpp"
 #include "ranking/centrality.hpp"
 #include "ranking/metrics.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 
 namespace sgp::core {
 namespace {
@@ -57,6 +59,63 @@ TEST(PublisherTest, DifferentSeedsDifferentReleases) {
   opt.seed = 2;
   const auto b = RandomProjectionPublisher(opt).publish(pg.graph);
   EXPECT_NE(a.data, b.data);
+}
+
+TEST(PublisherTest, ReleaseRecordsCounterRng) {
+  const auto pg = test_sbm();
+  RandomProjectionPublisher::Options opt;
+  opt.projection_dim = 30;
+  const auto pub = RandomProjectionPublisher(opt).publish(pg.graph);
+  EXPECT_EQ(pub.projection_rng, ProjectionRngKind::kCounterV1);
+}
+
+TEST(PublisherTest, ProjectionRngTagRoundTrips) {
+  EXPECT_EQ(to_string(ProjectionRngKind::kCounterV1), "counter-v1");
+  EXPECT_EQ(to_string(ProjectionRngKind::kSequentialLegacy), "sequential-v0");
+  EXPECT_EQ(parse_projection_rng("counter-v1"), ProjectionRngKind::kCounterV1);
+  EXPECT_EQ(parse_projection_rng("sequential-v0"),
+            ProjectionRngKind::kSequentialLegacy);
+  EXPECT_THROW(parse_projection_rng("quantum"), util::ParseError);
+}
+
+// The fused kernel must equal the explicit three-step pipeline — materialize
+// the counter-based P, SpMM, perturb — bit for bit, for both kinds. This is
+// the reference the memory-saving fusion is allowed to deviate from by
+// exactly nothing.
+TEST(PublisherTest, FusedPublishMatchesMaterializedReference) {
+  const auto pg = test_sbm(2);
+  for (ProjectionKind kind :
+       {ProjectionKind::kGaussian, ProjectionKind::kAchlioptas}) {
+    RandomProjectionPublisher::Options opt;
+    opt.projection_dim = 40;
+    opt.projection = kind;
+    opt.seed = 19;
+    const auto pub = RandomProjectionPublisher(opt).publish(pg.graph);
+
+    const auto p = make_projection_counter(pub.num_nodes, 40, kind, 19);
+    linalg::DenseMatrix reference =
+        pg.graph.adjacency_matrix().multiply_dense(p);
+    const random::CounterRng noise = noise_counter_rng(19);
+    for (std::size_t i = 0; i < reference.rows(); ++i) {
+      auto row = reference.row(i);
+      const std::uint64_t base = static_cast<std::uint64_t>(i) * 40;
+      for (std::size_t c = 0; c < 40; ++c) {
+        row[c] += pub.calibration.sigma * noise.normal(base + c);
+      }
+    }
+    ASSERT_EQ(pub.data, reference) << to_string(kind);
+  }
+}
+
+TEST(PublisherTest, AllocFaultSurfacesAsResourceError) {
+  const std::vector<graph::Edge> edges{{0, 1}};
+  const auto g = graph::Graph::from_edges(20, edges);
+  RandomProjectionPublisher::Options opt;
+  opt.projection_dim = 5;
+  const RandomProjectionPublisher publisher(opt);
+  util::arm_fault("alloc");
+  EXPECT_THROW((void)publisher.publish(g), util::ResourceError);
+  util::disarm_all_faults();
 }
 
 TEST(PublisherTest, NoiseMagnitudeMatchesCalibration) {

@@ -37,6 +37,30 @@ TEST(ReconstructionTest, RegeneratedProjectionMatchesShape) {
   EXPECT_EQ(s.projection.cols(), 128u);
 }
 
+TEST(ReconstructionTest, CounterReleaseRegeneratesExactProjection) {
+  // A counter-v1 release round-trips: regenerate_projection must return the
+  // exact P the fused publisher consumed, which by definition equals the
+  // materialized counter projection for (seed, kind, n, m).
+  const auto s = make_setup(4.0);
+  ASSERT_EQ(s.pub.projection_rng, ProjectionRngKind::kCounterV1);
+  const auto expected = make_projection_counter(
+      s.pub.num_nodes, s.pub.projection_dim, s.pub.projection, s.seed);
+  EXPECT_EQ(s.projection, expected);
+}
+
+TEST(ReconstructionTest, LegacyReleaseUsesSequentialRng) {
+  // Releases loaded from v1 files carry the sequential-v0 tag; their P must
+  // come from the old sequential generator, not the counter one.
+  auto s = make_setup(4.0);
+  s.pub.projection_rng = ProjectionRngKind::kSequentialLegacy;
+  const auto legacy = regenerate_projection(s.pub, s.seed);
+  random::Rng rng(s.seed);
+  const auto expected = make_projection(s.pub.num_nodes, s.pub.projection_dim,
+                                        s.pub.projection, rng);
+  EXPECT_EQ(legacy, expected);
+  EXPECT_NE(legacy, s.projection);  // the two families genuinely differ
+}
+
 TEST(ReconstructionTest, EdgeScoresSeparateEdgesFromNonEdges) {
   const auto s = make_setup(16.0);
   // Average score over true edges should clearly exceed non-edges.

@@ -84,6 +84,68 @@ TEST(SerializationTest, UnknownProjectionKindThrows) {
   EXPECT_THROW(load_published(buffer), std::runtime_error);
 }
 
+TEST(SerializationTest, V2HeaderRecordsProjectionRng) {
+  const auto original = sample_release();
+  std::stringstream buffer;
+  save_published(original, buffer);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("sgp-published-graph v2\n"), std::string::npos);
+  EXPECT_NE(text.find("projection_rng counter-v1\n"), std::string::npos);
+  std::stringstream reread(text);
+  EXPECT_EQ(load_published(reread).projection_rng,
+            ProjectionRngKind::kCounterV1);
+}
+
+// A v1 file (written before the counter-RNG format bump) has no
+// projection_rng line; it must keep loading, tagged sequential-v0 so
+// reconstruction regenerates its P with the legacy sequential Rng.
+TEST(SerializationTest, LegacyV1FileLoadsAsSequential) {
+  std::string payload(2 * 8, '\0');  // 1 node × 2 dims of zero doubles
+  std::stringstream buffer(
+      "sgp-published-graph v1\n"
+      "nodes 1 dim 2\n"
+      "epsilon 1 delta 1e-6 sigma 2 sensitivity 1\n"
+      "projection gaussian\n"
+      "data\n" +
+      payload);
+  const auto loaded = load_published(buffer);
+  EXPECT_EQ(loaded.projection_rng, ProjectionRngKind::kSequentialLegacy);
+  EXPECT_EQ(loaded.num_nodes, 1u);
+  EXPECT_EQ(loaded.projection_dim, 2u);
+}
+
+TEST(SerializationTest, SequentialTagRoundTripsThroughV2) {
+  auto original = sample_release();
+  original.projection_rng = ProjectionRngKind::kSequentialLegacy;
+  std::stringstream buffer;
+  save_published(original, buffer);
+  EXPECT_NE(buffer.str().find("projection_rng sequential-v0\n"),
+            std::string::npos);
+  EXPECT_EQ(load_published(buffer).projection_rng,
+            ProjectionRngKind::kSequentialLegacy);
+}
+
+TEST(SerializationTest, UnknownProjectionRngThrows) {
+  std::stringstream buffer(
+      "sgp-published-graph v2\n"
+      "nodes 1 dim 1\n"
+      "epsilon 1 delta 1e-6 sigma 2 sensitivity 1\n"
+      "projection gaussian\n"
+      "projection_rng quantum\n"
+      "data\n");
+  EXPECT_THROW(load_published(buffer), std::runtime_error);
+}
+
+TEST(SerializationTest, V2MissingProjectionRngLineThrows) {
+  std::stringstream buffer(
+      "sgp-published-graph v2\n"
+      "nodes 1 dim 1\n"
+      "epsilon 1 delta 1e-6 sigma 2 sensitivity 1\n"
+      "projection gaussian\n"
+      "data\n");
+  EXPECT_THROW(load_published(buffer), std::runtime_error);
+}
+
 TEST(StreamingPublishTest, ByteIdenticalToInMemoryPublish) {
   random::Rng rng(3);
   const auto g = graph::erdos_renyi(120, 0.1, rng);

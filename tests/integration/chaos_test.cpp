@@ -133,7 +133,9 @@ TEST_F(ChaosTest, FailureAfterAppendOvercountsNeverUndercounts) {
   const double spent_before = session.spent().epsilon;
 
   util::arm_fault("alloc");
-  EXPECT_THROW((void)session.publish(g), std::bad_alloc);
+  // The armed fault raises std::bad_alloc at the fault point; the publisher
+  // surfaces it as the typed ResourceError of the error taxonomy.
+  EXPECT_THROW((void)session.publish(g), util::ResourceError);
   util::disarm_all_faults();
 
   // The charge is on disk even though no artifact was returned.

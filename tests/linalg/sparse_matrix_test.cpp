@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "random/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgp::linalg {
 namespace {
@@ -118,6 +122,94 @@ TEST(CsrTest, IsSymmetric) {
 
 TEST(CsrTest, Sum) {
   EXPECT_DOUBLE_EQ(small().sum(), 10.0);
+}
+
+// --- fused generated-operand product --------------------------------------
+
+// A random symmetric matrix (the kernel's contract) plus a deterministic
+// "virtual" dense operand whose entry (i, j) = f(i, j), so any tile can be
+// produced on demand.
+CsrMatrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  std::vector<Triplet> trips;
+  for (int e = 0; e < 1500; ++e) {
+    const auto r = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto c = static_cast<std::uint32_t>(rng.next_below(n));
+    // Skip duplicates: repeated (r, c) entries would be summed, and the
+    // bitwise-symmetry the fused kernel's bit-identity tests rely on must
+    // not depend on duplicate-merge order.
+    if (!seen.insert({std::min(r, c), std::max(r, c)}).second) continue;
+    const double v = rng.next_double() - 0.5;
+    trips.push_back({r, c, v});
+    if (r != c) trips.push_back({c, r, v});
+  }
+  return CsrMatrix::from_triplets(n, n, trips);
+}
+
+double virtual_entry(std::size_t i, std::size_t j) {
+  return static_cast<double>(i * 1000 + j) * 0.001 - 3.0;
+}
+
+TileFiller virtual_filler() {
+  return [](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1,
+            double* out) {
+    const std::size_t width = c1 - c0;
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = c0; j < c1; ++j) {
+        out[(i - r0) * width + (j - c0)] = virtual_entry(i, j);
+      }
+    }
+  };
+}
+
+TEST(CsrTest, MultiplyGeneratedMatchesMultiplyDense) {
+  const std::size_t n = 120, k = 37;
+  const auto a = random_symmetric(n, 9);
+  DenseMatrix b(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) b(i, j) = virtual_entry(i, j);
+  }
+  const auto reference = a.multiply_dense(b);
+  const auto fused = a.multiply_generated(k, virtual_filler());
+  // Bit-identical, not just close: same per-cell accumulation order.
+  EXPECT_EQ(fused, reference);
+}
+
+TEST(CsrTest, MultiplyGeneratedIdenticalAcrossTilingsAndPools) {
+  const std::size_t n = 90, k = 25;
+  const auto a = random_symmetric(n, 10);
+  const auto reference = a.multiply_generated(k, virtual_filler());
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    util::ThreadPool pool(threads);
+    for (std::size_t tile_rows : {1u, 7u, 512u}) {
+      for (std::size_t tile_cols : {3u, 25u, 64u}) {
+        GeneratedTileOptions opts;
+        opts.pool = &pool;
+        opts.tile_rows = tile_rows;
+        opts.tile_cols = tile_cols;
+        const auto y = a.multiply_generated(k, virtual_filler(), opts);
+        ASSERT_EQ(y, reference)
+            << threads << " threads, tile " << tile_rows << "x" << tile_cols;
+      }
+    }
+  }
+}
+
+TEST(CsrTest, MultiplyGeneratedValidatesArguments) {
+  const auto rect = CsrMatrix::from_triplets(2, 3, {});
+  EXPECT_THROW((void)rect.multiply_generated(4, virtual_filler()),
+               std::invalid_argument);
+  const auto square = CsrMatrix::from_triplets(2, 2, {});
+  EXPECT_THROW((void)square.multiply_generated(4, TileFiller{}),
+               std::invalid_argument);
+}
+
+TEST(CsrTest, MultiplyGeneratedZeroColumns) {
+  const auto a = random_symmetric(10, 11);
+  const auto y = a.multiply_generated(0, virtual_filler());
+  EXPECT_EQ(y.rows(), 10u);
+  EXPECT_EQ(y.cols(), 0u);
 }
 
 TEST(CsrTest, LargeRandomMatvecMatchesDense) {

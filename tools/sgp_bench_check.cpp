@@ -18,6 +18,30 @@
 
 namespace {
 
+// Per-experiment metadata contracts, beyond the generic schema: BENCH_E7
+// carries the scalability configuration (projection_rng and thread count
+// matter for interpreting the fused-vs-legacy numbers).
+void check_e7_meta(const std::string& path, const sgp::util::JsonValue& doc) {
+  const sgp::util::JsonValue* meta = doc.find("meta");
+  for (const char* key :
+       {"m", "epsilon", "delta", "max_nodes", "projection_rng", "threads"}) {
+    if (meta->find(key) == nullptr) {
+      throw sgp::util::ParseError(path + ": E7 meta missing '" +
+                                  std::string(key) + "'");
+    }
+  }
+  const sgp::util::JsonValue* rng = meta->find("projection_rng");
+  if (!rng->is_string() || rng->as_string().empty()) {
+    throw sgp::util::ParseError(path +
+                                ": E7 meta.projection_rng must be a "
+                                "non-empty string");
+  }
+  const sgp::util::JsonValue* threads = meta->find("threads");
+  if (!threads->is_number() || threads->as_number() < 1.0) {
+    throw sgp::util::ParseError(path + ": E7 meta.threads must be >= 1");
+  }
+}
+
 void check_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
@@ -28,6 +52,10 @@ void check_file(const std::string& path) {
   const sgp::util::JsonValue doc = sgp::util::parse_json(buf.str());
   if (const auto err = sgp::obs::validate_report_json(doc)) {
     throw sgp::util::ParseError(path + ": " + *err);
+  }
+  // validate_report_json guarantees a string "id" and object "meta".
+  if (doc.find("id")->as_string() == "E7") {
+    check_e7_meta(path, doc);
   }
 }
 

@@ -119,18 +119,26 @@ template <typename Fn>
 int run_tool(Fn&& body) {
   try {
     return body();
-  } catch (const util::BudgetExhaustedError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitBudget;
-  } catch (const util::ParseError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitData;
-  } catch (const util::IoError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitData;
-  } catch (const util::LedgerCorruptError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitData;
+  } catch (const util::SgpError& e) {
+    // One switch over the taxonomy keeps new kinds from silently falling
+    // into the generic handler below with the wrong exit code.
+    switch (e.kind()) {
+      case util::ErrorKind::kBudgetExhausted:
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitBudget;
+      case util::ErrorKind::kParse:
+      case util::ErrorKind::kIo:
+      case util::ErrorKind::kLedgerCorrupt:
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitData;
+      case util::ErrorKind::kConvergence:
+      case util::ErrorKind::kResource:
+      case util::ErrorKind::kInternal:
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return kExitInternal;
+    }
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
   } catch (const std::invalid_argument& e) {
     // util::require / CliArgs: the caller passed something malformed.
     std::fprintf(stderr, "usage error: %s\n", e.what());
