@@ -50,8 +50,8 @@ double edge_auc(const sgp::graph::Graph& g,
     auc += static_cast<double>(lo - non_edge_scores.begin()) +
            0.5 * static_cast<double>(hi - lo);
   }
-  return auc /
-         (static_cast<double>(edge_scores_list.size()) * non_edge_scores.size());
+  return auc / (static_cast<double>(edge_scores_list.size()) *
+                static_cast<double>(non_edge_scores.size()));
 }
 
 }  // namespace

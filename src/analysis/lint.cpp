@@ -1,0 +1,245 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace sgp::analysis {
+namespace {
+
+std::string baseline_key(const Finding& f) {
+  return f.rule + "\t" + f.file + "\t" + f.snippet;
+}
+
+bool excluded(const std::string& path,
+              const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LintResult run_lint(const LintOptions& options) {
+  LintResult result;
+  for (const std::string& rel : list_source_files(options.root)) {
+    if (excluded(rel, options.exclude_prefixes)) continue;
+    const SourceFile file = load_source_file(options.root, rel);
+    std::vector<Finding> found =
+        run_rules(file, options.rule_options, options.rules);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(found.begin()),
+                           std::make_move_iterator(found.end()));
+    ++result.files_scanned;
+  }
+  std::sort(result.findings.begin(), result.findings.end(), finding_less);
+  return result;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  Baseline b;
+  for (const Finding& f : findings) ++b.counts_[baseline_key(f)];
+  return b;
+}
+
+Baseline Baseline::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw util::IoError("baseline: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const util::JsonValue doc = util::parse_json(buf.str());
+  const util::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "sgp-lint-baseline-v1") {
+    throw util::ParseError("baseline: missing schema sgp-lint-baseline-v1");
+  }
+  const util::JsonValue* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    throw util::ParseError("baseline: 'entries' must be an array");
+  }
+  Baseline b;
+  for (const util::JsonValue& e : entries->as_array()) {
+    const util::JsonValue* rule = e.find("rule");
+    const util::JsonValue* file = e.find("file");
+    const util::JsonValue* snippet = e.find("snippet");
+    const util::JsonValue* count = e.find("count");
+    if (rule == nullptr || !rule->is_string() || file == nullptr ||
+        !file->is_string() || snippet == nullptr || !snippet->is_string() ||
+        count == nullptr || !count->is_number() || count->as_number() < 1) {
+      throw util::ParseError(
+          "baseline: each entry needs string rule/file/snippet and "
+          "count >= 1");
+    }
+    Finding f;
+    f.rule = rule->as_string();
+    f.file = file->as_string();
+    f.snippet = snippet->as_string();
+    b.counts_[baseline_key(f)] +=
+        static_cast<std::size_t>(count->as_number());
+  }
+  return b;
+}
+
+std::string Baseline::to_json() const {
+  std::string out = "{\n  \"schema\": \"sgp-lint-baseline-v1\",\n"
+                    "  \"entries\": [";
+  bool first = true;
+  for (const auto& [key, count] : counts_) {
+    const std::size_t tab1 = key.find('\t');
+    const std::size_t tab2 = key.find('\t', tab1 + 1);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": ";
+    util::append_json_string(out, key.substr(0, tab1));
+    out += ", \"file\": ";
+    util::append_json_string(out, key.substr(tab1 + 1, tab2 - tab1 - 1));
+    out += ", \"snippet\": ";
+    util::append_json_string(out, key.substr(tab2 + 1));
+    out += ", \"count\": " + util::json_number(
+                                 static_cast<std::uint64_t>(count)) +
+           "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void Baseline::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw util::IoError("baseline: cannot open " + path);
+  out << to_json();
+  out.flush();
+  if (!out.good()) throw util::IoError("baseline: failed writing " + path);
+}
+
+std::size_t Baseline::apply(std::vector<Finding>& findings) const {
+  std::map<std::string, std::size_t> remaining = counts_;
+  std::size_t suppressed = 0;
+  auto keep = [&](const Finding& f) {
+    auto it = remaining.find(baseline_key(f));
+    if (it == remaining.end() || it->second == 0) return true;
+    --it->second;
+    ++suppressed;
+    return false;
+  };
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    if (keep(f)) kept.push_back(std::move(f));
+  }
+  findings = std::move(kept);
+  return suppressed;
+}
+
+void write_lint_report_json(const LintResult& result,
+                            const LintOptions& options, std::ostream& out) {
+  std::string doc = "{\n  \"schema\": \"sgp-lint-report-v1\",\n";
+  doc += "  \"rules\": [";
+  bool first = true;
+  if (options.rules.empty()) {
+    for (std::string_view id : kAllRuleIds) {
+      doc += first ? "" : ", ";
+      first = false;
+      util::append_json_string(doc, id);
+    }
+  } else {
+    for (const std::string& id : options.rules) {
+      doc += first ? "" : ", ";
+      first = false;
+      util::append_json_string(doc, id);
+    }
+  }
+  doc += "],\n";
+  doc += "  \"files_scanned\": " +
+         util::json_number(static_cast<std::uint64_t>(result.files_scanned)) +
+         ",\n";
+  doc += "  \"suppressed\": " +
+         util::json_number(static_cast<std::uint64_t>(result.suppressed)) +
+         ",\n";
+  doc += "  \"findings\": [";
+  first = true;
+  for (const Finding& f : result.findings) {
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += "    {\"rule\": ";
+    util::append_json_string(doc, f.rule);
+    doc += ", \"file\": ";
+    util::append_json_string(doc, f.file);
+    doc += ", \"line\": " +
+           util::json_number(static_cast<std::uint64_t>(
+               f.line > 0 ? static_cast<std::uint64_t>(f.line) : 1)) +
+           ", \"snippet\": ";
+    util::append_json_string(doc, f.snippet);
+    doc += ", \"message\": ";
+    util::append_json_string(doc, f.message);
+    doc += "}";
+  }
+  doc += first ? "]\n}\n" : "\n  ]\n}\n";
+  out << doc;
+}
+
+void write_lint_report_text(const LintResult& result, std::ostream& out) {
+  for (const Finding& f : result.findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  out << result.findings.size() << " finding(s), " << result.suppressed
+      << " baselined, " << result.files_scanned << " file(s) scanned\n";
+}
+
+std::optional<std::string> validate_lint_report_json(
+    const util::JsonValue& doc) {
+  if (!doc.is_object()) return "report: top level must be an object";
+  const util::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "sgp-lint-report-v1") {
+    return "report: schema must be \"sgp-lint-report-v1\"";
+  }
+  const util::JsonValue* rules = doc.find("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    return "report: 'rules' must be an array";
+  }
+  for (const util::JsonValue& r : rules->as_array()) {
+    if (!r.is_string()) return "report: rule ids must be strings";
+  }
+  for (const char* key : {"files_scanned", "suppressed"}) {
+    const util::JsonValue* v = doc.find(key);
+    if (v == nullptr || !v->is_number() || v->as_number() < 0) {
+      return std::string("report: '") + key +
+             "' must be a non-negative number";
+    }
+  }
+  const util::JsonValue* findings = doc.find("findings");
+  if (findings == nullptr || !findings->is_array()) {
+    return "report: 'findings' must be an array";
+  }
+  for (const util::JsonValue& f : findings->as_array()) {
+    if (!f.is_object()) return "report: findings must be objects";
+    const util::JsonValue* rule = f.find("rule");
+    if (rule == nullptr || !rule->is_string() ||
+        rule->as_string().size() != 2 || rule->as_string()[0] != 'R') {
+      return "report: finding 'rule' must be an R<n> id";
+    }
+    const util::JsonValue* file = f.find("file");
+    if (file == nullptr || !file->is_string() || file->as_string().empty()) {
+      return "report: finding 'file' must be a non-empty string";
+    }
+    const util::JsonValue* line = f.find("line");
+    if (line == nullptr || !line->is_number() || line->as_number() < 1) {
+      return "report: finding 'line' must be a number >= 1";
+    }
+    for (const char* key : {"snippet", "message"}) {
+      const util::JsonValue* v = f.find(key);
+      if (v == nullptr || !v->is_string()) {
+        return std::string("report: finding '") + key +
+               "' must be a string";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sgp::analysis

@@ -1,0 +1,81 @@
+// sgp-lint driver: walks a repository root, runs the rule set over every
+// C++ source, applies a baseline of grandfathered findings, and renders
+// the result as human text or the machine-readable `sgp-lint-report-v1`
+// JSON schema (validated like the obs report schema).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/rules.hpp"
+#include "util/json.hpp"
+
+namespace sgp::analysis {
+
+struct LintOptions {
+  std::string root = ".";
+  /// Root-relative path prefixes to skip. Defaults to the deliberate-
+  /// violation fixtures used by the lint's own tests.
+  std::vector<std::string> exclude_prefixes = {
+      "tests/analysis/lint_fixtures/"};
+  /// Rule ids to run; empty = all of R1..R5.
+  std::vector<std::string> rules;
+  RuleOptions rule_options = default_rule_options();
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< sorted by finding_less
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  ///< findings swallowed by the baseline
+};
+
+/// Walks options.root and lints every source file. Throws util::IoError
+/// when the root cannot be walked or a listed file cannot be read.
+[[nodiscard]] LintResult run_lint(const LintOptions& options);
+
+/// Baseline of grandfathered findings. An entry suppresses up to `count`
+/// findings with the same (rule, file, snippet) — line numbers are
+/// deliberately not part of the key so unrelated edits above a
+/// grandfathered site do not resurrect it.
+class Baseline {
+ public:
+  [[nodiscard]] static Baseline from_findings(
+      const std::vector<Finding>& findings);
+
+  /// Parses a `sgp-lint-baseline-v1` JSON document. Throws
+  /// util::ParseError on malformed or schema-violating input and
+  /// util::IoError when the file cannot be read.
+  [[nodiscard]] static Baseline load(const std::string& path);
+
+  void save(const std::string& path) const;  // throws util::IoError
+  [[nodiscard]] std::string to_json() const;
+
+  /// Removes baselined findings from `findings`; returns how many were
+  /// suppressed.
+  std::size_t apply(std::vector<Finding>& findings) const;
+
+  [[nodiscard]] bool empty() const { return counts_.empty(); }
+
+ private:
+  // key: rule '\t' file '\t' snippet
+  std::map<std::string, std::size_t> counts_;
+};
+
+/// Serializes a result as `sgp-lint-report-v1` (deterministic: sorted
+/// findings, no timestamps or absolute paths).
+void write_lint_report_json(const LintResult& result,
+                            const LintOptions& options, std::ostream& out);
+
+/// Human-readable rendering: one `file:line: [rule] message` per finding.
+void write_lint_report_text(const LintResult& result, std::ostream& out);
+
+/// Checks a parsed document against the `sgp-lint-report-v1` schema.
+/// Returns std::nullopt on success, else a diagnostic.
+[[nodiscard]] std::optional<std::string> validate_lint_report_json(
+    const util::JsonValue& doc);
+
+}  // namespace sgp::analysis

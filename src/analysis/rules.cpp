@@ -1,0 +1,319 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "obs/metric_names.hpp"
+
+namespace sgp::analysis {
+namespace {
+
+bool has_prefix(const std::string& path, std::string_view prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool has_suffix(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+bool is_header(const std::string& path) {
+  return has_suffix(path, ".hpp") || has_suffix(path, ".hh") ||
+         has_suffix(path, ".h");
+}
+
+/// Library/tool code the error- and metric-discipline rules govern. Tests,
+/// benches, and examples legitimately throw ad-hoc errors and register
+/// ad-hoc metric names (test.*, bench.*).
+bool in_library_scope(const std::string& path) {
+  return has_prefix(path, "src/") || has_prefix(path, "tools/");
+}
+
+bool ident(const std::vector<Token>& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
+}
+
+bool punct(const std::vector<Token>& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+}
+
+// --- R1 rng-discipline ----------------------------------------------------
+
+const std::unordered_set<std::string_view>& banned_rng_identifiers() {
+  static const std::unordered_set<std::string_view> kSet = {
+      // engines / seeds
+      "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+      "default_random_engine", "knuth_b", "ranlux24", "ranlux48",
+      "ranlux24_base", "ranlux48_base", "random_device", "seed_seq",
+      "linear_congruential_engine", "mersenne_twister_engine",
+      "subtract_with_carry_engine", "discard_block_engine",
+      "independent_bits_engine", "shuffle_order_engine",
+      // distributions
+      "uniform_int_distribution", "uniform_real_distribution",
+      "normal_distribution", "bernoulli_distribution",
+      "binomial_distribution", "negative_binomial_distribution",
+      "geometric_distribution", "poisson_distribution",
+      "exponential_distribution", "gamma_distribution",
+      "weibull_distribution", "extreme_value_distribution",
+      "lognormal_distribution", "chi_squared_distribution",
+      "cauchy_distribution", "fisher_f_distribution",
+      "student_t_distribution", "discrete_distribution",
+      "piecewise_constant_distribution", "piecewise_linear_distribution",
+  };
+  return kSet;
+}
+
+void r1(const SourceFile& file, const std::vector<Token>& t,
+        std::vector<Finding>& out) {
+  if (has_prefix(file.path, "src/random/")) return;
+  const auto& banned = banned_rng_identifiers();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    const std::string& name = t[i].text;
+    if (banned.count(name) != 0) {
+      out.push_back({"R1", file.path, t[i].line, name,
+                     "rng-discipline: '" + name +
+                         "' outside src/random/ — use the counter RNG "
+                         "(random/counter_rng.hpp)"});
+      continue;
+    }
+    // C library RNG: only when actually called, so a member named `rand`
+    // in unrelated code does not fire.
+    if ((name == "rand" || name == "srand" || name == "drand48" ||
+         name == "lrand48") &&
+        punct(t, i + 1, "(") && !punct(t, i >= 1 ? i - 1 : 0, ".") &&
+        !(i >= 1 && punct(t, i - 1, "->"))) {
+      out.push_back({"R1", file.path, t[i].line, name,
+                     "rng-discipline: C '" + name +
+                         "()' outside src/random/ — use the counter RNG"});
+      continue;
+    }
+    // #include <random>
+    if (name == "include" && i >= 1 && punct(t, i - 1, "#") &&
+        punct(t, i + 1, "<") && ident(t, i + 2, "random") &&
+        punct(t, i + 3, ">")) {
+      out.push_back({"R1", file.path, t[i].line, "<random>",
+                     "rng-discipline: #include <random> outside "
+                     "src/random/"});
+    }
+  }
+}
+
+// --- R2 error-taxonomy ----------------------------------------------------
+
+const std::unordered_set<std::string_view>& bare_std_errors() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "runtime_error", "logic_error",     "invalid_argument",
+      "domain_error",  "length_error",    "out_of_range",
+      "range_error",   "overflow_error",  "underflow_error",
+  };
+  return kSet;
+}
+
+void r2(const SourceFile& file, const std::vector<Token>& t,
+        std::vector<Finding>& out) {
+  if (!in_library_scope(file.path)) return;
+  const bool taxonomy_home = file.path == "src/util/errors.hpp" ||
+                             file.path == "src/util/check.hpp";
+  if (!taxonomy_home) {
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (ident(t, i, "throw") && ident(t, i + 1, "std") &&
+          punct(t, i + 2, "::") && t[i + 3].kind == TokKind::kIdentifier &&
+          bare_std_errors().count(t[i + 3].text) != 0) {
+        out.push_back({"R2", file.path, t[i].line,
+                       "std::" + t[i + 3].text,
+                       "error-taxonomy: bare 'throw std::" + t[i + 3].text +
+                           "' — throw a util/errors.hpp taxonomy type (or "
+                           "use util/check.hpp) so the CLI exit-code "
+                           "contract holds"});
+      }
+    }
+  }
+  // Tools must map exceptions to exit codes through run_tool().
+  if (has_prefix(file.path, "tools/") && has_suffix(file.path, ".cpp")) {
+    int main_line = 0;
+    bool has_run_tool = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (ident(t, i, "main") && punct(t, i + 1, "(")) main_line = t[i].line;
+      if (ident(t, i, "run_tool")) has_run_tool = true;
+    }
+    if (main_line != 0 && !has_run_tool) {
+      out.push_back({"R2", file.path, main_line, "main",
+                     "error-taxonomy: tool main() does not route through "
+                     "tools::run_tool() — exceptions would bypass the "
+                     "exit-code contract"});
+    }
+  }
+}
+
+// --- R3 metric-registry ---------------------------------------------------
+
+void r3(const SourceFile& file, const std::vector<Token>& t,
+        const RuleOptions& opt, std::vector<Finding>& out) {
+  if (!in_library_scope(file.path)) return;
+  if (file.path == "src/obs/metric_names.hpp") return;
+  const std::unordered_set<std::string_view> canonical(
+      opt.canonical_metric_names.begin(), opt.canonical_metric_names.end());
+  auto check = [&](const Token& call, const Token& name_tok,
+                   const Token* after) {
+    // A '+' after the literal means the name is assembled at runtime
+    // (e.g. "tool." + task) — out of a static checker's reach.
+    if (after != nullptr && after->kind == TokKind::kPunct &&
+        after->text == "+") {
+      return;
+    }
+    if (canonical.count(name_tok.text) != 0) return;
+    out.push_back({"R3", file.path, name_tok.line, name_tok.text,
+                   "metric-registry: name '" + name_tok.text + "' passed to " +
+                       call.text +
+                       "() is not in src/obs/metric_names.hpp — add the "
+                       "constant there (one source of truth) or fix the "
+                       "typo"});
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    const std::string& name = t[i].text;
+    if (name == "counter" || name == "gauge" || name == "histogram") {
+      if (punct(t, i + 1, "(") && i + 2 < t.size() &&
+          t[i + 2].kind == TokKind::kString) {
+        check(t[i], t[i + 2], i + 3 < t.size() ? &t[i + 3] : nullptr);
+      }
+    } else if (name == "Span" || name == "ScopedTimer") {
+      // Both `Span("x")` (temporary / member init) and the declaration
+      // form `ScopedTimer timer("x")`.
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].kind == TokKind::kIdentifier) ++j;
+      if (punct(t, j, "(") && j + 1 < t.size() &&
+          t[j + 1].kind == TokKind::kString) {
+        check(t[i], t[j + 1], j + 2 < t.size() ? &t[j + 2] : nullptr);
+      }
+    }
+  }
+}
+
+// --- R4 header-hygiene ----------------------------------------------------
+
+void r4(const SourceFile& file, const std::vector<Token>& t,
+        std::vector<Finding>& out) {
+  if (!is_header(file.path)) return;
+  bool pragma_once = false;
+  for (std::size_t i = 0; i + 2 < t.size() && !pragma_once; ++i) {
+    pragma_once = punct(t, i, "#") && ident(t, i + 1, "pragma") &&
+                  ident(t, i + 2, "once");
+  }
+  if (!pragma_once) {
+    out.push_back({"R4", file.path, 1, "#pragma once",
+                   "header-hygiene: header is missing '#pragma once'"});
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (ident(t, i, "using") && ident(t, i + 1, "namespace")) {
+      out.push_back({"R4", file.path, t[i].line, "using namespace",
+                     "header-hygiene: 'using namespace' in a header leaks "
+                     "into every includer"});
+    }
+  }
+}
+
+// --- R5 privacy-literals --------------------------------------------------
+
+bool is_privacy_identifier(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower.find("epsilon") != std::string::npos ||
+         lower.find("delta") != std::string::npos ||
+         lower.find("sigma") != std::string::npos;
+}
+
+void r5(const SourceFile& file, const std::vector<Token>& t,
+        std::vector<Finding>& out) {
+  if (!has_prefix(file.path, "src/")) return;
+  if (has_prefix(file.path, "src/dp/")) return;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier ||
+        !is_privacy_identifier(t[i].text)) {
+      continue;
+    }
+    if (!punct(t, i + 1, "=") && !punct(t, i + 1, "{")) continue;
+    std::size_t j = i + 2;
+    if (punct(t, j, "-")) ++j;
+    if (j >= t.size() || !is_float_literal(t[j])) continue;
+    if (number_value(t[j]) == 0.0) continue;  // zero-init is inert
+    out.push_back({"R5", file.path, t[i].line,
+                   t[i].text + " = " + t[j].text,
+                   "privacy-literals: non-zero ε/δ/σ literal '" + t[j].text +
+                       "' assigned to '" + t[i].text +
+                       "' outside src/dp/ — privacy parameters belong in "
+                       "src/dp/ (see dp/defaults.hpp)"});
+  }
+}
+
+}  // namespace
+
+bool finding_less(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.snippet < b.snippet;
+}
+
+RuleOptions default_rule_options() {
+  RuleOptions opt;
+  opt.canonical_metric_names.reserve(std::size(obs::names::kAllNames));
+  for (std::string_view n : obs::names::kAllNames) {
+    opt.canonical_metric_names.emplace_back(n);
+  }
+  return opt;
+}
+
+std::vector<Finding> run_rules(const SourceFile& file,
+                               const RuleOptions& opt,
+                               const std::vector<std::string>& rule_ids) {
+  const std::vector<Token> toks = tokenize(file.text);
+  auto enabled = [&](std::string_view id) {
+    return rule_ids.empty() ||
+           std::find(rule_ids.begin(), rule_ids.end(), id) != rule_ids.end();
+  };
+  std::vector<Finding> out;
+  if (enabled("R1")) r1(file, toks, out);
+  if (enabled("R2")) r2(file, toks, out);
+  if (enabled("R3")) r3(file, toks, opt, out);
+  if (enabled("R4")) r4(file, toks, out);
+  if (enabled("R5")) r5(file, toks, out);
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+void rule_rng_discipline(const SourceFile& file,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  r1(file, toks, out);
+}
+void rule_error_taxonomy(const SourceFile& file,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  r2(file, toks, out);
+}
+void rule_metric_registry(const SourceFile& file,
+                          const std::vector<Token>& toks,
+                          const RuleOptions& opt,
+                          std::vector<Finding>& out) {
+  r3(file, toks, opt, out);
+}
+void rule_header_hygiene(const SourceFile& file,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  r4(file, toks, out);
+}
+void rule_privacy_literals(const SourceFile& file,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& out) {
+  r5(file, toks, out);
+}
+
+}  // namespace sgp::analysis

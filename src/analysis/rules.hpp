@@ -1,0 +1,76 @@
+// The sgp-lint rule set: mechanical enforcement of the repo invariants the
+// compiler cannot see. Each rule pattern-matches the comment/string-aware
+// token stream (analysis/tokenizer.hpp) and scopes itself by root-relative
+// path, so moving a file can change which rules apply — deliberately: the
+// invariants are directory contracts.
+//
+//   R1 rng-discipline    no <random> engines/distributions or C rand()
+//                        outside src/random/ — all randomness must flow
+//                        through the golden-pinned counter RNG.
+//   R2 error-taxonomy    no bare `throw std::*_error` in src/ or tools/
+//                        outside util/errors.hpp + util/check.hpp, and
+//                        every tool main() must route through run_tool()
+//                        (the CLI exit-code contract).
+//   R3 metric-registry   every metric/span name literal in src/ or tools/
+//                        must appear in src/obs/metric_names.hpp.
+//   R4 header-hygiene    headers carry #pragma once and never
+//                        `using namespace`.
+//   R5 privacy-literals  no non-zero ε/δ/σ floating literals assigned
+//                        outside src/dp/ — privacy parameters are policy,
+//                        not scatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.hpp"
+#include "analysis/tokenizer.hpp"
+
+namespace sgp::analysis {
+
+struct Finding {
+  std::string rule;     ///< "R1".."R5"
+  std::string file;     ///< root-relative path
+  int line = 0;         ///< 1-based
+  std::string snippet;  ///< the offending token / name
+  std::string message;  ///< human-readable diagnostic
+};
+
+/// Stable ordering for reports and baselines: (file, line, rule, snippet).
+[[nodiscard]] bool finding_less(const Finding& a, const Finding& b);
+
+struct RuleOptions {
+  /// Canonical names for R3. Defaults (see default_rule_options) to
+  /// obs::names::kAllNames.
+  std::vector<std::string> canonical_metric_names;
+};
+
+[[nodiscard]] RuleOptions default_rule_options();
+
+inline constexpr std::string_view kAllRuleIds[] = {"R1", "R2", "R3", "R4",
+                                                   "R5"};
+
+/// Individual rules (exposed for targeted tests). Each appends to `out`.
+void rule_rng_discipline(const SourceFile& file,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out);
+void rule_error_taxonomy(const SourceFile& file,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out);
+void rule_metric_registry(const SourceFile& file,
+                          const std::vector<Token>& toks,
+                          const RuleOptions& opt, std::vector<Finding>& out);
+void rule_header_hygiene(const SourceFile& file,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>& out);
+void rule_privacy_literals(const SourceFile& file,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& out);
+
+/// Tokenizes `file` and runs the rules whose ids are in `rule_ids`
+/// (empty = all). Returns findings sorted by finding_less.
+[[nodiscard]] std::vector<Finding> run_rules(
+    const SourceFile& file, const RuleOptions& opt,
+    const std::vector<std::string>& rule_ids = {});
+
+}  // namespace sgp::analysis

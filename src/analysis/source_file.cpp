@@ -1,0 +1,69 @@
+#include "analysis/source_file.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace fs = std::filesystem;
+
+namespace sgp::analysis {
+namespace {
+
+bool is_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".hh" ||
+         ext == ".h";
+}
+
+bool is_skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+}  // namespace
+
+std::vector<std::string> list_source_files(const std::string& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    throw util::IoError("lint: not a directory: " + root);
+  }
+  std::vector<std::string> out;
+  fs::recursive_directory_iterator it(root, fs::directory_options::none, ec);
+  if (ec) {
+    throw util::IoError("lint: cannot walk " + root + ": " + ec.message());
+  }
+  for (const fs::directory_iterator end; it != fs::end(it); ++it) {
+    const fs::directory_entry& entry = *it;
+    if (entry.is_directory(ec)) {
+      if (is_skipped_dir(entry.path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (!entry.is_regular_file(ec) || !is_source_extension(entry.path())) {
+      continue;
+    }
+    out.push_back(
+        fs::relative(entry.path(), root).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SourceFile load_source_file(const std::string& root,
+                            const std::string& rel_path) {
+  const fs::path full = fs::path(root) / fs::path(rel_path);
+  std::ifstream in(full, std::ios::binary);
+  if (!in.good()) {
+    throw util::IoError("lint: cannot open " + full.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw util::IoError("lint: failed reading " + full.string());
+  }
+  return SourceFile{rel_path, buf.str()};
+}
+
+}  // namespace sgp::analysis

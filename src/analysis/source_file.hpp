@@ -1,0 +1,29 @@
+// Repository walker for sgp-lint: enumerates the C++ sources under a root
+// directory with deterministic ordering and loads them for scanning.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sgp::analysis {
+
+/// One source file, path kept root-relative with '/' separators so reports
+/// and baselines are machine-independent.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// Root-relative paths of every *.cpp / *.cc / *.hpp / *.hh / *.h under
+/// `root`, sorted lexicographically. Directories whose name starts with
+/// "build" or "." (build trees, .git, .claude) are never entered.
+/// Throws util::IoError when `root` is not a readable directory.
+[[nodiscard]] std::vector<std::string> list_source_files(
+    const std::string& root);
+
+/// Loads one file listed by list_source_files. Throws util::IoError on
+/// read failure.
+[[nodiscard]] SourceFile load_source_file(const std::string& root,
+                                          const std::string& rel_path);
+
+}  // namespace sgp::analysis

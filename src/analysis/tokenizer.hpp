@@ -1,0 +1,45 @@
+// Comment- and string-aware C++ token scanner for the sgp-lint rules.
+//
+// This is not a compiler front end: it produces a flat token stream good
+// enough to pattern-match repo invariants (identifiers, punctuation,
+// numbers, string/char literals) while guaranteeing that text inside
+// comments and string literals can never be mistaken for code — the
+// property the lint rules lean on ("std::mt19937 in a comment must not
+// fire"). Handles line/block comments, escape sequences, raw strings
+// (R"delim(...)delim"), encoding prefixes (u8"", L"", ...), digit
+// separators, and the common multi-character operators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgp::analysis {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< pp-number (integers, floats, hex, separators)
+  kString,      ///< text is the literal's contents, quotes stripped
+  kChar,        ///< text is the literal's contents, quotes stripped
+  kPunct,       ///< operator / punctuator, longest-match (e.g. "::", "<<=")
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based line of the token's first character
+};
+
+/// Scans `text` into tokens; comments vanish entirely. Never throws on
+/// malformed input — an unterminated literal is closed at end of file,
+/// which is the forgiving behaviour a linter wants.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view text);
+
+/// True when a kNumber token is a floating-point literal (has a fraction
+/// part, a decimal exponent, or an f/F suffix; hex integers excluded).
+[[nodiscard]] bool is_float_literal(const Token& tok);
+
+/// Numeric value of a kNumber token (0.0 when unparseable).
+[[nodiscard]] double number_value(const Token& tok);
+
+}  // namespace sgp::analysis

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/distributions.hpp"
@@ -117,7 +118,7 @@ KMeansResult lloyd_run(const linalg::DenseMatrix& points,
     for (std::size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster at a random point: keeps k clusters alive.
-        static obs::Counter& reseeds = obs::counter("kmeans.reseeds");
+        static obs::Counter& reseeds = obs::counter(obs::names::kKmeansReseeds);
         reseeds.add();
         const std::size_t pick = rng.next_below(n);
         std::copy(points.row(pick).begin(), points.row(pick).end(),
@@ -147,10 +148,10 @@ KMeansResult kmeans(const linalg::DenseMatrix& points,
   util::require(options.restarts >= 1, "kmeans: restarts must be >= 1");
 
   random::Rng rng(options.seed);
-  obs::ScopedTimer timer("kmeans");
+  obs::ScopedTimer timer(obs::names::kKmeans);
   timer.attr("points", n).attr("k", options.k);
-  static obs::Counter& runs = obs::counter("kmeans.runs");
-  static obs::Counter& iterations = obs::counter("kmeans.iterations");
+  static obs::Counter& runs = obs::counter(obs::names::kKmeansRuns);
+  static obs::Counter& iterations = obs::counter(obs::names::kKmeansIterations);
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
   for (std::size_t r = 0; r < options.restarts; ++r) {

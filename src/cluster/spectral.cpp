@@ -8,6 +8,7 @@
 #include "linalg/lanczos.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
@@ -28,7 +29,7 @@ namespace {
 linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
                                           std::size_t n, std::size_t dim,
                                           std::uint64_t seed) {
-  obs::ScopedTimer embed_timer("spectral.embed");
+  obs::ScopedTimer embed_timer(obs::names::kSpectralEmbed);
   embed_timer.attr("n", n).attr("dim", dim);
   linalg::SymmetricOperator op{
       n, [&a](std::span<const double> x, std::span<double> y) {
@@ -42,7 +43,7 @@ linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
   try {
     return linalg::lanczos_topk(op, opt).vectors;
   } catch (const util::ConvergenceError& e) {
-    obs::counter("spectral.lanczos_retries").add();
+    obs::counter(obs::names::kSpectralLanczosRetries).add();
     util::LogStream(util::LogLevel::kWarn)
         .with("n", n)
         << "spectral: lanczos failed (" << e.what()
@@ -53,7 +54,7 @@ linalg::DenseMatrix embedding_from_matrix(const linalg::CsrMatrix& a,
     opt.seed = seed ^ 0x9e3779b97f4a7c15ULL;
     return linalg::lanczos_topk(op, opt).vectors;
   } catch (const util::ConvergenceError& e) {
-    obs::counter("spectral.dense_fallbacks").add();
+    obs::counter(obs::names::kSpectralDenseFallbacks).add();
     util::LogStream(util::LogLevel::kWarn)
         .with("n", n)
         << "spectral: lanczos retry failed (" << e.what()

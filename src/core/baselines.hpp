@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dp/defaults.hpp"
 #include "dp/privacy.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
@@ -62,7 +63,7 @@ class LnppPublisher {
  public:
   struct Options {
     std::size_t k = 8;       ///< how many eigenpairs to release
-    double epsilon = 1.0;    ///< total pure-DP budget
+    double epsilon = dp::kDefaultEpsilon;  ///< total pure-DP budget
     double value_share = 0.5;  ///< fraction of ε for the eigenvalues
     std::uint64_t seed = 7;
     double min_gap = 1e-3;  ///< eigengap floor to keep noise finite

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
@@ -82,7 +83,7 @@ BudgetLedger::Record parse_record(const std::string& path,
   char expected_hex[16];
   std::snprintf(expected_hex, sizeof(expected_hex), "%08x", crc32(body));
   if (crc_field != expected_hex) {
-    obs::counter("ledger.crc_failures").add();
+    obs::counter(obs::names::kLedgerCrcFailures).add();
     corrupt(path, line_no, "checksum mismatch (record altered or truncated)");
   }
 
@@ -138,13 +139,13 @@ BudgetLedger::BudgetLedger(std::string path) : path_(std::move(path)) {
   // mid-write; the checksum above already rejects a cut *within* the crc
   // field, and a cut before it loses " crc" and is rejected too, so at this
   // point every parsed record is intact.
-  obs::counter("ledger.recoveries").add();
-  obs::counter("ledger.recovered_records").add(records_.size());
+  obs::counter(obs::names::kLedgerRecoveries).add();
+  obs::counter(obs::names::kLedgerRecoveredRecords).add(records_.size());
 }
 
 void BudgetLedger::append(const Record& record) {
-  static obs::Counter& attempts = obs::counter("ledger.append_attempts");
-  static obs::Counter& appends = obs::counter("ledger.appends");
+  static obs::Counter& attempts = obs::counter(obs::names::kLedgerAppendAttempts);
+  static obs::Counter& appends = obs::counter(obs::names::kLedgerAppends);
   attempts.add();
   const util::WallTimer append_timer;
   util::fault_point("ledger.append");
@@ -190,7 +191,7 @@ void BudgetLedger::append(const Record& record) {
   records_.push_back(record);
   appends.add();
   if (obs::metrics_enabled()) {
-    static obs::Histogram& latency = obs::histogram("ledger.append.seconds");
+    static obs::Histogram& latency = obs::histogram(obs::names::kLedgerAppendSeconds);
     latency.record(append_timer.seconds());
   }
 }

@@ -6,6 +6,7 @@
 #include "dp/mechanisms.hpp"
 #include "linalg/svd.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/counter_rng.hpp"
@@ -56,7 +57,7 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
                 "publish: max_entry_change must be > 0");
   util::require(m <= n, "publish: projection_dim must be <= num_nodes");
 
-  obs::Span publish_span("publish");
+  obs::Span publish_span(obs::names::kPublish);
   publish_span.attr("n", n);
   publish_span.attr("m", m);
 
@@ -67,7 +68,7 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   // column blocks of Y. The fault point stands in for the Y allocation — the
   // largest of a publish now that P is virtual — and both it and a genuine
   // failure surface as the typed ResourceError.
-  obs::ScopedTimer project_timer("publish.project");
+  obs::ScopedTimer project_timer(obs::names::kPublishProject);
   project_timer.attr("nnz", matrix.nnz());
   linalg::DenseMatrix y;
   try {
@@ -90,7 +91,7 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   // Step 2: perturb with σ calibrated to the projected-row sensitivity
   // (scaled by the per-entry change bound — the row change is
   // ±max_entry_change·P_j).
-  obs::ScopedTimer perturb_timer("publish.perturb");
+  obs::ScopedTimer perturb_timer(obs::names::kPublishPerturb);
   PublishedGraph out;
   out.calibration =
       calibrate_noise(m, options_.params, options_.analytic_calibration,
@@ -116,10 +117,14 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   perturb_timer.attr("sigma", out.calibration.sigma);
   perturb_timer.stop();
 
-  static obs::Counter& releases = obs::counter("publish.releases");
-  static obs::Counter& cells = obs::counter("publish.cells");
+  static obs::Counter& releases = obs::counter(obs::names::kPublishReleases);
+  static obs::Counter& cells = obs::counter(obs::names::kPublishCells);
   releases.add();
   cells.add(static_cast<std::uint64_t>(n) * m);
+  // Headline config gauges (docs/observability.md): the σ actually used
+  // and the input size, so a report is interpretable on its own.
+  obs::gauge(obs::names::kPublishSigma).set(out.calibration.sigma);
+  obs::gauge(obs::names::kGraphNodes).set(static_cast<double>(n));
 
   // Step 3: assemble the release.
   out.data = std::move(y);
@@ -135,9 +140,9 @@ linalg::DenseMatrix spectral_embedding(const PublishedGraph& published,
                                        std::size_t k) {
   util::require(k >= 1 && k <= published.projection_dim,
                 "spectral_embedding: k must be in [1, m]");
-  obs::ScopedTimer embed_timer("publish.embed");
+  obs::ScopedTimer embed_timer(obs::names::kPublishEmbed);
   embed_timer.attr("k", k);
-  static obs::Counter& embeds = obs::counter("publish.embeds");
+  static obs::Counter& embeds = obs::counter(obs::names::kPublishEmbeds);
   embeds.add();
   const linalg::SvdResult svd = linalg::svd_gram(published.data, k);
   return svd.u;

@@ -17,6 +17,7 @@
 #include "cluster/kmeans.hpp"
 #include "core/projection.hpp"
 #include "core/theory.hpp"
+#include "dp/defaults.hpp"
 #include "dp/privacy.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
@@ -70,7 +71,7 @@ class RandomProjectionPublisher {
     std::uint64_t seed = 7;
     bool analytic_calibration = true;  ///< false → classic Gaussian bound
     /// Fraction of δ spent on the sensitivity-bound failure probability.
-    double delta_split = 0.5;
+    double delta_split = dp::kDefaultDeltaSplit;
   };
 
   explicit RandomProjectionPublisher(Options options);

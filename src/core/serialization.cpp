@@ -9,6 +9,7 @@
 
 #include "core/projection.hpp"
 #include "core/theory.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/counter_rng.hpp"
 #include "util/check.hpp"
@@ -37,7 +38,7 @@ void write_doubles(std::ostream& out, std::span<const double> values) {
 
 void save_published(const PublishedGraph& published, std::ostream& out) {
   util::fault_point("io.write");
-  obs::ScopedTimer timer("io.save_release");
+  obs::ScopedTimer timer(obs::names::kIoSaveRelease);
   timer.attr("bytes", published.published_bytes());
   out.precision(17);  // max_digits10: header doubles must round-trip exactly
   out << kMagic << '\n';
@@ -66,7 +67,7 @@ void save_published_file(const PublishedGraph& published,
 
 PublishedGraph load_published(std::istream& in) {
   util::fault_point("io.read");
-  obs::ScopedTimer timer("io.load_release");
+  obs::ScopedTimer timer(obs::names::kIoLoadRelease);
   std::string line;
   if (!std::getline(in, line)) {
     throw util::ParseError("load_published: bad magic line");
@@ -164,7 +165,7 @@ void publish_to_stream(const graph::Graph& g,
                        const RandomProjectionPublisher::Options& options,
                        std::ostream& out) {
   util::fault_point("io.write");
-  obs::ScopedTimer timer("publish.stream");
+  obs::ScopedTimer timer(obs::names::kPublishStream);
   timer.attr("n", g.num_nodes()).attr("m", options.projection_dim);
   const std::size_t n = g.num_nodes();
   const std::size_t m = options.projection_dim;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/theory.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "random/rng.hpp"
@@ -85,7 +86,7 @@ PublishedGraph PublishingSession::publish(const graph::Graph& g) {
   span.attr("release_index", releases_ + 1);
   const auto projected = spent_after(releases_ + 1);
   if (projected.epsilon > options_.total_budget.epsilon) {
-    obs::counter("session.budget_refusals").add();
+    obs::counter(obs::names::kSessionBudgetRefusals).add();
     throw util::BudgetExhaustedError(
         "session: publishing would exceed the total privacy budget (spent " +
         spent().to_string() + " of cap " + options_.total_budget.to_string() +
@@ -115,7 +116,7 @@ PublishedGraph PublishingSession::publish(const graph::Graph& g) {
   rdp_.record_gaussian(cal.sigma / cal.sensitivity);
   delta_projection_sum_ += cal.delta_projection;
 
-  static obs::Counter& publishes = obs::counter("session.publishes");
+  static obs::Counter& publishes = obs::counter(obs::names::kSessionPublishes);
   publishes.add();
 
   const RandomProjectionPublisher publisher(opt);

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "dp/defaults.hpp"
 #include "dp/privacy.hpp"
 
 namespace sgp::core {
@@ -41,7 +42,7 @@ struct NoiseCalibration {
 };
 NoiseCalibration calibrate_noise(std::size_t m, const dp::PrivacyParams& params,
                                  bool analytic = true,
-                                 double delta_split = 0.5);
+                                 double delta_split = dp::kDefaultDeltaSplit);
 
 /// Johnson–Lindenstrauss dimension: smallest m guaranteeing all pairwise
 /// distances among `n_points` distorted by at most `distortion` (∈ (0, 1)):

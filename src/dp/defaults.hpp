@@ -1,0 +1,19 @@
+// Canonical default values for privacy parameters that appear outside
+// src/dp/. Privacy policy is decided here, in the DP layer — a hard-coded
+// ε/δ/σ literal anywhere else in src/ is an sgp-lint R5 violation
+// (docs/static_analysis.md), so call sites reference these constants
+// instead and the calibration story stays auditable in one place.
+#pragma once
+
+namespace sgp::dp {
+
+/// Default share of the total δ assigned to the projection step when a
+/// release splits its δ between projection and Gaussian noise
+/// (PAPER.md §mechanism; see core/theory.hpp).
+inline constexpr double kDefaultDeltaSplit = 0.5;
+
+/// Default total ε for baseline mechanisms that take a single pure-DP
+/// budget (core/baselines.hpp).
+inline constexpr double kDefaultEpsilon = 1.0;
+
+}  // namespace sgp::dp

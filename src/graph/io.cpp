@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
@@ -28,7 +29,7 @@ constexpr const char* kLineWhitespace = " \t\r";
 Graph read_edge_list(std::istream& in, IdPolicy policy,
                      std::uint64_t max_preserved_id) {
   util::fault_point("io.read");
-  obs::ScopedTimer timer("io.read_edges");
+  obs::ScopedTimer timer(obs::names::kIoReadEdges);
   // The id type caps preserved ids at 2^32 - 1 regardless of the caller's
   // configured limit.
   const std::uint64_t id_cap =
@@ -122,8 +123,8 @@ Graph read_edge_list(std::istream& in, IdPolicy policy,
     num_nodes = std::max(num_nodes, declared_nodes);
   }
   // One bulk add per parse, not one per line — keeps the loop clean.
-  static obs::Counter& lines = obs::counter("io.lines_read");
-  static obs::Counter& edges_read = obs::counter("io.edges_read");
+  static obs::Counter& lines = obs::counter(obs::names::kIoLinesRead);
+  static obs::Counter& edges_read = obs::counter(obs::names::kIoEdgesRead);
   lines.add(line_no);
   edges_read.add(edges.size());
   timer.attr("nodes", num_nodes).attr("edges", edges.size());
@@ -141,14 +142,14 @@ Graph read_edge_list_file(const std::string& path, IdPolicy policy,
 
 void write_edge_list(const Graph& g, std::ostream& out) {
   util::fault_point("io.write");
-  obs::ScopedTimer timer("io.write_edges");
+  obs::ScopedTimer timer(obs::names::kIoWriteEdges);
   timer.attr("nodes", g.num_nodes()).attr("edges", g.num_edges());
   out << "# sgp edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
       << " edges\n";
   for (const Edge& e : g.edges()) {
     out << e.u << ' ' << e.v << '\n';
   }
-  static obs::Counter& edges_written = obs::counter("io.edges_written");
+  static obs::Counter& edges_written = obs::counter(obs::names::kIoEdgesWritten);
   edges_written.add(g.num_edges());
 }
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace sgp::linalg {
 namespace {
@@ -64,8 +66,8 @@ EigenResult jacobi_eigen(const DenseMatrix& a, EigenOrder order,
   const double frob = std::max(work.frobenius_norm(), 1e-300);
   const double tol = 1e-14 * frob;
 
-  static obs::Counter& solves = obs::counter("jacobi.solves");
-  static obs::Counter& sweeps = obs::counter("jacobi.sweeps");
+  static obs::Counter& solves = obs::counter(obs::names::kJacobiSolves);
+  static obs::Counter& sweeps = obs::counter(obs::names::kJacobiSweeps);
   solves.add();
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
@@ -113,7 +115,8 @@ EigenResult jacobi_eigen(const DenseMatrix& a, EigenOrder order,
       }
     }
   }
-  throw std::runtime_error("jacobi_eigen: did not converge");
+  throw util::ConvergenceError("jacobi_eigen: did not converge within " +
+                               std::to_string(max_sweeps) + " sweeps");
 }
 
 EigenResult tridiagonal_eigen(std::vector<double> diag,
@@ -140,8 +143,10 @@ EigenResult tridiagonal_eigen(std::vector<double> diag,
         if (std::fabs(e[m]) <= 1e-15 * dd) break;
       }
       if (m != l) {
-        util::ensure(++iterations <= 50,
-                     "tridiagonal_eigen: QL failed to converge");
+        if (++iterations > 50) {
+          throw util::ConvergenceError(
+              "tridiagonal_eigen: QL failed to converge");
+        }
         // Wilkinson shift from the 2x2 block at l.
         double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
         double r = std::hypot(g, 1.0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "random/distributions.hpp"
@@ -64,10 +65,10 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
   obs::Span span("lanczos");
   span.attr("n", n);
   span.attr("k", k);
-  static obs::Counter& solves = obs::counter("lanczos.solves");
-  static obs::Counter& iterations = obs::counter("lanczos.iterations");
-  static obs::Counter& restarts = obs::counter("lanczos.restarts");
-  static obs::Counter& failures = obs::counter("lanczos.failures");
+  static obs::Counter& solves = obs::counter(obs::names::kLanczosSolves);
+  static obs::Counter& iterations = obs::counter(obs::names::kLanczosIterations);
+  static obs::Counter& restarts = obs::counter(obs::names::kLanczosRestarts);
+  static obs::Counter& failures = obs::counter(obs::names::kLanczosFailures);
   solves.add();
 
   std::vector<std::vector<double>> basis;  // v_0 .. v_{j}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -128,7 +129,7 @@ DenseMatrix CsrMatrix::multiply_generated(
   }
   tile_cols = std::min(tile_cols, b_cols);
 
-  static obs::Counter& tiles = obs::counter("linalg.fused_tiles");
+  static obs::Counter& tiles = obs::counter(obs::names::kLinalgFusedTiles);
 
   // Each chunk of columns is owned by exactly one task, so the scatter
   // Y[r, c0..c1) += v · tile[j, c0..c1) never races: tasks write disjoint

@@ -3,8 +3,8 @@
 #include <map>
 #include <mutex>
 #include <ostream>
-#include <stdexcept>
 
+#include "util/errors.hpp"
 #include "util/json.hpp"
 
 namespace sgp::obs {
@@ -36,8 +36,8 @@ template <typename Map>
 void check_unique_kind(const Map& map, std::string_view name,
                        const char* other_kind) {
   if (map.find(name) != map.end()) {
-    throw std::logic_error("metrics: '" + std::string(name) +
-                           "' is already registered as a " + other_kind);
+    throw util::InternalError("metrics: '" + std::string(name) +
+                              "' is already registered as a " + other_kind);
   }
 }
 

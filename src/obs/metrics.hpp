@@ -145,7 +145,7 @@ class Histogram {
 
 /// Registry lookups: find-or-create by name; the returned reference is
 /// stable forever. Looking the same name up as two different metric kinds
-/// throws std::logic_error. Thread-safe.
+/// throws util::InternalError. Thread-safe.
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name);

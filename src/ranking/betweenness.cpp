@@ -3,6 +3,7 @@
 #include <queue>
 #include <stack>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/distributions.hpp"
@@ -16,7 +17,7 @@ namespace {
 /// dependencies along the shortest-path DAG.
 void accumulate_from_source(const graph::Graph& g, std::size_t s,
                             std::vector<double>& centrality) {
-  static obs::Counter& sources = obs::counter("betweenness.bfs_sources");
+  static obs::Counter& sources = obs::counter(obs::names::kBetweennessBfsSources);
   sources.add();
   const std::size_t n = g.num_nodes();
   std::vector<std::vector<std::uint32_t>> predecessors(n);
@@ -59,7 +60,7 @@ void accumulate_from_source(const graph::Graph& g, std::size_t s,
 std::vector<double> betweenness_centrality(const graph::Graph& g) {
   const std::size_t n = g.num_nodes();
   util::require(n > 0, "betweenness: empty graph");
-  obs::ScopedTimer timer("betweenness.exact");
+  obs::ScopedTimer timer(obs::names::kBetweennessExact);
   timer.attr("n", n);
   std::vector<double> centrality(n, 0.0);
   for (std::size_t s = 0; s < n; ++s) {
@@ -78,7 +79,7 @@ std::vector<double> approximate_betweenness(const graph::Graph& g,
   util::require(num_sources >= 1, "betweenness: need at least one source");
   if (num_sources >= n) return betweenness_centrality(g);
 
-  obs::ScopedTimer timer("betweenness.approx");
+  obs::ScopedTimer timer(obs::names::kBetweennessApprox);
   timer.attr("n", n).attr("sources", num_sources);
   random::Rng rng(seed);
   const auto sources = random::sample_without_replacement(rng, n, num_sources);

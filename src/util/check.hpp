@@ -3,24 +3,65 @@
 // Per C++ Core Guidelines I.6 / E.2 we surface contract violations as
 // exceptions so callers of the public API get a diagnosable error instead of
 // undefined behaviour. Hot inner loops use plain assert() instead.
+//
+// Both forms throw into the typed taxonomy (util/errors.hpp), so the CLI
+// exit-code contract holds without string matching:
+//
+//   require / SGP_REQUIRE -> PreconditionError  (caller bug, usage exit 2)
+//   ensure  / SGP_CHECK   -> InternalError      (library bug, exit 5)
+//
+// The macro forms additionally prefix the failing file:line, which is what
+// you want for invariants that can only trip on a code bug. Environmental
+// failures (IO, parse, convergence, budget) should throw their specific
+// taxonomy type directly rather than funnel through ensure.
 #pragma once
 
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
+#include "util/errors.hpp"
+
 namespace sgp::util {
 
-/// Throws std::invalid_argument with `msg` if `cond` is false.
-/// Use for caller-supplied argument validation.
+/// Throws PreconditionError (a std::invalid_argument) with `msg` if `cond`
+/// is false. Use for caller-supplied argument validation.
 inline void require(bool cond, std::string_view msg) {
-  if (!cond) throw std::invalid_argument(std::string(msg));
+  if (!cond) throw PreconditionError(std::string(msg));
 }
 
-/// Throws std::runtime_error with `msg` if `cond` is false.
-/// Use for internal invariants and environmental failures (IO, convergence).
+/// Throws InternalError (an SgpError, kind kInternal) with `msg` if `cond`
+/// is false. Use for internal invariants.
 inline void ensure(bool cond, std::string_view msg) {
-  if (!cond) throw std::runtime_error(std::string(msg));
+  if (!cond) throw InternalError(std::string(msg));
 }
+
+namespace detail {
+[[noreturn]] inline void throw_require(const char* file, int line,
+                                       std::string_view msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": " + std::string(msg));
+}
+[[noreturn]] inline void throw_check(const char* file, int line,
+                                     std::string_view msg) {
+  throw InternalError(std::string(file) + ":" + std::to_string(line) + ": " +
+                      std::string(msg));
+}
+}  // namespace detail
 
 }  // namespace sgp::util
+
+/// Caller-contract check with file:line context; throws PreconditionError.
+#define SGP_REQUIRE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::sgp::util::detail::throw_require(__FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+
+/// Library-invariant check with file:line context; throws InternalError.
+#define SGP_CHECK(cond, msg)                                        \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sgp::util::detail::throw_check(__FILE__, __LINE__, (msg));  \
+    }                                                               \
+  } while (false)

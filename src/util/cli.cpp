@@ -1,8 +1,7 @@
 #include "util/cli.hpp"
 
-#include <stdexcept>
-
 #include "util/check.hpp"
+#include "util/errors.hpp"
 
 namespace sgp::util {
 namespace {
@@ -14,7 +13,7 @@ bool parse_bool(const std::string& text) {
   if (text == "0" || text == "false" || text == "no" || text == "off") {
     return false;
   }
-  throw std::invalid_argument("not a boolean: '" + text + "'");
+  throw PreconditionError("not a boolean: '" + text + "'");
 }
 
 }  // namespace
@@ -54,7 +53,7 @@ std::int64_t CliArgs::get_int(const std::string& key, std::int64_t def) const {
   try {
     return std::stoll(it->second);
   } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + key + " expects an integer, got '" +
+    throw PreconditionError("flag --" + key + " expects an integer, got '" +
                                 it->second + "'");
   }
 }
@@ -65,7 +64,7 @@ double CliArgs::get_double(const std::string& key, double def) const {
   try {
     return std::stod(it->second);
   } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + key + " expects a number, got '" +
+    throw PreconditionError("flag --" + key + " expects a number, got '" +
                                 it->second + "'");
   }
 }
@@ -76,7 +75,7 @@ bool CliArgs::get_bool(const std::string& key, bool def) const {
   try {
     return parse_bool(it->second);
   } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + key + " expects a boolean, got '" +
+    throw PreconditionError("flag --" + key + " expects a boolean, got '" +
                                 it->second + "'");
   }
 }

@@ -7,9 +7,12 @@
 // from std::runtime_error, so pre-taxonomy callers that catch
 // std::runtime_error keep working unchanged.
 //
-// Caller mistakes (bad arguments to a function) remain
-// std::invalid_argument via util::require — they are bugs in the calling
-// code, not environmental failures, and are not part of this taxonomy.
+// Caller mistakes (bad arguments to a function) are PreconditionError,
+// thrown via util::require / SGP_REQUIRE. It derives from
+// std::invalid_argument rather than SgpError — they are bugs in the
+// calling code, not environmental failures, so the CLI maps them to the
+// usage exit code and pre-taxonomy callers that catch
+// std::invalid_argument keep working unchanged.
 #pragma once
 
 #include <stdexcept>
@@ -97,6 +100,16 @@ class InternalError : public SgpError {
  public:
   explicit InternalError(const std::string& msg)
       : SgpError(ErrorKind::kInternal, msg) {}
+};
+
+/// A caller violated a documented precondition (util::require /
+/// SGP_REQUIRE). Deliberately outside the SgpError hierarchy: deriving
+/// from std::invalid_argument keeps the CLI usage-error exit code (2) and
+/// every pre-taxonomy `catch (std::invalid_argument)` working.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& msg)
+      : std::invalid_argument(msg) {}
 };
 
 }  // namespace sgp::util

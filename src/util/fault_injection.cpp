@@ -8,6 +8,7 @@
 #include <new>
 #include <string>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
@@ -135,7 +136,7 @@ void fault_point(std::string_view point) {
     ++state.fires;
     name = it->first;
   }
-  obs::counter("fault.trips").add();
+  obs::counter(obs::names::kFaultTrips).add();
   throw_for_point(name);  // outside the lock: what() construction can throw
 }
 

@@ -11,7 +11,8 @@ namespace sgp::util {
 namespace {
 
 [[noreturn]] void wrong_kind(const char* wanted) {
-  throw std::logic_error(std::string("json: value is not a ") + wanted);
+  // Calling the wrong typed accessor is a caller bug, not bad input data.
+  throw InternalError(std::string("json: value is not a ") + wanted);
 }
 
 class Parser {

@@ -30,7 +30,7 @@ class JsonValue {
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
 
-  /// Typed accessors; calling the wrong one throws std::logic_error.
+  /// Typed accessors; calling the wrong one throws util::InternalError.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_number() const;
   [[nodiscard]] const std::string& as_string() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 
 namespace sgp::util {
@@ -37,7 +38,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
-  static obs::Counter& tasks = obs::counter("threadpool.tasks");
+  static obs::Counter& tasks = obs::counter(obs::names::kThreadpoolTasks);
   tasks.add();
   std::packaged_task<void()> task(std::move(fn));
   auto future = task.get_future();
@@ -70,7 +71,7 @@ ThreadPool& global_pool() {
   // exists, so record it exactly once — not on every call, which would put
   // an avoidable store on the hot path of each parallel_for.
   static const bool gauge_recorded = [] {
-    obs::gauge("threadpool.threads").set(static_cast<double>(pool.size()));
+    obs::gauge(obs::names::kThreadpoolThreads).set(static_cast<double>(pool.size()));
     return true;
   }();
   (void)gauge_recorded;

@@ -1,0 +1,2 @@
+using namespace std;
+inline int twice(int v) { return 2 * v; }

@@ -1,0 +1,7 @@
+// Compliant fixture: banned patterns appear only where the tokenizer must
+// ignore them — comments and string literals.
+// std::mt19937, rand(), #include <random>, throw std::runtime_error
+namespace sgp::core {
+const char* kDoc = "never throw std::runtime_error; epsilon = 1.5";
+void count() { obs::counter("publish.releases").add(); }
+}  // namespace sgp::core

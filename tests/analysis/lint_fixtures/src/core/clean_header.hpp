@@ -1,0 +1,5 @@
+// Compliant fixture header.
+#pragma once
+namespace sgp::core {
+inline int half(int v) { return v / 2; }
+}  // namespace sgp::core

@@ -1,0 +1,10 @@
+// Deliberate rule violations for the lint fixture tests. Never compiled;
+// excluded from the tree lint via LintOptions.exclude_prefixes.
+#include <random>
+
+std::mt19937 make_engine() {
+  int noise = rand();
+  obs::counter("core.unregistered_metric").add();
+  double epsilon = 1.5;
+  throw std::runtime_error("bad");
+}

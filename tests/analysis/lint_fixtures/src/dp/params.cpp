@@ -1,0 +1,4 @@
+// Fixture: privacy literals are policy and live in src/dp/ (R5 scopes
+// itself out here).
+constexpr double kFixtureEpsilon = 1.0;
+constexpr double kFixtureDeltaSplit = 0.5;

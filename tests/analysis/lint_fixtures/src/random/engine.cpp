@@ -1,0 +1,4 @@
+// Fixture: src/random/ is the one home where engine use is legal (R1
+// scopes itself out here).
+#include <random>
+std::mt19937 legacy_engine() { return std::mt19937{7}; }

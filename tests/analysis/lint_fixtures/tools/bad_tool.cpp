@@ -1,0 +1,2 @@
+// Fixture: a tool main() that bypasses run_tool() (R2 fires).
+int main() { return 0; }

@@ -1,0 +1,4 @@
+// Fixture: exit-code contract respected — main routes through run_tool().
+int main(int argc, char** argv) {
+  return sgp::tools::run_tool(argc, argv, [] { return 0; });
+}

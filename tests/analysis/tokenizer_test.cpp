@@ -1,0 +1,160 @@
+// Tests for the comment/string-aware scanner the lint rules run on. The
+// load-bearing property is negative: text inside comments and string
+// literals must never surface as identifier/punct tokens.
+#include "analysis/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sgp::analysis {
+namespace {
+
+std::vector<std::string> texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  out.reserve(toks.size());
+  for (const auto& t : toks) out.push_back(t.text);
+  return out;
+}
+
+bool has_identifier(const std::vector<Token>& toks, std::string_view name) {
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kIdentifier && t.text == name) return true;
+  }
+  return false;
+}
+
+TEST(TokenizerTest, ClassifiesBasicKinds) {
+  const auto toks = tokenize("int x = 42;");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[2].kind, TokKind::kPunct);
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_EQ(toks[4].kind, TokKind::kPunct);
+}
+
+TEST(TokenizerTest, LineCommentsVanish) {
+  const auto toks = tokenize("a // std::mt19937 rand()\nb");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(has_identifier(toks, "mt19937"));
+}
+
+TEST(TokenizerTest, BlockCommentsVanishAndKeepLineCount) {
+  const auto toks = tokenize("a /* rand()\n mt19937\n */ b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 3);  // newlines inside the comment still count
+  EXPECT_FALSE(has_identifier(toks, "rand"));
+}
+
+TEST(TokenizerTest, StringContentsAreOpaque) {
+  const auto toks = tokenize("f(\"std::mt19937 rand()\");");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "std::mt19937 rand()");
+  EXPECT_FALSE(has_identifier(toks, "mt19937"));
+  EXPECT_FALSE(has_identifier(toks, "rand"));
+}
+
+TEST(TokenizerTest, EscapedQuoteDoesNotEndString) {
+  const auto toks = tokenize(R"(x = "a\"b";)");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "a\\\"b");  // escapes preserved verbatim
+}
+
+TEST(TokenizerTest, RawStringsAreOneToken) {
+  const auto toks = tokenize("auto s = R\"(one \" two // three)\";");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "one \" two // three");
+}
+
+TEST(TokenizerTest, RawStringCustomDelimiter) {
+  const auto toks = tokenize("R\"ab()\" rand( )ab\"");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, ")\" rand( ");
+}
+
+TEST(TokenizerTest, EncodingPrefixedStringIsStillAString) {
+  const auto toks = tokenize("u8\"mt19937\" L\"x\"");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, "mt19937");
+  EXPECT_EQ(toks[1].kind, TokKind::kString);
+}
+
+TEST(TokenizerTest, CharLiterals) {
+  const auto toks = tokenize("char c = 'x'; char n = '\\n';");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[3].kind, TokKind::kChar);
+  EXPECT_EQ(toks[3].text, "x");
+}
+
+TEST(TokenizerTest, MultiCharPunctuatorsLongestMatch) {
+  const auto toks = tokenize("a::b <<= c->d <=> e");
+  const auto t = texts(toks);
+  EXPECT_NE(std::find(t.begin(), t.end(), "::"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "<<="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "->"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "<=>"), t.end());
+}
+
+TEST(TokenizerTest, LineNumbersAreOneBased) {
+  const auto toks = tokenize("a\nb\n\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(TokenizerTest, NumbersWithSeparatorsAndExponents) {
+  const auto toks = tokenize("1'000'000 2.5e-3 0x1F 1.f");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::kNumber);
+  EXPECT_EQ(toks[0].text, "1'000'000");
+  EXPECT_EQ(toks[1].text, "2.5e-3");
+}
+
+TEST(TokenizerTest, FloatLiteralDetection) {
+  const auto toks = tokenize("1 1.5 2e3 3f 0x1F 0.0 0x1p3");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_FALSE(is_float_literal(toks[0]));  // 1
+  EXPECT_TRUE(is_float_literal(toks[1]));   // 1.5
+  EXPECT_TRUE(is_float_literal(toks[2]));   // 2e3
+  EXPECT_TRUE(is_float_literal(toks[3]));   // 3f
+  EXPECT_FALSE(is_float_literal(toks[4]));  // hex int
+  EXPECT_TRUE(is_float_literal(toks[5]));   // 0.0
+  EXPECT_TRUE(is_float_literal(toks[6]));   // hex float
+}
+
+TEST(TokenizerTest, NumberValueParses) {
+  const auto toks = tokenize("2.5e-3 0.0 7");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_DOUBLE_EQ(number_value(toks[0]), 2.5e-3);
+  EXPECT_DOUBLE_EQ(number_value(toks[1]), 0.0);
+  EXPECT_DOUBLE_EQ(number_value(toks[2]), 7.0);
+}
+
+TEST(TokenizerTest, UnterminatedLiteralClosesAtEof) {
+  // Forgiving: no throw, the dangling literal becomes one token.
+  const auto toks = tokenize("x = \"never closed");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "never closed");
+}
+
+TEST(TokenizerTest, EmptyInputYieldsNoTokens) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   \n\t  ").empty());
+  EXPECT_TRUE(tokenize("// only a comment").empty());
+}
+
+}  // namespace
+}  // namespace sgp::analysis

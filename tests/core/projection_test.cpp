@@ -125,9 +125,9 @@ TEST(ProjectionTest, AchlioptasFrequenciesMatchOneSixthSplit) {
     }
   }
   const double total = static_cast<double>(n * m);
-  EXPECT_NEAR(plus / total, 1.0 / 6.0, 0.01);
-  EXPECT_NEAR(minus / total, 1.0 / 6.0, 0.01);
-  EXPECT_NEAR(zero / total, 2.0 / 3.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(plus) / total, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(minus) / total, 1.0 / 6.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(zero) / total, 2.0 / 3.0, 0.01);
 }
 
 // --- counter-based projection ---------------------------------------------

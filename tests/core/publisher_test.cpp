@@ -75,7 +75,8 @@ TEST(PublisherTest, ProjectionRngTagRoundTrips) {
   EXPECT_EQ(parse_projection_rng("counter-v1"), ProjectionRngKind::kCounterV1);
   EXPECT_EQ(parse_projection_rng("sequential-v0"),
             ProjectionRngKind::kSequentialLegacy);
-  EXPECT_THROW(parse_projection_rng("quantum"), util::ParseError);
+  EXPECT_THROW(static_cast<void>(parse_projection_rng("quantum")),
+               util::ParseError);
 }
 
 // The fused kernel must equal the explicit three-step pipeline — materialize

@@ -103,8 +103,9 @@ TEST(AddNoiseTest, GaussianMomentsMatch) {
     sum += v;
     sum2 += v * v;
   }
-  const double mean = sum / values.size();
-  const double var = sum2 / values.size() - mean * mean;
+  const double count = static_cast<double>(values.size());
+  const double mean = sum / count;
+  const double var = sum2 / count - mean * mean;
   EXPECT_NEAR(mean, 5.0, 0.05);
   EXPECT_NEAR(var, 4.0, 0.1);
 }
@@ -118,8 +119,9 @@ TEST(AddNoiseTest, LaplaceMomentsMatch) {
     sum += v;
     sum2 += v * v;
   }
-  const double mean = sum / values.size();
-  const double var = sum2 / values.size() - mean * mean;
+  const double count = static_cast<double>(values.size());
+  const double mean = sum / count;
+  const double var = sum2 / count - mean * mean;
   EXPECT_NEAR(mean, -1.0, 0.05);
   EXPECT_NEAR(var, 2.0 * 1.5 * 1.5, 0.15);
 }

@@ -78,8 +78,10 @@ TEST(SbmTest, EdgeCountsMatchProbabilities) {
   }
   const double expect_within = 2 * (200.0 * 199.0 / 2) * 0.1;
   const double expect_cross = 200.0 * 200.0 * 0.02;
-  EXPECT_NEAR(within, expect_within, 5 * std::sqrt(expect_within));
-  EXPECT_NEAR(cross, expect_cross, 5 * std::sqrt(expect_cross));
+  EXPECT_NEAR(static_cast<double>(within), expect_within,
+              5 * std::sqrt(expect_within));
+  EXPECT_NEAR(static_cast<double>(cross), expect_cross,
+              5 * std::sqrt(expect_cross));
 }
 
 TEST(SbmTest, InvalidArgsThrow) {

@@ -150,7 +150,9 @@ TEST(RandomizedSvdTest, InvalidKThrows) {
 TEST(RandomizedSvdTest, PowerIterationsImproveAccuracy) {
   // Slowly decaying spectrum: more power iterations → better σ estimates.
   std::vector<double> sigma(20);
-  for (std::size_t i = 0; i < 20; ++i) sigma[i] = 1.0 / (1.0 + i * 0.2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    sigma[i] = 1.0 / (1.0 + static_cast<double>(i) * 0.2);
+  }
   const auto a = with_spectrum(200, 60, sigma, 12);
   const auto exact = svd_gram(a, 5);
   double err0 = 0, err3 = 0;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/errors.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -51,9 +52,10 @@ TEST_F(MetricsTest, RegistryReturnsStableReferences) {
 
 TEST_F(MetricsTest, CrossKindNameCollisionThrows) {
   sgp::obs::counter("test.metrics.collision");
-  EXPECT_THROW(sgp::obs::gauge("test.metrics.collision"), std::logic_error);
+  EXPECT_THROW(sgp::obs::gauge("test.metrics.collision"),
+               sgp::util::InternalError);
   EXPECT_THROW(sgp::obs::histogram("test.metrics.collision"),
-               std::logic_error);
+               sgp::util::InternalError);
 }
 
 TEST_F(MetricsTest, ThreadPoolWorkersCountExactly) {

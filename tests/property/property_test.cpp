@@ -117,7 +117,8 @@ TEST_P(KendallProperty, MatchesBruteForce) {
       if (prod < 0) ++discordant;
     }
   }
-  const double total = static_cast<double>(n) * (n - 1) / 2.0;
+  const double total =
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
   EXPECT_NEAR(ranking::kendall_tau(a, b), (concordant - discordant) / total,
               1e-12);
 }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+
+#include "util/errors.hpp"
 
 namespace sgp::util {
 namespace {
@@ -11,7 +14,13 @@ TEST(CheckTest, RequirePassesWhenTrue) {
   EXPECT_NO_THROW(require(true, "never thrown"));
 }
 
-TEST(CheckTest, RequireThrowsInvalidArgument) {
+TEST(CheckTest, RequireThrowsTypedPreconditionError) {
+  EXPECT_THROW(require(false, "bad arg"), PreconditionError);
+}
+
+TEST(CheckTest, RequireStaysCatchableAsInvalidArgument) {
+  // Exit-code contract: usage errors map to exit 2 via the tools'
+  // catch (std::invalid_argument); the typed error must stay inside it.
   EXPECT_THROW(require(false, "bad arg"), std::invalid_argument);
 }
 
@@ -28,7 +37,20 @@ TEST(CheckTest, EnsurePassesWhenTrue) {
   EXPECT_NO_THROW(ensure(true, "never thrown"));
 }
 
-TEST(CheckTest, EnsureThrowsRuntimeError) {
+TEST(CheckTest, EnsureThrowsTypedInternalError) {
+  EXPECT_THROW(ensure(false, "invariant broken"), InternalError);
+}
+
+TEST(CheckTest, EnsureKindIsInternal) {
+  try {
+    ensure(false, "invariant broken");
+    FAIL() << "expected throw";
+  } catch (const SgpError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInternal);
+  }
+}
+
+TEST(CheckTest, EnsureStaysCatchableAsRuntimeError) {
   EXPECT_THROW(ensure(false, "invariant broken"), std::runtime_error);
 }
 
@@ -39,6 +61,33 @@ TEST(CheckTest, EnsureMessagePropagates) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "lanczos failed to converge");
   }
+}
+
+TEST(CheckTest, RequireMacroAddsFileLineContext) {
+  try {
+    SGP_REQUIRE(1 == 2, "ids must match");
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("ids must match"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, CheckMacroThrowsInternalErrorWithContext) {
+  try {
+    SGP_CHECK(false, "ledger invariant");
+    FAIL() << "expected throw";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("ledger invariant"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, MacrosDoNotThrowWhenConditionHolds) {
+  EXPECT_NO_THROW(SGP_REQUIRE(true, "fine"));
+  EXPECT_NO_THROW(SGP_CHECK(true, "fine"));
 }
 
 }  // namespace

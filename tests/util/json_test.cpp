@@ -66,10 +66,10 @@ TEST(JsonParseTest, RejectsDuplicateKeys) {
                sgp::util::ParseError);
 }
 
-TEST(JsonParseTest, WrongAccessorThrows) {
+TEST(JsonParseTest, WrongAccessorThrowsInternalError) {
   const auto doc = sgp::util::parse_json("[1]");
-  EXPECT_THROW(doc.as_object(), std::logic_error);
-  EXPECT_THROW(doc.as_number(), std::logic_error);
+  EXPECT_THROW(static_cast<void>(doc.as_object()), sgp::util::InternalError);
+  EXPECT_THROW(static_cast<void>(doc.as_number()), sgp::util::InternalError);
 }
 
 }  // namespace

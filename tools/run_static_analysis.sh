@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Full static-analysis and sanitizer matrix (docs/static_analysis.md):
+#
+#   1. sgp-lint        repo-invariant rules R1-R5 against the tree,
+#                      modulo the checked-in .lint-baseline.json
+#   2. strict warnings -Wall -Wextra -Wconversion -Werror (SGP_WERROR)
+#   3. clang-tidy      AST-level checks (.clang-tidy) — skipped with a
+#                      notice when the toolchain does not ship clang-tidy
+#   4. ASan + UBSan    full ctest suite under address+undefined sanitizers
+#                      (suppressions in tools/suppressions/)
+#   5. TSan            thread-labeled suites via tools/run_tsan.sh
+#
+#   tools/run_static_analysis.sh [--fast]
+#
+# --fast runs layers 1-2 only (the ones a pre-commit hook wants). Exits
+# non-zero if any layer fails; skipped layers are reported but don't fail
+# the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+fail=0
+note() { printf '\n=== %s ===\n' "$*"; }
+
+# --- 1. sgp-lint ------------------------------------------------------------
+note "sgp-lint (rules R1-R5)"
+cmake -B build -S . >/dev/null
+cmake --build build -j --target sgp_lint >/dev/null
+if ./build/tools/sgp_lint --root .; then
+  echo "sgp-lint: clean"
+else
+  echo "sgp-lint: FINDINGS (see above)"
+  fail=1
+fi
+
+# --- 2. strict warnings -----------------------------------------------------
+note "strict warnings (-Wall -Wextra -Wconversion -Werror)"
+cmake -B build-werror -S . -DSGP_WERROR=ON >/dev/null
+if cmake --build build-werror -j >/dev/null; then
+  echo "warnings: clean"
+else
+  echo "warnings: FAILED"
+  fail=1
+fi
+
+# --- 3. clang-tidy ----------------------------------------------------------
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json comes from the werror build above.
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+  if clang-tidy -p build-werror --quiet "${tidy_sources[@]}"; then
+    echo "clang-tidy: clean"
+  else
+    echo "clang-tidy: FINDINGS"
+    fail=1
+  fi
+else
+  echo "clang-tidy: not installed in this toolchain — skipped"
+fi
+
+if [[ "${FAST}" == "1" ]]; then
+  [[ "${fail}" == "0" ]] && echo && echo "fast matrix: PASS"
+  exit "${fail}"
+fi
+
+# --- 4. ASan + UBSan --------------------------------------------------------
+note "AddressSanitizer + UndefinedBehaviorSanitizer"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSGP_SANITIZE="address;undefined" >/dev/null
+cmake --build build-asan -j >/dev/null
+export ASAN_OPTIONS="detect_leaks=1:suppressions=$(pwd)/tools/suppressions/asan.supp"
+export LSAN_OPTIONS="suppressions=$(pwd)/tools/suppressions/lsan.supp"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:suppressions=$(pwd)/tools/suppressions/ubsan.supp"
+if ctest --test-dir build-asan --output-on-failure -j "$(nproc)"; then
+  echo "asan+ubsan: clean"
+else
+  echo "asan+ubsan: FAILED"
+  fail=1
+fi
+
+# --- 5. TSan ----------------------------------------------------------------
+note "ThreadSanitizer (tsan-labeled suites)"
+export TSAN_OPTIONS="suppressions=$(pwd)/tools/suppressions/tsan.supp"
+if tools/run_tsan.sh; then
+  echo "tsan: clean"
+else
+  echo "tsan: FAILED"
+  fail=1
+fi
+
+echo
+if [[ "${fail}" == "0" ]]; then
+  echo "static-analysis matrix: PASS"
+else
+  echo "static-analysis matrix: FAIL"
+fi
+exit "${fail}"

@@ -20,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/metrics.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
   const sgp::tools::ObsScope obs_scope(args, "sgp_generate");
 
   return sgp::tools::run_tool([&]() -> int {
-    sgp::obs::ScopedTimer generate_timer("tool.generate");
+    sgp::obs::ScopedTimer generate_timer(sgp::obs::names::kToolGenerate);
     generate_timer.attr("model", model);
     sgp::random::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
     sgp::graph::Graph graph;

@@ -1,0 +1,111 @@
+// sgp_lint — repo-invariant static analysis (see docs/static_analysis.md).
+//
+//   sgp_lint --root . [--format text|json] [--out report.json]
+//            [--rules R1,R3] [--baseline .lint-baseline.json]
+//            [--no-baseline] [--write-baseline]
+//
+// Exit codes extend the shared tool contract with the conventional linter
+// "findings" code:
+//
+//   0  clean (or all findings baselined)
+//   1  findings reported
+//   2  usage error
+//   3  IO / malformed baseline
+//
+// With no --baseline flag, <root>/.lint-baseline.json is applied when it
+// exists. --write-baseline rewrites that file so the current findings
+// become the grandfathered set (and exits 0).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "tool_common.hpp"
+#include "util/cli.hpp"
+#include "util/errors.hpp"
+
+namespace {
+
+std::vector<std::string> split_rules(const std::string& spec) {
+  std::vector<std::string> out;
+  std::istringstream in(spec);
+  std::string id;
+  while (std::getline(in, id, ',')) {
+    if (!id.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sgp::util::CliArgs args(argc, argv);
+  return sgp::tools::run_tool([&]() -> int {
+    sgp::analysis::LintOptions options;
+    options.root = args.get_string("root", ".");
+    options.rules = split_rules(args.get_string("rules", ""));
+    for (const std::string& id : options.rules) {
+      bool known = false;
+      for (std::string_view all : sgp::analysis::kAllRuleIds) {
+        known = known || id == all;
+      }
+      if (!known) {
+        throw sgp::util::PreconditionError("unknown rule id: " + id);
+      }
+    }
+    const std::string format = args.get_string("format", "text");
+    if (format != "text" && format != "json") {
+      throw sgp::util::PreconditionError(
+          "--format must be 'text' or 'json', got '" + format + "'");
+    }
+
+    sgp::analysis::LintResult result = sgp::analysis::run_lint(options);
+
+    const std::string default_baseline =
+        (std::filesystem::path(options.root) / ".lint-baseline.json")
+            .string();
+    std::string baseline_path = args.get_string("baseline", "");
+    const bool explicit_baseline = !baseline_path.empty();
+    if (baseline_path.empty()) baseline_path = default_baseline;
+
+    if (args.get_bool("write-baseline", false)) {
+      sgp::analysis::Baseline::from_findings(result.findings)
+          .save(baseline_path);
+      std::fprintf(stderr, "baseline with %zu finding(s) written to %s\n",
+                   result.findings.size(), baseline_path.c_str());
+      return sgp::tools::kExitOk;
+    }
+
+    if (!args.get_bool("no-baseline", false) &&
+        (explicit_baseline || std::filesystem::exists(baseline_path))) {
+      const auto baseline = sgp::analysis::Baseline::load(baseline_path);
+      result.suppressed = baseline.apply(result.findings);
+    }
+
+    const std::string out_path = args.get_string("out", "");
+    auto render = [&](std::ostream& os) {
+      if (format == "json") {
+        sgp::analysis::write_lint_report_json(result, options, os);
+      } else {
+        sgp::analysis::write_lint_report_text(result, os);
+      }
+    };
+    if (out_path.empty()) {
+      render(std::cout);
+    } else {
+      std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+      if (!os.good()) {
+        throw sgp::util::IoError("cannot open " + out_path);
+      }
+      render(os);
+      os.flush();
+      if (!os.good()) {
+        throw sgp::util::IoError("failed writing " + out_path);
+      }
+    }
+    return result.findings.empty() ? sgp::tools::kExitOk : 1;
+  });
+}

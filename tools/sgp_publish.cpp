@@ -22,6 +22,7 @@
 #include "core/serialization.hpp"
 #include "core/session.hpp"
 #include "graph/io.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
   const sgp::tools::ObsScope obs_scope(args, "sgp_publish");
 
   return sgp::tools::run_tool([&]() -> int {
-    sgp::obs::ScopedTimer load_timer("tool.load_graph");
+    sgp::obs::ScopedTimer load_timer(sgp::obs::names::kToolLoadGraph);
     const auto policy = args.get_bool("preserve-ids", false)
                             ? sgp::graph::IdPolicy::kPreserve
                             : sgp::graph::IdPolicy::kCompact;
@@ -62,12 +63,13 @@ int main(int argc, char** argv) {
       opt.projection = sgp::core::ProjectionKind::kAchlioptas;
     }
 
-    sgp::obs::ScopedTimer publish_timer("tool.publish");
+    sgp::obs::ScopedTimer publish_timer(sgp::obs::names::kToolPublish);
     const std::string ledger_path = args.get_string("ledger", "");
     if (!ledger_path.empty()) {
       // The cap is the point of the ledger — refuse to default it silently.
       if (args.get_string("budget-epsilon", "").empty()) {
-        throw std::invalid_argument("--ledger requires --budget-epsilon");
+        throw sgp::util::PreconditionError(
+            "--ledger requires --budget-epsilon");
       }
       sgp::core::PublishingSession::Options sopt;
       sopt.publisher = opt;

@@ -14,6 +14,7 @@
 #include "core/stats_publisher.hpp"
 #include "dp/accountant.hpp"
 #include "graph/io.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
   const sgp::tools::ObsScope obs_scope(args, "sgp_stats");
 
   return sgp::tools::run_tool([&]() -> int {
-    sgp::obs::ScopedTimer stats_timer("tool.stats");
+    sgp::obs::ScopedTimer stats_timer(sgp::obs::names::kToolStats);
     const auto graph = sgp::graph::read_edge_list_file(edges_path);
     const double total_eps = args.get_double("epsilon", 1.0);
     const auto max_degree =

@@ -31,6 +31,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -63,19 +64,22 @@ class ObsScope {
     if (!metrics_path_.empty() || trace_) {
       // Pre-register the pipeline's headline metrics (Prometheus-style
       // up-front declaration) so every report carries them, zero-valued
-      // when the corresponding stage did not run.
-      for (const char* name :
-           {"publish.releases", "publish.embeds", "ledger.appends",
-            "ledger.append_attempts", "ledger.recoveries",
-            "ledger.crc_failures", "fault.trips"}) {
+      // when the corresponding stage did not run. Names come from the
+      // canonical registry (obs/metric_names.hpp) — sgp-lint rule R3
+      // rejects strings that are not in it.
+      for (std::string_view name :
+           {obs::names::kPublishReleases, obs::names::kPublishEmbeds,
+            obs::names::kLedgerAppends, obs::names::kLedgerAppendAttempts,
+            obs::names::kLedgerRecoveries, obs::names::kLedgerCrcFailures,
+            obs::names::kFaultTrips}) {
         obs::counter(name);
       }
-      for (const char* name : {"publish.project.seconds",
-                               "publish.perturb.seconds",
-                               "publish.embed.seconds",
-                               "ledger.append.seconds"}) {
-        obs::histogram(name);
+      for (std::string_view base :
+           {obs::names::kPublishProject, obs::names::kPublishPerturb,
+            obs::names::kPublishEmbed}) {
+        obs::histogram(std::string(base) + ".seconds");
       }
+      obs::histogram(obs::names::kLedgerAppendSeconds);
     }
   }
 
