@@ -1,6 +1,5 @@
 #include "core/ledger.hpp"
 
-#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -11,6 +10,7 @@
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
 #include "util/timer.hpp"
@@ -25,30 +25,6 @@ namespace {
 
 constexpr const char kMagic[] = "sgp-budget-ledger v1";
 
-// CRC-32 (IEEE 802.3, reflected 0xEDB88320), table built on first use.
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t crc32(std::string_view bytes) {
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const char ch : bytes) {
-    c = crc_table()[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
 /// The record line up to (not including) the " crc <hex>" suffix.
 std::string record_body(const BudgetLedger::Record& r) {
   std::ostringstream out;
@@ -61,7 +37,7 @@ std::string record_body(const BudgetLedger::Record& r) {
 std::string record_line(const BudgetLedger::Record& r) {
   const std::string body = record_body(r);
   char crc_hex[16];
-  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", crc32(body));
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", util::crc32(body));
   return body + " crc " + crc_hex;
 }
 
@@ -81,7 +57,7 @@ BudgetLedger::Record parse_record(const std::string& path,
   const std::string crc_field = line.substr(crc_at + 5);
 
   char expected_hex[16];
-  std::snprintf(expected_hex, sizeof(expected_hex), "%08x", crc32(body));
+  std::snprintf(expected_hex, sizeof(expected_hex), "%08x", util::crc32(body));
   if (crc_field != expected_hex) {
     obs::counter(obs::names::kLedgerCrcFailures).add();
     corrupt(path, line_no, "checksum mismatch (record altered or truncated)");

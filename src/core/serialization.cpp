@@ -26,7 +26,27 @@ namespace {
 constexpr char kMagic[] = "sgp-published-graph v2";
 constexpr char kMagicV1[] = "sgp-published-graph v1";
 
-void write_doubles(std::ostream& out, std::span<const double> values) {
+}  // namespace
+
+void write_published_header(std::ostream& out, std::size_t num_nodes,
+                            std::size_t projection_dim,
+                            const dp::PrivacyParams& params,
+                            const NoiseCalibration& calibration,
+                            ProjectionKind projection,
+                            ProjectionRngKind projection_rng) {
+  out.precision(17);  // max_digits10: header doubles must round-trip exactly
+  out << kMagic << '\n';
+  out << "nodes " << num_nodes << " dim " << projection_dim << '\n';
+  out << "epsilon " << params.epsilon << " delta " << params.delta << " sigma "
+      << calibration.sigma << " sensitivity " << calibration.sensitivity
+      << '\n';
+  out << "projection " << to_string(projection) << '\n';
+  out << "projection_rng " << to_string(projection_rng) << '\n';
+  out << "data\n";
+}
+
+void write_published_doubles(std::ostream& out,
+                             std::span<const double> values) {
   // Assumes a little-endian IEEE-754 host (x86-64 / aarch64) — asserted at
   // compile time below so a port to an exotic platform fails loudly.
   static_assert(sizeof(double) == 8);
@@ -34,23 +54,14 @@ void write_doubles(std::ostream& out, std::span<const double> values) {
             static_cast<std::streamsize>(values.size() * sizeof(double)));
 }
 
-}  // namespace
-
 void save_published(const PublishedGraph& published, std::ostream& out) {
   util::fault_point("io.write");
   obs::ScopedTimer timer(obs::names::kIoSaveRelease);
   timer.attr("bytes", published.published_bytes());
-  out.precision(17);  // max_digits10: header doubles must round-trip exactly
-  out << kMagic << '\n';
-  out << "nodes " << published.num_nodes << " dim " << published.projection_dim
-      << '\n';
-  out << "epsilon " << published.params.epsilon << " delta "
-      << published.params.delta << " sigma " << published.calibration.sigma
-      << " sensitivity " << published.calibration.sensitivity << '\n';
-  out << "projection " << to_string(published.projection) << '\n';
-  out << "projection_rng " << to_string(published.projection_rng) << '\n';
-  out << "data\n";
-  write_doubles(out, published.data.data());
+  write_published_header(out, published.num_nodes, published.projection_dim,
+                         published.params, published.calibration,
+                         published.projection, published.projection_rng);
+  write_published_doubles(out, published.data.data());
   if (!out.good()) {
     throw util::IoError("save_published: stream write failed");
   }
@@ -185,15 +196,8 @@ void publish_to_stream(const graph::Graph& g,
 
   const NoiseCalibration calibration = calibrate_noise(
       m, options.params, options.analytic_calibration, options.delta_split);
-  out.precision(17);
-  out << kMagic << '\n';
-  out << "nodes " << n << " dim " << m << '\n';
-  out << "epsilon " << options.params.epsilon << " delta "
-      << options.params.delta << " sigma " << calibration.sigma
-      << " sensitivity " << calibration.sensitivity << '\n';
-  out << "projection " << to_string(options.projection) << '\n';
-  out << "projection_rng " << to_string(ProjectionRngKind::kCounterV1) << '\n';
-  out << "data\n";
+  write_published_header(out, n, m, options.params, calibration,
+                         options.projection, ProjectionRngKind::kCounterV1);
 
   // Stream one published row at a time: Ỹ_i = Σ_{j∈N(i)} P_j + σ·N_i.
   std::vector<double> row(m);
@@ -209,7 +213,7 @@ void publish_to_stream(const graph::Graph& g,
     for (std::size_t c = 0; c < m; ++c) {
       row[c] += calibration.sigma * noise.normal(base + c);
     }
-    write_doubles(out, row);
+    write_published_doubles(out, row);
   }
   if (!out.good()) {
     throw util::IoError("publish_to_stream: stream write failed");

@@ -6,11 +6,30 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 
 #include "core/publisher.hpp"
 
 namespace sgp::core {
+
+/// Writes the v2 text header (magic through the "data" marker, inclusive)
+/// exactly as save_published/publish_to_stream emit it. The single encoder
+/// for the header bytes: save_published, publish_to_stream and the sharded
+/// publisher (core/sharded_publish.hpp) all call this, so their outputs can
+/// only differ in the payload. Sets the stream's precision to 17
+/// (max_digits10) as a side effect.
+void write_published_header(std::ostream& out, std::size_t num_nodes,
+                            std::size_t projection_dim,
+                            const dp::PrivacyParams& params,
+                            const NoiseCalibration& calibration,
+                            ProjectionKind projection,
+                            ProjectionRngKind projection_rng);
+
+/// Writes `values` as raw little-endian IEEE-754 doubles — the payload
+/// encoding of the release format. Exposed so every publisher path shares
+/// one encoder.
+void write_published_doubles(std::ostream& out, std::span<const double> values);
 
 /// Writes the release (header + matrix) to a stream.
 /// Format, line-oriented header then binary payload:

@@ -81,9 +81,18 @@ dp::PrivacyParams PublishingSession::spent_after(std::size_t releases) const {
   return {std::min(basic_eps, rdp_eps), options_.total_budget.delta};
 }
 
-PublishedGraph PublishingSession::publish(const graph::Graph& g) {
-  obs::Span span("session.publish");
-  span.attr("release_index", releases_ + 1);
+RandomProjectionPublisher::Options PublishingSession::release_options(
+    std::uint64_t index) const {
+  util::require(index >= 1 && index <= releases_,
+                "session: release index must be in [1, num_releases()]");
+  RandomProjectionPublisher::Options opt = options_.publisher;
+  // Fresh randomness per release: mix the release index into the seed.
+  std::uint64_t mix = opt.seed + 0x9e3779b97f4a7c15ULL * index;
+  opt.seed = random::splitmix64(mix);
+  return opt;
+}
+
+RandomProjectionPublisher::Options PublishingSession::begin_release() {
   const auto projected = spent_after(releases_ + 1);
   if (projected.epsilon > options_.total_budget.epsilon) {
     obs::counter(obs::names::kSessionBudgetRefusals).add();
@@ -93,33 +102,33 @@ PublishedGraph PublishingSession::publish(const graph::Graph& g) {
         ")");
   }
 
-  RandomProjectionPublisher::Options opt = options_.publisher;
-  // Fresh randomness per release: mix the release index into the seed.
-  std::uint64_t mix = opt.seed + 0x9e3779b97f4a7c15ULL * (releases_ + 1);
-  opt.seed = random::splitmix64(mix);
-
   // Write-ahead accounting: persist the charge (and charge in memory)
   // BEFORE computing the artifact. If the process dies — or the publisher
   // throws — after this point, the budget reads as spent even though no
   // artifact went out: an over-count, which is the safe direction. The
   // reverse order could hand out an unaccounted release.
+  const auto& per = options_.publisher.params;
   const NoiseCalibration cal = calibrate_noise(
-      opt.projection_dim, opt.params, opt.analytic_calibration,
-      opt.delta_split);
+      options_.publisher.projection_dim, per,
+      options_.publisher.analytic_calibration, options_.publisher.delta_split);
   if (ledger_ != nullptr) {
-    ledger_->append({static_cast<std::uint64_t>(releases_ + 1),
-                     opt.params.epsilon, opt.params.delta, cal.sigma,
-                     cal.sensitivity});
+    ledger_->append({static_cast<std::uint64_t>(releases_ + 1), per.epsilon,
+                     per.delta, cal.sigma, cal.sensitivity});
   }
   ++releases_;
-  basic_.record(opt.params);
+  basic_.record(per);
   rdp_.record_gaussian(cal.sigma / cal.sensitivity);
   delta_projection_sum_ += cal.delta_projection;
 
   static obs::Counter& publishes = obs::counter(obs::names::kSessionPublishes);
   publishes.add();
+  return release_options(releases_);
+}
 
-  const RandomProjectionPublisher publisher(opt);
+PublishedGraph PublishingSession::publish(const graph::Graph& g) {
+  obs::Span span("session.publish");
+  span.attr("release_index", releases_ + 1);
+  const RandomProjectionPublisher publisher(begin_release());
   return publisher.publish(g);
 }
 

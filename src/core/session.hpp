@@ -50,6 +50,22 @@ class PublishingSession {
   /// append likewise means nothing was published or charged.
   PublishedGraph publish(const graph::Graph& g);
 
+  /// Charges the next release (write-ahead into the ledger when attached)
+  /// and returns its per-release publisher options, seed already mixed with
+  /// the release index. For callers that produce the artifact out of
+  /// process — e.g. publish_sharded (core/sharded_publish.hpp) — instead of
+  /// through publish(). A crash after this call leaves the budget charged
+  /// with no artifact delivered: an over-count, the safe direction.
+  /// Throws like publish() (budget refusal charges nothing).
+  RandomProjectionPublisher::Options begin_release();
+
+  /// Per-release options of an already-charged release `index` (1-based,
+  /// <= num_releases()): deterministic, so a crashed out-of-core release
+  /// can be finished — or re-emitted byte-identically — without a second
+  /// budget charge.
+  [[nodiscard]] RandomProjectionPublisher::Options release_options(
+      std::uint64_t index) const;
+
   /// Cumulative (ε, δ) consumed so far, at the session's total δ: the
   /// tighter of sequential composition and Rényi-DP accounting.
   [[nodiscard]] dp::PrivacyParams spent() const;

@@ -1,0 +1,92 @@
+// Out-of-core shard-parallel publication.
+//
+// The mechanism is row-separable: published row i is
+//   Ỹ_i = Σ_{j∈N(i)} P_j + σ·N_i,
+// and with counter-based generation (core/projection.hpp) both P rows and
+// the noise are pure functions of (seed, counter) — no state flows between
+// rows. Publication therefore decomposes into independent row shards: stream
+// shard rows from the edge list (graph/shard_loader.hpp), compute the
+// shard's tile of Ỹ in parallel, append it to the release stream, repeat.
+// Working memory is O(rows_per_shard·m + |E_shard|) instead of O(n·m), and
+// the output is byte-identical to publish_to_stream for every shard size
+// and thread count (enforced by tests/core/sharded_publish_test.cpp and the
+// slow differential matrix).
+//
+// Durability: after each shard the publisher appends a CRC-guarded record to
+// a sidecar checkpoint log (`<out>.ckpt`). A crash mid-shard leaves the log
+// one record short; on the next run with identical options the publisher
+// truncates the release file back to the last complete shard boundary and
+// resumes there, producing the same bytes as an uninterrupted run. The log
+// is deleted once the release is complete.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/publisher.hpp"
+#include "graph/shard_loader.hpp"
+
+namespace sgp::core {
+
+/// Partition of the row range [0, num_rows) into consecutive half-open
+/// shards of `shard_rows` rows (the last shard may be smaller).
+struct ShardPlan {
+  std::size_t num_rows = 0;
+  std::size_t shard_rows = 1;
+
+  [[nodiscard]] std::size_t num_shards() const {
+    return num_rows == 0 ? 0 : (num_rows + shard_rows - 1) / shard_rows;
+  }
+
+  /// Row range [begin, end) of shard `s` (s < num_shards()).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(
+      std::size_t s) const {
+    const std::size_t begin = s * shard_rows;
+    return {begin, std::min(num_rows, begin + shard_rows)};
+  }
+};
+
+/// Builds a plan. `shard_rows == 0` means "one shard covering everything"
+/// (and a plan over zero rows has zero shards either way).
+[[nodiscard]] ShardPlan plan_shards(std::size_t num_rows,
+                                    std::size_t shard_rows);
+
+/// Derives a shard height from a memory budget: half the budget is reserved
+/// for the shard's output tile (shard_rows·m·8 bytes), the other half
+/// absorbs the shard's adjacency lists and per-thread scratch — so
+///   shard_rows = max(1, (max_memory_mb·2^20 / 2) / (8·m)).
+/// Documented in docs/scaling.md; the property tests pin the bound.
+[[nodiscard]] std::size_t shard_rows_for_memory(std::size_t max_memory_mb,
+                                                std::size_t projection_dim);
+
+struct ShardedPublishOptions {
+  /// Same knobs as the in-memory path — seed, m, budget, projection kind.
+  RandomProjectionPublisher::Options publish;
+  /// Rows per shard; 0 = single shard (still out-of-core loaded).
+  std::size_t shard_rows = 0;
+  /// Worker threads for the per-shard row loop; 0 = the global pool.
+  std::size_t threads = 0;
+  /// Consult `<out>.ckpt` and resume at the last complete shard when the
+  /// checkpoint matches these options. Off = always start fresh.
+  bool resume = true;
+};
+
+struct ShardedPublishResult {
+  std::size_t num_nodes = 0;
+  std::size_t shards_total = 0;
+  /// Shards skipped because a matching checkpoint proved them complete.
+  std::size_t shards_resumed = 0;
+  NoiseCalibration calibration;
+};
+
+/// Publishes the graph behind `reader` to `out_path` shard by shard.
+/// The release file is byte-identical to publish_to_stream over
+/// read_edge_list of the same file with the same options. Throws
+/// util::PreconditionError on bad options and util::IoError on IO failure
+/// (fault points: "io.shard.read", "io.shard.write", "io.shard.checkpoint").
+ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
+                                     const ShardedPublishOptions& options,
+                                     const std::string& out_path);
+
+}  // namespace sgp::core

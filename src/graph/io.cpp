@@ -26,36 +26,17 @@ constexpr const char* kLineWhitespace = " \t\r";
 
 }  // namespace
 
-Graph read_edge_list(std::istream& in, IdPolicy policy,
-                     std::uint64_t max_preserved_id) {
-  util::fault_point("io.read");
-  obs::ScopedTimer timer(obs::names::kIoReadEdges);
+EdgeScanStats scan_edge_list(
+    std::istream& in, IdPolicy policy, std::uint64_t max_preserved_id,
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_edge) {
   // The id type caps preserved ids at 2^32 - 1 regardless of the caller's
   // configured limit.
   const std::uint64_t id_cap =
       std::min<std::uint64_t>(max_preserved_id, 0xFFFFFFFFULL);
 
-  std::unordered_map<std::uint64_t, std::uint32_t> remap;
-  std::vector<Edge> edges;
+  EdgeScanStats stats;
   std::string line;
   std::size_t line_no = 0;
-  std::uint64_t max_raw_id = 0;
-  bool any_edge = false;
-  std::size_t declared_nodes = 0;
-
-  auto intern = [&](std::uint64_t raw) -> std::uint32_t {
-    if (policy == IdPolicy::kPreserve) {
-      if (raw > id_cap) {
-        parse_fail(line_no, "node id " + std::to_string(raw) +
-                                " exceeds the preserve-policy cap of " +
-                                std::to_string(id_cap));
-      }
-      max_raw_id = std::max(max_raw_id, raw);
-      return static_cast<std::uint32_t>(raw);
-    }
-    return remap.emplace(raw, static_cast<std::uint32_t>(remap.size()))
-        .first->second;
-  };
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -83,7 +64,7 @@ Graph read_edge_list(std::istream& in, IdPolicy policy,
                            " nodes, above the preserve-policy cap of " +
                            std::to_string(id_cap + 1));
           }
-          declared_nodes = std::max(declared_nodes, count);
+          stats.declared_nodes = std::max(stats.declared_nodes, count);
         }
       }
       line.erase(hash);
@@ -109,24 +90,58 @@ Graph read_edge_list(std::istream& in, IdPolicy policy,
       parse_fail(line_no, "unexpected trailing content after the two ids");
     }
     if (u_raw == v_raw) continue;  // drop self loop
-    edges.push_back({intern(u_raw), intern(v_raw)});
-    any_edge = true;
+    if (policy == IdPolicy::kPreserve) {
+      const std::uint64_t hi = std::max(u_raw, v_raw);
+      if (hi > id_cap) {
+        parse_fail(line_no, "node id " + std::to_string(hi) +
+                                " exceeds the preserve-policy cap of " +
+                                std::to_string(id_cap));
+      }
+      stats.max_raw_id = std::max(stats.max_raw_id, hi);
+    }
+    ++stats.edge_records;
+    on_edge(u_raw, v_raw);
   }
   if (in.bad()) {
     throw util::IoError("edge list: stream read error at line " +
                         std::to_string(line_no));
   }
+  stats.lines = line_no;
+  // One bulk add per pass, not one per line — keeps the loop clean.
+  static obs::Counter& lines_read = obs::counter(obs::names::kIoLinesRead);
+  static obs::Counter& edges_read = obs::counter(obs::names::kIoEdgesRead);
+  lines_read.add(stats.lines);
+  edges_read.add(stats.edge_records);
+  return stats;
+}
+
+Graph read_edge_list(std::istream& in, IdPolicy policy,
+                     std::uint64_t max_preserved_id) {
+  util::fault_point("io.read");
+  obs::ScopedTimer timer(obs::names::kIoReadEdges);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> remap;
+  std::vector<Edge> edges;
+  auto intern = [&](std::uint64_t raw) -> std::uint32_t {
+    if (policy == IdPolicy::kPreserve) {
+      return static_cast<std::uint32_t>(raw);  // cap enforced by the scan
+    }
+    return remap.emplace(raw, static_cast<std::uint32_t>(remap.size()))
+        .first->second;
+  };
+  const EdgeScanStats stats = scan_edge_list(
+      in, policy, max_preserved_id,
+      [&](std::uint64_t u_raw, std::uint64_t v_raw) {
+        edges.push_back({intern(u_raw), intern(v_raw)});
+      });
 
   std::size_t num_nodes = remap.size();
   if (policy == IdPolicy::kPreserve) {
-    num_nodes = any_edge ? static_cast<std::size_t>(max_raw_id) + 1 : 0;
-    num_nodes = std::max(num_nodes, declared_nodes);
+    num_nodes = stats.edge_records > 0
+                    ? static_cast<std::size_t>(stats.max_raw_id) + 1
+                    : 0;
+    num_nodes = std::max(num_nodes, stats.declared_nodes);
   }
-  // One bulk add per parse, not one per line — keeps the loop clean.
-  static obs::Counter& lines = obs::counter(obs::names::kIoLinesRead);
-  static obs::Counter& edges_read = obs::counter(obs::names::kIoEdgesRead);
-  lines.add(line_no);
-  edges_read.add(edges.size());
   timer.attr("nodes", num_nodes).attr("edges", edges.size());
   return Graph::from_edges(num_nodes, edges);
 }

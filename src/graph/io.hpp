@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -26,6 +27,29 @@ enum class IdPolicy {
 /// multi-gigabyte allocation; real inputs that legitimately need more can
 /// raise the cap explicitly (hard limit: 2^32 - 1, the id type).
 inline constexpr std::uint64_t kDefaultMaxPreservedNodeId = 1ULL << 31;
+
+/// What one streaming pass over an edge-list stream saw. `max_raw_id` is
+/// only meaningful when `edge_records > 0`; `declared_nodes` is the largest
+/// node count declared by an "# sgp edge list: N nodes..." header (kPreserve
+/// only — kCompact ignores headers, matching read_edge_list).
+struct EdgeScanStats {
+  std::size_t lines = 0;          ///< lines consumed, including comments
+  std::size_t edge_records = 0;   ///< edge lines kept (self loops dropped)
+  std::uint64_t max_raw_id = 0;   ///< largest raw endpoint id seen
+  std::size_t declared_nodes = 0; ///< header-declared node count (kPreserve)
+};
+
+/// The streaming core under read_edge_list and the shard loader
+/// (graph/shard_loader.hpp): one pass over `in`, invoking
+/// `on_edge(u_raw, v_raw)` for every accepted edge line, with *identical*
+/// validation and header semantics to read_edge_list — so an out-of-core
+/// consumer sees exactly the edge sequence the in-memory reader would.
+/// Throws util::ParseError on malformed lines and, under kPreserve, on ids
+/// or header node counts above `max_preserved_id`; util::IoError on stream
+/// read errors.
+EdgeScanStats scan_edge_list(
+    std::istream& in, IdPolicy policy, std::uint64_t max_preserved_id,
+    const std::function<void(std::uint64_t, std::uint64_t)>& on_edge);
 
 /// Parses an edge list from a stream. Self loops are dropped; duplicate
 /// edges merged. Throws util::ParseError on malformed lines, and — under

@@ -1,0 +1,110 @@
+#include "graph/shard_loader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "obs/metric_names.hpp"
+#include "obs/scoped_timer.hpp"
+#include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace sgp::graph {
+namespace {
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw util::IoError("shard loader: cannot open edge list file: " + path);
+  }
+  return in;
+}
+
+}  // namespace
+
+EdgeListShardReader::EdgeListShardReader(std::string path, IdPolicy policy,
+                                         std::uint64_t max_preserved_id)
+    : path_(std::move(path)),
+      policy_(policy),
+      max_preserved_id_(max_preserved_id) {
+  util::fault_point("io.read");
+  obs::ScopedTimer timer(obs::names::kIoReadShard);
+  std::ifstream in = open_or_throw(path_);
+  const EdgeScanStats stats = scan_edge_list(
+      in, policy_, max_preserved_id_,
+      [&](std::uint64_t u_raw, std::uint64_t v_raw) {
+        if (policy_ == IdPolicy::kCompact) {
+          remap_.emplace(u_raw, static_cast<std::uint32_t>(remap_.size()));
+          remap_.emplace(v_raw, static_cast<std::uint32_t>(remap_.size()));
+        }
+      });
+  edge_records_ = stats.edge_records;
+  // Mirrors read_edge_list's node-count rule exactly.
+  num_nodes_ = remap_.size();
+  if (policy_ == IdPolicy::kPreserve) {
+    num_nodes_ = stats.edge_records > 0
+                     ? static_cast<std::size_t>(stats.max_raw_id) + 1
+                     : 0;
+    num_nodes_ = std::max(num_nodes_, stats.declared_nodes);
+  }
+  timer.attr("nodes", num_nodes_).attr("edges", edge_records_);
+}
+
+ShardRows EdgeListShardReader::load_shard(std::size_t row_begin,
+                                          std::size_t row_end) const {
+  util::require(row_begin <= row_end && row_end <= num_nodes_,
+                "shard loader: row range must lie within [0, num_nodes]");
+  util::fault_point("io.shard.read");
+  obs::ScopedTimer timer(obs::names::kIoReadShard);
+  timer.attr("row_begin", row_begin).attr("row_end", row_end);
+
+  const auto resolve = [this](std::uint64_t raw) -> std::uint32_t {
+    if (policy_ == IdPolicy::kPreserve) return static_cast<std::uint32_t>(raw);
+    const auto it = remap_.find(raw);
+    // Every id was interned during the construction scan; a miss means the
+    // file changed under us.
+    if (it == remap_.end()) {
+      throw util::IoError("shard loader: " + path_ +
+                          " changed since construction (unknown node id)");
+    }
+    return it->second;
+  };
+
+  // One (row, neighbor) pair per direction that lands in the shard; sorting
+  // the pair list then groups rows and orders each neighbor list, so the
+  // per-row unique() below reproduces Graph::from_edges' merged duplicates.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> incident;
+  std::ifstream in = open_or_throw(path_);
+  const EdgeScanStats stats = scan_edge_list(
+      in, policy_, max_preserved_id_,
+      [&](std::uint64_t u_raw, std::uint64_t v_raw) {
+        const std::uint32_t u = resolve(u_raw);
+        const std::uint32_t v = resolve(v_raw);
+        if (u >= row_begin && u < row_end) incident.emplace_back(u, v);
+        if (v >= row_begin && v < row_end) incident.emplace_back(v, u);
+      });
+  if (stats.edge_records != edge_records_) {
+    throw util::IoError("shard loader: " + path_ +
+                        " changed since construction (edge count drifted)");
+  }
+  std::sort(incident.begin(), incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end()),
+                 incident.end());
+
+  ShardRows shard;
+  shard.row_begin = row_begin;
+  shard.row_end = row_end;
+  shard.offsets.assign(row_end - row_begin + 1, 0);
+  shard.adjacency.reserve(incident.size());
+  for (const auto& [row, neighbor] : incident) {
+    ++shard.offsets[row - row_begin + 1];
+    shard.adjacency.push_back(neighbor);
+  }
+  for (std::size_t r = 1; r < shard.offsets.size(); ++r) {
+    shard.offsets[r] += shard.offsets[r - 1];
+  }
+  return shard;
+}
+
+}  // namespace sgp::graph

@@ -45,6 +45,9 @@ inline constexpr std::string_view kLinalgFusedTiles = "linalg.fused_tiles";
 inline constexpr std::string_view kPublishCells = "publish.cells";
 inline constexpr std::string_view kPublishEmbeds = "publish.embeds";
 inline constexpr std::string_view kPublishReleases = "publish.releases";
+inline constexpr std::string_view kPublishShards = "publish.shards";
+inline constexpr std::string_view kPublishShardsResumed =
+    "publish.shards_resumed";
 inline constexpr std::string_view kSessionBudgetRefusals =
     "session.budget_refusals";
 inline constexpr std::string_view kSessionPublishes = "session.publishes";
@@ -56,6 +59,7 @@ inline constexpr std::string_view kThreadpoolTasks = "threadpool.tasks";
 
 // --- gauges --------------------------------------------------------------
 inline constexpr std::string_view kGraphNodes = "graph.nodes";
+inline constexpr std::string_view kPublishShardRows = "publish.shard_rows";
 inline constexpr std::string_view kPublishSigma = "publish.sigma";
 inline constexpr std::string_view kThreadpoolThreads = "threadpool.threads";
 
@@ -69,6 +73,7 @@ inline constexpr std::string_view kBetweennessApprox = "betweenness.approx";
 inline constexpr std::string_view kBetweennessExact = "betweenness.exact";
 inline constexpr std::string_view kIoLoadRelease = "io.load_release";
 inline constexpr std::string_view kIoReadEdges = "io.read_edges";
+inline constexpr std::string_view kIoReadShard = "io.read_shard";
 inline constexpr std::string_view kIoSaveRelease = "io.save_release";
 inline constexpr std::string_view kIoWriteEdges = "io.write_edges";
 inline constexpr std::string_view kKmeans = "kmeans";
@@ -77,6 +82,8 @@ inline constexpr std::string_view kPublish = "publish";
 inline constexpr std::string_view kPublishEmbed = "publish.embed";
 inline constexpr std::string_view kPublishPerturb = "publish.perturb";
 inline constexpr std::string_view kPublishProject = "publish.project";
+inline constexpr std::string_view kPublishShard = "publish.shard";
+inline constexpr std::string_view kPublishSharded = "publish.sharded";
 inline constexpr std::string_view kPublishStream = "publish.stream";
 inline constexpr std::string_view kSessionPublish = "session.publish";
 inline constexpr std::string_view kSpectralEmbed = "spectral.embed";
@@ -99,6 +106,7 @@ inline constexpr std::string_view kAllNames[] = {
     kIoLinesRead,
     kIoLoadRelease,
     kIoReadEdges,
+    kIoReadShard,
     kIoSaveRelease,
     kIoWriteEdges,
     kJacobiSolves,
@@ -126,6 +134,11 @@ inline constexpr std::string_view kAllNames[] = {
     kPublishPerturb,
     kPublishProject,
     kPublishReleases,
+    kPublishShard,
+    kPublishShardRows,
+    kPublishSharded,
+    kPublishShards,
+    kPublishShardsResumed,
     kPublishSigma,
     kPublishStream,
     kSessionBudgetRefusals,

@@ -19,6 +19,9 @@
 // The standard points threaded through the library:
 //   io.read           graph/io.cpp read paths, core/serialization.cpp load
 //   io.write          graph/io.cpp write paths, core/serialization.cpp save
+//   io.shard.read     graph/shard_loader.cpp streaming shard passes
+//   io.shard.write    core/sharded_publish.cpp shard payload append
+//   io.shard.checkpoint  core/sharded_publish.cpp checkpoint record append
 //   ledger.append     core/ledger.cpp durable append
 //   solver.iteration  linalg/lanczos.cpp and linalg/power_iteration.cpp loops
 //   alloc             core/projection.cpp projection-matrix allocation

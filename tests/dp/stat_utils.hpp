@@ -1,0 +1,81 @@
+// Shared statistics helpers for the DP noise test layer: goodness-of-fit
+// machinery (Kolmogorov–Smirnov, chi-square against equiprobable bins) and
+// empirical moments. Header-only and deterministic — the tests feed them
+// fixed-seed samples, so every statistic is a constant of the build and the
+// fixed critical values below cannot flake. A real RNG-stream regression
+// (wrong stream id, wrong counter layout, wrong Box–Muller pairing) moves
+// these statistics by orders of magnitude, not fractions of a sigma.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sgp::test_stats {
+
+/// Φ(x), the standard normal CDF.
+inline double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+/// Kolmogorov–Smirnov statistic D_n = sup |F_emp − Φ| of `samples` against
+/// the standard normal. Sorts a copy; O(n log n).
+inline double ks_statistic_normal(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = normal_cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, cdf - lo, hi - cdf});
+  }
+  return d;
+}
+
+/// Chi-square statistic of `samples` against N(0, 1) using `bins`
+/// equiprobable cells (probability integral transform: Φ(x) uniform on
+/// [0, 1] under H0). Degrees of freedom = bins − 1.
+inline double chi_square_normal(const std::vector<double>& samples,
+                                std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  for (const double x : samples) {
+    const double u = normal_cdf(x);
+    auto bin = static_cast<std::size_t>(u * static_cast<double>(bins));
+    counts[std::min(bin, bins - 1)]++;
+  }
+  const double expected =
+      static_cast<double>(samples.size()) / static_cast<double>(bins);
+  double stat = 0.0;
+  for (const std::size_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance (divide by n)
+  double kurtosis = 0.0;  ///< standardized fourth moment (3 for a Gaussian)
+};
+
+inline Moments moments(const std::vector<double>& samples) {
+  Moments m;
+  const double n = static_cast<double>(samples.size());
+  for (const double x : samples) m.mean += x;
+  m.mean /= n;
+  double m4 = 0.0;
+  for (const double x : samples) {
+    const double d = x - m.mean;
+    m.variance += d * d;
+    m4 += d * d * d * d;
+  }
+  m.variance /= n;
+  m4 /= n;
+  m.kurtosis = m.variance > 0.0 ? m4 / (m.variance * m.variance) : 0.0;
+  return m;
+}
+
+}  // namespace sgp::test_stats

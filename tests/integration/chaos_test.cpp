@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <new>
 #include <sstream>
 #include <string>
@@ -22,8 +23,10 @@
 #include "core/ledger.hpp"
 #include "core/serialization.hpp"
 #include "core/session.hpp"
+#include "core/sharded_publish.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/shard_loader.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
 
@@ -283,6 +286,56 @@ TEST_F(ChaosTest, SeededFaultSequencesReplayExactly) {
   EXPECT_EQ(first, second);
   EXPECT_NE(first.find('P'), std::string::npos);
   EXPECT_NE(first.find('F'), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// The out-of-core path under the same crash discipline: a ledger-charged
+// sharded release killed mid-shard (spec-driven, like SGP_FAULT_SPEC in the
+// CLI) is finished after recovery via release_options() — resuming from the
+// shard checkpoint, charging no second release, and producing a file
+// byte-identical to an uninterrupted run of the same charged release.
+TEST_F(ChaosTest, ShardedReleaseCrashResumesFromLedgerWithoutSecondCharge) {
+  const auto g = test_graph(9);
+  const std::string edges = testing::TempDir() + "/sgp_chaos_shard.edges";
+  const std::string out = testing::TempDir() + "/sgp_chaos_shard.bin";
+  graph::write_edge_list_file(g, edges);
+  graph::EdgeListShardReader reader(edges, graph::IdPolicy::kPreserve);
+
+  // Charge release 1 into the ledger, then die on the 3rd shard write.
+  {
+    core::PublishingSession session(session_options(), ledger_path_);
+    core::ShardedPublishOptions sopt;
+    sopt.publish = session.begin_release();
+    sopt.shard_rows = 10;
+    util::arm_faults_from_spec("io.shard.write:after=2:count=1");
+    EXPECT_THROW((void)core::publish_sharded(reader, sopt, out),
+                 util::IoError);
+    util::disarm_all_faults();
+  }
+
+  // Simulated restart: the ledger says release 1 is spent; finish it with
+  // its recorded per-release options instead of charging release 2.
+  core::PublishingSession recovered(session_options(), ledger_path_);
+  ASSERT_EQ(recovered.num_releases(), 1u);
+  core::ShardedPublishOptions sopt;
+  sopt.publish = recovered.release_options(recovered.num_releases());
+  sopt.shard_rows = 10;
+  const auto result = core::publish_sharded(reader, sopt, out);
+  EXPECT_GT(result.shards_resumed, 0u) << "checkpoint should have been used";
+  EXPECT_EQ(recovered.num_releases(), 1u) << "finishing must not re-charge";
+  EXPECT_EQ(core::BudgetLedger(ledger_path_).size(), 1u);
+
+  // Byte-identical to an uninterrupted run of the same charged release.
+  std::ostringstream reference(std::ios::binary);
+  core::publish_to_stream(g, sopt.publish, reference);
+  std::ifstream in(out, std::ios::binary);
+  std::ostringstream produced;
+  produced << in.rdbuf();
+  EXPECT_EQ(produced.str(), reference.str());
+
+  std::remove(edges.c_str());
+  std::remove(out.c_str());
+  std::remove((out + ".ckpt").c_str());
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+// Shard-plan invariants, swept over (num_rows, shard_rows) grids: the plan
+// must tile [0, num_rows) exactly once with in-order, non-empty, half-open
+// ranges, and the memory-derived shard height must honor its documented
+// budget split for every (budget, m) pair.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sharded_publish.hpp"
+
+namespace sgp::core {
+namespace {
+
+class ShardPlanProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ShardPlanProperty, CoversRowRangeExactlyOnce) {
+  const auto [num_rows, shard_rows] = GetParam();
+  const ShardPlan plan = plan_shards(num_rows, shard_rows);
+
+  std::size_t expected_begin = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    const auto [begin, end] = plan.shard_range(s);
+    EXPECT_EQ(begin, expected_begin) << "gap or overlap before shard " << s;
+    EXPECT_LT(begin, end) << "empty shard " << s;
+    EXPECT_LE(end, num_rows);
+    if (s + 1 < plan.num_shards()) {
+      EXPECT_EQ(end - begin, plan.shard_rows) << "short interior shard " << s;
+    }
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, num_rows) << "rows left uncovered";
+}
+
+TEST_P(ShardPlanProperty, ShardCountMatchesCeilDivision) {
+  const auto [num_rows, shard_rows] = GetParam();
+  const ShardPlan plan = plan_shards(num_rows, shard_rows);
+  if (num_rows == 0) {
+    EXPECT_EQ(plan.num_shards(), 0u);
+  } else {
+    EXPECT_EQ(plan.num_shards(),
+              (num_rows + plan.shard_rows - 1) / plan.shard_rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardPlanProperty,
+    testing::Combine(
+        // num_rows: degenerate 0/1, around shard boundaries, and bigger.
+        testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{7}, std::size_t{8}, std::size_t{9},
+                        std::size_t{64}, std::size_t{1000},
+                        std::size_t{65537}),
+        // shard_rows: 0 = single shard, 1 = row-per-shard, plus odd sizes
+        // and shard_rows > num_rows.
+        testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{7}, std::size_t{64},
+                        std::size_t{100000})));
+
+class ShardMemoryProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ShardMemoryProperty, TileStaysWithinHalfTheBudget) {
+  const auto [max_memory_mb, m] = GetParam();
+  const std::size_t shard_rows = shard_rows_for_memory(max_memory_mb, m);
+  ASSERT_GE(shard_rows, 1u);  // progress is guaranteed even on tiny budgets
+  // The documented split (docs/scaling.md): the output tile takes at most
+  // half the budget — unless the budget is too small for even one row, in
+  // which case the single-row minimum wins.
+  const std::size_t tile_bytes = shard_rows * m * sizeof(double);
+  const std::size_t half_budget = max_memory_mb * (1ULL << 20) / 2;
+  if (shard_rows > 1) {
+    EXPECT_LE(tile_bytes, half_budget);
+    // Maximal under the cap: one more row would overflow it.
+    EXPECT_GT(tile_bytes + m * sizeof(double), half_budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardMemoryProperty,
+    testing::Combine(testing::Values(std::size_t{0}, std::size_t{1},
+                                     std::size_t{16}, std::size_t{256},
+                                     std::size_t{4096}),
+                     testing::Values(std::size_t{1}, std::size_t{50},
+                                     std::size_t{100}, std::size_t{1000})));
+
+}  // namespace
+}  // namespace sgp::core

@@ -9,6 +9,9 @@
 #   4. ASan + UBSan    full ctest suite under address+undefined sanitizers
 #                      (suppressions in tools/suppressions/)
 #   5. TSan            thread-labeled suites via tools/run_tsan.sh
+#   6. slow suites     `ctest -C slow -L slow`: the full shard×thread
+#                      differential matrix and deep statistical tests
+#                      (docs/scaling.md) that the default ctest run skips
 #
 #   tools/run_static_analysis.sh [--fast]
 #
@@ -88,6 +91,16 @@ if tools/run_tsan.sh; then
   echo "tsan: clean"
 else
   echo "tsan: FAILED"
+  fail=1
+fi
+
+# --- 6. slow suites ---------------------------------------------------------
+note "slow suites (ctest -C slow -L slow)"
+cmake --build build -j >/dev/null
+if ctest --test-dir build -C slow -L slow --output-on-failure -j "$(nproc)"; then
+  echo "slow suites: clean"
+else
+  echo "slow suites: FAILED"
   fail=1
 fi
 

@@ -42,6 +42,34 @@ void check_e7_meta(const std::string& path, const sgp::util::JsonValue& doc) {
   }
 }
 
+// BENCH_E13 records the out-of-core configuration: the shard height the
+// memory claim is made for, the observed peak RSS, and the widest thread
+// count the byte-identity sweep covered. CI fails on any drift so the
+// scaling docs always have trustworthy numbers to cite.
+void check_e13_meta(const std::string& path, const sgp::util::JsonValue& doc) {
+  const sgp::util::JsonValue* meta = doc.find("meta");
+  for (const char* key :
+       {"nodes", "m", "shard_rows", "peak_rss_mb", "threads"}) {
+    if (meta->find(key) == nullptr) {
+      throw sgp::util::ParseError(path + ": E13 meta missing '" +
+                                  std::string(key) + "'");
+    }
+  }
+  const sgp::util::JsonValue* shard_rows = meta->find("shard_rows");
+  if (!shard_rows->is_number() || shard_rows->as_number() < 1.0) {
+    throw sgp::util::ParseError(path + ": E13 meta.shard_rows must be >= 1");
+  }
+  const sgp::util::JsonValue* rss = meta->find("peak_rss_mb");
+  if (!rss->is_number() || rss->as_number() < 0.0) {
+    throw sgp::util::ParseError(path + ": E13 meta.peak_rss_mb must be a "
+                                       "non-negative number");
+  }
+  const sgp::util::JsonValue* threads = meta->find("threads");
+  if (!threads->is_number() || threads->as_number() < 1.0) {
+    throw sgp::util::ParseError(path + ": E13 meta.threads must be >= 1");
+  }
+}
+
 void check_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
@@ -56,6 +84,9 @@ void check_file(const std::string& path) {
   // validate_report_json guarantees a string "id" and object "meta".
   if (doc.find("id")->as_string() == "E7") {
     check_e7_meta(path, doc);
+  }
+  if (doc.find("id")->as_string() == "E13") {
+    check_e13_meta(path, doc);
   }
 }
 

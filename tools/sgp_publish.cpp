@@ -3,6 +3,8 @@
 //   sgp_publish --edges graph.txt --out release.bin
 //               [--epsilon 1.0] [--delta 1e-6] [--dim 100]
 //               [--projection gaussian|achlioptas] [--seed 7] [--streaming]
+//               [--shard-rows R | --max-memory-mb MB] [--threads T]
+//               [--no-resume]
 //               [--ledger budget.ledger --budget-epsilon 10 --budget-delta 1e-5]
 //               [--metrics-out metrics.json [--metrics-format prometheus]]
 //               [--trace]
@@ -10,18 +12,30 @@
 // With --streaming the release is computed row by row (≈half the peak
 // memory); output bytes are identical either way.
 //
+// With --shard-rows (or --max-memory-mb, which derives a shard height from
+// a memory budget — docs/scaling.md) the release is produced out of core:
+// the graph is never materialized, row shards stream from the edge list and
+// append to the release file one by one, still byte-identical to the other
+// paths. A crash mid-shard leaves a `<out>.ckpt` checkpoint; rerunning the
+// same command resumes at the last complete shard (--no-resume starts
+// over). Combined with --ledger, a resumed run finishes the already-charged
+// release instead of charging a new one.
+//
 // With --ledger the release is charged against a crash-safe budget ledger:
 // repeated invocations against the same ledger accumulate spent (ε, δ), and
 // once the total cap (--budget-epsilon/--budget-delta) would be exceeded the
 // tool refuses with exit code 4 and publishes nothing. See
 // docs/robustness.md for the ledger format and recovery semantics.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "core/serialization.hpp"
 #include "core/session.hpp"
+#include "core/sharded_publish.hpp"
 #include "graph/io.hpp"
+#include "graph/shard_loader.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
 #include "tool_common.hpp"
@@ -37,7 +51,8 @@ int main(int argc, char** argv) {
                  "usage: %s --edges graph.txt --out release.bin "
                  "[--epsilon E] [--delta D] [--dim M] "
                  "[--projection gaussian|achlioptas] [--seed S] "
-                 "[--streaming] [--ledger budget.ledger "
+                 "[--streaming] [--shard-rows R | --max-memory-mb MB] "
+                 "[--threads T] [--no-resume] [--ledger budget.ledger "
                  "--budget-epsilon E --budget-delta D] "
                  "[--metrics-out metrics.json] [--trace]\n",
                  args.program().c_str());
@@ -46,13 +61,9 @@ int main(int argc, char** argv) {
   const sgp::tools::ObsScope obs_scope(args, "sgp_publish");
 
   return sgp::tools::run_tool([&]() -> int {
-    sgp::obs::ScopedTimer load_timer(sgp::obs::names::kToolLoadGraph);
     const auto policy = args.get_bool("preserve-ids", false)
                             ? sgp::graph::IdPolicy::kPreserve
                             : sgp::graph::IdPolicy::kCompact;
-    const auto graph = sgp::graph::read_edge_list_file(edges_path, policy);
-    std::fprintf(stderr, "loaded %zu nodes / %zu edges in %.2fs\n",
-                 graph.num_nodes(), graph.num_edges(), load_timer.stop());
 
     sgp::core::RandomProjectionPublisher::Options opt;
     opt.projection_dim = static_cast<std::size_t>(args.get_int("dim", 100));
@@ -62,15 +73,81 @@ int main(int argc, char** argv) {
     if (args.get_string("projection", "gaussian") == "achlioptas") {
       opt.projection = sgp::core::ProjectionKind::kAchlioptas;
     }
+    const std::string ledger_path = args.get_string("ledger", "");
+    // The cap is the point of the ledger — refuse to default it silently.
+    if (!ledger_path.empty() &&
+        args.get_string("budget-epsilon", "").empty()) {
+      throw sgp::util::PreconditionError("--ledger requires --budget-epsilon");
+    }
+
+    const auto shard_rows_flag =
+        static_cast<std::size_t>(args.get_int("shard-rows", 0));
+    const auto max_memory_mb =
+        static_cast<std::size_t>(args.get_int("max-memory-mb", 0));
+    if (shard_rows_flag > 0 || max_memory_mb > 0) {
+      // Out-of-core path: the graph is never materialized — the reader
+      // scans the file once for shape, then streams one row shard at a
+      // time through publish_sharded.
+      sgp::obs::ScopedTimer scan_timer(sgp::obs::names::kToolLoadGraph);
+      sgp::graph::EdgeListShardReader reader(edges_path, policy);
+      std::fprintf(stderr, "scanned %zu nodes / %zu edge records in %.2fs\n",
+                   reader.num_nodes(), reader.edge_records(),
+                   scan_timer.stop());
+
+      sgp::obs::ScopedTimer publish_timer(sgp::obs::names::kToolPublish);
+      sgp::core::ShardedPublishOptions shard_opt;
+      shard_opt.publish = opt;
+      shard_opt.shard_rows =
+          shard_rows_flag > 0 ? shard_rows_flag
+                              : sgp::core::shard_rows_for_memory(
+                                    max_memory_mb, opt.projection_dim);
+      shard_opt.threads =
+          static_cast<std::size_t>(args.get_int("threads", 0));
+      shard_opt.resume = !args.get_bool("no-resume", false);
+
+      if (!ledger_path.empty()) {
+        sgp::core::PublishingSession::Options sopt;
+        sopt.publisher = opt;
+        sopt.total_budget = {args.get_double("budget-epsilon", 10.0),
+                             args.get_double("budget-delta", 1e-5)};
+        sgp::core::PublishingSession session(sopt, ledger_path);
+        // A leftover checkpoint means the last charged release never
+        // finished: finish it under its original (already-paid) options
+        // instead of charging the budget a second time.
+        const bool finish_last =
+            shard_opt.resume && session.num_releases() > 0 &&
+            std::filesystem::exists(out_path + ".ckpt");
+        shard_opt.publish =
+            finish_last ? session.release_options(session.num_releases())
+                        : session.begin_release();
+        const auto result =
+            sgp::core::publish_sharded(reader, shard_opt, out_path);
+        std::fprintf(stderr,
+                     "published %s: %zu shards (%zu resumed); session now at "
+                     "%s (%.3f epsilon left)\n",
+                     out_path.c_str(), result.shards_total,
+                     result.shards_resumed, session.spent().to_string().c_str(),
+                     session.remaining_epsilon());
+        return sgp::tools::kExitOk;
+      }
+      const auto result =
+          sgp::core::publish_sharded(reader, shard_opt, out_path);
+      std::fprintf(stderr,
+                   "published %s: %zu shards of %zu rows (%zu resumed) under "
+                   "%s in %.2fs\n",
+                   out_path.c_str(), result.shards_total, shard_opt.shard_rows,
+                   result.shards_resumed, opt.params.to_string().c_str(),
+                   publish_timer.stop());
+      return sgp::tools::kExitOk;
+    }
+
+    sgp::obs::ScopedTimer load_timer(sgp::obs::names::kToolLoadGraph);
+    const auto graph = sgp::graph::read_edge_list_file(edges_path, policy);
+    std::fprintf(stderr, "loaded %zu nodes / %zu edges in %.2fs\n",
+                 graph.num_nodes(), graph.num_edges(), load_timer.stop());
 
     sgp::obs::ScopedTimer publish_timer(sgp::obs::names::kToolPublish);
-    const std::string ledger_path = args.get_string("ledger", "");
     if (!ledger_path.empty()) {
-      // The cap is the point of the ledger — refuse to default it silently.
-      if (args.get_string("budget-epsilon", "").empty()) {
-        throw sgp::util::PreconditionError(
-            "--ledger requires --budget-epsilon");
-      }
       sgp::core::PublishingSession::Options sopt;
       sopt.publisher = opt;
       sopt.total_budget = {args.get_double("budget-epsilon", 10.0),

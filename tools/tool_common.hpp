@@ -69,6 +69,7 @@ class ObsScope {
       // rejects strings that are not in it.
       for (std::string_view name :
            {obs::names::kPublishReleases, obs::names::kPublishEmbeds,
+            obs::names::kPublishShards, obs::names::kPublishShardsResumed,
             obs::names::kLedgerAppends, obs::names::kLedgerAppendAttempts,
             obs::names::kLedgerRecoveries, obs::names::kLedgerCrcFailures,
             obs::names::kFaultTrips}) {
