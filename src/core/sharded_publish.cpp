@@ -17,8 +17,10 @@
 #include "random/counter_rng.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
+#include "util/durable.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/retry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sgp::core {
@@ -30,24 +32,6 @@ std::string with_crc(const std::string& body) {
   char crc_hex[16];
   std::snprintf(crc_hex, sizeof(crc_hex), "%08x", util::crc32(body));
   return body + " crc " + crc_hex;
-}
-
-/// The config record ties a checkpoint to one exact publication: any knob
-/// that changes the output bytes or the shard boundaries is included, so a
-/// stale checkpoint from a different run can never be resumed into.
-std::string config_line(const ShardedPublishOptions& options, std::size_t n,
-                        std::size_t m, const NoiseCalibration& calibration,
-                        const ShardPlan& plan) {
-  std::ostringstream out;
-  out.precision(17);
-  out << "config nodes " << n << " dim " << m << " shard_rows "
-      << plan.shard_rows << " seed " << options.publish.seed << " epsilon "
-      << options.publish.params.epsilon << " delta "
-      << options.publish.params.delta << " sigma " << calibration.sigma
-      << " sensitivity " << calibration.sensitivity << " projection "
-      << to_string(options.publish.projection) << " rng "
-      << to_string(ProjectionRngKind::kCounterV1);
-  return with_crc(out.str());
 }
 
 std::string shard_line(std::size_t shard, std::size_t row_begin,
@@ -84,6 +68,58 @@ std::size_t completed_shards_in(const std::string& ckpt_path,
 }
 
 }  // namespace
+
+std::string shard_config_line(const ShardedPublishOptions& options,
+                              std::size_t num_nodes,
+                              std::size_t projection_dim,
+                              const NoiseCalibration& calibration,
+                              const ShardPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "config nodes " << num_nodes << " dim " << projection_dim
+      << " shard_rows " << plan.shard_rows << " seed "
+      << options.publish.seed << " epsilon "
+      << options.publish.params.epsilon << " delta "
+      << options.publish.params.delta << " sigma " << calibration.sigma
+      << " sensitivity " << calibration.sensitivity << " projection "
+      << to_string(options.publish.projection) << " rng "
+      << to_string(ProjectionRngKind::kCounterV1);
+  return with_crc(out.str());
+}
+
+void compute_shard_tile(const graph::ShardRows& shard, std::size_t row_begin,
+                        std::size_t row_end,
+                        const RandomProjectionPublisher::Options& publish,
+                        const NoiseCalibration& calibration,
+                        util::ThreadPool& pool, std::vector<double>& tile) {
+  const std::size_t m = publish.projection_dim;
+  const random::CounterRng p_rng = projection_counter_rng(publish.seed);
+  const random::CounterRng noise = noise_counter_rng(publish.seed);
+  tile.assign((row_end - row_begin) * m, 0.0);
+
+  // Row i of the release, computed exactly as publish_to_stream computes
+  // it: neighbors ascending, then σ-scaled counter noise — both pure
+  // functions of (seed, counter), so threads and shard boundaries cannot
+  // change a single bit.
+  util::parallel_for(
+      pool, row_begin, row_end,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> prow(m);
+        for (std::size_t i = lo; i < hi; ++i) {
+          double* row = tile.data() + (i - row_begin) * m;
+          for (std::uint32_t j : shard.neighbors(i)) {
+            fill_projection_tile(p_rng, m, publish.projection, j, j + 1, 0, m,
+                                 prow.data());
+            for (std::size_t c = 0; c < m; ++c) row[c] += prow[c];
+          }
+          const std::uint64_t base = static_cast<std::uint64_t>(i) * m;
+          for (std::size_t c = 0; c < m; ++c) {
+            row[c] += calibration.sigma * noise.normal(base + c);
+          }
+        }
+      },
+      /*grain=*/16);
+}
 
 ShardPlan plan_shards(std::size_t num_rows, std::size_t shard_rows) {
   ShardPlan plan;
@@ -133,7 +169,7 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
 
   const std::string ckpt_path = out_path + ".ckpt";
   const std::string config =
-      config_line(options, n, m, calibration, plan);
+      shard_config_line(options, n, m, calibration, plan);
 
   std::size_t completed = 0;
   if (options.resume) {
@@ -178,25 +214,26 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
   }
 
   // The checkpoint log is rewritten up to the resume point (dropping any
-  // torn tail), then appended to shard by shard. Records are flushed only
-  // after the shard's payload bytes are down, so the log never vouches for
-  // bytes that were not written.
-  std::ofstream ckpt(ckpt_path, std::ios::binary | std::ios::trunc);
-  if (!ckpt.good()) {
-    throw util::IoError("publish_sharded: cannot open checkpoint " +
-                        ckpt_path);
-  }
-  ckpt << kCheckpointMagic << '\n' << config << '\n';
-  for (std::size_t s = 0; s < completed; ++s) {
-    const auto [r0, r1] = plan.shard_range(s);
-    const std::uint64_t bytes =
-        header_bytes.size() + static_cast<std::uint64_t>(r1) * m * sizeof(double);
-    ckpt << shard_line(s, r0, r1, bytes) << '\n';
-  }
-  ckpt.flush();
-  if (!ckpt.good()) {
+  // torn tail), then appended to shard by shard. Records are appended only
+  // after the shard's payload bytes are down, and each append fsyncs
+  // (util::DurableAppender) — a machine crash can therefore never leave a
+  // record the resume path trusts while the payload bytes it vouches for
+  // were still in the page cache.
+  util::DurableAppender ckpt;
+  try {
+    ckpt.open(ckpt_path, /*truncate=*/true);
+    std::string prefix = std::string(kCheckpointMagic) + '\n' + config + '\n';
+    for (std::size_t s = 0; s < completed; ++s) {
+      const auto [r0, r1] = plan.shard_range(s);
+      const std::uint64_t bytes =
+          header_bytes.size() +
+          static_cast<std::uint64_t>(r1) * m * sizeof(double);
+      prefix += shard_line(s, r0, r1, bytes) + '\n';
+    }
+    ckpt.append(prefix);
+  } catch (const util::IoError& e) {
     throw util::IoError("publish_sharded: checkpoint write failed: " +
-                        ckpt_path);
+                        std::string(e.what()));
   }
 
   std::optional<util::ThreadPool> local_pool;
@@ -204,8 +241,6 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
   util::ThreadPool& pool =
       local_pool ? *local_pool : util::global_pool();
 
-  const random::CounterRng p_rng = projection_counter_rng(options.publish.seed);
-  const random::CounterRng noise = noise_counter_rng(options.publish.seed);
   static obs::Counter& shards_done = obs::counter(obs::names::kPublishShards);
 
   std::vector<double> tile;
@@ -214,31 +249,14 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
     obs::ScopedTimer shard_timer(obs::names::kPublishShard);
     shard_timer.attr("shard", s).attr("rows", r1 - r0);
 
-    const graph::ShardRows shard = reader.load_shard(r0, r1);
-    tile.assign((r1 - r0) * m, 0.0);
-
-    // Row i of the release, computed exactly as publish_to_stream computes
-    // it: neighbors ascending, then σ-scaled counter noise — both pure
-    // functions of (seed, counter), so threads and shard boundaries cannot
-    // change a single bit.
-    util::parallel_for(
-        pool, r0, r1,
-        [&](std::size_t lo, std::size_t hi) {
-          std::vector<double> prow(m);
-          for (std::size_t i = lo; i < hi; ++i) {
-            double* row = tile.data() + (i - r0) * m;
-            for (std::uint32_t j : shard.neighbors(i)) {
-              fill_projection_tile(p_rng, m, options.publish.projection, j,
-                                   j + 1, 0, m, prow.data());
-              for (std::size_t c = 0; c < m; ++c) row[c] += prow[c];
-            }
-            const std::uint64_t base = static_cast<std::uint64_t>(i) * m;
-            for (std::size_t c = 0; c < m; ++c) {
-              row[c] += calibration.sigma * noise.normal(base + c);
-            }
-          }
-        },
-        /*grain=*/16);
+    // Loading a shard is idempotent (a fresh pass over the edge list), so
+    // a transient read failure — the io.shard.read fault point — is safely
+    // retried under the configured policy.
+    const graph::ShardRows shard = util::retry_with_backoff(
+        options.io_retry, "shard load",
+        [&] { return reader.load_shard(r0, r1); });
+    compute_shard_tile(shard, r0, r1, options.publish, calibration, pool,
+                       tile);
 
     util::fault_point("io.shard.write");
     write_published_doubles(out, tile);
@@ -251,12 +269,7 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
     util::fault_point("io.shard.checkpoint");
     const std::uint64_t bytes =
         header_bytes.size() + static_cast<std::uint64_t>(r1) * m * sizeof(double);
-    ckpt << shard_line(s, r0, r1, bytes) << '\n';
-    ckpt.flush();
-    if (!ckpt.good()) {
-      throw util::IoError("publish_sharded: checkpoint write failed: " +
-                          ckpt_path);
-    }
+    ckpt.append_line(shard_line(s, r0, r1, bytes));
     shards_done.add();
   }
 

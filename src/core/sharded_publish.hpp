@@ -23,9 +23,13 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/publisher.hpp"
 #include "graph/shard_loader.hpp"
+#include "util/check.hpp"
+#include "util/retry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgp::core {
 
@@ -36,14 +40,22 @@ struct ShardPlan {
   std::size_t shard_rows = 1;
 
   [[nodiscard]] std::size_t num_shards() const {
-    return num_rows == 0 ? 0 : (num_rows + shard_rows - 1) / shard_rows;
+    // 1 + (num_rows-1)/shard_rows is the overflow-free form of the ceil
+    // division: the naive (num_rows + shard_rows - 1) wraps for
+    // adversarially large shard_rows (e.g. the shard_rows == num_rows
+    // single-shard plan when num_rows > SIZE_MAX/2).
+    SGP_REQUIRE(shard_rows >= 1, "ShardPlan: shard_rows must be >= 1");
+    return num_rows == 0 ? 0 : 1 + (num_rows - 1) / shard_rows;
   }
 
-  /// Row range [begin, end) of shard `s` (s < num_shards()).
+  /// Row range [begin, end) of shard `s`. Requires s < num_shards() —
+  /// which also makes the s·shard_rows product overflow-free, since the
+  /// begin of any valid shard is at most num_rows − 1.
   [[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(
       std::size_t s) const {
+    SGP_REQUIRE(s < num_shards(), "ShardPlan: shard index out of range");
     const std::size_t begin = s * shard_rows;
-    return {begin, std::min(num_rows, begin + shard_rows)};
+    return {begin, begin + std::min(num_rows - begin, shard_rows)};
   }
 };
 
@@ -70,6 +82,11 @@ struct ShardedPublishOptions {
   /// Consult `<out>.ckpt` and resume at the last complete shard when the
   /// checkpoint matches these options. Off = always start fresh.
   bool resume = true;
+  /// Retry policy for the transiently-failing IO steps (shard loads — the
+  /// `io.shard.read` fault point; re-loading is idempotent). The default
+  /// max_attempts == 1 preserves fail-fast semantics; the distributed
+  /// coordinator/worker mode raises it.
+  util::RetryPolicy io_retry{.max_attempts = 1};
 };
 
 struct ShardedPublishResult {
@@ -88,5 +105,26 @@ struct ShardedPublishResult {
 ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
                                      const ShardedPublishOptions& options,
                                      const std::string& out_path);
+
+/// Computes the published tile for rows [row_begin, row_end) — exactly the
+/// bytes publish_to_stream would emit for those rows: neighbors ascending,
+/// then σ-scaled counter noise, both pure functions of (seed, counter), so
+/// the caller's process/shard/thread topology cannot change a bit. `tile`
+/// is resized to (row_end − row_begin)·m. Shared by the single-process
+/// shard loop and the distributed workers (core/distributed_publish.hpp).
+void compute_shard_tile(const graph::ShardRows& shard, std::size_t row_begin,
+                        std::size_t row_end,
+                        const RandomProjectionPublisher::Options& publish,
+                        const NoiseCalibration& calibration,
+                        util::ThreadPool& pool, std::vector<double>& tile);
+
+/// The CRC-guarded config record that ties a checkpoint — or a distributed
+/// lease file — to one exact publication: every knob that changes output
+/// bytes or shard boundaries is included, so stale state from a different
+/// run can never be resumed into.
+[[nodiscard]] std::string shard_config_line(
+    const ShardedPublishOptions& options, std::size_t num_nodes,
+    std::size_t projection_dim, const NoiseCalibration& calibration,
+    const ShardPlan& plan);
 
 }  // namespace sgp::core

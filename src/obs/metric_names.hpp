@@ -44,10 +44,13 @@ inline constexpr std::string_view kLedgerRecoveries = "ledger.recoveries";
 inline constexpr std::string_view kLinalgFusedTiles = "linalg.fused_tiles";
 inline constexpr std::string_view kPublishCells = "publish.cells";
 inline constexpr std::string_view kPublishEmbeds = "publish.embeds";
+inline constexpr std::string_view kPublishLeasesReclaimed =
+    "publish.leases_reclaimed";
 inline constexpr std::string_view kPublishReleases = "publish.releases";
 inline constexpr std::string_view kPublishShards = "publish.shards";
 inline constexpr std::string_view kPublishShardsResumed =
     "publish.shards_resumed";
+inline constexpr std::string_view kRetryAttempts = "retry.attempts";
 inline constexpr std::string_view kSessionBudgetRefusals =
     "session.budget_refusals";
 inline constexpr std::string_view kSessionPublishes = "session.publishes";
@@ -61,6 +64,7 @@ inline constexpr std::string_view kThreadpoolTasks = "threadpool.tasks";
 inline constexpr std::string_view kGraphNodes = "graph.nodes";
 inline constexpr std::string_view kPublishShardRows = "publish.shard_rows";
 inline constexpr std::string_view kPublishSigma = "publish.sigma";
+inline constexpr std::string_view kPublishWorkers = "publish.workers";
 inline constexpr std::string_view kThreadpoolThreads = "threadpool.threads";
 
 // --- histograms recorded directly (not via ScopedTimer) ------------------
@@ -79,6 +83,7 @@ inline constexpr std::string_view kIoWriteEdges = "io.write_edges";
 inline constexpr std::string_view kKmeans = "kmeans";
 inline constexpr std::string_view kLanczos = "lanczos";
 inline constexpr std::string_view kPublish = "publish";
+inline constexpr std::string_view kPublishDistributed = "publish.distributed";
 inline constexpr std::string_view kPublishEmbed = "publish.embed";
 inline constexpr std::string_view kPublishPerturb = "publish.perturb";
 inline constexpr std::string_view kPublishProject = "publish.project";
@@ -129,8 +134,10 @@ inline constexpr std::string_view kAllNames[] = {
     kLinalgFusedTiles,
     kPublish,
     kPublishCells,
+    kPublishDistributed,
     kPublishEmbed,
     kPublishEmbeds,
+    kPublishLeasesReclaimed,
     kPublishPerturb,
     kPublishProject,
     kPublishReleases,
@@ -141,6 +148,8 @@ inline constexpr std::string_view kAllNames[] = {
     kPublishShardsResumed,
     kPublishSigma,
     kPublishStream,
+    kPublishWorkers,
+    kRetryAttempts,
     kSessionBudgetRefusals,
     kSessionPublish,
     kSessionPublishes,

@@ -1,0 +1,119 @@
+#include "util/durable.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/errors.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define SGP_DURABLE_POSIX 1
+#else
+#include <cstdio>
+#endif
+
+namespace sgp::util {
+
+#ifdef SGP_DURABLE_POSIX
+
+DurableAppender::~DurableAppender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void DurableAppender::open(const std::string& path, bool truncate) {
+  close();
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    throw IoError("durable append: cannot open " + path + ": " +
+                  std::strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+}
+
+void DurableAppender::append(std::string_view data) {
+  if (fd_ < 0) throw IoError("durable append: file not open");
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("durable append: write to " + path_ + " failed: " +
+                    std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw IoError("durable append: fsync of " + path_ + " failed: " +
+                  std::strerror(errno));
+  }
+}
+
+void DurableAppender::close() {
+  if (fd_ < 0) return;
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    throw IoError("durable append: close of " + path_ + " failed: " +
+                  std::strerror(errno));
+  }
+}
+
+#else  // !SGP_DURABLE_POSIX — buffered fallback, flush but no fsync.
+
+DurableAppender::~DurableAppender() {
+  if (stream_ != nullptr) std::fclose(static_cast<std::FILE*>(stream_));
+}
+
+void DurableAppender::open(const std::string& path, bool truncate) {
+  close();
+  stream_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (stream_ == nullptr) {
+    throw IoError("durable append: cannot open " + path);
+  }
+  fd_ = 0;
+  path_ = path;
+}
+
+void DurableAppender::append(std::string_view data) {
+  if (stream_ == nullptr) throw IoError("durable append: file not open");
+  std::FILE* f = static_cast<std::FILE*>(stream_);
+  const bool ok =
+      std::fwrite(data.data(), 1, data.size(), f) == data.size() &&
+      std::fflush(f) == 0;
+  if (!ok) throw IoError("durable append: write to " + path_ + " failed");
+}
+
+void DurableAppender::close() {
+  if (stream_ == nullptr) return;
+  std::FILE* f = static_cast<std::FILE*>(stream_);
+  stream_ = nullptr;
+  fd_ = -1;
+  if (std::fclose(f) != 0) {
+    throw IoError("durable append: close of " + path_ + " failed");
+  }
+}
+
+#endif  // SGP_DURABLE_POSIX
+
+void DurableAppender::append_line(std::string_view line) {
+  std::string with_newline;
+  with_newline.reserve(line.size() + 1);
+  with_newline.assign(line);
+  with_newline.push_back('\n');
+  append(with_newline);
+}
+
+void durable_append(const std::string& path, std::string_view data) {
+  DurableAppender appender;
+  appender.open(path, /*truncate=*/false);
+  appender.append(data);
+  appender.close();
+}
+
+}  // namespace sgp::util

@@ -1,0 +1,186 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define SGP_SUBPROCESS_POSIX 1
+
+extern char** environ;
+#endif
+
+namespace sgp::util {
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), status_(other.status_) {
+  other.pid_ = -1;
+  other.status_.reset();
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    reap_on_teardown();
+    pid_ = other.pid_;
+    status_ = other.status_;
+    other.pid_ = -1;
+    other.status_.reset();
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { reap_on_teardown(); }
+
+void Subprocess::reap_on_teardown() noexcept {
+  if (pid_ < 0 || status_.has_value()) return;
+  kill_hard();
+  try {
+    wait();
+  } catch (const IoError&) {
+    // Teardown must not throw; the child is already signaled.
+  }
+}
+
+#ifdef SGP_SUBPROCESS_POSIX
+
+namespace {
+
+Subprocess::ExitStatus decode_status(int raw) {
+  Subprocess::ExitStatus status;
+  if (WIFSIGNALED(raw)) {
+    status.signaled = true;
+    status.code = WTERMSIG(raw);
+  } else {
+    status.signaled = false;
+    status.code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  }
+  return status;
+}
+
+}  // namespace
+
+Subprocess Subprocess::spawn(const Options& options) {
+  require(!options.argv.empty() && !options.argv[0].empty(),
+          "subprocess: argv[0] (program path) required");
+  fault_point("proc.spawn");
+
+  // Build argv / envp before forking — allocation in the child between
+  // fork and exec is what we are avoiding.
+  std::vector<char*> argv;
+  argv.reserve(options.argv.size() + 1);
+  for (const std::string& a : options.argv) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env_storage;
+  std::vector<char*> envp;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const char* eq = std::strchr(*e, '=');
+    const std::size_t name_len =
+        eq != nullptr ? static_cast<std::size_t>(eq - *e) : std::strlen(*e);
+    const bool overridden = [&] {
+      for (const auto& [name, value] : options.env) {
+        if (name.size() == name_len &&
+            std::memcmp(name.data(), *e, name_len) == 0) {
+          return true;
+        }
+      }
+      return false;
+    }();
+    if (!overridden) envp.push_back(*e);
+  }
+  for (const auto& [name, value] : options.env) {
+    env_storage.push_back(name + "=" + value);
+  }
+  for (std::string& entry : env_storage) {
+    envp.push_back(entry.data());
+  }
+  envp.push_back(nullptr);
+
+  const ::pid_t child = ::fork();
+  if (child < 0) {
+    throw IoError("subprocess: fork failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  if (child == 0) {
+    ::execve(options.argv[0].c_str(), argv.data(), envp.data());
+    // Exec failed; 127 is the shell convention for "command not found /
+    // not executable", which try_wait surfaces to the coordinator.
+    ::_exit(127);
+  }
+
+  Subprocess proc;
+  proc.pid_ = child;
+  return proc;
+}
+
+std::optional<Subprocess::ExitStatus> Subprocess::try_wait() {
+  if (status_.has_value()) return status_;
+  if (pid_ < 0) return std::nullopt;
+  int raw = 0;
+  const ::pid_t r = ::waitpid(static_cast<::pid_t>(pid_), &raw, WNOHANG);
+  if (r == 0) return std::nullopt;
+  if (r < 0) {
+    throw IoError("subprocess: waitpid failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  status_ = decode_status(raw);
+  return status_;
+}
+
+Subprocess::ExitStatus Subprocess::wait() {
+  if (status_.has_value()) return *status_;
+  if (pid_ < 0) throw IoError("subprocess: no child attached");
+  int raw = 0;
+  ::pid_t r;
+  do {
+    r = ::waitpid(static_cast<::pid_t>(pid_), &raw, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    throw IoError("subprocess: waitpid failed: " +
+                  std::string(std::strerror(errno)));
+  }
+  status_ = decode_status(raw);
+  return *status_;
+}
+
+void Subprocess::kill_hard() {
+  if (pid_ < 0 || status_.has_value()) return;
+  ::kill(static_cast<::pid_t>(pid_), SIGKILL);
+}
+
+#else  // !SGP_SUBPROCESS_POSIX
+
+Subprocess Subprocess::spawn(const Options& options) {
+  require(!options.argv.empty() && !options.argv[0].empty(),
+          "subprocess: argv[0] (program path) required");
+  fault_point("proc.spawn");
+  throw IoError("subprocess: not supported on this platform");
+}
+
+std::optional<Subprocess::ExitStatus> Subprocess::try_wait() {
+  return std::nullopt;
+}
+
+Subprocess::ExitStatus Subprocess::wait() {
+  throw IoError("subprocess: not supported on this platform");
+}
+
+void Subprocess::kill_hard() {}
+
+#endif  // SGP_SUBPROCESS_POSIX
+
+bool Subprocess::running() {
+  if (pid_ < 0 || status_.has_value()) return false;
+  return !try_wait().has_value();
+}
+
+}  // namespace sgp::util

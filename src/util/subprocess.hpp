@@ -1,0 +1,84 @@
+// Minimal POSIX subprocess handle for the coordinator/worker publish mode
+// (core/distributed_publish.hpp).
+//
+// Spawns a child via fork+execve with an optionally amended environment,
+// then supports exactly the lifecycle a lease coordinator needs: poll for
+// exit without blocking, wait, and SIGKILL a worker whose lease expired.
+// Nothing else — no pipes, no ptys; workers communicate through files,
+// which keeps the coordinator loop free of pipe-buffer deadlocks.
+//
+// Spawning declares the `proc.spawn` fault point, so chaos tests can make
+// process creation fail deterministically (it surfaces as util::IoError,
+// the same error a real fork/exec failure produces).
+//
+// On non-POSIX platforms every operation throws util::IoError — the
+// distributed mode degrades to in-process execution there (the coordinator
+// treats an unspawnable worker as a permanently lost one).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sgp::util {
+
+class Subprocess {
+ public:
+  struct Options {
+    /// argv[0] is the program path (also what is executed — no PATH
+    /// search). Must be non-empty.
+    std::vector<std::string> argv;
+    /// Environment variables set (or overridden) in the child on top of
+    /// the parent environment. A variable set to "" is still set — an
+    /// empty SGP_FAULT_SPEC, for example, disarms an inherited spec.
+    std::vector<std::pair<std::string, std::string>> env;
+  };
+
+  /// How a finished child ended. When `signaled`, `code` is the signal
+  /// number (e.g. 9 for SIGKILL); otherwise the exit code.
+  struct ExitStatus {
+    bool signaled = false;
+    int code = 0;
+    [[nodiscard]] bool clean() const { return !signaled && code == 0; }
+  };
+
+  Subprocess() = default;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  /// A still-running child is SIGKILLed and reaped: a dropped handle must
+  /// never leak an orphan worker holding a lease.
+  ~Subprocess();
+
+  /// Forks and execs. Throws util::IoError if the fork fails (or the
+  /// `proc.spawn` fault point fires). An exec failure inside the child
+  /// surfaces as exit code 127 through try_wait()/wait().
+  static Subprocess spawn(const Options& options);
+
+  /// True while a child is attached and not yet reaped.
+  [[nodiscard]] bool running();
+
+  [[nodiscard]] std::int64_t pid() const { return pid_; }
+
+  /// Non-blocking reap: the exit status if the child has finished (cached
+  /// thereafter), std::nullopt while it is still running.
+  std::optional<ExitStatus> try_wait();
+
+  /// Blocking reap. Throws util::IoError if no child is attached.
+  ExitStatus wait();
+
+  /// SIGKILL — the "machine crashed under the worker" primitive. No-op
+  /// once the child is reaped. The caller still try_wait()s/wait()s.
+  void kill_hard();
+
+ private:
+  void reap_on_teardown() noexcept;
+
+  std::int64_t pid_ = -1;
+  std::optional<ExitStatus> status_;
+};
+
+}  // namespace sgp::util

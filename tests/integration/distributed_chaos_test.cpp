@@ -1,0 +1,305 @@
+// Process-level chaos suite for the distributed coordinator/worker publish
+// (core/distributed_publish.hpp). Real worker processes are spawned from
+// the sgp_publish binary (SGP_PUBLISH_BIN) and killed mid-shard via the
+// proc.worker.exit fault point; the invariants under test:
+//   1. Byte-identity is failure-proof: whatever workers die, the assembled
+//      release equals the pinned golden file (and thus every other path).
+//   2. Every lost lease is reclaimed — observable in the result counters
+//      and the publish.leases_reclaimed metric — and the work is salvaged,
+//      reassigned, or computed in-process; the run always completes.
+//   3. The privacy ledger is charged exactly once per release no matter
+//      how many workers died while producing it.
+//   4. Degradation is total: unspawnable or always-dying workers reduce to
+//      a correct single-process publish.
+// The suite runs in the default ctest pass and under `ctest -L chaos`.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/distributed_publish.hpp"
+#include "core/serialization.hpp"
+#include "core/session.hpp"
+#include "core/sharded_publish.hpp"
+#include "graph/io.hpp"
+#include "graph/shard_loader.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+#include "util/json.hpp"
+
+namespace sgp::core {
+namespace {
+
+const std::string kEdgesPath =
+    std::string(SGP_GOLDEN_DIR) + "/graph_n24.edges";
+const std::string kReleasePath =
+    std::string(SGP_GOLDEN_DIR) + "/release_n24_m8.bin";
+const std::string kPublishBin = SGP_PUBLISH_BIN;
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class DistributedChaosTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    util::disarm_all_faults();
+    const std::string name =
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    // TempDir() may or may not end in a separator; go through
+    // std::filesystem::path so the built paths compare equal to what
+    // directory_iterator yields (a double slash would defeat cleanup and
+    // leak lease/ledger files into the next run).
+    const std::filesystem::path tmp(testing::TempDir());
+    stem_ = "sgp_dist_" + name;
+    out_path_ = (tmp / (stem_ + ".bin")).string();
+    ledger_path_ = (tmp / (stem_ + ".ledger")).string();
+    cleanup();
+  }
+  void TearDown() override {
+    util::disarm_all_faults();
+    cleanup();
+  }
+  void cleanup() {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(
+             testing::TempDir(), ec)) {
+      if (entry.path().filename().string().rfind(stem_, 0) == 0) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  /// The golden run's options (tests/integration/golden_release_test.cpp):
+  /// 24 nodes, m=8, seed 4321 — sliced into 6 shards of 4 rows.
+  static DistributedPublishOptions options(std::size_t workers) {
+    DistributedPublishOptions opt;
+    opt.sharded.publish.projection_dim = 8;
+    opt.sharded.publish.seed = 4321;
+    opt.sharded.shard_rows = 4;
+    opt.sharded.threads = 2;
+    opt.workers = workers;
+    opt.worker_program = kPublishBin;
+    opt.edges_path = kEdgesPath;
+    opt.id_policy = graph::IdPolicy::kPreserve;
+    opt.lease_timeout_seconds = 60.0;  // never trips in these tests
+    opt.poll_interval_seconds = 0.005;
+    return opt;
+  }
+
+  /// No stray protocol files may outlive a successful publish.
+  void expect_no_side_files() const {
+    EXPECT_FALSE(std::filesystem::exists(out_path_ + ".lease"));
+    for (std::size_t s = 0; s < 8; ++s) {
+      EXPECT_FALSE(std::filesystem::exists(out_path_ + ".shard." +
+                                           std::to_string(s)));
+    }
+  }
+
+  std::string stem_;
+  std::string out_path_;
+  std::string ledger_path_;
+};
+
+TEST_F(DistributedChaosTest, CleanRunIsByteIdenticalToGolden) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  const auto result =
+      publish_distributed(reader, options(/*workers=*/2), out_path_);
+  EXPECT_EQ(result.shards_total, 6u);
+  EXPECT_EQ(result.workers_lost, 0u);
+  EXPECT_EQ(result.leases_reclaimed, 0u);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath));
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, WorkerKilledAtShardBoundaryIsReclaimed) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/2);
+  // Two proc.worker.exit hits per shard (loop top, post-payload): after=2
+  // kills worker 0 at the top of its second shard — one shard delivered,
+  // the rest of its lease reclaimed and reassigned to generation 1.
+  opt.worker_env[0] = {{"SGP_FAULT_SPEC", "proc.worker.exit:after=2:count=1"}};
+  const auto result = publish_distributed(reader, opt, out_path_);
+  EXPECT_GE(result.workers_lost, 1u);
+  EXPECT_GE(result.leases_reclaimed, 1u);
+  EXPECT_GE(result.workers_spawned, 3u);  // 2 initial + >=1 replacement
+  EXPECT_EQ(result.shards_inprocess, 0u);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath))
+      << "byte drift after mid-shard worker kill";
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, PayloadCommittedBeforeDeathIsSalvaged) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/2);
+  // after=1 fires between the payload rename and the done note: the shard's
+  // bytes are already committed, so the coordinator must verify and salvage
+  // them rather than recompute.
+  opt.worker_env[0] = {{"SGP_FAULT_SPEC", "proc.worker.exit:after=1:count=1"}};
+  const auto result = publish_distributed(reader, opt, out_path_);
+  EXPECT_GE(result.workers_lost, 1u);
+  EXPECT_GE(result.leases_reclaimed, 1u);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath));
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, EveryWorkerKilledStillCompletes) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/3);
+  for (std::size_t w = 0; w < 3; ++w) {
+    opt.worker_env[w] = {{"SGP_FAULT_SPEC", "proc.worker.exit"}};
+  }
+  const auto result = publish_distributed(reader, opt, out_path_);
+  EXPECT_GE(result.workers_lost, 3u);
+  EXPECT_GE(result.leases_reclaimed, 6u);  // every shard lost at least once
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath));
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, UnspawnableWorkersDegradeToInProcess) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/2);
+  opt.worker_program = "/no/such/binary/sgp_publish";
+  opt.retry.max_attempts = 2;  // keep the 127-exit churn short
+  opt.retry.initial_backoff_seconds = 0.001;
+  const auto result = publish_distributed(reader, opt, out_path_);
+  EXPECT_EQ(result.shards_inprocess, result.shards_total);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath))
+      << "in-process fallback must still produce the exact release";
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, EmptyWorkerProgramRunsFullyInProcess) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/4);
+  opt.worker_program.clear();
+  const auto result = publish_distributed(reader, opt, out_path_);
+  EXPECT_EQ(result.workers_spawned, 0u);
+  EXPECT_EQ(result.shards_inprocess, result.shards_total);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath));
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, InterruptedAssemblyResumesFromLease) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/1);
+  opt.worker_program.clear();  // deterministic: all shards in-process
+
+  // Crash the coordinator during final assembly: every shard is computed
+  // and lease-logged complete, then the first concatenation write dies.
+  util::FaultConfig cfg;
+  cfg.max_fires = 1;
+  util::arm_fault("io.shard.write", cfg);
+  EXPECT_THROW(publish_distributed(reader, opt, out_path_), util::IoError);
+  util::disarm_all_faults();
+  EXPECT_TRUE(std::filesystem::exists(out_path_ + ".lease"));
+
+  // The rerun must trust the verified lease records: no recompute, no
+  // worker spawns — just reassembly of the already-committed payloads.
+  const auto result = publish_distributed(reader, opt, out_path_);
+  EXPECT_EQ(result.shards_resumed, result.shards_total);
+  EXPECT_EQ(result.shards_inprocess, 0u);
+  EXPECT_EQ(result.workers_spawned, 0u);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath));
+  expect_no_side_files();
+}
+
+TEST_F(DistributedChaosTest, LedgerChargedExactlyOnceDespiteWorkerDeath) {
+  graph::EdgeListShardReader reader(kEdgesPath, graph::IdPolicy::kPreserve);
+  auto opt = options(/*workers=*/2);
+  opt.worker_env[0] = {{"SGP_FAULT_SPEC", "proc.worker.exit:after=2:count=1"}};
+
+  PublishingSession::Options sopt;
+  sopt.publisher = opt.sharded.publish;
+  sopt.total_budget = {10.0, 1e-5};
+  {
+    PublishingSession session(sopt, ledger_path_);
+    opt.sharded.publish = session.begin_release();
+    const auto result = publish_distributed(reader, opt, out_path_);
+    EXPECT_GE(result.leases_reclaimed, 1u);
+  }
+  // Reload the ledger cold: exactly one charged release, regardless of how
+  // many worker processes died while producing it.
+  PublishingSession reloaded(sopt, ledger_path_);
+  ASSERT_EQ(reloaded.num_releases(), 1u);
+
+  // A session release mixes the release index into the seed, so the bytes
+  // differ from the session-less golden by design; the invariant is that
+  // the chaotic distributed run equals the deterministic in-memory release
+  // for the SAME charged index.
+  const graph::Graph g =
+      graph::read_edge_list_file(kEdgesPath, graph::IdPolicy::kPreserve);
+  std::ostringstream ref(std::ios::binary);
+  publish_to_stream(g, reloaded.release_options(1), ref);
+  EXPECT_EQ(file_bytes(out_path_), ref.str())
+      << "distributed release drifted from the in-memory session release";
+}
+
+// The acceptance scenario end to end through the CLI: `--workers 4` with a
+// fault spec that kills a worker mid-shard must exit 0, write the exact
+// golden bytes, and report publish.leases_reclaimed >= 1 in --metrics-out.
+TEST_F(DistributedChaosTest, CliWorkersSurviveChaosEndToEnd) {
+  const std::string metrics_path = out_path_ + ".metrics.json";
+  std::ostringstream cmd;
+  cmd << kPublishBin << " --edges " << kEdgesPath << " --out " << out_path_
+      << " --dim 8 --seed 4321 --preserve-ids --shard-rows 4"
+      << " --workers 4 --worker-fault-spec proc.worker.exit:after=2:count=1"
+      << " --metrics-out " << metrics_path << " 2>/dev/null";
+  const int rc = std::system(cmd.str().c_str());
+  ASSERT_EQ(rc, 0) << "sgp_publish --workers failed";
+
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath))
+      << "CLI distributed release drifted from the golden bytes";
+
+  const util::JsonValue report = util::parse_json(file_bytes(metrics_path));
+  const util::JsonValue* counters = report.find("metrics");
+  ASSERT_NE(counters, nullptr);
+  counters = counters->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const util::JsonValue* reclaimed = counters->find("publish.leases_reclaimed");
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_GE(reclaimed->as_number(), 1.0);
+  const util::JsonValue* shards = counters->find("publish.shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->as_number(), 6.0);
+}
+
+// Same CLI scenario with a budget ledger attached: the release must be
+// charged exactly once no matter how many workers died, and the bytes must
+// equal the in-memory release for that charged index (a ledger-backed run
+// mixes the release index into the seed, so the session-less golden does
+// not apply).
+TEST_F(DistributedChaosTest, CliLedgerChargedExactlyOnceUnderChaos) {
+  std::ostringstream cmd;
+  cmd << kPublishBin << " --edges " << kEdgesPath << " --out " << out_path_
+      << " --dim 8 --seed 4321 --preserve-ids --shard-rows 4"
+      << " --workers 4 --worker-fault-spec proc.worker.exit:after=2:count=1"
+      << " --ledger " << ledger_path_ << " --budget-epsilon 10"
+      << " 2>/dev/null";
+  const int rc = std::system(cmd.str().c_str());
+  ASSERT_EQ(rc, 0) << "sgp_publish --workers --ledger failed";
+
+  PublishingSession::Options sopt;
+  sopt.publisher.projection_dim = 8;
+  sopt.publisher.seed = 4321;
+  sopt.total_budget = {10.0, 1e-5};
+  PublishingSession session(sopt, ledger_path_);
+  ASSERT_EQ(session.num_releases(), 1u) << "budget charged more than once";
+
+  const graph::Graph g =
+      graph::read_edge_list_file(kEdgesPath, graph::IdPolicy::kPreserve);
+  std::ostringstream ref(std::ios::binary);
+  publish_to_stream(g, session.release_options(1), ref);
+  EXPECT_EQ(file_bytes(out_path_), ref.str());
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -4,12 +4,17 @@
 // budget split for every (budget, m) pair.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <tuple>
 
 #include "core/sharded_publish.hpp"
+#include "util/errors.hpp"
 
 namespace sgp::core {
 namespace {
+
+constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
 
 class ShardPlanProperty
     : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
@@ -56,6 +61,65 @@ INSTANTIATE_TEST_SUITE_P(
         testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
                         std::size_t{7}, std::size_t{64},
                         std::size_t{100000})));
+
+// Adversarial pins at the top of the size_t range: the naive forms —
+// (num_rows + shard_rows − 1) / shard_rows and begin + shard_rows — both
+// wrap for these inputs and would silently corrupt the plan; the
+// overflow-free forms must keep tiling exactly.
+TEST(ShardPlanOverflow, SingleHugeShardDoesNotWrapCeilDivision) {
+  // num_rows == shard_rows == SIZE_MAX: the naive ceil numerator is
+  // 2·SIZE_MAX − 1 (wraps to SIZE_MAX − 2), which would yield 0 shards.
+  const ShardPlan plan = plan_shards(kMax, kMax);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  const auto [begin, end] = plan.shard_range(0);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, kMax);
+}
+
+TEST(ShardPlanOverflow, ZeroShardRowsMeansOneHugeShard) {
+  const ShardPlan plan = plan_shards(kMax, 0);
+  EXPECT_EQ(plan.shard_rows, kMax);
+  EXPECT_EQ(plan.num_shards(), 1u);
+}
+
+TEST(ShardPlanOverflow, LastShardEndDoesNotWrapPastNumRows) {
+  // begin(2) = 2·(SIZE_MAX/2) = SIZE_MAX − 1; the naive begin + shard_rows
+  // wraps to SIZE_MAX/2 − 2. The clamped form ends exactly at num_rows.
+  const ShardPlan plan = plan_shards(kMax, kMax / 2);
+  ASSERT_EQ(plan.num_shards(), 3u);
+  std::size_t expected_begin = 0;
+  for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+    const auto [begin, end] = plan.shard_range(s);
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    EXPECT_LE(end, kMax);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, kMax);
+  EXPECT_EQ(plan.shard_range(2).second - plan.shard_range(2).first, 1u);
+}
+
+TEST(ShardPlanOverflow, HugeShardRowsOnSmallPlanClampsToNumRows) {
+  const ShardPlan plan = plan_shards(10, kMax);
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.shard_range(0).second, 10u);
+}
+
+TEST(ShardPlanOverflow, OutOfRangeShardIndexIsRejected) {
+  const ShardPlan plan = plan_shards(100, 10);
+  EXPECT_THROW(plan.shard_range(plan.num_shards()), util::PreconditionError);
+  EXPECT_THROW(plan.shard_range(kMax), util::PreconditionError);
+}
+
+TEST(ShardPlanOverflow, ZeroShardRowsFieldIsRejected) {
+  // A hand-built plan (bypassing plan_shards) with shard_rows == 0 would
+  // divide by zero; the guard must refuse it on every accessor.
+  ShardPlan plan;
+  plan.num_rows = 5;
+  plan.shard_rows = 0;
+  EXPECT_THROW(plan.num_shards(), util::PreconditionError);
+  EXPECT_THROW(plan.shard_range(0), util::PreconditionError);
+}
 
 class ShardMemoryProperty
     : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};

@@ -13,6 +13,7 @@
 #include <string>
 #include <tuple>
 
+#include "core/distributed_publish.hpp"
 #include "core/serialization.hpp"
 #include "core/sharded_publish.hpp"
 #include "graph/generators.hpp"
@@ -99,6 +100,60 @@ INSTANTIATE_TEST_SUITE_P(
       return "shard" + std::to_string(std::get<0>(info.param)) + "_threads" +
              std::to_string(std::get<1>(info.param));
     });
+
+// Process axis of the matrix: the distributed coordinator/worker path over
+// {1, 2, 4} worker processes must stay byte-identical to the in-memory
+// reference on the same graph. Worker processes are real sgp_publish
+// children (SGP_PUBLISH_BIN), so this also exercises the lease protocol at
+// a size where every worker owns many shards.
+class DistributedMatrixTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(DistributedMatrixTest, DistributedBytesEqualInMemoryReference) {
+  const std::size_t workers = GetParam();
+  const std::string edges_path =
+      testing::TempDir() + "/sgp_diff_dist.edges";
+  random::Rng rng(53);
+  const graph::Graph g = graph::barabasi_albert(kNodes, 6, rng);
+  graph::write_edge_list_file(g, edges_path);
+  std::ostringstream ref(std::ios::binary);
+  {
+    RandomProjectionPublisher::Options opt;
+    opt.projection_dim = kDim;
+    opt.seed = 20260807;
+    publish_to_stream(g, opt, ref);
+  }
+
+  const std::string out_path = testing::TempDir() + "/sgp_diff_dist_p" +
+                               std::to_string(workers) + ".bin";
+  graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
+  DistributedPublishOptions opt;
+  opt.sharded.publish.projection_dim = kDim;
+  opt.sharded.publish.seed = 20260807;
+  opt.sharded.shard_rows = 64;
+  opt.sharded.threads = 2;
+  opt.workers = workers;
+  opt.worker_program = SGP_PUBLISH_BIN;
+  opt.edges_path = edges_path;
+  opt.id_policy = graph::IdPolicy::kPreserve;
+  const DistributedPublishResult result =
+      publish_distributed(reader, opt, out_path);
+  EXPECT_EQ(result.num_nodes, kNodes);
+  EXPECT_EQ(result.workers_lost, 0u);
+
+  std::ifstream in(out_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), ref.str()) << "byte drift at workers=" << workers;
+  std::remove(out_path.c_str());
+  std::remove(edges_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessAxis, DistributedMatrixTest,
+                         testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}),
+                         [](const auto& info) {
+                           return "workers" + std::to_string(info.param);
+                         });
 
 // The compact-id remap must survive the matrix too: shard loading under
 // kCompact re-resolves ids through the persistent remap, so a sparse messy

@@ -1,0 +1,160 @@
+// util/retry.hpp: deterministic backoff schedule, IoError-only retry
+// semantics, sleeper injection, and the retry.attempts counter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+#include "util/retry.hpp"
+
+namespace sgp::util {
+namespace {
+
+RetrySleeper recorder(std::vector<double>& sleeps) {
+  return [&sleeps](double s) { sleeps.push_back(s); };
+}
+
+TEST(RetryBackoff, IsDeterministicAndCappedExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.05;
+  for (std::size_t attempt = 1; attempt <= 8; ++attempt) {
+    const double a = retry_backoff_seconds(policy, attempt);
+    const double b = retry_backoff_seconds(policy, attempt);
+    EXPECT_EQ(a, b) << "schedule must replay exactly, attempt " << attempt;
+    // Jittered downward only: backoff · (1 − jitter·u) stays within
+    // (base·(1−jitter), base].
+    double base = policy.initial_backoff_seconds;
+    for (std::size_t i = 1; i < attempt; ++i) base *= 2.0;
+    base = std::min(base, policy.max_backoff_seconds);
+    EXPECT_LE(a, base);
+    EXPECT_GT(a, base * (1.0 - policy.jitter) - 1e-12);
+  }
+}
+
+TEST(RetryBackoff, SeedChangesJitterOnly) {
+  RetryPolicy a, b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(retry_backoff_seconds(a, 1), retry_backoff_seconds(b, 1));
+}
+
+TEST(RetryWithBackoff, ReturnsFirstSuccess) {
+  std::vector<double> sleeps;
+  int calls = 0;
+  const int result = retry_with_backoff(
+      RetryPolicy{}, "test op",
+      [&] {
+        ++calls;
+        if (calls < 3) throw IoError("transient");
+        return 42;
+      },
+      recorder(sleeps));
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+}
+
+TEST(RetryWithBackoff, RethrowsAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  std::vector<double> sleeps;
+  int calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   policy, "test op",
+                   [&]() -> int {
+                     ++calls;
+                     throw IoError("persistent");
+                   },
+                   recorder(sleeps)),
+               IoError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);  // no sleep after the final failure
+}
+
+TEST(RetryWithBackoff, SingleAttemptPolicyIsFailFast) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  std::vector<double> sleeps;
+  int calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   policy, "test op",
+                   [&]() -> int {
+                     ++calls;
+                     throw IoError("boom");
+                   },
+                   recorder(sleeps)),
+               IoError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryWithBackoff, OnlyIoErrorIsRetried) {
+  // Deterministic failures (precondition, parse, internal) must surface
+  // immediately — retrying them would just repeat the failure.
+  std::vector<double> sleeps;
+  int calls = 0;
+  EXPECT_THROW(retry_with_backoff(
+                   RetryPolicy{}, "test op",
+                   [&]() -> int {
+                     ++calls;
+                     throw PreconditionError("bad input");
+                   },
+                   recorder(sleeps)),
+               PreconditionError);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryWithBackoff, CountsRetriesInCanonicalCounter) {
+  // Metrics are process-globally gated; the registry is off by default in
+  // test binaries.
+  obs::set_metrics_enabled(true);
+  const auto before = obs::counter(obs::names::kRetryAttempts).value();
+  std::vector<double> sleeps;
+  int calls = 0;
+  retry_with_backoff(
+      RetryPolicy{}, "test op",
+      [&] {
+        ++calls;
+        if (calls < 2) throw IoError("transient");
+        return 0;
+      },
+      recorder(sleeps));
+  EXPECT_EQ(obs::counter(obs::names::kRetryAttempts).value(), before + 1);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(RetryWithBackoff, RidesOutSingleFireInjectedFault) {
+  // The integration the shard loop relies on: a count=1 armed fault is
+  // absorbed by a retrying policy and the operation still succeeds.
+  disarm_all_faults();
+  FaultConfig cfg;
+  cfg.max_fires = 1;
+  arm_fault("io.read", cfg);
+  std::vector<double> sleeps;
+  const int result = retry_with_backoff(
+      RetryPolicy{}, "faulty read",
+      [&] {
+        fault_point("io.read");
+        return 7;
+      },
+      recorder(sleeps));
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(sleeps.size(), 1u);
+  disarm_all_faults();
+}
+
+TEST(RetryWithBackoff, RejectsZeroAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_THROW(
+      retry_with_backoff(policy, "test op", [] { return 0; }),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace sgp::util

@@ -1,0 +1,107 @@
+// util/subprocess.hpp: the fork/exec/reap lifecycle the lease coordinator
+// depends on — clean and unclean exits decode correctly, environment
+// overrides reach the child, kill_hard registers as a signal, and the
+// proc.spawn fault point makes process creation fail deterministically.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+#include "util/subprocess.hpp"
+
+namespace sgp::util {
+namespace {
+
+class SubprocessTest : public testing::Test {
+ protected:
+  void SetUp() override { disarm_all_faults(); }
+  void TearDown() override { disarm_all_faults(); }
+
+  static Subprocess::Options shell(const std::string& script) {
+    Subprocess::Options opt;
+    opt.argv = {"/bin/sh", "-c", script};
+    return opt;
+  }
+};
+
+TEST_F(SubprocessTest, CleanExitDecodes) {
+  Subprocess child = Subprocess::spawn(shell("exit 0"));
+  const auto status = child.wait();
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 0);
+  EXPECT_TRUE(status.clean());
+  EXPECT_FALSE(child.running());
+}
+
+TEST_F(SubprocessTest, NonZeroExitCodeDecodes) {
+  Subprocess child = Subprocess::spawn(shell("exit 7"));
+  const auto status = child.wait();
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 7);
+  EXPECT_FALSE(status.clean());
+}
+
+TEST_F(SubprocessTest, EnvOverrideReachesChild) {
+  auto opt = shell("[ \"$SGP_TEST_VAR\" = hello ]");
+  opt.env = {{"SGP_TEST_VAR", "hello"}};
+  EXPECT_TRUE(Subprocess::spawn(opt).wait().clean());
+
+  // Without the override the variable is absent and the test fails.
+  EXPECT_FALSE(
+      Subprocess::spawn(shell("[ \"$SGP_TEST_VAR\" = hello ]")).wait().clean());
+}
+
+TEST_F(SubprocessTest, EmptyOverrideStillSetsTheVariable) {
+  // The disarm idiom: SGP_FAULT_SPEC="" must reach the child as set-but-
+  // empty, overriding anything inherited.
+  auto opt = shell("[ \"${SGP_TEST_VAR+set}\" = set ]");
+  opt.env = {{"SGP_TEST_VAR", ""}};
+  EXPECT_TRUE(Subprocess::spawn(opt).wait().clean());
+}
+
+TEST_F(SubprocessTest, TryWaitIsNonBlockingThenCaches) {
+  Subprocess child = Subprocess::spawn(shell("sleep 30"));
+  EXPECT_TRUE(child.running());
+  EXPECT_FALSE(child.try_wait().has_value());
+  child.kill_hard();
+  const auto status = child.wait();
+  EXPECT_TRUE(status.signaled);
+  EXPECT_EQ(status.code, 9);  // SIGKILL
+  // Status is cached; repeated polls agree.
+  const auto again = child.try_wait();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->signaled);
+  EXPECT_EQ(again->code, 9);
+}
+
+TEST_F(SubprocessTest, ExecFailureSurfacesAsExit127) {
+  Subprocess::Options opt;
+  opt.argv = {"/no/such/binary/sgp_worker"};
+  Subprocess child = Subprocess::spawn(opt);  // fork succeeds
+  const auto status = child.wait();
+  EXPECT_FALSE(status.signaled);
+  EXPECT_EQ(status.code, 127);
+}
+
+TEST_F(SubprocessTest, EmptyArgvIsRejected) {
+  EXPECT_THROW(Subprocess::spawn(Subprocess::Options{}), PreconditionError);
+}
+
+TEST_F(SubprocessTest, SpawnFaultPointFiresAsIoError) {
+  arm_fault("proc.spawn");
+  EXPECT_THROW(Subprocess::spawn(shell("exit 0")), IoError);
+  disarm_all_faults();
+  EXPECT_TRUE(Subprocess::spawn(shell("exit 0")).wait().clean());
+}
+
+TEST_F(SubprocessTest, MoveTransfersOwnership) {
+  Subprocess a = Subprocess::spawn(shell("exit 3"));
+  const std::int64_t pid = a.pid();
+  Subprocess b = std::move(a);
+  EXPECT_EQ(b.pid(), pid);
+  EXPECT_EQ(b.wait().code, 3);
+}
+
+}  // namespace
+}  // namespace sgp::util

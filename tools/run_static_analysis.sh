@@ -9,9 +9,14 @@
 #   4. ASan + UBSan    full ctest suite under address+undefined sanitizers
 #                      (suppressions in tools/suppressions/)
 #   5. TSan            thread-labeled suites via tools/run_tsan.sh
-#   6. slow suites     `ctest -C slow -L slow`: the full shard×thread
-#                      differential matrix and deep statistical tests
-#                      (docs/scaling.md) that the default ctest run skips
+#   6. chaos suites    `ctest -L chaos`: process-level fault injection —
+#                      worker kills, lease reclaim, ledger exactly-once
+#                      (docs/robustness.md); also part of the default run,
+#                      repeated here as its own gate
+#   7. slow suites     `ctest -C slow -L slow`: the full shard×thread×
+#                      process differential matrix and deep statistical
+#                      tests (docs/scaling.md) that the default ctest run
+#                      skips
 #
 #   tools/run_static_analysis.sh [--fast]
 #
@@ -94,9 +99,18 @@ else
   fail=1
 fi
 
-# --- 6. slow suites ---------------------------------------------------------
-note "slow suites (ctest -C slow -L slow)"
+# --- 6. chaos suites --------------------------------------------------------
+note "chaos suites (ctest -L chaos)"
 cmake --build build -j >/dev/null
+if ctest --test-dir build -L chaos --output-on-failure; then
+  echo "chaos suites: clean"
+else
+  echo "chaos suites: FAILED"
+  fail=1
+fi
+
+# --- 7. slow suites ---------------------------------------------------------
+note "slow suites (ctest -C slow -L slow)"
 if ctest --test-dir build -C slow -L slow --output-on-failure -j "$(nproc)"; then
   echo "slow suites: clean"
 else

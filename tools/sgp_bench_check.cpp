@@ -44,12 +44,12 @@ void check_e7_meta(const std::string& path, const sgp::util::JsonValue& doc) {
 
 // BENCH_E13 records the out-of-core configuration: the shard height the
 // memory claim is made for, the observed peak RSS, and the widest thread
-// count the byte-identity sweep covered. CI fails on any drift so the
-// scaling docs always have trustworthy numbers to cite.
+// and worker-process counts the byte-identity sweeps covered. CI fails on
+// any drift so the scaling docs always have trustworthy numbers to cite.
 void check_e13_meta(const std::string& path, const sgp::util::JsonValue& doc) {
   const sgp::util::JsonValue* meta = doc.find("meta");
   for (const char* key :
-       {"nodes", "m", "shard_rows", "peak_rss_mb", "threads"}) {
+       {"nodes", "m", "shard_rows", "peak_rss_mb", "threads", "processes"}) {
     if (meta->find(key) == nullptr) {
       throw sgp::util::ParseError(path + ": E13 meta missing '" +
                                   std::string(key) + "'");
@@ -67,6 +67,10 @@ void check_e13_meta(const std::string& path, const sgp::util::JsonValue& doc) {
   const sgp::util::JsonValue* threads = meta->find("threads");
   if (!threads->is_number() || threads->as_number() < 1.0) {
     throw sgp::util::ParseError(path + ": E13 meta.threads must be >= 1");
+  }
+  const sgp::util::JsonValue* processes = meta->find("processes");
+  if (!processes->is_number() || processes->as_number() < 1.0) {
+    throw sgp::util::ParseError(path + ": E13 meta.processes must be >= 1");
   }
 }
 

@@ -26,11 +26,23 @@
 // once the total cap (--budget-epsilon/--budget-delta) would be exceeded the
 // tool refuses with exit code 4 and publishes nothing. See
 // docs/robustness.md for the ledger format and recovery semantics.
+//
+// With --workers N the out-of-core publication is distributed over N worker
+// *processes* coordinated through a durable lease file — workers that
+// crash, are killed, or go silent are reclaimed and their shards reassigned
+// (or computed in-process as the last resort), and the release is still
+// byte-identical to every other path. --lease-timeout bounds how long a
+// silent worker is trusted; --worker-fault-spec arms an SGP_FAULT_SPEC in
+// worker slot 0 only (the chaos hook — docs/robustness.md). The hidden
+// --worker flag is the child-process entry point and not for interactive
+// use. Architecture and lease format: docs/scaling.md.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
+#include "core/distributed_publish.hpp"
 #include "core/serialization.hpp"
 #include "core/session.hpp"
 #include "core/sharded_publish.hpp"
@@ -42,6 +54,19 @@
 #include "util/cli.hpp"
 #include "util/errors.hpp"
 
+namespace {
+
+/// Path of the running binary, for re-invoking ourselves as workers.
+/// /proc/self/exe survives $PATH lookups and directory changes; argv[0] is
+/// the fallback where procfs is unavailable.
+std::string self_program(const sgp::util::CliArgs& args) {
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  return ec ? args.program() : exe.string();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const sgp::util::CliArgs args(argc, argv);
   const std::string edges_path = args.get_string("edges", "");
@@ -52,13 +77,22 @@ int main(int argc, char** argv) {
                  "[--epsilon E] [--delta D] [--dim M] "
                  "[--projection gaussian|achlioptas] [--seed S] "
                  "[--streaming] [--shard-rows R | --max-memory-mb MB] "
-                 "[--threads T] [--no-resume] [--ledger budget.ledger "
+                 "[--threads T] [--no-resume] "
+                 "[--workers N [--lease-timeout S] [--worker-fault-spec F]] "
+                 "[--io-attempts K] [--ledger budget.ledger "
                  "--budget-epsilon E --budget-delta D] "
                  "[--metrics-out metrics.json] [--trace]\n",
                  args.program().c_str());
     return sgp::tools::kExitUsage;
   }
   const sgp::tools::ObsScope obs_scope(args, "sgp_publish");
+
+  // Hidden child-process mode: the distributed coordinator re-invokes this
+  // binary with --worker plus its shard assignment (docs/scaling.md).
+  if (args.get_bool("worker", false)) {
+    return sgp::tools::run_tool(
+        [&]() -> int { return sgp::core::run_publish_worker(args); });
+  }
 
   return sgp::tools::run_tool([&]() -> int {
     const auto policy = args.get_bool("preserve-ids", false)
@@ -84,10 +118,13 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("shard-rows", 0));
     const auto max_memory_mb =
         static_cast<std::size_t>(args.get_int("max-memory-mb", 0));
-    if (shard_rows_flag > 0 || max_memory_mb > 0) {
+    const auto workers_flag =
+        static_cast<std::size_t>(args.get_int("workers", 0));
+    if (shard_rows_flag > 0 || max_memory_mb > 0 || workers_flag > 0) {
       // Out-of-core path: the graph is never materialized — the reader
       // scans the file once for shape, then streams one row shard at a
-      // time through publish_sharded.
+      // time through publish_sharded (or hands shards to worker processes
+      // under --workers).
       sgp::obs::ScopedTimer scan_timer(sgp::obs::names::kToolLoadGraph);
       sgp::graph::EdgeListShardReader reader(edges_path, policy);
       std::fprintf(stderr, "scanned %zu nodes / %zu edge records in %.2fs\n",
@@ -97,41 +134,89 @@ int main(int argc, char** argv) {
       sgp::obs::ScopedTimer publish_timer(sgp::obs::names::kToolPublish);
       sgp::core::ShardedPublishOptions shard_opt;
       shard_opt.publish = opt;
-      shard_opt.shard_rows =
-          shard_rows_flag > 0 ? shard_rows_flag
-                              : sgp::core::shard_rows_for_memory(
-                                    max_memory_mb, opt.projection_dim);
+      if (shard_rows_flag > 0) {
+        shard_opt.shard_rows = shard_rows_flag;
+      } else if (max_memory_mb > 0) {
+        shard_opt.shard_rows = sgp::core::shard_rows_for_memory(
+            max_memory_mb, opt.projection_dim);
+      } else {
+        // --workers alone: ~4 shards per worker keeps the reassignment
+        // granularity fine enough that losing a worker loses little work.
+        shard_opt.shard_rows = std::max<std::size_t>(
+            1, (reader.num_nodes() + 4 * workers_flag - 1) /
+                   (4 * workers_flag));
+      }
       shard_opt.threads =
           static_cast<std::size_t>(args.get_int("threads", 0));
       shard_opt.resume = !args.get_bool("no-resume", false);
+      // Distributed runs default to riding out transient shard-IO
+      // failures; the single-process path stays fail-fast unless asked.
+      shard_opt.io_retry.max_attempts = static_cast<std::size_t>(
+          args.get_int("io-attempts", workers_flag > 0 ? 3 : 1));
 
+      // A leftover checkpoint or lease file means the last charged release
+      // never finished: finish it under its original (already-paid)
+      // options instead of charging the budget a second time.
+      const bool unfinished =
+          std::filesystem::exists(out_path + ".ckpt") ||
+          std::filesystem::exists(out_path + ".lease");
+      std::optional<sgp::core::PublishingSession> session;
       if (!ledger_path.empty()) {
         sgp::core::PublishingSession::Options sopt;
         sopt.publisher = opt;
         sopt.total_budget = {args.get_double("budget-epsilon", 10.0),
                              args.get_double("budget-delta", 1e-5)};
-        sgp::core::PublishingSession session(sopt, ledger_path);
-        // A leftover checkpoint means the last charged release never
-        // finished: finish it under its original (already-paid) options
-        // instead of charging the budget a second time.
+        session.emplace(sopt, ledger_path);
         const bool finish_last =
-            shard_opt.resume && session.num_releases() > 0 &&
-            std::filesystem::exists(out_path + ".ckpt");
+            shard_opt.resume && session->num_releases() > 0 && unfinished;
         shard_opt.publish =
-            finish_last ? session.release_options(session.num_releases())
-                        : session.begin_release();
+            finish_last ? session->release_options(session->num_releases())
+                        : session->begin_release();
+      }
+
+      if (workers_flag > 0) {
+        sgp::core::DistributedPublishOptions dopt;
+        dopt.sharded = shard_opt;
+        dopt.workers = workers_flag;
+        dopt.worker_program = self_program(args);
+        dopt.edges_path = edges_path;
+        dopt.id_policy = policy;
+        dopt.lease_timeout_seconds = args.get_double("lease-timeout", 30.0);
+        const std::string worker_spec =
+            args.get_string("worker-fault-spec", "");
+        if (!worker_spec.empty()) {
+          dopt.worker_env[0] = {{"SGP_FAULT_SPEC", worker_spec}};
+        }
         const auto result =
-            sgp::core::publish_sharded(reader, shard_opt, out_path);
+            sgp::core::publish_distributed(reader, dopt, out_path);
+        std::fprintf(
+            stderr,
+            "published %s: %zu shards over %zu workers spawned (%zu lost, "
+            "%zu leases reclaimed, %zu in-process, %zu resumed) in %.2fs\n",
+            out_path.c_str(), result.shards_total, result.workers_spawned,
+            result.workers_lost, result.leases_reclaimed,
+            result.shards_inprocess, result.shards_resumed,
+            publish_timer.stop());
+        if (session) {
+          std::fprintf(stderr, "session now at %s (%.3f epsilon left)\n",
+                       session->spent().to_string().c_str(),
+                       session->remaining_epsilon());
+        }
+        return sgp::tools::kExitOk;
+      }
+
+      const auto result =
+          sgp::core::publish_sharded(reader, shard_opt, out_path);
+      if (session) {
         std::fprintf(stderr,
                      "published %s: %zu shards (%zu resumed); session now at "
                      "%s (%.3f epsilon left)\n",
                      out_path.c_str(), result.shards_total,
-                     result.shards_resumed, session.spent().to_string().c_str(),
-                     session.remaining_epsilon());
+                     result.shards_resumed,
+                     session->spent().to_string().c_str(),
+                     session->remaining_epsilon());
         return sgp::tools::kExitOk;
       }
-      const auto result =
-          sgp::core::publish_sharded(reader, shard_opt, out_path);
       std::fprintf(stderr,
                    "published %s: %zu shards of %zu rows (%zu resumed) under "
                    "%s in %.2fs\n",

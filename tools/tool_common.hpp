@@ -70,6 +70,7 @@ class ObsScope {
       for (std::string_view name :
            {obs::names::kPublishReleases, obs::names::kPublishEmbeds,
             obs::names::kPublishShards, obs::names::kPublishShardsResumed,
+            obs::names::kPublishLeasesReclaimed, obs::names::kRetryAttempts,
             obs::names::kLedgerAppends, obs::names::kLedgerAppendAttempts,
             obs::names::kLedgerRecoveries, obs::names::kLedgerCrcFailures,
             obs::names::kFaultTrips}) {
