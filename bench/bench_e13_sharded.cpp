@@ -181,7 +181,11 @@ int main(int argc, char** argv) {
       .meta("shard_rows", static_cast<std::uint64_t>(meta_shard_rows))
       .meta("peak_rss_mb", peak_rss_mb())
       .meta("threads", static_cast<std::uint64_t>(max_threads))
-      .meta("processes", static_cast<std::uint64_t>(max_processes));
+      .meta("processes", static_cast<std::uint64_t>(max_processes))
+      // This BENCH file itself is a v1 report; the flag records which
+      // observability schema distributed runs of this configuration merge
+      // into (sgp_bench_check enforces a known value).
+      .meta("obs_schema", "sgp-obs-report v2");
 
   std::error_code ec;
   std::filesystem::remove(edges_path, ec);

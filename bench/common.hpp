@@ -22,6 +22,7 @@
 #include "graph/datasets.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/resource_sampler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -44,6 +45,9 @@ class BenchReport {
   explicit BenchReport(std::string id) : id_(std::move(id)), report_(id_) {
     obs::set_metrics_enabled(true);
     obs::set_trace_enabled(true);
+    // Resource sampling (proc.* gauges) so every BENCH_*.json carries RSS
+    // and CPU readings alongside the phase timings.
+    sampler_.start();
   }
 
   BenchReport(const BenchReport&) = delete;
@@ -71,6 +75,7 @@ class BenchReport {
   void emit() {
     if (emitted_) return;
     emitted_ = true;
+    sampler_.stop();  // final proc.* reading before the snapshot is written
     const std::string out = path();
     try {
       report_.write_file(out);
@@ -84,6 +89,7 @@ class BenchReport {
   std::string id_;
   obs::Report report_;
   bool emitted_ = false;
+  obs::ResourceSampler sampler_;
 };
 
 /// Spectral clustering of the original (non-private) graph — the reference

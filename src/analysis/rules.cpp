@@ -175,7 +175,8 @@ void r3(const SourceFile& file, const std::vector<Token>& t,
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdentifier) continue;
     const std::string& name = t[i].text;
-    if (name == "counter" || name == "gauge" || name == "histogram") {
+    if (name == "counter" || name == "gauge" || name == "histogram" ||
+        name == "log_event") {
       if (punct(t, i + 1, "(") && i + 2 < t.size() &&
           t[i + 2].kind == TokKind::kString) {
         check(t[i], t[i + 2], i + 3 < t.size() ? &t[i + 3] : nullptr);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -17,9 +18,13 @@
 #include "core/serialization.hpp"
 #include "core/theory.hpp"
 #include "dp/defaults.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource_sampler.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/trace.hpp"
+#include "random/rng.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/durable.hpp"
@@ -36,6 +41,12 @@ constexpr char kLeaseMagic[] = "sgp-shard-lease v1";
 std::string crc_hex_of(std::string_view bytes) {
   char hex[16];
   std::snprintf(hex, sizeof(hex), "%08x", util::crc32(bytes));
+  return hex;
+}
+
+std::string crc_hex_of_u32(std::uint32_t crc) {
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", crc);
   return hex;
 }
 
@@ -180,6 +191,26 @@ std::string format_double(double v) {
   return out.str();
 }
 
+/// Release-level trace id: wall-clock nanos mixed with the pid through the
+/// splitmix64 finalizer. Uniqueness across concurrent coordinators is what
+/// matters; this is an identifier, not randomness for the mechanism.
+std::string mint_trace_id() {
+  const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  std::uint64_t state = static_cast<std::uint64_t>(nanos) ^
+                        (obs::sidecar_pid() << 32);
+  const std::uint64_t mixed = random::splitmix64(state);
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(mixed));
+  return hex;
+}
+
+std::string sidecar_path_for_pid(const std::string& prefix) {
+  return prefix + std::to_string(obs::sidecar_pid()) + ".jsonl";
+}
+
 }  // namespace
 
 DistributedPublishResult publish_distributed(
@@ -204,9 +235,27 @@ DistributedPublishResult publish_distributed(
       shard_config_line(options.sharded, n, m, calibration, plan);
   const std::string config_crc = crc_hex_of(config);
 
+  // The observability plane: mint the release trace id and open the
+  // coordinator's sidecar before any span or lifecycle event fires. The
+  // merged v2 report needs the span tree, so tracing is forced on even when
+  // the tool only asked for metrics.
+  const bool obs_plane = !options.obs_sidecar_prefix.empty();
+  std::string trace_id;
+  if (obs_plane) {
+    trace_id = mint_trace_id();
+    obs::set_trace_enabled(true);
+    obs::SidecarInfo sidecar_info;
+    sidecar_info.role = "coordinator";
+    sidecar_info.trace_id = trace_id;
+    obs::open_sidecar(sidecar_path_for_pid(options.obs_sidecar_prefix),
+                      sidecar_info);
+  }
+
   obs::ScopedTimer timer(obs::names::kPublishDistributed);
   timer.attr("n", n).attr("m", m).attr("shards", plan.num_shards())
       .attr("workers", workers);
+  // The span every worker forest re-attaches under at merge time.
+  const std::uint64_t parent_span = obs::current_span_id();
   obs::gauge(obs::names::kPublishWorkers).set(static_cast<double>(workers));
   obs::gauge(obs::names::kPublishShardRows)
       .set(static_cast<double>(plan.shard_rows));
@@ -231,9 +280,14 @@ DistributedPublishResult publish_distributed(
   result.num_nodes = n;
   result.shards_total = plan.num_shards();
   result.shards_resumed = completed.size();
+  result.trace_id = trace_id;
   result.calibration = calibration;
   if (!completed.empty()) {
     obs::counter(obs::names::kPublishShardsResumed).add(completed.size());
+    for (const std::size_t s : completed) {
+      obs::log_event(obs::names::kEventShardResumed,
+                     {{"shard", std::to_string(s)}});
+    }
   }
 
   // Rewrite the lease log: magic, config, then the completes that survived
@@ -263,6 +317,10 @@ DistributedPublishResult publish_distributed(
     append_lease(complete_record(s, payload_bytes_for(plan, s, m), crc));
     completed.insert(s);
     shards_done.add();
+    obs::log_event(obs::names::kEventShardCommitted,
+                   {{"shard", std::to_string(s)},
+                    {"bytes", std::to_string(payload_bytes_for(plan, s, m))},
+                    {"payload", crc_hex_of_u32(crc)}});
   };
 
   struct Slot {
@@ -330,6 +388,13 @@ DistributedPublishResult publish_distributed(
       const auto it = options.worker_env.find(slot.id);
       if (it != options.worker_env.end()) sp.env = it->second;
     }
+    if (obs_plane) {
+      // Trace context rides the environment into *every* generation — a
+      // replacement worker reports under the same release trace id.
+      sp.env.emplace_back("SGP_OBS_SIDECAR", options.obs_sidecar_prefix);
+      sp.env.emplace_back("SGP_TRACE_ID", trace_id);
+      sp.env.emplace_back("SGP_PARENT_SPAN", std::to_string(parent_span));
+    }
     try {
       slot.proc.emplace(util::Subprocess::spawn(sp));
     } catch (const util::IoError&) {
@@ -339,8 +404,16 @@ DistributedPublishResult publish_distributed(
     slot.progress_size = 0;
     slot.last_activity = std::chrono::steady_clock::now();
     ++result.workers_spawned;
+    obs::log_event(obs::names::kEventWorkerSpawned,
+                   {{"worker", std::to_string(slot.id)},
+                    {"gen", std::to_string(slot.gen)},
+                    {"pid", std::to_string(slot.proc->pid())}});
     for (std::size_t s : slot.pending) {
       append_lease(lease_record(s, slot.id, slot.gen));
+      obs::log_event(obs::names::kEventShardLeased,
+                     {{"shard", std::to_string(s)},
+                      {"worker", std::to_string(slot.id)},
+                      {"gen", std::to_string(slot.gen)}});
     }
     return true;
   };
@@ -358,6 +431,10 @@ DistributedPublishResult publish_distributed(
     if (!slot.pending.empty()) {
       for (std::size_t s : slot.pending) {
         append_lease(reclaim_record(s, slot.id, "spawn"));
+        obs::log_event(obs::names::kEventLeaseReclaimed,
+                       {{"shard", std::to_string(s)},
+                        {"worker", std::to_string(slot.id)},
+                        {"reason", "spawn"}});
       }
       inprocess.insert(inprocess.end(), slot.pending.begin(),
                        slot.pending.end());
@@ -413,11 +490,17 @@ DistributedPublishResult publish_distributed(
       }
       const auto status = slot.proc->try_wait();
       if (status.has_value()) {
+        const std::int64_t worker_pid = slot.proc->pid();
         slot.proc.reset();
         // One more harvest: a payload rename can race the exit we just
         // observed, and a worker killed between the rename and its done
         // record (the second proc.worker.exit site) left verifiable work.
         harvest(slot);
+        obs::log_event(obs::names::kEventWorkerExit,
+                       {{"worker", std::to_string(slot.id)},
+                        {"gen", std::to_string(slot.gen)},
+                        {"pid", std::to_string(worker_pid)},
+                        {"clean", status->clean() ? "1" : "0"}});
         if (!status->clean() || !slot.pending.empty()) {
           ++result.workers_lost;
         }
@@ -427,6 +510,10 @@ DistributedPublishResult publish_distributed(
             append_lease(reclaim_record(s, slot.id, reason));
             ++result.leases_reclaimed;
             reclaimed_ctr.add();
+            obs::log_event(obs::names::kEventLeaseReclaimed,
+                           {{"shard", std::to_string(s)},
+                            {"worker", std::to_string(slot.id)},
+                            {"reason", reason}});
           }
           slot.timed_out = false;
           ++slot.gen;
@@ -455,6 +542,8 @@ DistributedPublishResult publish_distributed(
     std::sort(inprocess.begin(), inprocess.end());
     for (std::size_t s : inprocess) {
       const auto [r0, r1] = plan.shard_range(s);
+      obs::ScopedTimer shard_timer(obs::names::kPublishShard);
+      shard_timer.attr("shard", s).attr("rows", r1 - r0);
       const graph::ShardRows shard = util::retry_with_backoff(
           options.sharded.io_retry, "shard load",
           [&] { return reader.load_shard(r0, r1); });
@@ -563,6 +652,31 @@ int run_publish_worker(const util::CliArgs& args) {
   const std::size_t worker_id =
       static_cast<std::size_t>(args.get_int("worker-id", 0));
   const std::size_t gen = static_cast<std::size_t>(args.get_int("gen", 0));
+
+  // Trace context handed down by the coordinator. When present, this worker
+  // joins the release-wide observability plane: metrics + tracing on, its
+  // own sidecar at `<prefix><pid>.jsonl`, resource sampling in the
+  // background.
+  obs::ResourceSampler sampler;
+  {
+    const char* sidecar_prefix = std::getenv("SGP_OBS_SIDECAR");
+    if (sidecar_prefix != nullptr && *sidecar_prefix != '\0') {
+      obs::set_metrics_enabled(true);
+      obs::set_trace_enabled(true);
+      const char* trace_env = std::getenv("SGP_TRACE_ID");
+      const char* parent_env = std::getenv("SGP_PARENT_SPAN");
+      obs::SidecarInfo info;
+      info.role = "worker";
+      info.trace_id = trace_env != nullptr ? trace_env : "";
+      info.parent_span =
+          parent_env != nullptr ? std::strtoull(parent_env, nullptr, 10) : 0;
+      info.worker = static_cast<std::int64_t>(worker_id);
+      info.gen = static_cast<std::int64_t>(gen);
+      obs::open_sidecar(sidecar_path_for_pid(sidecar_prefix), info);
+      sampler.start();
+    }
+  }
+
   std::vector<std::size_t> shards;
   {
     std::istringstream csv(args.get_string("shards", ""));
@@ -599,15 +713,30 @@ int run_publish_worker(const util::CliArgs& args) {
     util::fault_point("lease.heartbeat");
     progress << with_crc("hb " + std::to_string(seq++)) << '\n';
     progress.flush();
+    obs::log_event(obs::names::kEventWorkerShardStart,
+                   {{"shard", std::to_string(s)},
+                    {"worker", std::to_string(worker_id)}});
 
-    const auto [r0, r1] = plan.shard_range(s);
-    const graph::ShardRows shard = util::retry_with_backoff(
-        opt.io_retry, "shard load",
-        [&] { return reader.load_shard(r0, r1); });
-    compute_shard_tile(shard, r0, r1, opt.publish, calibration, pool, tile);
+    {
+      obs::ScopedTimer shard_timer(obs::names::kPublishShard);
+      const auto [r0, r1] = plan.shard_range(s);
+      shard_timer.attr("shard", s).attr("rows", r1 - r0);
+      const graph::ShardRows shard = util::retry_with_backoff(
+          opt.io_retry, "shard load",
+          [&] { return reader.load_shard(r0, r1); });
+      compute_shard_tile(shard, r0, r1, opt.publish, calibration, pool, tile);
 
-    util::fault_point("io.shard.write");
-    write_payload_file(shard_payload_path(out_path, s), tile);
+      util::fault_point("io.shard.write");
+      write_payload_file(shard_payload_path(out_path, s), tile);
+    }
+    // The payload just committed (rename). Flush the truthful record of it
+    // — span, counters, done event — BEFORE the second fault site, so a
+    // worker killed post-commit leaves a sidecar whose contents match
+    // exactly what the coordinator will salvage.
+    obs::log_event(obs::names::kEventWorkerShardDone,
+                   {{"shard", std::to_string(s)},
+                    {"worker", std::to_string(worker_id)}});
+    obs::flush_sidecar();
     // Chaos site 2: death after the payload commit but before the done
     // note — the coordinator must salvage the verified payload instead of
     // recomputing it.
@@ -615,6 +744,8 @@ int run_publish_worker(const util::CliArgs& args) {
     progress << with_crc("done " + std::to_string(s)) << '\n';
     progress.flush();
   }
+  sampler.stop();
+  obs::close_sidecar();
   return 0;
 }
 

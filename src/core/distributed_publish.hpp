@@ -79,6 +79,14 @@ struct DistributedPublishOptions {
   /// Replacement generations spawn clean, mirroring a transient failure.
   std::map<std::size_t, std::vector<std::pair<std::string, std::string>>>
       worker_env;
+  /// When non-empty, the cross-process observability plane is on: the
+  /// coordinator mints a release trace id, opens its own event sidecar at
+  /// `<prefix><pid>.jsonl` (obs/event_log.hpp), and hands every worker
+  /// generation the prefix, the trace id and its parent span id via the
+  /// SGP_OBS_SIDECAR / SGP_TRACE_ID / SGP_PARENT_SPAN environment variables
+  /// so the sidecars merge into one "sgp-obs-report v2" document
+  /// (obs/aggregate.hpp). Empty = no sidecars, no env overrides.
+  std::string obs_sidecar_prefix;
 };
 
 struct DistributedPublishResult {
@@ -94,6 +102,8 @@ struct DistributedPublishResult {
   std::size_t leases_reclaimed = 0;
   /// Shards the coordinator computed itself (fallback path).
   std::size_t shards_inprocess = 0;
+  /// Release-level trace id (empty unless obs_sidecar_prefix was set).
+  std::string trace_id;
   NoiseCalibration calibration;
 };
 

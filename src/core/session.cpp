@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "core/theory.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -114,6 +116,14 @@ RandomProjectionPublisher::Options PublishingSession::begin_release() {
   if (ledger_ != nullptr) {
     ledger_->append({static_cast<std::uint64_t>(releases_ + 1), per.epsilon,
                      per.delta, cal.sigma, cal.sensitivity});
+    char eps[32];
+    char delta[32];
+    std::snprintf(eps, sizeof(eps), "%g", per.epsilon);
+    std::snprintf(delta, sizeof(delta), "%g", per.delta);
+    obs::log_event(obs::names::kEventLedgerCharge,
+                   {{"release", std::to_string(releases_ + 1)},
+                    {"epsilon", eps},
+                    {"delta", delta}});
   }
   ++releases_;
   basic_.record(per);

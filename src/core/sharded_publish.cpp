@@ -119,6 +119,11 @@ void compute_shard_tile(const graph::ShardRows& shard, std::size_t row_begin,
         }
       },
       /*grain=*/16);
+  // Counted here — the one code path every publish mode (streaming aside)
+  // funnels through — so single-process and distributed runs report the
+  // same publish.cells total for the same release.
+  static obs::Counter& cells = obs::counter(obs::names::kPublishCells);
+  cells.add((row_end - row_begin) * m);
 }
 
 ShardPlan plan_shards(std::size_t num_rows, std::size_t shard_rows) {

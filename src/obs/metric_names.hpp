@@ -42,6 +42,8 @@ inline constexpr std::string_view kLedgerRecoveredRecords =
     "ledger.recovered_records";
 inline constexpr std::string_view kLedgerRecoveries = "ledger.recoveries";
 inline constexpr std::string_view kLinalgFusedTiles = "linalg.fused_tiles";
+inline constexpr std::string_view kObsEvents = "obs.events";
+inline constexpr std::string_view kProcSamples = "proc.samples";
 inline constexpr std::string_view kPublishCells = "publish.cells";
 inline constexpr std::string_view kPublishEmbeds = "publish.embeds";
 inline constexpr std::string_view kPublishLeasesReclaimed =
@@ -62,10 +64,32 @@ inline constexpr std::string_view kThreadpoolTasks = "threadpool.tasks";
 
 // --- gauges --------------------------------------------------------------
 inline constexpr std::string_view kGraphNodes = "graph.nodes";
+inline constexpr std::string_view kProcOpenFds = "proc.open_fds";
+inline constexpr std::string_view kProcPeakRssMb = "proc.peak_rss_mb";
+inline constexpr std::string_view kProcRssMb = "proc.rss_mb";
+inline constexpr std::string_view kProcStimeSeconds = "proc.stime_seconds";
+inline constexpr std::string_view kProcUtimeSeconds = "proc.utime_seconds";
 inline constexpr std::string_view kPublishShardRows = "publish.shard_rows";
 inline constexpr std::string_view kPublishSigma = "publish.sigma";
 inline constexpr std::string_view kPublishWorkers = "publish.workers";
 inline constexpr std::string_view kThreadpoolThreads = "threadpool.threads";
+
+// --- lifecycle event names (obs::log_event) ------------------------------
+// Structured events appended to the per-process observability sidecar
+// (obs/event_log.hpp) and surfaced in the merged sgp-obs-report v2
+// "events" array; R3 holds these to the same single-source-of-truth rule
+// as metric names.
+inline constexpr std::string_view kEventLeaseReclaimed = "lease.reclaimed";
+inline constexpr std::string_view kEventLedgerCharge = "ledger.charge";
+inline constexpr std::string_view kEventProcSample = "proc.sample";
+inline constexpr std::string_view kEventShardCommitted = "shard.committed";
+inline constexpr std::string_view kEventShardLeased = "shard.leased";
+inline constexpr std::string_view kEventShardResumed = "shard.resumed";
+inline constexpr std::string_view kEventWorkerExit = "worker.exit";
+inline constexpr std::string_view kEventWorkerShardDone = "worker.shard_done";
+inline constexpr std::string_view kEventWorkerShardStart =
+    "worker.shard_start";
+inline constexpr std::string_view kEventWorkerSpawned = "worker.spawned";
 
 // --- histograms recorded directly (not via ScopedTimer) ------------------
 inline constexpr std::string_view kLedgerAppendSeconds =
@@ -125,13 +149,23 @@ inline constexpr std::string_view kAllNames[] = {
     kLanczosIterations,
     kLanczosRestarts,
     kLanczosSolves,
+    kEventLeaseReclaimed,
     kLedgerAppendSeconds,
     kLedgerAppendAttempts,
     kLedgerAppends,
+    kEventLedgerCharge,
     kLedgerCrcFailures,
     kLedgerRecoveredRecords,
     kLedgerRecoveries,
     kLinalgFusedTiles,
+    kObsEvents,
+    kProcOpenFds,
+    kProcPeakRssMb,
+    kProcRssMb,
+    kEventProcSample,
+    kProcSamples,
+    kProcStimeSeconds,
+    kProcUtimeSeconds,
     kPublish,
     kPublishCells,
     kPublishDistributed,
@@ -153,6 +187,9 @@ inline constexpr std::string_view kAllNames[] = {
     kSessionBudgetRefusals,
     kSessionPublish,
     kSessionPublishes,
+    kEventShardCommitted,
+    kEventShardLeased,
+    kEventShardResumed,
     kSpectralDenseFallbacks,
     kSpectralEmbed,
     kSpectralLanczosRetries,
@@ -162,6 +199,10 @@ inline constexpr std::string_view kAllNames[] = {
     kToolLoadGraph,
     kToolPublish,
     kToolStats,
+    kEventWorkerExit,
+    kEventWorkerShardDone,
+    kEventWorkerShardStart,
+    kEventWorkerSpawned,
 };
 
 /// True when `name` is in kAllNames, or is the "<base>.seconds" histogram

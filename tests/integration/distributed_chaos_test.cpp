@@ -14,14 +14,18 @@
 // The suite runs in the default ctest pass and under `ctest -L chaos`.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/distributed_publish.hpp"
+#include "obs/aggregate.hpp"
 #include "core/serialization.hpp"
 #include "core/session.hpp"
 #include "core/sharded_publish.hpp"
@@ -270,6 +274,134 @@ TEST_F(DistributedChaosTest, CliWorkersSurviveChaosEndToEnd) {
   const util::JsonValue* shards = counters->find("publish.shards");
   ASSERT_NE(shards, nullptr);
   EXPECT_EQ(shards->as_number(), 6.0);
+}
+
+// The observability-plane acceptance scenario: a `--workers 4` CLI run with
+// one worker SIGKILLed mid-shard must leave a merged "sgp-obs-report v2"
+// whose counters equal a single-process run's totals (modulo retry/reclaim
+// metrics), whose span tree holds every committed shard exactly once under
+// the release trace id, and whose sgp_trace Chrome export passes the
+// structural validator. Sidecars are consumed by the merge — no .obs.*
+// files may survive a successful publish.
+TEST_F(DistributedChaosTest, ObsPlaneSurvivesWorkerKillAndMerges) {
+  const std::string merged_path = out_path_ + ".obs-merged.json";
+  const std::string base_out = out_path_ + ".base.bin";
+  const std::string base_metrics = out_path_ + ".base.json";
+  const std::string chrome_path = out_path_ + ".chrome.json";
+
+  std::ostringstream cmd;
+  cmd << kPublishBin << " --edges " << kEdgesPath << " --out " << out_path_
+      << " --dim 8 --seed 4321 --preserve-ids --shard-rows 4 --threads 2"
+      << " --workers 4 --worker-fault-spec proc.worker.exit:after=2:count=1"
+      << " --metrics-out " << merged_path << " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.str().c_str()), 0);
+  EXPECT_EQ(file_bytes(out_path_), file_bytes(kReleasePath));
+
+  // The single-process baseline over the same shard plan: the work counters
+  // (shards sliced, cells released) must agree exactly with the chaotic
+  // distributed run — instrumentation sits on the shared compute path.
+  std::ostringstream base_cmd;
+  base_cmd << kPublishBin << " --edges " << kEdgesPath << " --out " << base_out
+           << " --dim 8 --seed 4321 --preserve-ids --shard-rows 4"
+           << " --metrics-out " << base_metrics << " 2>/dev/null";
+  ASSERT_EQ(std::system(base_cmd.str().c_str()), 0);
+
+  const util::JsonValue merged = util::parse_json(file_bytes(merged_path));
+  const util::JsonValue base = util::parse_json(file_bytes(base_metrics));
+  ASSERT_EQ(obs::validate_report_v2_json(merged), std::nullopt);
+  EXPECT_EQ(merged.find("schema")->as_string(), "sgp-obs-report v2");
+  const std::string trace_id = merged.find("trace_id")->as_string();
+  EXPECT_EQ(trace_id.size(), 16u);
+
+  const util::JsonValue* merged_counters =
+      merged.find("metrics")->find("counters");
+  const util::JsonValue* base_counters = base.find("metrics")->find("counters");
+  ASSERT_NE(merged_counters, nullptr);
+  ASSERT_NE(base_counters, nullptr);
+  for (const std::string name : {"publish.shards", "publish.cells"}) {
+    const util::JsonValue* m = merged_counters->find(name);
+    const util::JsonValue* b = base_counters->find(name);
+    ASSERT_NE(m, nullptr) << name;
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(m->as_number(), b->as_number())
+        << name << " drifted between distributed and single-process runs";
+  }
+  EXPECT_EQ(merged_counters->find("publish.shards")->as_number(), 6.0);
+  EXPECT_EQ(merged_counters->find("publish.cells")->as_number(), 192.0);
+  const util::JsonValue* reclaimed =
+      merged_counters->find("publish.leases_reclaimed");
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_GE(reclaimed->as_number(), 1.0);
+
+  // Every committed shard appears exactly once in the merged span tree.
+  std::vector<std::string> shard_attrs;
+  const std::function<void(const util::JsonValue&)> walk =
+      [&](const util::JsonValue& span) {
+        if (span.find("name")->as_string() == "publish.shard") {
+          const util::JsonValue* attrs = span.find("attrs");
+          const util::JsonValue* shard =
+              attrs == nullptr ? nullptr : attrs->find("shard");
+          ASSERT_NE(shard, nullptr);
+          shard_attrs.push_back(shard->as_string());
+        }
+        const util::JsonValue* children = span.find("children");
+        if (children != nullptr) {
+          for (const util::JsonValue& child : children->as_array()) {
+            walk(child);
+          }
+        }
+      };
+  for (const util::JsonValue& root : merged.find("spans")->as_array()) {
+    walk(root);
+  }
+  std::sort(shard_attrs.begin(), shard_attrs.end());
+  EXPECT_EQ(shard_attrs,
+            (std::vector<std::string>{"0", "1", "2", "3", "4", "5"}));
+
+  // The killed worker's sidecar ends at its last durable record, so the
+  // merged stream must contain an unclean exit and the reclaim that
+  // followed.
+  bool saw_unclean_exit = false;
+  bool saw_reclaim = false;
+  for (const util::JsonValue& e : merged.find("events")->as_array()) {
+    const std::string name = e.find("name")->as_string();
+    if (name == "lease.reclaimed") saw_reclaim = true;
+    if (name == "worker.exit") {
+      const util::JsonValue* clean = e.find("fields")->find("clean");
+      if (clean != nullptr && clean->as_string() == "0") {
+        saw_unclean_exit = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_unclean_exit);
+  EXPECT_TRUE(saw_reclaim);
+
+  // Sidecars were consumed by the successful merge. Only this test's own
+  // files are checked — TempDir is shared with concurrently running suites.
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(out_path_).parent_path())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem_, 0) != 0) continue;
+    EXPECT_EQ(name.find(".obs."), std::string::npos)
+        << "leftover sidecar: " << entry.path();
+  }
+
+  // sgp_trace renders the report: Chrome export validates and the summary
+  // names the reclaim gap.
+  const std::string trace_bin = SGP_TRACE_BIN;
+  std::ostringstream trace_cmd;
+  trace_cmd << trace_bin << " --report " << merged_path << " --chrome "
+            << chrome_path << " --summary > " << out_path_
+            << ".summary.txt 2>/dev/null";
+  ASSERT_EQ(std::system(trace_cmd.str().c_str()), 0);
+  std::ostringstream validate_cmd;
+  validate_cmd << trace_bin << " --validate-chrome " << chrome_path
+               << " 2>/dev/null";
+  EXPECT_EQ(std::system(validate_cmd.str().c_str()), 0);
+  const std::string summary = file_bytes(out_path_ + ".summary.txt");
+  EXPECT_NE(summary.find("trace " + trace_id), std::string::npos);
+  EXPECT_NE(summary.find("reclaim"), std::string::npos);
+  EXPECT_NE(summary.find("shard timeline"), std::string::npos);
 }
 
 // Same CLI scenario with a budget ledger attached: the release must be

@@ -1,0 +1,372 @@
+// Merge-plane tests: histogram bucket-merge algebra, v2 report writing
+// (counter sums, per-process gauges, span re-parenting), the v2 and Chrome
+// validators, and Prometheus exporter edge cases (obs/aggregate.hpp).
+#include "obs/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using sgp::obs::Histogram;
+using sgp::obs::ProcessHistogram;
+using sgp::obs::ProcessLog;
+using sgp::util::JsonValue;
+
+ProcessHistogram histogram_fixture(std::uint64_t seed) {
+  ProcessHistogram h;
+  h.buckets[0] = seed;
+  h.buckets[3] = seed * 2;
+  h.buckets[Histogram::kBuckets - 1] = seed + 1;  // the +Inf bucket
+  h.count = seed + seed * 2 + seed + 1;
+  h.sum = static_cast<double>(seed) * 0.25;
+  return h;
+}
+
+TEST(MergeHistograms, AssociativeAndCommutativeIncludingInfBucket) {
+  const ProcessHistogram a = histogram_fixture(1);
+  const ProcessHistogram b = histogram_fixture(10);
+  const ProcessHistogram c = histogram_fixture(100);
+
+  const ProcessHistogram left =
+      sgp::obs::merge_histograms(sgp::obs::merge_histograms(a, b), c);
+  const ProcessHistogram right =
+      sgp::obs::merge_histograms(a, sgp::obs::merge_histograms(b, c));
+  const ProcessHistogram swapped =
+      sgp::obs::merge_histograms(sgp::obs::merge_histograms(b, a), c);
+
+  for (const ProcessHistogram* m : {&right, &swapped}) {
+    EXPECT_EQ(left.count, m->count);
+    EXPECT_DOUBLE_EQ(left.sum, m->sum);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      EXPECT_EQ(left.buckets[i], m->buckets[i]) << "bucket " << i;
+    }
+  }
+  EXPECT_EQ(left.buckets[Histogram::kBuckets - 1], 2u + 11u + 101u);
+  EXPECT_EQ(left.count, a.count + b.count + c.count);
+}
+
+/// A hand-built three-process release: the coordinator owns span 1, each
+/// worker was handed parent_span=1 and contributed one root span plus a
+/// child, on a trace clock offset from the coordinator's.
+class ReportV2Test : public ::testing::Test {
+ protected:
+  static ProcessLog coordinator() {
+    ProcessLog log;
+    log.pid = 100;
+    log.role = "coordinator";
+    log.trace_id = "feedfacefeedface";
+    log.epoch_unix = 1000.0;
+    log.counters["publish.shards"] = 0;  // workers did all the shards
+    log.counters["obs.events"] = 3;
+    log.gauges["publish.workers"] = 2.0;
+    log.gauges["proc.rss_mb"] = 10.0;
+    sgp::obs::SpanRecord root;
+    root.id = 1;
+    root.name = "publish.distributed";
+    root.start_seconds = 0.0;
+    root.duration_seconds = 4.0;
+    log.spans.push_back(root);
+    sgp::obs::EventRecord ev;
+    ev.t = 0.5;
+    ev.name = "shard.leased";
+    ev.fields = {{"shard", "0"}, {"worker", "0"}};
+    log.events.push_back(ev);
+    return log;
+  }
+
+  static ProcessLog worker(std::uint64_t pid, std::int64_t slot,
+                           double epoch_offset, const std::string& shard) {
+    ProcessLog log;
+    log.pid = pid;
+    log.role = "worker";
+    log.trace_id = "feedfacefeedface";
+    log.parent_span = 1;
+    log.worker = slot;
+    log.gen = 0;
+    log.epoch_unix = 1000.0 + epoch_offset;
+    log.counters["publish.shards"] = 1;
+    log.counters["obs.events"] = 2;
+    log.gauges["proc.rss_mb"] = 20.0 + static_cast<double>(slot);
+    ProcessHistogram h;
+    h.count = 1;
+    h.sum = 0.25;
+    h.buckets[4] = 1;
+    log.histograms["publish.shard.seconds"] = h;
+    sgp::obs::SpanRecord root;
+    root.id = 1;  // deliberately collides with every other process
+    root.name = "worker.run";
+    root.start_seconds = 0.1;
+    root.duration_seconds = 1.0;
+    log.spans.push_back(root);
+    sgp::obs::SpanRecord child;
+    child.id = 2;
+    child.parent_id = 1;
+    child.name = "publish.shard";
+    child.start_seconds = 0.2;
+    child.duration_seconds = 0.5;
+    child.attrs = {{"shard", shard}};
+    log.spans.push_back(child);
+    sgp::obs::EventRecord ev;
+    ev.t = 0.9;
+    ev.name = "shard.committed";
+    ev.fields = {{"shard", shard}};
+    log.events.push_back(ev);
+    return log;
+  }
+
+  static JsonValue merged() {
+    std::ostringstream out;
+    sgp::obs::write_report_v2(out, "unit", coordinator(),
+                              {worker(200, 0, 0.5, "0"),
+                               worker(300, 1, -0.25, "1")});
+    return sgp::util::parse_json(out.str());
+  }
+};
+
+TEST_F(ReportV2Test, ValidatesAndCarriesIdentity) {
+  const JsonValue doc = merged();
+  EXPECT_EQ(sgp::obs::validate_report_v2_json(doc), std::nullopt);
+  EXPECT_EQ(doc.find("schema")->as_string(), "sgp-obs-report v2");
+  EXPECT_EQ(doc.find("trace_id")->as_string(), "feedfacefeedface");
+  ASSERT_EQ(doc.find("processes")->as_array().size(), 3u);
+}
+
+TEST_F(ReportV2Test, CountersSumAcrossProcesses) {
+  const JsonValue doc = merged();
+  const JsonValue* counters = doc.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("publish.shards")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(counters->find("obs.events")->as_number(), 7.0);
+}
+
+TEST_F(ReportV2Test, GaugesKeepEveryProcessReading) {
+  const JsonValue doc = merged();
+  const JsonValue* rss = doc.find("metrics")->find("gauges")->find(
+      "proc.rss_mb");
+  ASSERT_NE(rss, nullptr);
+  // Representative value is the coordinator's; nothing last-write-wins.
+  EXPECT_DOUBLE_EQ(rss->find("value")->as_number(), 10.0);
+  const JsonValue* per_pid = rss->find("processes");
+  ASSERT_NE(per_pid, nullptr);
+  EXPECT_DOUBLE_EQ(per_pid->find("100")->as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(per_pid->find("200")->as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(per_pid->find("300")->as_number(), 21.0);
+  // A gauge only workers carry falls back to the lowest-pid reading.
+  const JsonValue* workers_gauge =
+      doc.find("metrics")->find("gauges")->find("publish.workers");
+  ASSERT_NE(workers_gauge, nullptr);
+  EXPECT_DOUBLE_EQ(workers_gauge->find("value")->as_number(), 2.0);
+}
+
+TEST_F(ReportV2Test, HistogramsBucketMergeAcrossWorkers) {
+  const JsonValue doc = merged();
+  const JsonValue* hist = doc.find("metrics")->find("histograms")->find(
+      "publish.shard.seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->as_number(), 0.5);
+  const auto& buckets = hist->find("buckets")->as_array();
+  ASSERT_EQ(buckets.size(), 1u);  // sparse: only the occupied bucket
+  EXPECT_DOUBLE_EQ(buckets[0].find("count")->as_number(), 2.0);
+}
+
+TEST_F(ReportV2Test, WorkerSpansReparentUnderCoordinatorWithFreshIds) {
+  const JsonValue doc = merged();
+  const auto& roots = doc.find("spans")->as_array();
+  ASSERT_EQ(roots.size(), 1u);
+  const JsonValue& dist = roots[0];
+  EXPECT_EQ(dist.find("name")->as_string(), "publish.distributed");
+  EXPECT_DOUBLE_EQ(dist.find("pid")->as_number(), 100.0);
+  // Both worker roots hang off the coordinator span they were handed.
+  const auto& children = dist.find("children")->as_array();
+  ASSERT_EQ(children.size(), 2u);
+  std::vector<std::string> shards;
+  for (const JsonValue& run : children) {
+    EXPECT_EQ(run.find("name")->as_string(), "worker.run");
+    const auto& grandchildren = run.find("children")->as_array();
+    ASSERT_EQ(grandchildren.size(), 1u);
+    EXPECT_EQ(grandchildren[0].find("name")->as_string(), "publish.shard");
+    shards.push_back(
+        grandchildren[0].find("attrs")->find("shard")->as_string());
+  }
+  std::sort(shards.begin(), shards.end());
+  EXPECT_EQ(shards, (std::vector<std::string>{"0", "1"}));
+  // Worker clocks shift onto the coordinator epoch: worker 200 started its
+  // root at 0.1 on a clock 0.5s ahead, worker 300 on one 0.25s behind.
+  std::vector<double> starts;
+  for (const JsonValue& run : children) {
+    starts.push_back(run.find("start")->as_number());
+  }
+  std::sort(starts.begin(), starts.end());
+  EXPECT_NEAR(starts[0], -0.15, 1e-9);
+  EXPECT_NEAR(starts[1], 0.6, 1e-9);
+}
+
+TEST_F(ReportV2Test, EventsMergeTimeOrderedWithSourcePid) {
+  const JsonValue doc = merged();
+  const auto& events = doc.find("events")->as_array();
+  ASSERT_EQ(events.size(), 3u);
+  double last = -1e18;
+  for (const JsonValue& e : events) {
+    EXPECT_GE(e.find("t")->as_number(), last);
+    last = e.find("t")->as_number();
+  }
+  // Worker 300's commit at local t=0.9 lands at 0.65 coordinator time —
+  // before worker 200's at 1.4.
+  EXPECT_EQ(events[1].find("name")->as_string(), "shard.committed");
+  EXPECT_DOUBLE_EQ(events[1].find("pid")->as_number(), 300.0);
+}
+
+TEST_F(ReportV2Test, ValidatorRejectsSchemaViolations) {
+  const std::string good_text = [] {
+    std::ostringstream out;
+    sgp::obs::write_report_v2(out, "unit", coordinator(),
+                              {worker(200, 0, 0.0, "0")});
+    return out.str();
+  }();
+
+  struct Case {
+    std::string from;
+    std::string to;
+  };
+  const std::vector<Case> cases = {
+      // Wrong schema tag.
+      {"sgp-obs-report v2", "sgp-obs-report v9"},
+      // Gauge flattened to a bare number (the v1 shape) loses per-process
+      // readings — the validator must refuse it.
+      {"\"publish.workers\": {\"value\": 2, \"processes\": {\"100\": 2}}",
+       "\"publish.workers\": 2"},
+      // A span without a source pid cannot be laned in the timeline.
+      {"\"pid\": 100, \"attrs\"", "\"attrs\""},
+  };
+  for (const Case& c : cases) {
+    std::string text = good_text;
+    const std::size_t at = text.find(c.from);
+    ASSERT_NE(at, std::string::npos) << c.from;
+    text.replace(at, c.from.size(), c.to);
+    const JsonValue doc = sgp::util::parse_json(text);
+    EXPECT_NE(sgp::obs::validate_report_v2_json(doc), std::nullopt) << c.from;
+  }
+
+  EXPECT_NE(sgp::obs::validate_report_v2_json(
+                sgp::util::parse_json("{\"schema\": \"sgp-obs-report v2\"}")),
+            std::nullopt)
+      << "missing trace_id/processes must be rejected";
+}
+
+TEST_F(ReportV2Test, ChromeTraceRoundTripsThroughValidator) {
+  const JsonValue doc = merged();
+  std::ostringstream out;
+  sgp::obs::write_chrome_trace(out, doc);
+  const JsonValue trace = sgp::util::parse_json(out.str());
+  EXPECT_EQ(sgp::obs::validate_chrome_trace_json(trace), std::nullopt);
+
+  const auto& events = trace.find("traceEvents")->as_array();
+  std::size_t metadata = 0;
+  std::size_t complete = 0;
+  std::size_t instants = 0;
+  for (const JsonValue& e : events) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") ++metadata;
+    if (ph == "X") ++complete;
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(metadata, 3u);  // one process_name record per process
+  EXPECT_EQ(complete, 5u);  // every span in the merged tree
+  EXPECT_EQ(instants, 3u);  // every lifecycle event
+}
+
+TEST_F(ReportV2Test, ChromeValidatorRejectsMalformedTraces) {
+  EXPECT_NE(sgp::obs::validate_chrome_trace_json(
+                sgp::util::parse_json("{\"traceEvents\": 7}")),
+            std::nullopt);
+  EXPECT_NE(sgp::obs::validate_chrome_trace_json(sgp::util::parse_json(
+                "{\"traceEvents\": [{\"name\": \"x\", \"ph\": 9}]}")),
+            std::nullopt)
+      << "ph must be a string";
+  EXPECT_NE(
+      sgp::obs::validate_chrome_trace_json(sgp::util::parse_json(
+          "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"pid\": 1, "
+          "\"tid\": 0, \"ts\": 1.0, \"dur\": -2.0}]}")),
+      std::nullopt)
+      << "negative dur must be rejected";
+  EXPECT_NE(
+      sgp::obs::validate_chrome_trace_json(sgp::util::parse_json(
+          "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"i\", \"pid\": 1}]}")),
+      std::nullopt)
+      << "non-metadata events need a timestamp";
+}
+
+/// Prometheus exporter edge cases. Runs against the live process registry,
+/// so names are namespaced and values asserted via find() — this binary has
+/// no exact-output goldens (those live in obs_export_test).
+class PrometheusEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sgp::obs::set_metrics_enabled(true);
+    sgp::obs::reset_all_metrics();
+  }
+  void TearDown() override {
+    sgp::obs::reset_all_metrics();
+    sgp::obs::set_metrics_enabled(false);
+  }
+  static std::string render() {
+    std::ostringstream out;
+    sgp::obs::write_metrics_prometheus(out);
+    return out.str();
+  }
+};
+
+TEST_F(PrometheusEdgeTest, NonAlnumCharactersEscapeToUnderscore) {
+  sgp::obs::counter("test.prom-edge.weird").add(4);
+  const std::string text = render();
+  EXPECT_NE(text.find("# TYPE sgp_test_prom_edge_weird counter\n"
+                      "sgp_test_prom_edge_weird 4\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(PrometheusEdgeTest, HistogramBucketsAreCumulativeUpToInf) {
+  auto& h = sgp::obs::histogram("test.prom.cumulative.seconds");
+  h.record(1e-6);  // lowest bucket
+  h.record(0.5);
+  h.record(1e9);  // beyond the largest finite bound: +Inf bucket
+  const std::string text = render();
+
+  // Every bucket line's count is monotone non-decreasing and the +Inf line
+  // equals _count.
+  const std::string bucket_prefix =
+      "sgp_test_prom_cumulative_seconds_bucket{le=\"";
+  double last = -1.0;
+  std::size_t lines = 0;
+  std::size_t at = 0;
+  while ((at = text.find(bucket_prefix, at)) != std::string::npos) {
+    const std::size_t value_at = text.find("} ", at);
+    ASSERT_NE(value_at, std::string::npos);
+    const double value = std::strtod(text.c_str() + value_at + 2, nullptr);
+    EXPECT_GE(value, last);
+    last = value;
+    ++lines;
+    at = value_at;
+  }
+  EXPECT_EQ(lines, sgp::obs::Histogram::kBuckets);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("sgp_test_prom_cumulative_seconds_count 3\n"),
+            std::string::npos);
+}
+
+TEST_F(PrometheusEdgeTest, EmptyRegistrySectionsRenderNothing) {
+  // A freshly reset registry may still carry earlier tests' names, so
+  // assert on a definitely-absent name rather than emptiness.
+  const std::string text = render();
+  EXPECT_EQ(text.find("sgp_test_prom_never_registered"), std::string::npos);
+}
+
+}  // namespace

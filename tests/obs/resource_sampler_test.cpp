@@ -1,0 +1,71 @@
+// Resource sampler tests: /proc-backed gauges, sample counting, lifecycle
+// idempotence, and the metrics gate (obs/resource_sampler.hpp).
+#include "obs/resource_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/event_log.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+class ResourceSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sgp::obs::set_metrics_enabled(true);
+    sgp::obs::reset_all_metrics();
+    sgp::obs::clear_event_log();
+  }
+  void TearDown() override {
+    sgp::obs::clear_event_log();
+    sgp::obs::reset_all_metrics();
+    sgp::obs::set_metrics_enabled(false);
+  }
+};
+
+TEST_F(ResourceSamplerTest, SampleOnceReadsProcGauges) {
+#if defined(__unix__)
+  ASSERT_TRUE(sgp::obs::ResourceSampler::sample_once());
+  // A live test process certainly has resident memory and open fds.
+  EXPECT_GT(sgp::obs::gauge(sgp::obs::names::kProcRssMb).value(), 0.0);
+  EXPECT_GT(sgp::obs::gauge(sgp::obs::names::kProcPeakRssMb).value(), 0.0);
+  EXPECT_GE(sgp::obs::gauge(sgp::obs::names::kProcPeakRssMb).value(),
+            sgp::obs::gauge(sgp::obs::names::kProcRssMb).value());
+  EXPECT_GT(sgp::obs::gauge(sgp::obs::names::kProcOpenFds).value(), 0.0);
+  EXPECT_GE(sgp::obs::gauge(sgp::obs::names::kProcUtimeSeconds).value(), 0.0);
+  EXPECT_EQ(sgp::obs::counter(sgp::obs::names::kProcSamples).value(), 1u);
+  // Each sample mirrors into a (batched) proc.sample event.
+  const auto events = sgp::obs::collected_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, sgp::obs::names::kEventProcSample);
+#else
+  EXPECT_FALSE(sgp::obs::ResourceSampler::sample_once());
+#endif
+}
+
+TEST_F(ResourceSamplerTest, StartStopIsIdempotentAndCounts) {
+#if defined(__unix__)
+  sgp::obs::ResourceSampler sampler;
+  sampler.start(/*interval_ms=*/10);
+  EXPECT_TRUE(sampler.active());
+  sampler.start(/*interval_ms=*/10);  // second start is a no-op
+  EXPECT_TRUE(sampler.active());
+  sampler.stop();
+  EXPECT_FALSE(sampler.active());
+  sampler.stop();  // second stop is a no-op
+  // At least the synchronous first sample and the final stop() sample.
+  EXPECT_GE(sgp::obs::counter(sgp::obs::names::kProcSamples).value(), 2u);
+#endif
+}
+
+TEST_F(ResourceSamplerTest, DisabledMetricsKeepSamplerInert) {
+  sgp::obs::set_metrics_enabled(false);
+  sgp::obs::ResourceSampler sampler;
+  sampler.start(/*interval_ms=*/10);
+  EXPECT_FALSE(sampler.active());
+  sampler.stop();
+  EXPECT_EQ(sgp::obs::counter(sgp::obs::names::kProcSamples).value(), 0u);
+}
+
+}  // namespace

@@ -107,8 +107,12 @@ TEST(ShardPlanOverflow, HugeShardRowsOnSmallPlanClampsToNumRows) {
 
 TEST(ShardPlanOverflow, OutOfRangeShardIndexIsRejected) {
   const ShardPlan plan = plan_shards(100, 10);
-  EXPECT_THROW(plan.shard_range(plan.num_shards()), util::PreconditionError);
-  EXPECT_THROW(plan.shard_range(kMax), util::PreconditionError);
+  // void-cast inside EXPECT_THROW: the accessors are [[nodiscard]] and the
+  // -Werror build rejects a silently dropped return value.
+  EXPECT_THROW(static_cast<void>(plan.shard_range(plan.num_shards())),
+               util::PreconditionError);
+  EXPECT_THROW(static_cast<void>(plan.shard_range(kMax)),
+               util::PreconditionError);
 }
 
 TEST(ShardPlanOverflow, ZeroShardRowsFieldIsRejected) {
@@ -117,8 +121,9 @@ TEST(ShardPlanOverflow, ZeroShardRowsFieldIsRejected) {
   ShardPlan plan;
   plan.num_rows = 5;
   plan.shard_rows = 0;
-  EXPECT_THROW(plan.num_shards(), util::PreconditionError);
-  EXPECT_THROW(plan.shard_range(0), util::PreconditionError);
+  EXPECT_THROW(static_cast<void>(plan.num_shards()), util::PreconditionError);
+  EXPECT_THROW(static_cast<void>(plan.shard_range(0)),
+               util::PreconditionError);
 }
 
 class ShardMemoryProperty

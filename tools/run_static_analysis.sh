@@ -17,6 +17,10 @@
 #                      process differential matrix and deep statistical
 #                      tests (docs/scaling.md) that the default ctest run
 #                      skips
+#   8. obs plane       a distributed publish with --metrics-out, then the
+#                      merged v2 report through sgp_bench_check and
+#                      sgp_trace (--chrome / --validate-chrome / --summary)
+#                      end to end (docs/observability.md)
 #
 #   tools/run_static_analysis.sh [--fast]
 #
@@ -115,6 +119,29 @@ if ctest --test-dir build -C slow -L slow --output-on-failure -j "$(nproc)"; the
   echo "slow suites: clean"
 else
   echo "slow suites: FAILED"
+  fail=1
+fi
+
+# --- 8. obs plane -----------------------------------------------------------
+note "observability plane (merged v2 report + sgp_trace)"
+cmake --build build -j --target sgp_publish sgp_trace sgp_bench_check \
+  sgp_generate >/dev/null
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${obs_dir}"' EXIT
+obs_ok=1
+./build/tools/sgp_generate --model ba --nodes 200 --out "${obs_dir}/g.edges" \
+  >/dev/null 2>&1 || obs_ok=0
+./build/tools/sgp_publish --edges "${obs_dir}/g.edges" --out "${obs_dir}/r.bin" \
+  --dim 16 --seed 7 --shard-rows 32 --workers 2 \
+  --metrics-out "${obs_dir}/merged.json" >/dev/null 2>&1 || obs_ok=0
+./build/tools/sgp_bench_check "${obs_dir}/merged.json" || obs_ok=0
+./build/tools/sgp_trace --report "${obs_dir}/merged.json" \
+  --chrome "${obs_dir}/chrome.json" --summary >/dev/null || obs_ok=0
+./build/tools/sgp_trace --validate-chrome "${obs_dir}/chrome.json" || obs_ok=0
+if [[ "${obs_ok}" == "1" ]]; then
+  echo "obs plane: clean"
+else
+  echo "obs plane: FAILED"
   fail=1
 fi
 

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
                  args.program().c_str());
     return sgp::tools::kExitUsage;
   }
-  const sgp::tools::ObsScope obs_scope(args, "sgp_publish");
+  sgp::tools::ObsScope obs_scope(args, "sgp_publish");
 
   // Hidden child-process mode: the distributed coordinator re-invokes this
   // binary with --worker plus its shard assignment (docs/scaling.md).
@@ -187,8 +187,17 @@ int main(int argc, char** argv) {
         if (!worker_spec.empty()) {
           dopt.worker_env[0] = {{"SGP_FAULT_SPEC", worker_spec}};
         }
+        if (obs_scope.metrics_on()) {
+          // Cross-process plane: per-process sidecars under this prefix,
+          // merged into one "sgp-obs-report v2" when obs_scope closes.
+          dopt.obs_sidecar_prefix = out_path + ".obs.";
+        }
         const auto result =
             sgp::core::publish_distributed(reader, dopt, out_path);
+        if (!result.trace_id.empty()) {
+          obs_scope.set_distributed_merge(dopt.obs_sidecar_prefix,
+                                          result.trace_id);
+        }
         std::fprintf(
             stderr,
             "published %s: %zu shards over %zu workers spawned (%zu lost, "
