@@ -25,6 +25,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/shard_loader.hpp"
+#include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -182,6 +183,13 @@ int main(int argc, char** argv) {
       .meta("peak_rss_mb", peak_rss_mb())
       .meta("threads", static_cast<std::uint64_t>(max_threads))
       .meta("processes", static_cast<std::uint64_t>(max_processes))
+      // Kernel axis: the variant the shard tiles were generated under (the
+      // resolved default unless SGP_FORCE_KERNEL says otherwise); byte
+      // identity across threads/processes holds per variant.
+      .meta("kernel_variant",
+            std::string(sgp::random::to_string(
+                sgp::random::resolve_normal_kernel(
+                    sgp::random::KernelVariant::kAuto))))
       // This BENCH file itself is a v1 report; the flag records which
       // observability schema distributed runs of this configuration merge
       // into (sgp_bench_check enforces a known value).

@@ -22,6 +22,7 @@
 #include "core/publisher.hpp"
 #include "core/theory.hpp"
 #include "dp/mechanisms.hpp"
+#include "random/kernel_variant.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -188,6 +189,12 @@ int main(int argc, char** argv) {
       .meta("max_nodes", static_cast<std::uint64_t>(50000))
       .meta("projection_rng",
             sgp::core::to_string(sgp::core::ProjectionRngKind::kCounterV1))
+      // Which normal-mapping kernel the timings below were generated with
+      // (the resolved default: scalar unless SGP_FORCE_KERNEL overrides).
+      .meta("kernel_variant",
+            std::string(sgp::random::to_string(
+                sgp::random::resolve_normal_kernel(
+                    sgp::random::KernelVariant::kAuto))))
       .meta("threads",
             static_cast<std::uint64_t>(sgp::util::global_pool().size()));
   sgp::bench::banner(

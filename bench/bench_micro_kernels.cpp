@@ -9,6 +9,9 @@
 // running with --metrics-out / --trace.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <limits>
+
 #include "cluster/kmeans.hpp"
 #include "common.hpp"
 #include "core/projection.hpp"
@@ -16,7 +19,9 @@
 #include "linalg/eigen_sym.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
+#include "random/counter_rng_simd.hpp"
 #include "random/distributions.hpp"
+#include "random/kernel_variant.hpp"
 #include "ranking/metrics.hpp"
 
 namespace {
@@ -118,6 +123,88 @@ void BM_FusedSpMM(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FusedSpMM)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// --- kernel-variant axis ---------------------------------------------------
+// The same tile-fill / batch-normal / fused-SpMM workloads, once per
+// dispatchable kernel variant (random/kernel_variant.hpp). Variants the
+// machine can't run are skipped, not failed — the BENCH_MICRO.json speedup
+// meta below is what sgp_bench_check gates on.
+
+void BM_NormalBatchKernel(benchmark::State& state) {
+  const auto variant =
+      static_cast<sgp::random::KernelVariant>(state.range(0));
+  if (!sgp::random::kernel_supported(variant)) {
+    state.SkipWithError("kernel variant not supported on this machine");
+    return;
+  }
+  const sgp::random::CounterRng rng(2, 1);
+  std::vector<double> out(4096);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    sgp::random::normal_batch(rng, base, out.size(), out.data(), variant);
+    benchmark::DoNotOptimize(out.data());
+    base += out.size();  // fresh counters each iteration, like a real publish
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_NormalBatchKernel)
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kScalar))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kGeneric))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kAvx2))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kAvx512));
+
+void BM_ProjectionTileFillKernel(benchmark::State& state) {
+  const auto variant =
+      static_cast<sgp::random::KernelVariant>(state.range(0));
+  if (!sgp::random::kernel_supported(variant)) {
+    state.SkipWithError("kernel variant not supported on this machine");
+    return;
+  }
+  const sgp::random::CounterRng rng = sgp::core::projection_counter_rng(2);
+  constexpr std::size_t kM = 100;
+  std::vector<double> tile(512 * kM);
+  for (auto _ : state) {
+    sgp::core::fill_projection_tile(rng, kM,
+                                    sgp::core::ProjectionKind::kGaussian, 0,
+                                    512, 0, kM, tile.data(), variant);
+    benchmark::DoNotOptimize(tile.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * kM);
+}
+BENCHMARK(BM_ProjectionTileFillKernel)
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kScalar))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kGeneric))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kAvx2))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kAvx512));
+
+void BM_FusedSpMMKernel(benchmark::State& state) {
+  const auto variant =
+      static_cast<sgp::random::KernelVariant>(state.range(0));
+  if (!sgp::random::kernel_supported(variant)) {
+    state.SkipWithError("kernel variant not supported on this machine");
+    return;
+  }
+  const auto a = bench_graph().adjacency_matrix();
+  constexpr std::size_t kM = 128;
+  const sgp::random::CounterRng rng = sgp::core::projection_counter_rng(2);
+  for (auto _ : state) {
+    auto y = a.multiply_generated(
+        kM, [&](std::size_t r0, std::size_t r1, std::size_t c0,
+                std::size_t c1, double* out) {
+          sgp::core::fill_projection_tile(
+              rng, kM, sgp::core::ProjectionKind::kGaussian, r0, r1, c0, c1,
+              out, variant);
+        });
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_FusedSpMMKernel)
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kScalar))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kGeneric))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kAvx2))
+    ->Arg(static_cast<int>(sgp::random::KernelVariant::kAvx512))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SvdGram(benchmark::State& state) {
   const auto a = random_dense(4000, static_cast<std::size_t>(state.range(0)), 4);
@@ -248,6 +335,54 @@ void BM_ObsSpanEnabled(benchmark::State& state) {
 // the clear above, so don't let the auto-tuner pick millions.
 BENCHMARK(BM_ObsSpanEnabled)->Iterations(100000);
 
+// Hand-timed speedup measurement for the BENCH_MICRO.json meta (gated by
+// sgp_bench_check): best-of-N wall time of the tile-fill and fused-SpMM
+// workloads under the scalar kernel vs the best vector variant. Kept apart
+// from the google-benchmark loops so the meta is a single number per axis
+// regardless of which --benchmark_filter the run used.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+double tile_fill_seconds(sgp::random::KernelVariant variant) {
+  const sgp::random::CounterRng rng = sgp::core::projection_counter_rng(2);
+  constexpr std::size_t kM = 100;
+  std::vector<double> tile(512 * kM);
+  return best_seconds(5, [&] {
+    for (int i = 0; i < 20; ++i) {
+      sgp::core::fill_projection_tile(rng, kM,
+                                      sgp::core::ProjectionKind::kGaussian, 0,
+                                      512, 0, kM, tile.data(), variant);
+      benchmark::DoNotOptimize(tile.data());
+    }
+  });
+}
+
+double fused_spmm_seconds(sgp::random::KernelVariant variant) {
+  const auto a = bench_graph().adjacency_matrix();
+  constexpr std::size_t kM = 128;
+  const sgp::random::CounterRng rng = sgp::core::projection_counter_rng(2);
+  return best_seconds(3, [&] {
+    auto y = a.multiply_generated(
+        kM, [&](std::size_t r0, std::size_t r1, std::size_t c0,
+                std::size_t c1, double* out) {
+          sgp::core::fill_projection_tile(
+              rng, kM, sgp::core::ProjectionKind::kGaussian, r0, r1, c0, c1,
+              out, variant);
+        });
+    benchmark::DoNotOptimize(y.data().data());
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +393,36 @@ int main(int argc, char** argv) {
     sgp::obs::ScopedTimer timer("bench.google_benchmark");
     benchmark::RunSpecifiedBenchmarks();
   }
+
+  // Kernel-variant meta axis: which vector kernel this machine dispatches
+  // to, and its measured tile-fill / fused-SpMM speedups over the scalar
+  // reference. sgp_bench_check requires >= 1.5x on both whenever a vector
+  // variant is available; "scalar" means no vector hardware and the
+  // speedups are reported as 1.
+  using sgp::random::KernelVariant;
+  KernelVariant best = KernelVariant::kScalar;
+  if (sgp::random::kernel_supported(KernelVariant::kAvx512)) {
+    best = KernelVariant::kAvx512;
+  } else if (sgp::random::kernel_supported(KernelVariant::kAvx2)) {
+    best = KernelVariant::kAvx2;
+  }
+  double tile_speedup = 1.0;
+  double fused_speedup = 1.0;
+  if (best != KernelVariant::kScalar) {
+    tile_speedup =
+        tile_fill_seconds(KernelVariant::kScalar) / tile_fill_seconds(best);
+    fused_speedup =
+        fused_spmm_seconds(KernelVariant::kScalar) / fused_spmm_seconds(best);
+  }
+  report.meta("kernel_variant", std::string(sgp::random::to_string(best)))
+      .meta("tile_fill_speedup", tile_speedup)
+      .meta("fused_spmm_speedup", fused_speedup);
+  std::fprintf(stderr,
+               "kernel_variant=%s tile_fill_speedup=%.2f "
+               "fused_spmm_speedup=%.2f\n",
+               std::string(sgp::random::to_string(best)).c_str(), tile_speedup,
+               fused_speedup);
+
   benchmark::Shutdown();
   return 0;
 }

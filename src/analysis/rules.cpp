@@ -65,9 +65,61 @@ const std::unordered_set<std::string_view>& banned_rng_identifiers() {
   return kSet;
 }
 
+// Hardware entropy intrinsics are banned in *all* scopes, src/random/
+// included: a release must be regenerable from (seed, counter) alone, and
+// rdrand/rdseed inject machine state no tag can describe. Listed by the
+// exact spellings the intrinsic headers define.
+const std::unordered_set<std::string_view>& banned_hardware_rng() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "_rdrand16_step", "_rdrand32_step", "_rdrand64_step",
+      "_rdseed16_step", "_rdseed32_step", "_rdseed64_step",
+      "__builtin_ia32_rdrand16_step", "__builtin_ia32_rdrand32_step",
+      "__builtin_ia32_rdrand64_step", "__builtin_ia32_rdseed16_step",
+      "__builtin_ia32_rdseed32_step", "__builtin_ia32_rdseed64_step",
+  };
+  return kSet;
+}
+
+// `#include <header>` at position i of the `include` identifier; returns
+// the header name ("immintrin.h") or empty. Handles the dot the tokenizer
+// splits ("immintrin" "." "h").
+std::string angle_include_at(const std::vector<Token>& t, std::size_t i) {
+  if (!(i >= 1 && punct(t, i - 1, "#") && punct(t, i + 1, "<"))) return {};
+  std::string header;
+  for (std::size_t j = i + 2; j < t.size() && !punct(t, j, ">"); ++j) {
+    if (t[j].line != t[i].line) return {};
+    header += t[j].text;
+  }
+  return header;
+}
+
 void r1(const SourceFile& file, const std::vector<Token>& t,
         std::vector<Finding>& out) {
-  if (has_prefix(file.path, "src/random/")) return;
+  const bool rng_home = has_prefix(file.path, "src/random/");
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    const std::string& name = t[i].text;
+    if (banned_hardware_rng().count(name) != 0) {
+      out.push_back({"R1", file.path, t[i].line, name,
+                     "rng-discipline: hardware entropy '" + name +
+                         "' — releases must regenerate from (seed, counter); "
+                         "no scope is exempt, src/random/ included"});
+      continue;
+    }
+    // SIMD intrinsic headers stay inside the kernel layer: vector code
+    // elsewhere would bypass the dispatch/equality contract the kernel TUs
+    // are tested under (see DESIGN.md).
+    if (!rng_home && name == "include") {
+      const std::string header = angle_include_at(t, i);
+      if (header == "immintrin.h" || header == "x86intrin.h") {
+        out.push_back({"R1", file.path, t[i].line, "<" + header + ">",
+                       "rng-discipline: #include <" + header +
+                           "> outside src/random/ — SIMD kernels live in the "
+                           "dispatched random/ layer only"});
+      }
+    }
+  }
+  if (rng_home) return;
   const auto& banned = banned_rng_identifiers();
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdentifier) continue;

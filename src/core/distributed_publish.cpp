@@ -24,6 +24,7 @@
 #include "obs/resource_sampler.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
+#include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
@@ -263,9 +264,14 @@ DistributedPublishResult publish_distributed(
   obs::gauge(obs::names::kGraphNodes).set(static_cast<double>(n));
 
   std::ostringstream header;
+  // The tag must name the normal mapping the shard tiles are generated
+  // with — the same resolution the workers receive via --kernel.
   write_published_header(header, n, m, options.sharded.publish.params,
                          calibration, options.sharded.publish.projection,
-                         ProjectionRngKind::kCounterV1);
+                         projection_rng_for(
+                             options.sharded.publish.projection,
+                             random::resolve_normal_kernel(
+                                 options.sharded.publish.kernel)));
   const std::string header_bytes = header.str();
 
   const std::string lease_path = out_path + ".lease";
@@ -365,6 +371,13 @@ DistributedPublishResult publish_distributed(
                std::to_string(options.sharded.publish.seed),
                "--projection",
                to_string(options.sharded.publish.projection),
+               // The coordinator resolves the kernel once and hands workers
+               // the resolved name, so a worker can never re-resolve kAuto
+               // differently (its environment is not trusted to match).
+               "--kernel",
+               std::string(random::to_string(
+                   random::resolve_normal_kernel(
+                       options.sharded.publish.kernel))),
                "--shard-rows",
                std::to_string(plan.shard_rows),
                "--threads",
@@ -618,6 +631,8 @@ int run_publish_worker(const util::CliArgs& args) {
   if (args.get_string("projection", "gaussian") == "achlioptas") {
     opt.publish.projection = ProjectionKind::kAchlioptas;
   }
+  opt.publish.kernel =
+      random::parse_kernel_variant(args.get_string("kernel", "auto"));
   opt.publish.analytic_calibration = !args.get_bool("no-analytic", false);
   opt.publish.delta_split =
       args.get_double("delta-split", dp::kDefaultDeltaSplit);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <new>
 
+#include "random/counter_rng_simd.hpp"
 #include "random/distributions.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
@@ -86,37 +87,45 @@ random::CounterRng noise_counter_rng(std::uint64_t seed) {
 void fill_projection_tile(const random::CounterRng& rng, std::size_t m,
                           ProjectionKind kind, std::size_t row_begin,
                           std::size_t row_end, std::size_t col_begin,
-                          std::size_t col_end, double* out) {
+                          std::size_t col_end, double* out,
+                          random::KernelVariant kernel) {
   util::require(m >= 1, "fill_projection_tile: m must be >= 1");
   util::require(row_begin <= row_end && col_begin <= col_end && col_end <= m,
                 "fill_projection_tile: tile out of bounds");
   const std::size_t width = col_end - col_begin;
   switch (kind) {
     case ProjectionKind::kGaussian: {
+      // Resolve once per tile, not per row: a tile is the batch unit.
+      const random::KernelVariant resolved =
+          random::resolve_normal_kernel(kernel);
       const double stddev = 1.0 / std::sqrt(static_cast<double>(m));
       for (std::size_t i = row_begin; i < row_end; ++i) {
         double* row = out + (i - row_begin) * width;
         const std::uint64_t base = i * m;
-        for (std::size_t j = col_begin; j < col_end; ++j) {
-          row[j - col_begin] = stddev * rng.normal(base + j);
+        random::normal_batch(rng, base + col_begin, width, row, resolved);
+        for (std::size_t j = 0; j < width; ++j) {
+          row[j] *= stddev;
         }
       }
       return;
     }
     case ProjectionKind::kAchlioptas: {
+      const random::KernelVariant resolved =
+          random::resolve_exact_kernel(kernel);
       const double magnitude = std::sqrt(3.0 / static_cast<double>(m));
       for (std::size_t i = row_begin; i < row_end; ++i) {
         double* row = out + (i - row_begin) * width;
         const std::uint64_t base = i * m;
-        for (std::size_t j = col_begin; j < col_end; ++j) {
-          const double u = rng.uniform(base + j);
+        random::uniform_batch(rng, base + col_begin, width, row, resolved);
+        for (std::size_t j = 0; j < width; ++j) {
+          const double u = row[j];
           double v = 0.0;
           if (u < 1.0 / 6.0) {
             v = magnitude;
           } else if (u < 2.0 / 6.0) {
             v = -magnitude;
           }
-          row[j - col_begin] = v;
+          row[j] = v;
         }
       }
       return;
@@ -127,13 +136,14 @@ void fill_projection_tile(const random::CounterRng& rng, std::size_t m,
 
 linalg::DenseMatrix make_projection_counter(std::size_t n, std::size_t m,
                                             ProjectionKind kind,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            random::KernelVariant kernel) {
   util::require(n >= 1 && m >= 1, "projection: dimensions must be >= 1");
   try {
     util::fault_point("alloc");
     linalg::DenseMatrix p(n, m);
     const random::CounterRng rng = projection_counter_rng(seed);
-    fill_projection_tile(rng, m, kind, 0, n, 0, m, p.data().data());
+    fill_projection_tile(rng, m, kind, 0, n, 0, m, p.data().data(), kernel);
     return p;
   } catch (const std::bad_alloc&) {
     throw util::ResourceError(

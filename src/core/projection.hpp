@@ -9,6 +9,7 @@
 
 #include "linalg/dense_matrix.hpp"
 #include "random/counter_rng.hpp"
+#include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 
 namespace sgp::core {
@@ -57,16 +58,24 @@ inline constexpr std::uint64_t kNoiseStreamId = 1;
 /// P[row_begin..row_end) × [col_begin..col_end) of the counter-based n×m
 /// projection. `m` is the full column count (it fixes the counter layout).
 /// Pure and thread-safe; matches the linalg::TileFiller shape once bound.
-void fill_projection_tile(const random::CounterRng& rng, std::size_t m,
-                          ProjectionKind kind, std::size_t row_begin,
-                          std::size_t row_end, std::size_t col_begin,
-                          std::size_t col_end, double* out);
+///
+/// `kernel` selects the batch kernel: gaussian tiles resolve it through
+/// resolve_normal_kernel (the mapping decides the release tag), achlioptas
+/// tiles through resolve_exact_kernel (every variant is bit-identical, so
+/// the default auto-dispatches to the fastest ISA without affecting bytes).
+void fill_projection_tile(
+    const random::CounterRng& rng, std::size_t m, ProjectionKind kind,
+    std::size_t row_begin, std::size_t row_end, std::size_t col_begin,
+    std::size_t col_end, double* out,
+    random::KernelVariant kernel = random::KernelVariant::kAuto);
 
 /// Materializes the full counter-based n×m projection for `seed` — the
 /// reference the fused kernel is bit-identical to. Used by reconstruction
 /// (regenerate_projection) and tests; publishing itself never calls this.
-linalg::DenseMatrix make_projection_counter(std::size_t n, std::size_t m,
-                                            ProjectionKind kind,
-                                            std::uint64_t seed);
+/// `kernel` as in fill_projection_tile: reconstruction passes the variant
+/// matching the release tag it is regenerating.
+linalg::DenseMatrix make_projection_counter(
+    std::size_t n, std::size_t m, ProjectionKind kind, std::uint64_t seed,
+    random::KernelVariant kernel = random::KernelVariant::kAuto);
 
 }  // namespace sgp::core

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/counter_rng.hpp"
+#include "random/counter_rng_simd.hpp"
 #include "random/rng.hpp"
 #include "ranking/centrality.hpp"
 #include "util/check.hpp"
@@ -25,6 +26,8 @@ std::string to_string(ProjectionRngKind kind) {
       return "sequential-v0";
     case ProjectionRngKind::kCounterV1:
       return "counter-v1";
+    case ProjectionRngKind::kCounterV1Simd:
+      return "counter-v1-simd";
   }
   return "unknown";
 }
@@ -32,7 +35,19 @@ std::string to_string(ProjectionRngKind kind) {
 ProjectionRngKind parse_projection_rng(const std::string& s) {
   if (s == "sequential-v0") return ProjectionRngKind::kSequentialLegacy;
   if (s == "counter-v1") return ProjectionRngKind::kCounterV1;
+  if (s == "counter-v1-simd") return ProjectionRngKind::kCounterV1Simd;
   throw util::ParseError("unknown projection_rng: " + s);
+}
+
+ProjectionRngKind projection_rng_for(ProjectionKind projection,
+                                     random::KernelVariant resolved_kernel) {
+  // Only gaussian releases depend on the normal mapping; achlioptas draws
+  // are uniform-exact under every variant and keep the scalar tag.
+  if (projection == ProjectionKind::kGaussian &&
+      random::uses_polynomial_normals(resolved_kernel)) {
+    return ProjectionRngKind::kCounterV1Simd;
+  }
+  return ProjectionRngKind::kCounterV1;
 }
 
 RandomProjectionPublisher::RandomProjectionPublisher(Options options)
@@ -61,6 +76,14 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   publish_span.attr("n", n);
   publish_span.attr("m", m);
 
+  // Resolve the kernel once per publish: the resolved variant decides the
+  // release tag, the observability gauge, and the noise path, and passing it
+  // explicitly below keeps every tile of this release on one code path even
+  // if the environment changes mid-run.
+  const random::KernelVariant kernel =
+      random::resolve_normal_kernel(options_.kernel);
+  publish_span.attr("kernel", std::string(random::to_string(kernel)));
+
   // Step 1: project, fused. P is never materialized: the kernel generates
   // counter-based tiles of it on demand (P[i][j] = f(seed, i·m+j), see
   // core/projection.hpp) and accumulates Y = A·P directly, so peak memory is
@@ -77,9 +100,11 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
     const ProjectionKind kind = options_.projection;
     y = matrix.multiply_generated(
         m,
-        [&p_rng, m, kind](std::size_t r0, std::size_t r1, std::size_t c0,
-                          std::size_t c1, double* out_tile) {
-          fill_projection_tile(p_rng, m, kind, r0, r1, c0, c1, out_tile);
+        [&p_rng, m, kind, kernel](std::size_t r0, std::size_t r1,
+                                  std::size_t c0, std::size_t c1,
+                                  double* out_tile) {
+          fill_projection_tile(p_rng, m, kind, r0, r1, c0, c1, out_tile,
+                               kernel);
         });
   } catch (const std::bad_alloc&) {
     throw util::ResourceError("publish: out of memory allocating " +
@@ -105,11 +130,16 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
     const random::CounterRng noise = noise_counter_rng(options_.seed);
     const double sigma = out.calibration.sigma;
     util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+      // One reusable batch buffer per work chunk: the kernel fills a row of
+      // draws at a time, then the (exactly-ordered) axpy keeps the update
+      // bit-identical to the per-entry formulation.
+      std::vector<double> draws(m);
       for (std::size_t r = lo; r < hi; ++r) {
         auto row = y.row(r);
         const std::uint64_t base = static_cast<std::uint64_t>(r) * m;
+        random::normal_batch(noise, base, m, draws.data(), kernel);
         for (std::size_t c = 0; c < m; ++c) {
-          row[c] += sigma * noise.normal(base + c);
+          row[c] += sigma * draws[c];
         }
       }
     });
@@ -125,6 +155,11 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   // and the input size, so a report is interpretable on its own.
   obs::gauge(obs::names::kPublishSigma).set(out.calibration.sigma);
   obs::gauge(obs::names::kGraphNodes).set(static_cast<double>(n));
+  // Resolved kernel as an enum ordinal (1 scalar, 2 generic, 3 avx2,
+  // 4 avx512 — kAuto never survives resolution); the mapping is documented
+  // in docs/observability.md.
+  obs::gauge(obs::names::kPublishKernelVariant)
+      .set(static_cast<double>(kernel));
 
   // Step 3: assemble the release.
   out.data = std::move(y);
@@ -132,7 +167,7 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   out.projection_dim = m;
   out.params = options_.params;
   out.projection = options_.projection;
-  out.projection_rng = ProjectionRngKind::kCounterV1;
+  out.projection_rng = projection_rng_for(options_.projection, kernel);
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "dp/privacy.hpp"
 #include "graph/graph.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "random/kernel_variant.hpp"
 
 namespace sgp::core {
 
@@ -32,14 +33,30 @@ enum class ProjectionRngKind {
   /// Kept so old on-disk releases keep round-tripping.
   kSequentialLegacy,
   /// Counter-based releases (the fused kernel): P[i][j] and N[i][j] are pure
-  /// functions of (seed, i·m + j) — see core/projection.hpp.
+  /// functions of (seed, i·m + j) — see core/projection.hpp. Gaussian draws
+  /// use the scalar libm Box–Muller mapping.
   kCounterV1,
+  /// Counter-based releases whose gaussian draws use the polynomial normal
+  /// mapping of the vector kernels (random/counter_rng_simd.hpp). Same
+  /// counter layout as kCounterV1; only the normal transform differs. The
+  /// mapping is ISA-independent (generic/avx2/avx512 are bit-identical), so
+  /// any machine can regenerate P for these releases via the always-compiled
+  /// generic kernel. Achlioptas releases never carry this tag — their
+  /// uniform transform is exact under every kernel variant.
+  kCounterV1Simd,
 };
 
 [[nodiscard]] std::string to_string(ProjectionRngKind kind);
-/// Inverse of to_string ("sequential-v0" / "counter-v1"); throws
-/// util::ParseError for anything else.
+/// Inverse of to_string ("sequential-v0" / "counter-v1" /
+/// "counter-v1-simd"); throws util::ParseError for anything else.
 [[nodiscard]] ProjectionRngKind parse_projection_rng(const std::string& s);
+
+/// The tag a new release publishes under, given its projection family and
+/// the RESOLVED kernel variant (never kAuto): gaussian + polynomial normals
+/// → kCounterV1Simd, everything else → kCounterV1. Shared by the in-memory,
+/// streaming, and sharded publishers so the three can never disagree.
+[[nodiscard]] ProjectionRngKind projection_rng_for(
+    ProjectionKind projection, random::KernelVariant resolved_kernel);
 
 /// The artifact a data owner releases. Everything in here is safe to share:
 /// `data` is the perturbed projection; the metadata (n, m, ε, δ, σ) is
@@ -72,6 +89,12 @@ class RandomProjectionPublisher {
     bool analytic_calibration = true;  ///< false → classic Gaussian bound
     /// Fraction of δ spent on the sensitivity-bound failure probability.
     double delta_split = dp::kDefaultDeltaSplit;
+    /// Which counter-RNG batch kernel generates P and the noise. kAuto keeps
+    /// gaussian normals on the byte-stable scalar mapping (unless
+    /// SGP_FORCE_KERNEL overrides) while exact ops pick the fastest ISA; a
+    /// vector variant publishes gaussian releases under the
+    /// "counter-v1-simd" tag. See random/kernel_variant.hpp.
+    random::KernelVariant kernel = random::KernelVariant::kAuto;
   };
 
   explicit RandomProjectionPublisher(Options options);

@@ -18,9 +18,18 @@ linalg::DenseMatrix regenerate_projection(const PublishedGraph& published,
   // from the sequential Rng seeded with the publisher seed.
   switch (published.projection_rng) {
     case ProjectionRngKind::kCounterV1:
-      return make_projection_counter(published.num_nodes,
-                                     published.projection_dim,
-                                     published.projection, publisher_seed);
+      // Scalar libm mapping, regardless of environment overrides: the tag
+      // pins the bytes.
+      return make_projection_counter(
+          published.num_nodes, published.projection_dim, published.projection,
+          publisher_seed, random::KernelVariant::kScalar);
+    case ProjectionRngKind::kCounterV1Simd:
+      // Polynomial mapping. ISA-independent, so pick the fastest variant
+      // supported here — the always-compiled generic kernel guarantees this
+      // regenerates on machines without AVX.
+      return make_projection_counter(
+          published.num_nodes, published.projection_dim, published.projection,
+          publisher_seed, random::best_polynomial_kernel());
     case ProjectionRngKind::kSequentialLegacy: {
       random::Rng rng(publisher_seed);
       return make_projection(published.num_nodes, published.projection_dim,

@@ -12,6 +12,7 @@
 #include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/counter_rng.hpp"
+#include "random/counter_rng_simd.hpp"
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
@@ -194,24 +195,33 @@ void publish_to_stream(const graph::Graph& g,
   const random::CounterRng p_rng = projection_counter_rng(options.seed);
   const random::CounterRng noise = noise_counter_rng(options.seed);
 
+  // Same once-per-publish kernel resolution as the in-memory publisher, so
+  // the two paths pick the same mapping — and therefore the same header tag
+  // and payload bytes — for the same options and environment.
+  const random::KernelVariant kernel =
+      random::resolve_normal_kernel(options.kernel);
+
   const NoiseCalibration calibration = calibrate_noise(
       m, options.params, options.analytic_calibration, options.delta_split);
   write_published_header(out, n, m, options.params, calibration,
-                         options.projection, ProjectionRngKind::kCounterV1);
+                         options.projection,
+                         projection_rng_for(options.projection, kernel));
 
   // Stream one published row at a time: Ỹ_i = Σ_{j∈N(i)} P_j + σ·N_i.
   std::vector<double> row(m);
   std::vector<double> prow(m);
+  std::vector<double> draws(m);
   for (std::size_t i = 0; i < n; ++i) {
     std::fill(row.begin(), row.end(), 0.0);
     for (std::uint32_t j : g.neighbors(i)) {
       fill_projection_tile(p_rng, m, options.projection, j, j + 1, 0, m,
-                           prow.data());
+                           prow.data(), kernel);
       for (std::size_t c = 0; c < m; ++c) row[c] += prow[c];
     }
     const std::uint64_t base = static_cast<std::uint64_t>(i) * m;
+    random::normal_batch(noise, base, m, draws.data(), kernel);
     for (std::size_t c = 0; c < m; ++c) {
-      row[c] += calibration.sigma * noise.normal(base + c);
+      row[c] += calibration.sigma * draws[c];
     }
     write_published_doubles(out, row);
   }

@@ -15,6 +15,8 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "random/counter_rng.hpp"
+#include "random/counter_rng_simd.hpp"
+#include "random/kernel_variant.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/durable.hpp"
@@ -83,7 +85,9 @@ std::string shard_config_line(const ShardedPublishOptions& options,
       << options.publish.params.delta << " sigma " << calibration.sigma
       << " sensitivity " << calibration.sensitivity << " projection "
       << to_string(options.publish.projection) << " rng "
-      << to_string(ProjectionRngKind::kCounterV1);
+      << to_string(projection_rng_for(
+             options.publish.projection,
+             random::resolve_normal_kernel(options.publish.kernel)));
   return with_crc(out.str());
 }
 
@@ -95,26 +99,30 @@ void compute_shard_tile(const graph::ShardRows& shard, std::size_t row_begin,
   const std::size_t m = publish.projection_dim;
   const random::CounterRng p_rng = projection_counter_rng(publish.seed);
   const random::CounterRng noise = noise_counter_rng(publish.seed);
+  const random::KernelVariant kernel =
+      random::resolve_normal_kernel(publish.kernel);
   tile.assign((row_end - row_begin) * m, 0.0);
 
   // Row i of the release, computed exactly as publish_to_stream computes
   // it: neighbors ascending, then σ-scaled counter noise — both pure
-  // functions of (seed, counter), so threads and shard boundaries cannot
-  // change a single bit.
+  // functions of (seed, counter, kernel mapping), so threads and shard
+  // boundaries cannot change a single bit.
   util::parallel_for(
       pool, row_begin, row_end,
       [&](std::size_t lo, std::size_t hi) {
         std::vector<double> prow(m);
+        std::vector<double> draws(m);
         for (std::size_t i = lo; i < hi; ++i) {
           double* row = tile.data() + (i - row_begin) * m;
           for (std::uint32_t j : shard.neighbors(i)) {
             fill_projection_tile(p_rng, m, publish.projection, j, j + 1, 0, m,
-                                 prow.data());
+                                 prow.data(), kernel);
             for (std::size_t c = 0; c < m; ++c) row[c] += prow[c];
           }
           const std::uint64_t base = static_cast<std::uint64_t>(i) * m;
+          random::normal_batch(noise, base, m, draws.data(), kernel);
           for (std::size_t c = 0; c < m; ++c) {
-            row[c] += calibration.sigma * noise.normal(base + c);
+            row[c] += calibration.sigma * draws[c];
           }
         }
       },
@@ -169,7 +177,9 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
   std::ostringstream header;
   write_published_header(header, n, m, options.publish.params, calibration,
                          options.publish.projection,
-                         ProjectionRngKind::kCounterV1);
+                         projection_rng_for(
+                             options.publish.projection,
+                             random::resolve_normal_kernel(options.publish.kernel)));
   const std::string header_bytes = header.str();
 
   const std::string ckpt_path = out_path + ".ckpt";

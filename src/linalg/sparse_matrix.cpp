@@ -118,7 +118,13 @@ DenseMatrix CsrMatrix::multiply_generated(
   if (n == 0 || b_cols == 0) return out;
 
   util::ThreadPool& pool = opts.pool ? *opts.pool : util::global_pool();
-  const std::size_t tile_rows = std::max<std::size_t>(1, opts.tile_rows);
+  // Clamp to n before sizing scratch: an adversarial tile_rows (say
+  // SIZE_MAX) would otherwise overflow the tile_rows·tile_cols product and
+  // allocate a scratch buffer smaller than one tile. After the clamp the
+  // product is bounded by n·b_cols, which the `out` allocation above has
+  // already proven representable.
+  const std::size_t tile_rows =
+      std::min(std::max<std::size_t>(1, opts.tile_rows), n);
   std::size_t tile_cols = opts.tile_cols;
   if (tile_cols == 0) {
     // Narrow auto blocks: at least two blocks per thread so the pool stays
@@ -141,6 +147,7 @@ DenseMatrix CsrMatrix::multiply_generated(
       pool, 0, b_cols,
       [&](std::size_t col_lo, std::size_t col_hi) {
         std::vector<double> scratch(tile_rows * tile_cols);
+        double* const out_data = out.row(0).data();
         for (std::size_t c0 = col_lo; c0 < col_hi; c0 += tile_cols) {
           const std::size_t c1 = std::min(col_hi, c0 + tile_cols);
           const std::size_t width = c1 - c0;
@@ -150,9 +157,22 @@ DenseMatrix CsrMatrix::multiply_generated(
             tiles.add();
             for (std::size_t j = j0; j < j1; ++j) {
               const double* tile_row = scratch.data() + (j - j0) * width;
-              for (std::size_t k = row_ptr_[j]; k < row_ptr_[j + 1]; ++k) {
+              const std::size_t k_end = row_ptr_[j + 1];
+              for (std::size_t k = row_ptr_[j]; k < k_end; ++k) {
+                // The scatter destination row is data-dependent through
+                // col_idx_, so the hardware prefetcher can't see it coming;
+                // hint the next entry's line while this one's FMAs run.
+                if (k + 1 < k_end) {
+                  __builtin_prefetch(
+                      out_data +
+                          static_cast<std::size_t>(col_idx_[k + 1]) * b_cols +
+                          c0,
+                      /*rw=*/1, /*locality=*/1);
+                }
                 const double v = values_[k];
-                double* orow = out.row(col_idx_[k]).data() + c0;
+                double* orow =
+                    out_data + static_cast<std::size_t>(col_idx_[k]) * b_cols +
+                    c0;
                 for (std::size_t c = 0; c < width; ++c) {
                   orow[c] += v * tile_row[c];
                 }

@@ -69,6 +69,8 @@ inline constexpr std::string_view kProcPeakRssMb = "proc.peak_rss_mb";
 inline constexpr std::string_view kProcRssMb = "proc.rss_mb";
 inline constexpr std::string_view kProcStimeSeconds = "proc.stime_seconds";
 inline constexpr std::string_view kProcUtimeSeconds = "proc.utime_seconds";
+inline constexpr std::string_view kPublishKernelVariant =
+    "publish.kernel_variant";
 inline constexpr std::string_view kPublishShardRows = "publish.shard_rows";
 inline constexpr std::string_view kPublishSigma = "publish.sigma";
 inline constexpr std::string_view kPublishWorkers = "publish.workers";
@@ -171,6 +173,7 @@ inline constexpr std::string_view kAllNames[] = {
     kPublishDistributed,
     kPublishEmbed,
     kPublishEmbeds,
+    kPublishKernelVariant,
     kPublishLeasesReclaimed,
     kPublishPerturb,
     kPublishProject,

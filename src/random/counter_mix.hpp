@@ -1,0 +1,28 @@
+// The keyed two-round mixing core shared by the scalar CounterRng and the
+// batch kernels (counter_rng_kernel.inl). Kept in one place so the scalar
+// and vector paths cannot drift: both produce word w for counter c as
+//
+//   w = counter_mix(counter_mix(c + key0) ^ key1)
+#pragma once
+
+#include <cstdint>
+
+namespace sgp::random::detail {
+
+/// splitmix64 finalizer (Stafford mix of the counter), without the state
+/// increment — the caller supplies the word to scramble.
+[[nodiscard]] constexpr std::uint64_t counter_mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One keyed word: the pure function of (key pair, counter) that every
+/// counter-RNG sampling method is built from.
+[[nodiscard]] constexpr std::uint64_t counter_word(std::uint64_t key0,
+                                                   std::uint64_t key1,
+                                                   std::uint64_t counter) noexcept {
+  return counter_mix(counter_mix(counter + key0) ^ key1);
+}
+
+}  // namespace sgp::random::detail

@@ -2,20 +2,16 @@
 
 #include <cmath>
 
+#include "random/counter_mix.hpp"
 #include "random/rng.hpp"
+#include "util/check.hpp"
 
 namespace sgp::random {
 namespace {
 
 constexpr double kTwoPi = 6.283185307179586476925287;
 
-/// splitmix64 finalizer (Stafford mix of the counter), without the state
-/// increment — the caller supplies the word to scramble.
-constexpr std::uint64_t mix(std::uint64_t z) noexcept {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+using detail::counter_mix;
 
 }  // namespace
 
@@ -35,14 +31,17 @@ std::uint64_t CounterRng::bits(std::uint64_t counter) const noexcept {
   // Two keyed rounds: counter + key0 → mix → ^ key1 → mix. The additive
   // pre-whitening plus two full-avalanche rounds decorrelates consecutive
   // counters and consecutive keys (streams).
-  return mix(mix(counter + key0_) ^ key1_);
+  return counter_mix(counter_mix(counter + key0_) ^ key1_);
 }
 
 double CounterRng::uniform(std::uint64_t counter) const noexcept {
   return static_cast<double>(bits(counter) >> 11) * 0x1.0p-53;
 }
 
-double CounterRng::normal(std::uint64_t counter) const noexcept {
+double CounterRng::normal(std::uint64_t counter) const {
+  SGP_REQUIRE(counter < (std::uint64_t{1} << 63),
+              "CounterRng::normal: counter >= 2^63 would wrap the doubled "
+              "word index (see the n*m < 2^63 contract in counter_rng.hpp)");
   const std::uint64_t w0 = bits(2 * counter);
   const std::uint64_t w1 = bits(2 * counter + 1);
   // u1 in (0, 1] so log(u1) is finite; u2 in [0, 1).

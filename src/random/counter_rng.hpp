@@ -42,7 +42,19 @@ class CounterRng {
   /// Exactly two words per call — unlike rejection methods, the consumption
   /// is fixed, which is what keeps the mapping counter → value stable.
   /// Callers index by entry (e.g. i*m + j); the word doubling is internal.
-  [[nodiscard]] double normal(std::uint64_t counter) const noexcept;
+  ///
+  /// Contract: counter < 2^63, or the doubled word index wraps and the
+  /// value silently collides with counter - 2^63. Matrix callers index
+  /// entries as i*m + j, so this bounds publishable shapes to n*m < 2^63 —
+  /// far above anything reachable (at 8 bytes/entry that release would be
+  /// 64 EiB), but checked so a wrapped index can never masquerade as data.
+  /// Throws util::PreconditionError on violation.
+  [[nodiscard]] double normal(std::uint64_t counter) const;
+
+  /// Key words, exposed for the batch kernels (random/counter_rng_simd.hpp)
+  /// which re-derive the identical per-counter words out of line.
+  [[nodiscard]] std::uint64_t key0() const noexcept { return key0_; }
+  [[nodiscard]] std::uint64_t key1() const noexcept { return key1_; }
 
   bool operator==(const CounterRng&) const = default;
 

@@ -1,0 +1,47 @@
+// AVX2+FMA instantiation of the batch kernel. The TU is compiled with
+// -mavx2 -mfma when the toolchain supports them (src/CMakeLists.txt defines
+// SGP_KERNEL_HAVE_AVX2 in that case); GCC auto-vectorizes the flat batch
+// loops four doubles wide. Falls back to baseline codegen — still correct,
+// still bit-identical — when the flags are unavailable, and the dispatch
+// layer then reports the variant unsupported.
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "random/counter_mix.hpp"
+#include "random/counter_rng_simd.hpp"
+
+namespace {
+#include "random/counter_rng_kernel.inl"
+}  // namespace
+
+namespace sgp::random::detail {
+
+bool kernel_avx2_compiled() noexcept {
+#if defined(SGP_KERNEL_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void bits_batch_avx2(std::uint64_t key0, std::uint64_t key1,
+                     std::uint64_t counter_begin, std::size_t count,
+                     std::uint64_t* out) {
+  bits_batch_kernel(key0, key1, counter_begin, count, out);
+}
+
+void uniform_batch_avx2(std::uint64_t key0, std::uint64_t key1,
+                        std::uint64_t counter_begin, std::size_t count,
+                        double* out) {
+  uniform_batch_kernel(key0, key1, counter_begin, count, out);
+}
+
+void normal_batch_avx2(std::uint64_t key0, std::uint64_t key1,
+                       std::uint64_t counter_begin, std::size_t count,
+                       double* out) {
+  normal_batch_kernel(key0, key1, counter_begin, count, out);
+}
+
+}  // namespace sgp::random::detail

@@ -1,0 +1,41 @@
+// Baseline-ISA instantiation of the batch kernel. Compiled with the default
+// target flags (plus the FP-semantics flags shared by all kernel TUs — see
+// src/CMakeLists.txt), so it runs on any x86-64 machine and is the portable
+// reference that lets a "counter-v1-simd" release be regenerated anywhere:
+// without hardware FMA, std::fma resolves to libm's correctly-rounded
+// software implementation, which keeps it bit-identical to the AVX TUs at a
+// substantial speed cost. The dispatch layer therefore never auto-selects
+// kGeneric — it exists for reproducibility, not throughput.
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "random/counter_mix.hpp"
+#include "random/counter_rng_simd.hpp"
+
+namespace {
+#include "random/counter_rng_kernel.inl"
+}  // namespace
+
+namespace sgp::random::detail {
+
+void bits_batch_generic(std::uint64_t key0, std::uint64_t key1,
+                        std::uint64_t counter_begin, std::size_t count,
+                        std::uint64_t* out) {
+  bits_batch_kernel(key0, key1, counter_begin, count, out);
+}
+
+void uniform_batch_generic(std::uint64_t key0, std::uint64_t key1,
+                           std::uint64_t counter_begin, std::size_t count,
+                           double* out) {
+  uniform_batch_kernel(key0, key1, counter_begin, count, out);
+}
+
+void normal_batch_generic(std::uint64_t key0, std::uint64_t key1,
+                          std::uint64_t counter_begin, std::size_t count,
+                          double* out) {
+  normal_batch_kernel(key0, key1, counter_begin, count, out);
+}
+
+}  // namespace sgp::random::detail

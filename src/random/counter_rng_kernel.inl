@@ -1,0 +1,159 @@
+// Branch-free batch kernel for the counter RNG — the single source of truth
+// for the polynomial normal mapping and the exact bits/uniform batches.
+//
+// This file is textually included by each ISA translation unit
+// (counter_rng_generic.cpp / _avx2.cpp / _avx512.cpp) INSIDE an anonymous
+// namespace. Internal linkage is load-bearing: the TUs are compiled with
+// different -m flags, and if these functions had external (comdat) linkage
+// the linker would keep one arbitrary copy — every "variant" would silently
+// run the same code. (Found the hard way; see DESIGN.md "kernel dispatch".)
+//
+// Bit-identity across ISAs is by construction: every floating-point
+// operation below is a correctly-rounded IEEE-754 double op (+, -, *, /,
+// sqrt, floor, fma), so the result of a lane cannot depend on vector width.
+// The TUs are compiled with -ffp-contract=off so the compiler cannot
+// introduce fmas we did not write, and -fno-math-errno -fno-trapping-math
+// so sqrt/floor vectorize (neither changes any computed bit). There is no
+// control flow in the per-value path — branches block GCC's if-conversion
+// and would add data-dependent misprediction cost — and no integer<->double
+// hardware conversions, which AVX2 lacks for 64-bit lanes; both directions
+// go through exponent-bias bit tricks instead.
+//
+// The includer must provide <bit>, <cmath>, <cstddef>, <cstdint> and
+// "random/counter_mix.hpp" before the anonymous namespace opens.
+
+#define SGP_KERNEL_INLINE inline __attribute__((always_inline))
+
+// Exact u64 -> double for v < 2^52: stuff v into the mantissa of 2^52 and
+// subtract the bias. Pure integer/double vector ops on every ISA.
+SGP_KERNEL_INLINE double u52_to_double(std::uint64_t v) {
+  return std::bit_cast<double>(v | 0x4330000000000000ULL) - 0x1.0p52;
+}
+
+// Exact u64 -> double for v < 2^53, via 32-bit split: hi*2^32 and the sum
+// are both exactly representable, so the result equals (double)v. This is
+// what keeps the 53-bit uniform transform bit-identical to the scalar
+// static_cast<double> path.
+SGP_KERNEL_INLINE double u53_to_double(std::uint64_t v) {
+  return u52_to_double(v >> 32) * 0x1.0p32 + u52_to_double(v & 0xffffffffULL);
+}
+
+// Exact s64 -> double for |v| < 2^51 (two's-complement variant of the same
+// bias trick).
+SGP_KERNEL_INLINE double s51_to_double(std::int64_t v) {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(v) +
+                               0x4338000000000000ULL) -
+         0x1.8p52;
+}
+
+// log(x) for finite normal x in (0, 1]; fdlibm/musl scheme, branch-free.
+// Max observed error vs libm over the full u1 domain: 1 ulp.
+SGP_KERNEL_INLINE double poly_log(double x) {
+  const std::uint64_t ix = std::bit_cast<std::uint64_t>(x);
+  // Integer renormalization: pick e, m with x = m * 2^e and m in
+  // [sqrt(1/2), sqrt(2)), without comparing doubles.
+  const std::uint64_t tmp = ix - 0x3fe6a09e00000000ULL;
+  const std::int64_t k = static_cast<std::int64_t>(tmp) >> 52;
+  const std::uint64_t iz = ix - (tmp & 0xfff0000000000000ULL);
+  const double m = std::bit_cast<double>(iz);
+  const double e = s51_to_double(k);
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  double p = 1.479819860511658591e-01;
+  p = std::fma(p, z, 1.531383769920937332e-01);
+  p = std::fma(p, z, 1.818357216161805012e-01);
+  p = std::fma(p, z, 2.222219843214978396e-01);
+  p = std::fma(p, z, 2.857142874366239149e-01);
+  p = std::fma(p, z, 3.999999999940941908e-01);
+  p = std::fma(p, z, 6.666666666666735130e-01);
+  const double r = z * p;
+  const double hfsq = 0.5 * f * f;
+  const double ln2_hi = 6.93147180369123816490e-01;
+  const double ln2_lo = 1.90821492927058770002e-10;
+  return std::fma(e, ln2_hi, f - (hfsq - std::fma(s, hfsq + r, e * ln2_lo)));
+}
+
+// cos(x) for x in [0, 2*pi); Cody–Waite quadrant reduction with the
+// selection done in double arithmetic (comparisons and integer quadrant
+// logic would defeat if-conversion). Max observed error: 1 ulp.
+SGP_KERNEL_INLINE double poly_cos(double x) {
+  const double q = std::floor(std::fma(x, 0.63661977236758134308, 0.5));
+  double r = std::fma(-q, 1.57079632673412561417e+00, x);
+  r = std::fma(-q, 6.07710050650619224932e-11, r);
+  r = std::fma(-q, 2.02226624879595063154e-21, r);
+  const double z = r * r;
+  double c = -1.13596475577881948265e-11;
+  c = std::fma(c, z, 2.08757008419747316778e-09);
+  c = std::fma(c, z, -2.75573141792967388112e-07);
+  c = std::fma(c, z, 2.48015872888517179954e-05);
+  c = std::fma(c, z, -1.38888888888730564116e-03);
+  c = std::fma(c, z, 4.16666666666665929218e-02);
+  const double cos_r = std::fma(z * z, c, std::fma(z, -0.5, 1.0));
+  double s = 1.58962301576546568060e-10;
+  s = std::fma(s, z, -2.50507477628578072866e-08);
+  s = std::fma(s, z, 2.75573136213857245213e-06);
+  s = std::fma(s, z, -1.98412698295895385996e-04);
+  s = std::fma(s, z, 8.33333333332211858878e-03);
+  s = std::fma(s, z, -1.66666666666666307295e-01);
+  const double sin_r = std::fma(r * z, s, r);
+  // Quadrant qm = q mod 4 maps to {cos, -sin, -cos, sin}. Arithmetic
+  // selection: odd quadrants take sin, quadrants 1 and 2 negate
+  // (1 - qm*(3-qm) is +1, -1, -1, +1 for qm = 0..3).
+  const double qm = q - 4.0 * std::floor(q * 0.25);
+  const double odd = qm - 2.0 * std::floor(qm * 0.5);
+  const double mag = cos_r + odd * (sin_r - cos_r);
+  const double sign = 1.0 - qm * (3.0 - qm);
+  return sign * mag;
+}
+
+// One polynomial-mapping normal. Word layout and uniform transform are
+// identical to CounterRng::normal; only log/cos differ from libm (by ~1 ulp
+// each), which is why the scalar and polynomial mappings agree elementwise
+// to ~1e-13 but are distinct published mappings.
+SGP_KERNEL_INLINE double poly_normal_one(std::uint64_t key0,
+                                         std::uint64_t key1,
+                                         std::uint64_t c) {
+  constexpr double kTwoPi = 6.283185307179586476925287;
+  const std::uint64_t w0 =
+      sgp::random::detail::counter_word(key0, key1, 2 * c);
+  const std::uint64_t w1 =
+      sgp::random::detail::counter_word(key0, key1, 2 * c + 1);
+  // u1 in (0, 1] so log(u1) is finite; u2 in [0, 1).
+  const double u1 = (u53_to_double(w0 >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = u53_to_double(w1 >> 11) * 0x1.0p-53;
+  const double rad = std::sqrt(-2.0 * poly_log(u1));
+  return rad * poly_cos(kTwoPi * u2);
+}
+
+// The three batch loops. Single flat loops: lane count is a property of the
+// ISA the TU was compiled for, not of the mapping, so GCC is free to pick
+// its preferred vector factor and peel the remainder.
+
+void bits_batch_kernel(std::uint64_t key0, std::uint64_t key1,
+                       std::uint64_t counter_begin, std::size_t count,
+                       std::uint64_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = sgp::random::detail::counter_word(key0, key1, counter_begin + i);
+  }
+}
+
+void uniform_batch_kernel(std::uint64_t key0, std::uint64_t key1,
+                          std::uint64_t counter_begin, std::size_t count,
+                          double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t w =
+        sgp::random::detail::counter_word(key0, key1, counter_begin + i);
+    out[i] = u53_to_double(w >> 11) * 0x1.0p-53;
+  }
+}
+
+void normal_batch_kernel(std::uint64_t key0, std::uint64_t key1,
+                         std::uint64_t counter_begin, std::size_t count,
+                         double* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = poly_normal_one(key0, key1, counter_begin + i);
+  }
+}
+
+#undef SGP_KERNEL_INLINE

@@ -1,0 +1,109 @@
+#include "random/counter_rng_simd.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sgp::random {
+namespace {
+
+/// Normal batches consume words (2c, 2c+1): the whole counter range must
+/// stay below 2^63 or the word index wraps (same contract as the scalar
+/// CounterRng::normal guard).
+void require_normal_range(std::uint64_t counter_begin, std::size_t count) {
+  if (count == 0) return;
+  constexpr std::uint64_t kLimit = std::uint64_t{1} << 63;
+  SGP_REQUIRE(count <= kLimit && counter_begin <= kLimit - count,
+              "normal_batch: counter range reaches 2^63, the word-doubling "
+              "limit (see CounterRng::normal)");
+}
+
+}  // namespace
+
+void bits_batch(const CounterRng& rng, std::uint64_t counter_begin,
+                std::size_t count, std::uint64_t* out, KernelVariant variant) {
+  if (count == 0) return;
+  SGP_REQUIRE(out != nullptr, "bits_batch: out must not be null");
+  switch (resolve_exact_kernel(variant)) {
+    case KernelVariant::kScalar:
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = rng.bits(counter_begin + i);
+      }
+      return;
+    case KernelVariant::kGeneric:
+      detail::bits_batch_generic(rng.key0(), rng.key1(), counter_begin, count,
+                                 out);
+      return;
+    case KernelVariant::kAvx2:
+      detail::bits_batch_avx2(rng.key0(), rng.key1(), counter_begin, count,
+                              out);
+      return;
+    case KernelVariant::kAvx512:
+      detail::bits_batch_avx512(rng.key0(), rng.key1(), counter_begin, count,
+                                out);
+      return;
+    case KernelVariant::kAuto:
+      break;  // resolve_exact_kernel never returns kAuto
+  }
+  throw util::InternalError("bits_batch: unresolved kernel variant");
+}
+
+void uniform_batch(const CounterRng& rng, std::uint64_t counter_begin,
+                   std::size_t count, double* out, KernelVariant variant) {
+  if (count == 0) return;
+  SGP_REQUIRE(out != nullptr, "uniform_batch: out must not be null");
+  switch (resolve_exact_kernel(variant)) {
+    case KernelVariant::kScalar:
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = rng.uniform(counter_begin + i);
+      }
+      return;
+    case KernelVariant::kGeneric:
+      detail::uniform_batch_generic(rng.key0(), rng.key1(), counter_begin,
+                                    count, out);
+      return;
+    case KernelVariant::kAvx2:
+      detail::uniform_batch_avx2(rng.key0(), rng.key1(), counter_begin, count,
+                                 out);
+      return;
+    case KernelVariant::kAvx512:
+      detail::uniform_batch_avx512(rng.key0(), rng.key1(), counter_begin,
+                                   count, out);
+      return;
+    case KernelVariant::kAuto:
+      break;
+  }
+  throw util::InternalError("uniform_batch: unresolved kernel variant");
+}
+
+void normal_batch(const CounterRng& rng, std::uint64_t counter_begin,
+                  std::size_t count, double* out, KernelVariant variant) {
+  if (count == 0) return;
+  SGP_REQUIRE(out != nullptr, "normal_batch: out must not be null");
+  require_normal_range(counter_begin, count);
+  switch (resolve_normal_kernel(variant)) {
+    case KernelVariant::kScalar:
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = rng.normal(counter_begin + i);
+      }
+      return;
+    case KernelVariant::kGeneric:
+      detail::normal_batch_generic(rng.key0(), rng.key1(), counter_begin,
+                                   count, out);
+      return;
+    case KernelVariant::kAvx2:
+      detail::normal_batch_avx2(rng.key0(), rng.key1(), counter_begin, count,
+                                out);
+      return;
+    case KernelVariant::kAvx512:
+      detail::normal_batch_avx512(rng.key0(), rng.key1(), counter_begin,
+                                  count, out);
+      return;
+    case KernelVariant::kAuto:
+      break;
+  }
+  throw util::InternalError("normal_batch: unresolved kernel variant");
+}
+
+}  // namespace sgp::random

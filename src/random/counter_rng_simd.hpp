@@ -1,0 +1,92 @@
+// Batched counter-RNG sampling with runtime kernel dispatch.
+//
+// These are the batch counterparts of CounterRng::bits / uniform / normal:
+// they fill out[0..count) with the values for counters counter_begin,
+// counter_begin+1, ..., dispatching to the kernel variant selected by
+// `variant` (see random/kernel_variant.hpp for the resolution policy).
+//
+// Contracts, asserted by tests/random/counter_rng_simd_test.cpp and the
+// kernel differential suite:
+//   - bits_batch / uniform_batch are bit-identical to the scalar methods
+//     under EVERY variant (integer ops and exact power-of-two scaling only).
+//   - normal_batch under kScalar is byte-identical to CounterRng::normal.
+//   - normal_batch under kGeneric / kAvx2 / kAvx512 computes the polynomial
+//     mapping: bit-identical across those three variants, elementwise within
+//     ~1e-13 of scalar, and drawn from N(0,1) to the precision of the dp
+//     statistical suite (KS / chi-square / moments).
+//
+// Counter-domain contract (shared with CounterRng::normal): normal batches
+// consume words (2c, 2c+1), so every counter they touch must be < 2^63.
+// Batches validate `counter_begin + count - 1 < 2^63` up front and throw
+// PreconditionError instead of silently wrapping the word index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "random/counter_rng.hpp"
+#include "random/kernel_variant.hpp"
+
+namespace sgp::random {
+
+/// out[i] = rng.bits(counter_begin + i) for i in [0, count).
+/// Bit-identical under every variant; kAuto picks the fastest supported.
+void bits_batch(const CounterRng& rng, std::uint64_t counter_begin,
+                std::size_t count, std::uint64_t* out,
+                KernelVariant variant = KernelVariant::kAuto);
+
+/// out[i] = rng.uniform(counter_begin + i) for i in [0, count).
+/// Bit-identical under every variant; kAuto picks the fastest supported.
+void uniform_batch(const CounterRng& rng, std::uint64_t counter_begin,
+                   std::size_t count, double* out,
+                   KernelVariant variant = KernelVariant::kAuto);
+
+/// out[i] = normal for counter_begin + i, i in [0, count). kScalar (and the
+/// kAuto default, absent SGP_FORCE_KERNEL) reproduces CounterRng::normal
+/// byte-for-byte; vector variants compute the polynomial mapping. Requires
+/// counter_begin + count - 1 < 2^63 (word doubling).
+void normal_batch(const CounterRng& rng, std::uint64_t counter_begin,
+                  std::size_t count, double* out,
+                  KernelVariant variant = KernelVariant::kAuto);
+
+namespace detail {
+
+/// True when the corresponding TU was actually compiled with its ISA flags
+/// (the build degrades gracefully on toolchains missing -mavx2/-mavx512*).
+[[nodiscard]] bool kernel_avx2_compiled() noexcept;
+[[nodiscard]] bool kernel_avx512_compiled() noexcept;
+
+// Per-ISA entry points, defined in counter_rng_{generic,avx2,avx512}.cpp.
+// Identical signatures; the only difference is the -m flags their TU was
+// built with. Callers go through the dispatch wrappers above.
+void bits_batch_generic(std::uint64_t key0, std::uint64_t key1,
+                        std::uint64_t counter_begin, std::size_t count,
+                        std::uint64_t* out);
+void bits_batch_avx2(std::uint64_t key0, std::uint64_t key1,
+                     std::uint64_t counter_begin, std::size_t count,
+                     std::uint64_t* out);
+void bits_batch_avx512(std::uint64_t key0, std::uint64_t key1,
+                       std::uint64_t counter_begin, std::size_t count,
+                       std::uint64_t* out);
+void uniform_batch_generic(std::uint64_t key0, std::uint64_t key1,
+                           std::uint64_t counter_begin, std::size_t count,
+                           double* out);
+void uniform_batch_avx2(std::uint64_t key0, std::uint64_t key1,
+                        std::uint64_t counter_begin, std::size_t count,
+                        double* out);
+void uniform_batch_avx512(std::uint64_t key0, std::uint64_t key1,
+                          std::uint64_t counter_begin, std::size_t count,
+                          double* out);
+void normal_batch_generic(std::uint64_t key0, std::uint64_t key1,
+                          std::uint64_t counter_begin, std::size_t count,
+                          double* out);
+void normal_batch_avx2(std::uint64_t key0, std::uint64_t key1,
+                       std::uint64_t counter_begin, std::size_t count,
+                       double* out);
+void normal_batch_avx512(std::uint64_t key0, std::uint64_t key1,
+                         std::uint64_t counter_begin, std::size_t count,
+                         double* out);
+
+}  // namespace detail
+
+}  // namespace sgp::random

@@ -64,6 +64,42 @@ TEST(RuleR1Test, SilentOnMemberNamedRand) {
       lint_text("src/core/x.cpp", "obj.rand(); ptr->rand();").empty());
 }
 
+TEST(RuleR1Test, FiresOnHardwareEntropyEvenInsideSrcRandom) {
+  // rdrand/rdseed are not exempt in the RNG home directory: a release must
+  // regenerate from (seed, counter) alone on any machine.
+  const auto fs = lint_text("src/random/counter_rng_avx2.cpp",
+                            "unsigned long long v; _rdrand64_step(&v);");
+  ASSERT_EQ(count_rule(fs, "R1"), 1u);
+  EXPECT_EQ(fs[0].snippet, "_rdrand64_step");
+  EXPECT_EQ(count_rule(lint_text("src/core/x.cpp",
+                                 "__builtin_ia32_rdseed32_step(&v);"),
+                       "R1"),
+            1u);
+}
+
+TEST(RuleR1Test, FiresOnIntrinsicHeaderOutsideSrcRandom) {
+  const auto fs =
+      lint_text("src/linalg/fast.cpp", "#include <immintrin.h>\n");
+  ASSERT_EQ(count_rule(fs, "R1"), 1u);
+  EXPECT_EQ(fs[0].snippet, "<immintrin.h>");
+  EXPECT_EQ(count_rule(lint_text("src/core/x.cpp",
+                                 "#include <x86intrin.h>\n"),
+                       "R1"),
+            1u);
+}
+
+TEST(RuleR1Test, IntrinsicHeaderAllowedInsideSrcRandom) {
+  // The dispatched kernel TUs are the one place vector intrinsics belong.
+  EXPECT_TRUE(lint_text("src/random/counter_rng_avx512.cpp",
+                        "#include <immintrin.h>\n")
+                  .empty());
+  // ...and a comment or string mention fires nowhere.
+  EXPECT_TRUE(lint_text("src/core/x.cpp",
+                        "// no #include <immintrin.h> outside random\n"
+                        "const char* s = \"_rdrand64_step\";\n")
+                  .empty());
+}
+
 // --- R2 error-taxonomy ------------------------------------------------------
 
 TEST(RuleR2Test, FiresOnBareStdThrowInSrc) {

@@ -1,0 +1,229 @@
+// Kernel-variant differential suite (ctest label: simd).
+//
+// The dispatch contract, end to end: for every kernel variant this machine
+// supports, every publish path (in-memory, streaming, sharded at several
+// shard×thread points) must produce the same release bytes as every other
+// path under the same variant — and the polynomial variants must all produce
+// the same bytes as each other, tagged "counter-v1-simd" so reconstruction
+// regenerates the identical projection anywhere. The scalar variant must
+// keep producing the byte-pinned "counter-v1" releases the golden suite
+// checks. tests/slow/differential_matrix_test.cpp runs the deep version of
+// the shard×thread sweep; this file keeps a representative slice in tier 1.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/distributed_publish.hpp"
+#include "core/publisher.hpp"
+#include "core/reconstruction.hpp"
+#include "core/serialization.hpp"
+#include "core/sharded_publish.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "random/kernel_variant.hpp"
+#include "random/rng.hpp"
+
+namespace sgp::core {
+namespace {
+
+std::vector<random::KernelVariant> supported_variants() {
+  std::vector<random::KernelVariant> v{random::KernelVariant::kScalar,
+                                       random::KernelVariant::kGeneric};
+  if (random::kernel_supported(random::KernelVariant::kAvx2)) {
+    v.push_back(random::KernelVariant::kAvx2);
+  }
+  if (random::kernel_supported(random::KernelVariant::kAvx512)) {
+    v.push_back(random::KernelVariant::kAvx512);
+  }
+  return v;
+}
+
+class KernelDifferentialTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string stem =
+        testing::TempDir() + "/sgp_kernel_diff_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    edges_path_ = stem + ".edges";
+    out_path_ = stem + ".bin";
+    random::Rng rng(77);
+    graph_ = graph::erdos_renyi(72, 0.09, rng);
+    graph::write_edge_list_file(graph_, edges_path_);
+  }
+  void TearDown() override {
+    std::remove(edges_path_.c_str());
+    std::remove(out_path_.c_str());
+    std::remove((out_path_ + ".ckpt").c_str());
+  }
+
+  RandomProjectionPublisher::Options options(random::KernelVariant kernel,
+                                             ProjectionKind projection =
+                                                 ProjectionKind::kGaussian)
+      const {
+    RandomProjectionPublisher::Options opt;
+    opt.projection_dim = 12;
+    opt.seed = 4242;
+    opt.kernel = kernel;
+    opt.projection = projection;
+    return opt;
+  }
+
+  std::string in_memory_bytes(
+      const RandomProjectionPublisher::Options& opt) const {
+    const auto release = RandomProjectionPublisher(opt).publish(graph_);
+    std::ostringstream out(std::ios::binary);
+    save_published(release, out);
+    return out.str();
+  }
+
+  std::string streaming_bytes(
+      const RandomProjectionPublisher::Options& opt) const {
+    std::ostringstream out(std::ios::binary);
+    publish_to_stream(graph_, opt, out);
+    return out.str();
+  }
+
+  std::string sharded_bytes(const RandomProjectionPublisher::Options& opt,
+                            std::size_t shard_rows,
+                            std::size_t threads) const {
+    graph::EdgeListShardReader reader(edges_path_, graph::IdPolicy::kPreserve);
+    ShardedPublishOptions sopt;
+    sopt.publish = opt;
+    sopt.shard_rows = shard_rows;
+    sopt.threads = threads;
+    sopt.resume = false;
+    publish_sharded(reader, sopt, out_path_);
+    std::ifstream in(out_path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  // The coordinator path: publish_distributed writes the release header
+  // itself (workers only produce shard payloads), so it must resolve the
+  // rng tag from the kernel exactly like every other writer. workers=1
+  // runs the shards in the coordinator process — no worker binary needed.
+  std::string distributed_bytes(const RandomProjectionPublisher::Options& opt,
+                                std::size_t shard_rows) const {
+    graph::EdgeListShardReader reader(edges_path_, graph::IdPolicy::kPreserve);
+    DistributedPublishOptions dopt;
+    dopt.sharded.publish = opt;
+    dopt.sharded.shard_rows = shard_rows;
+    dopt.sharded.resume = false;
+    dopt.workers = 1;
+    dopt.edges_path = edges_path_;
+    dopt.id_policy = graph::IdPolicy::kPreserve;
+    publish_distributed(reader, dopt, out_path_);
+    std::ifstream in(out_path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  graph::Graph graph_;
+  std::string edges_path_;
+  std::string out_path_;
+};
+
+TEST_F(KernelDifferentialTest, AllPathsAgreePerVariantAcrossShardsAndThreads) {
+  for (const random::KernelVariant kernel : supported_variants()) {
+    const auto opt = options(kernel);
+    const std::string reference = in_memory_bytes(opt);
+    EXPECT_EQ(streaming_bytes(opt), reference)
+        << "streaming, kernel " << random::to_string(kernel);
+    for (const auto& [shard_rows, threads] :
+         {std::pair<std::size_t, std::size_t>{7, 1},
+          std::pair<std::size_t, std::size_t>{16, 3},
+          std::pair<std::size_t, std::size_t>{0, 4}}) {
+      EXPECT_EQ(sharded_bytes(opt, shard_rows, threads), reference)
+          << "shards=" << shard_rows << " threads=" << threads << ", kernel "
+          << random::to_string(kernel);
+    }
+    // Regression: the coordinator once hardcoded kCounterV1 into the header
+    // it assembles, so distributed releases under a polynomial kernel
+    // carried the wrong tag (and would regenerate the wrong P).
+    EXPECT_EQ(distributed_bytes(opt, 16), reference)
+        << "distributed, kernel " << random::to_string(kernel);
+  }
+}
+
+TEST_F(KernelDifferentialTest, PolynomialVariantsProduceIdenticalReleases) {
+  const std::string reference =
+      in_memory_bytes(options(random::KernelVariant::kGeneric));
+  for (const random::KernelVariant kernel : supported_variants()) {
+    if (kernel == random::KernelVariant::kScalar) continue;
+    EXPECT_EQ(in_memory_bytes(options(kernel)), reference)
+        << "kernel " << random::to_string(kernel);
+  }
+  // ... and they are a different mapping than scalar, under a different tag.
+  EXPECT_NE(in_memory_bytes(options(random::KernelVariant::kScalar)),
+            reference);
+}
+
+TEST_F(KernelDifferentialTest, GaussianReleasesRecordTheNormalMapping) {
+  const auto scalar =
+      RandomProjectionPublisher(options(random::KernelVariant::kScalar))
+          .publish(graph_);
+  EXPECT_EQ(scalar.projection_rng, ProjectionRngKind::kCounterV1);
+  const auto poly =
+      RandomProjectionPublisher(options(random::KernelVariant::kGeneric))
+          .publish(graph_);
+  EXPECT_EQ(poly.projection_rng, ProjectionRngKind::kCounterV1Simd);
+}
+
+TEST_F(KernelDifferentialTest, AchlioptasProjectionIsKernelInvariant) {
+  // The achlioptas *projection* consumes only exact ops (uniforms), which
+  // are bit-identical under every variant — so its header tag stays
+  // "counter-v1" and the regenerated P is the same matrix no matter which
+  // kernel published it. (The release bytes still differ under a polynomial
+  // kernel, because the additive noise is gaussian normals; only P has to
+  // be regenerable, and the tag describes P.)
+  const auto reference = make_projection_counter(
+      graph_.num_nodes(), 12, ProjectionKind::kAchlioptas, 4242,
+      random::KernelVariant::kScalar);
+  for (const random::KernelVariant kernel : supported_variants()) {
+    const auto opt = options(kernel, ProjectionKind::kAchlioptas);
+    const auto release = RandomProjectionPublisher(opt).publish(graph_);
+    EXPECT_EQ(release.projection_rng, ProjectionRngKind::kCounterV1)
+        << "kernel " << random::to_string(kernel);
+    const auto p = regenerate_projection(release, opt.seed);
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+      for (std::size_t j = 0; j < p.cols(); ++j) {
+        ASSERT_EQ(p(i, j), reference(i, j))
+            << "kernel " << random::to_string(kernel);
+      }
+    }
+  }
+}
+
+TEST_F(KernelDifferentialTest, SimdReleasesRoundTripThroughReconstruction) {
+  // A polynomial release written on this machine must regenerate the exact
+  // projection via the tag alone (no kernel knowledge at load time).
+  for (const random::KernelVariant kernel : supported_variants()) {
+    const auto opt = options(kernel);
+    const auto release = RandomProjectionPublisher(opt).publish(graph_);
+    std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);
+    save_published(release, io);
+    const PublishedGraph loaded = load_published(io);
+    EXPECT_EQ(loaded.projection_rng, release.projection_rng);
+    const auto p = regenerate_projection(loaded, opt.seed);
+    const auto direct = make_projection_counter(
+        graph_.num_nodes(), opt.projection_dim, opt.projection, opt.seed,
+        kernel);
+    ASSERT_EQ(p.rows(), direct.rows());
+    ASSERT_EQ(p.cols(), direct.cols());
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+      for (std::size_t j = 0; j < p.cols(); ++j) {
+        ASSERT_EQ(p(i, j), direct(i, j))
+            << "kernel " << random::to_string(kernel);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgp::core

@@ -1,0 +1,131 @@
+// Adversarial-shape sweep of CsrMatrix::multiply_generated: for every
+// (n, b_cols, tile_rows, tile_cols) grid point — including ragged tails,
+// tiles larger than the matrix, and the SIZE_MAX shapes that used to
+// overflow the scratch-buffer sizing — the fused product must be
+// bit-identical to multiply_dense of the materialized operand. The filler
+// is the real counter-based projection generator, so this also pins the
+// exact accumulation-order contract the publisher relies on.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "core/projection.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "random/counter_rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sgp {
+namespace {
+
+/// Deterministic symmetric CSR matrix with an irregular pattern: entry
+/// (i, j) present iff bits(i·n + j) has its low byte < 96 (≈3/8 density),
+/// symmetrized by construction, self-loops included on a stride.
+linalg::CsrMatrix symmetric_fixture(std::size_t n) {
+  const random::CounterRng pattern(2024, 5);
+  std::vector<linalg::Triplet> trips;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      if (i == j && i % 3 != 0) continue;
+      const std::uint64_t word =
+          pattern.bits(static_cast<std::uint64_t>(i) * n + j);
+      if ((word & 0xff) >= 96) continue;
+      const double v = 1.0 + static_cast<double>(word >> 56) / 16.0;
+      trips.push_back({static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(j), v});
+      if (i != j) {
+        trips.push_back({static_cast<std::uint32_t>(j),
+                         static_cast<std::uint32_t>(i), v});
+      }
+    }
+  }
+  return linalg::CsrMatrix::from_triplets(n, n, trips);
+}
+
+class FusedTileShapeProperty
+    : public testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(FusedTileShapeProperty, MatchesMaterializedProductBitForBit) {
+  const auto [n, b_cols, tile_rows, tile_cols] = GetParam();
+  const linalg::CsrMatrix a = symmetric_fixture(n);
+  const random::CounterRng rng(7, 0);
+
+  // Materialized operand, filled through the same generator the fused path
+  // tiles over.
+  linalg::DenseMatrix b(n, b_cols);
+  core::fill_projection_tile(rng, b_cols, core::ProjectionKind::kGaussian, 0,
+                             n, 0, b_cols, b.row(0).data());
+  const linalg::DenseMatrix expected = a.multiply_dense(b);
+
+  linalg::GeneratedTileOptions opts;
+  opts.tile_rows = tile_rows;
+  opts.tile_cols = tile_cols;
+  const linalg::DenseMatrix got = a.multiply_generated(
+      b_cols,
+      [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1,
+          double* out) {
+        core::fill_projection_tile(rng, b_cols,
+                                   core::ProjectionKind::kGaussian, r0, r1, c0,
+                                   c1, out);
+      },
+      opts);
+
+  ASSERT_EQ(got.rows(), expected.rows());
+  ASSERT_EQ(got.cols(), expected.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < b_cols; ++c) {
+      // Bit-identity, not tolerance: the tiling contract is exact.
+      ASSERT_EQ(got(i, c), expected(i, c)) << "cell (" << i << ", " << c
+                                           << ") tile " << tile_rows << "x"
+                                           << tile_cols;
+    }
+  }
+}
+
+constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialShapes, FusedTileShapeProperty,
+    testing::Combine(
+        /*n=*/testing::Values<std::size_t>(1, 7, 33),
+        /*b_cols=*/testing::Values<std::size_t>(1, 5, 17),
+        // tile_rows: degenerate 1, ragged 3 and 5, larger-than-n, and the
+        // SIZE_MAX shape that used to overflow tile_rows·tile_cols when
+        // sizing the per-thread scratch buffer.
+        /*tile_rows=*/testing::Values<std::size_t>(1, 3, 5, 64, kMax),
+        // tile_cols: 0 = auto, ragged odd widths, wider-than-b, SIZE_MAX.
+        /*tile_cols=*/testing::Values<std::size_t>(0, 1, 3, 64, kMax)));
+
+// The zero-tile_rows knob is documented as "max(1, ...)": it must behave as
+// one-row tiles, not crash or hang.
+TEST(FusedTileShapeTest, ZeroTileRowsFallsBackToOne) {
+  const linalg::CsrMatrix a = symmetric_fixture(9);
+  const random::CounterRng rng(7, 0);
+  linalg::DenseMatrix b(9, 4);
+  core::fill_projection_tile(rng, 4, core::ProjectionKind::kGaussian, 0, 9, 0,
+                             4, b.row(0).data());
+  const linalg::DenseMatrix expected = a.multiply_dense(b);
+  linalg::GeneratedTileOptions opts;
+  opts.tile_rows = 0;
+  const linalg::DenseMatrix got = a.multiply_generated(
+      4,
+      [&](std::size_t r0, std::size_t r1, std::size_t c0, std::size_t c1,
+          double* out) {
+        core::fill_projection_tile(rng, 4, core::ProjectionKind::kGaussian, r0,
+                                   r1, c0, c1, out);
+      },
+      opts);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      ASSERT_EQ(got(i, c), expected(i, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgp

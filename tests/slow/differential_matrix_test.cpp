@@ -18,6 +18,7 @@
 #include "core/sharded_publish.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 
 namespace sgp::core {
@@ -154,6 +155,68 @@ INSTANTIATE_TEST_SUITE_P(ProcessAxis, DistributedMatrixTest,
                          [](const auto& info) {
                            return "workers" + std::to_string(info.param);
                          });
+
+// Kernel axis of the matrix (docs/scaling.md): for each kernel variant, the
+// sharded path across shard heights × thread counts must equal that
+// variant's own in-memory streaming reference. Unsupported variants skip
+// (the build/CPU may lack an ISA); scalar and generic always run.
+class KernelMatrixTest
+    : public testing::TestWithParam<
+          std::tuple<random::KernelVariant, std::size_t, std::size_t>> {};
+
+TEST_P(KernelMatrixTest, ShardedBytesEqualStreamingReferencePerKernel) {
+  const auto [kernel, shard_rows, threads] = GetParam();
+  if (!random::kernel_supported(kernel)) {
+    GTEST_SKIP() << "variant " << random::to_string(kernel)
+                 << " not supported on this machine";
+  }
+  const std::string edges_path =
+      testing::TempDir() + "/sgp_diff_kernel.edges";
+  random::Rng rng(53);
+  const graph::Graph g = graph::barabasi_albert(kNodes, 6, rng);
+  graph::write_edge_list_file(g, edges_path);
+
+  RandomProjectionPublisher::Options popt;
+  popt.projection_dim = kDim;
+  popt.seed = 20260807;
+  popt.kernel = kernel;
+  std::ostringstream ref(std::ios::binary);
+  publish_to_stream(g, popt, ref);
+
+  const std::string out_path =
+      testing::TempDir() + "/sgp_diff_k" +
+      std::string(random::to_string(kernel)) + "_s" +
+      std::to_string(shard_rows) + "_t" + std::to_string(threads) + ".bin";
+  graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
+  ShardedPublishOptions opt;
+  opt.publish = popt;
+  opt.shard_rows = shard_rows;
+  opt.threads = threads;
+  publish_sharded(reader, opt, out_path);
+
+  std::ifstream in(out_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), ref.str())
+      << "byte drift at kernel=" << random::to_string(kernel)
+      << " shard_rows=" << shard_rows << " threads=" << threads;
+  std::remove(out_path.c_str());
+  std::remove(edges_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelAxis, KernelMatrixTest,
+    testing::Combine(testing::Values(random::KernelVariant::kScalar,
+                                     random::KernelVariant::kGeneric,
+                                     random::KernelVariant::kAvx2,
+                                     random::KernelVariant::kAvx512),
+                     testing::Values(std::size_t{7}, std::size_t{64}, kNodes),
+                     testing::Values(std::size_t{1}, std::size_t{8})),
+    [](const auto& info) {
+      return std::string(random::to_string(std::get<0>(info.param))) +
+             "_shard" + std::to_string(std::get<1>(info.param)) + "_threads" +
+             std::to_string(std::get<2>(info.param));
+    });
 
 // The compact-id remap must survive the matrix too: shard loading under
 // kCompact re-resolves ids through the persistent remap, so a sparse messy

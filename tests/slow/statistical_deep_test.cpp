@@ -16,6 +16,8 @@
 #include "core/serialization.hpp"
 #include "graph/generators.hpp"
 #include "random/counter_rng.hpp"
+#include "random/counter_rng_simd.hpp"
+#include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 #include "../dp/stat_utils.hpp"
 
@@ -58,6 +60,57 @@ TEST(DeepNoiseStatistics, DisjointCounterWindowsAreUncorrelated) {
     corr /= static_cast<double>(n);
     EXPECT_NEAR(corr, 0.0, 0.006) << "lag " << lag;
   }
+}
+
+TEST(DeepNoiseStatistics, MillionSamplePolynomialKernelIsStandardNormal) {
+  // Same depth as the scalar million-sample test, but through the batch
+  // polynomial kernel — the distribution of the vectorized normal mapping
+  // must be indistinguishable from N(0,1) at a sample size where even a
+  // 1e-3 CDF distortion (a sloppy polynomial, a biased tail) is fatal.
+  const std::size_t n = 1'000'000;
+  const random::CounterRng noise = noise_counter_rng(/*seed=*/20260807);
+  for (const random::KernelVariant kernel :
+       {random::KernelVariant::kGeneric, random::KernelVariant::kAvx2,
+        random::KernelVariant::kAvx512}) {
+    if (!random::kernel_supported(kernel)) continue;
+    std::vector<double> samples(n);
+    random::normal_batch(noise, 0, n, samples.data(), kernel);
+
+    const double ks = test_stats::ks_statistic_normal(samples);
+    EXPECT_LT(std::sqrt(static_cast<double>(n)) * ks, kKsCritical)
+        << "variant " << random::to_string(kernel);
+    EXPECT_LT(test_stats::chi_square_normal(samples, kChiBins), kChiCritical)
+        << "variant " << random::to_string(kernel);
+
+    const auto m = test_stats::moments(samples);
+    EXPECT_NEAR(m.mean, 0.0, 0.004) << "variant " << random::to_string(kernel);
+    EXPECT_NEAR(m.variance, 1.0, 0.006)
+        << "variant " << random::to_string(kernel);
+    EXPECT_NEAR(m.kurtosis, 3.0, 0.02)
+        << "variant " << random::to_string(kernel);
+  }
+}
+
+TEST(DeepNoiseStatistics, MillionSamplePolynomialTracksScalarElementwise) {
+  // The |poly − libm| ≤ 1e-12 elementwise contract, at depth: a million
+  // counters cover the polynomial's whole practical input range (uniforms
+  // down to ~1e-6, angles across all quadrants).
+  const std::size_t n = 1'000'000;
+  const random::CounterRng noise = noise_counter_rng(/*seed=*/31337);
+  std::vector<double> scalar(n);
+  std::vector<double> poly(n);
+  random::normal_batch(noise, 0, n, scalar.data(),
+                       random::KernelVariant::kScalar);
+  random::normal_batch(noise, 0, n, poly.data(),
+                       random::KernelVariant::kGeneric);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double abs_err = std::abs(poly[i] - scalar[i]);
+    const double scale = std::max(std::abs(poly[i]), std::abs(scalar[i]));
+    worst = std::max(worst, scale > 0.0 ? std::min(abs_err, abs_err / scale)
+                                        : abs_err);
+  }
+  EXPECT_LT(worst, 1e-12);
 }
 
 TEST(DeepProjectionStatistics, GaussianTileMillionEntries) {

@@ -21,6 +21,12 @@
 #                      merged v2 report through sgp_bench_check and
 #                      sgp_trace (--chrome / --validate-chrome / --summary)
 #                      end to end (docs/observability.md)
+#   9. kernel diff     scalar-vs-vectorized differential: the simd-labeled
+#                      suites (per-variant byte equality across publish
+#                      paths) plus an end-to-end SGP_FORCE_KERNEL sweep of
+#                      sgp_publish, asserting each vector variant's bytes
+#                      match its forced re-run and the scalar bytes stay
+#                      distinct under the counter-v1 tag (DESIGN.md)
 #
 #   tools/run_static_analysis.sh [--fast]
 #
@@ -142,6 +148,49 @@ if [[ "${obs_ok}" == "1" ]]; then
   echo "obs plane: clean"
 else
   echo "obs plane: FAILED"
+  fail=1
+fi
+
+# --- 9. kernel differential -------------------------------------------------
+note "kernel differential (scalar vs vectorized)"
+kd_ok=1
+# The simd-labeled ctest suites: per-variant byte equality across in-memory /
+# streaming / sharded paths, and the MICRO speedup gate.
+ctest --test-dir build -L simd --output-on-failure || kd_ok=0
+# End-to-end via the CLI env override: publishing twice under the same forced
+# kernel must be byte-stable, and the vectorized release must differ from
+# scalar (it carries the counter-v1-simd tag).
+kd_dir="$(mktemp -d)"
+./build/tools/sgp_generate --model ba --nodes 150 --out "${kd_dir}/g.edges" \
+  >/dev/null 2>&1 || kd_ok=0
+for variant in scalar generic avx2 avx512; do
+  if ! SGP_FORCE_KERNEL="${variant}" ./build/tools/sgp_publish \
+      --edges "${kd_dir}/g.edges" --out "${kd_dir}/${variant}.bin" \
+      --dim 16 --seed 7 >/dev/null 2>&1; then
+    if [[ "${variant}" == "scalar" || "${variant}" == "generic" ]]; then
+      echo "kernel diff: forced ${variant} publish failed"; kd_ok=0
+    else
+      echo "kernel diff: ${variant} unsupported on this machine — skipped"
+    fi
+    continue
+  fi
+  SGP_FORCE_KERNEL="${variant}" ./build/tools/sgp_publish \
+    --edges "${kd_dir}/g.edges" --out "${kd_dir}/${variant}.rerun.bin" \
+    --dim 16 --seed 7 >/dev/null 2>&1 || kd_ok=0
+  cmp -s "${kd_dir}/${variant}.bin" "${kd_dir}/${variant}.rerun.bin" || {
+    echo "kernel diff: ${variant} re-run bytes differ"; kd_ok=0; }
+  if [[ "${variant}" != "scalar" && -f "${kd_dir}/scalar.bin" ]]; then
+    cmp -s "${kd_dir}/${variant}.bin" "${kd_dir}/generic.bin" || {
+      echo "kernel diff: ${variant} disagrees with generic"; kd_ok=0; }
+    cmp -s "${kd_dir}/${variant}.bin" "${kd_dir}/scalar.bin" && {
+      echo "kernel diff: ${variant} aliases the scalar mapping"; kd_ok=0; }
+  fi
+done
+rm -rf "${kd_dir}"
+if [[ "${kd_ok}" == "1" ]]; then
+  echo "kernel differential: clean"
+else
+  echo "kernel differential: FAILED"
   fail=1
 fi
 

@@ -15,5 +15,6 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSGP_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j --target util_test linalg_test core_test
+cmake --build "${BUILD_DIR}" -j --target util_test linalg_test core_test \
+  kernel_differential_test
 ctest --test-dir "${BUILD_DIR}" -L tsan --output-on-failure -j "$(nproc)"

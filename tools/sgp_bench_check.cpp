@@ -24,6 +24,29 @@ namespace {
 // Per-experiment metadata contracts, beyond the generic schema: BENCH_E7
 // carries the scalability configuration (projection_rng and thread count
 // matter for interpreting the fused-vs-legacy numbers).
+// The kernel-variant meta axis, shared by every benchmark that touches the
+// publish pipeline: timings are only comparable within a variant, so each
+// report must say which normal-mapping kernel generated its numbers.
+void check_kernel_variant(const std::string& path, const std::string& id,
+                          const sgp::util::JsonValue& meta) {
+  const sgp::util::JsonValue* kernel = meta.find("kernel_variant");
+  if (kernel == nullptr) {
+    throw sgp::util::ParseError(path + ": " + id +
+                                " meta missing 'kernel_variant'");
+  }
+  if (!kernel->is_string()) {
+    throw sgp::util::ParseError(path + ": " + id +
+                                " meta.kernel_variant must be a string");
+  }
+  const std::string& name = kernel->as_string();
+  if (name != "scalar" && name != "generic" && name != "avx2" &&
+      name != "avx512") {
+    throw sgp::util::ParseError(path + ": " + id +
+                                " meta.kernel_variant '" + name +
+                                "' is not a known kernel variant");
+  }
+}
+
 void check_e7_meta(const std::string& path, const sgp::util::JsonValue& doc) {
   const sgp::util::JsonValue* meta = doc.find("meta");
   for (const char* key :
@@ -39,6 +62,7 @@ void check_e7_meta(const std::string& path, const sgp::util::JsonValue& doc) {
                                 ": E7 meta.projection_rng must be a "
                                 "non-empty string");
   }
+  check_kernel_variant(path, "E7", *meta);
   const sgp::util::JsonValue* threads = meta->find("threads");
   if (!threads->is_number() || threads->as_number() < 1.0) {
     throw sgp::util::ParseError(path + ": E7 meta.threads must be >= 1");
@@ -88,6 +112,42 @@ void check_e13_meta(const std::string& path, const sgp::util::JsonValue& doc) {
     throw sgp::util::ParseError(
         path + ": E13 meta.obs_schema must name a known report schema");
   }
+  check_kernel_variant(path, "E13", *meta);
+}
+
+// BENCH_MICRO carries the SIMD acceptance gate: when the machine has vector
+// hardware (kernel_variant avx2/avx512), the hand-timed tile-fill and
+// fused-SpMM speedups over the scalar kernel must both clear 1.5× — this is
+// the check that keeps a regressed vector kernel from shipping silently. On
+// scalar-only machines the speedups are reported as 1.0 and only sanity-
+// checked, so CI stays green off x86.
+void check_micro_meta(const std::string& path,
+                      const sgp::util::JsonValue& doc) {
+  const sgp::util::JsonValue* meta = doc.find("meta");
+  check_kernel_variant(path, "MICRO", *meta);
+  for (const char* key : {"tile_fill_speedup", "fused_spmm_speedup"}) {
+    const sgp::util::JsonValue* speedup = meta->find(key);
+    if (speedup == nullptr) {
+      throw sgp::util::ParseError(path + ": MICRO meta missing '" +
+                                  std::string(key) + "'");
+    }
+    if (!speedup->is_number() || speedup->as_number() <= 0.0) {
+      throw sgp::util::ParseError(path + ": MICRO meta." + std::string(key) +
+                                  " must be a positive number");
+    }
+  }
+  const std::string& kernel = meta->find("kernel_variant")->as_string();
+  if (kernel == "avx2" || kernel == "avx512") {
+    for (const char* key : {"tile_fill_speedup", "fused_spmm_speedup"}) {
+      const double speedup = meta->find(key)->as_number();
+      if (speedup < 1.5) {
+        throw sgp::util::ParseError(
+            path + ": MICRO meta." + std::string(key) + " = " +
+            std::to_string(speedup) + " under " + kernel +
+            " — vector kernels must be >= 1.5x over scalar");
+      }
+    }
+  }
 }
 
 void check_file(const std::string& path) {
@@ -117,6 +177,9 @@ void check_file(const std::string& path) {
   }
   if (doc.find("id")->as_string() == "E13") {
     check_e13_meta(path, doc);
+  }
+  if (doc.find("id")->as_string() == "MICRO") {
+    check_micro_meta(path, doc);
   }
 }
 

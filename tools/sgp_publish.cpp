@@ -3,6 +3,7 @@
 //   sgp_publish --edges graph.txt --out release.bin
 //               [--epsilon 1.0] [--delta 1e-6] [--dim 100]
 //               [--projection gaussian|achlioptas] [--seed 7] [--streaming]
+//               [--kernel auto|scalar|generic|avx2|avx512]
 //               [--shard-rows R | --max-memory-mb MB] [--threads T]
 //               [--no-resume]
 //               [--ledger budget.ledger --budget-epsilon 10 --budget-delta 1e-5]
@@ -11,6 +12,13 @@
 //
 // With --streaming the release is computed row by row (≈half the peak
 // memory); output bytes are identical either way.
+//
+// --kernel selects the value-generation kernel (docs/scaling.md). The
+// default ("auto") honours SGP_FORCE_KERNEL and otherwise stays on the
+// byte-stable scalar path; "avx2"/"avx512"/"generic" opt a gaussian
+// release into the vectorized polynomial mapping, which is recorded in
+// the release header ("counter-v1-simd") so reconstruction regenerates
+// the same projection on any machine.
 //
 // With --shard-rows (or --max-memory-mb, which derives a shard height from
 // a memory budget — docs/scaling.md) the release is produced out of core:
@@ -50,6 +58,7 @@
 #include "graph/shard_loader.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/scoped_timer.hpp"
+#include "random/kernel_variant.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
@@ -76,6 +85,7 @@ int main(int argc, char** argv) {
                  "usage: %s --edges graph.txt --out release.bin "
                  "[--epsilon E] [--delta D] [--dim M] "
                  "[--projection gaussian|achlioptas] [--seed S] "
+                 "[--kernel auto|scalar|generic|avx2|avx512] "
                  "[--streaming] [--shard-rows R | --max-memory-mb MB] "
                  "[--threads T] [--no-resume] "
                  "[--workers N [--lease-timeout S] [--worker-fault-spec F]] "
@@ -107,6 +117,8 @@ int main(int argc, char** argv) {
     if (args.get_string("projection", "gaussian") == "achlioptas") {
       opt.projection = sgp::core::ProjectionKind::kAchlioptas;
     }
+    opt.kernel =
+        sgp::random::parse_kernel_variant(args.get_string("kernel", "auto"));
     const std::string ledger_path = args.get_string("ledger", "");
     // The cap is the point of the ledger — refuse to default it silently.
     if (!ledger_path.empty() &&
