@@ -21,6 +21,7 @@
 #include "core/projection.hpp"
 #include "core/publisher.hpp"
 #include "core/theory.hpp"
+#include "dp/defaults.hpp"
 #include "dp/mechanisms.hpp"
 #include "random/kernel_variant.hpp"
 #include "util/thread_pool.hpp"
@@ -116,7 +117,7 @@ void BM_LnppPublish(benchmark::State& state) {
   const auto& g = cached_graph(static_cast<std::size_t>(state.range(0)));
   sgp::core::LnppPublisher::Options opt;
   opt.k = 8;
-  opt.epsilon = 1.0;
+  opt.epsilon = sgp::dp::kDefaultEpsilon;
   opt.seed = 43;
   const sgp::core::LnppPublisher publisher(opt);
   for (auto _ : state) {

@@ -1,0 +1,190 @@
+#include "analysis/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/errors.hpp"
+#include "util/json.hpp"
+
+namespace sgp::analysis {
+
+std::string lint_cache_version_key(const RuleOptions& opt,
+                                   const std::vector<std::string>& rules) {
+  std::string registries;
+  for (const std::string& n : opt.canonical_metric_names) {
+    registries += n;
+    registries += '\n';
+  }
+  registries += '\x1f';
+  for (const std::string& n : opt.canonical_fault_points) {
+    registries += n;
+    registries += '\n';
+  }
+  std::string key(kLintEngineVersion);
+  key += '|';
+  if (rules.empty()) {
+    for (std::string_view id : kAllRuleIds) {
+      key += id;
+      key += ',';
+    }
+  } else {
+    for (const std::string& id : rules) {
+      key += id;
+      key += ',';
+    }
+  }
+  key += '|';
+  key += std::to_string(util::crc32(registries));
+  return key;
+}
+
+LintCache LintCache::load(const std::string& path,
+                          const std::string& version_key) {
+  LintCache cache(version_key);
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return cache;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const util::JsonValue doc = util::parse_json(buf.str());
+    const util::JsonValue* schema = doc.find("schema");
+    const util::JsonValue* version = doc.find("version_key");
+    const util::JsonValue* files = doc.find("files");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != "sgp-lint-cache-v1" || version == nullptr ||
+        !version->is_string() || version->as_string() != version_key ||
+        files == nullptr || !files->is_array()) {
+      return cache;
+    }
+    for (const util::JsonValue& f : files->as_array()) {
+      const util::JsonValue* p = f.find("path");
+      const util::JsonValue* crc = f.find("crc");
+      const util::JsonValue* size = f.find("size");
+      const util::JsonValue* includes = f.find("includes");
+      const util::JsonValue* findings = f.find("findings");
+      if (p == nullptr || !p->is_string() || crc == nullptr ||
+          !crc->is_number() || size == nullptr || !size->is_number() ||
+          includes == nullptr || !includes->is_array() ||
+          findings == nullptr || !findings->is_array()) {
+        return LintCache(version_key);  // corrupt entry: whole cache cold
+      }
+      CachedFile entry;
+      entry.crc = static_cast<std::uint32_t>(crc->as_number());
+      entry.size = static_cast<std::uint64_t>(size->as_number());
+      for (const util::JsonValue& inc : includes->as_array()) {
+        const util::JsonValue* target = inc.find("target");
+        const util::JsonValue* line = inc.find("line");
+        const util::JsonValue* angle = inc.find("angle");
+        if (target == nullptr || !target->is_string() || line == nullptr ||
+            !line->is_number() || angle == nullptr || !angle->is_bool()) {
+          return LintCache(version_key);
+        }
+        entry.includes.push_back({target->as_string(),
+                                  static_cast<int>(line->as_number()),
+                                  angle->as_bool()});
+      }
+      for (const util::JsonValue& fd : findings->as_array()) {
+        Finding finding;
+        const util::JsonValue* rule = fd.find("rule");
+        const util::JsonValue* file = fd.find("file");
+        const util::JsonValue* line = fd.find("line");
+        const util::JsonValue* snippet = fd.find("snippet");
+        const util::JsonValue* message = fd.find("message");
+        const util::JsonValue* fix = fd.find("fix");
+        if (rule == nullptr || !rule->is_string() || file == nullptr ||
+            !file->is_string() || line == nullptr || !line->is_number() ||
+            snippet == nullptr || !snippet->is_string() ||
+            message == nullptr || !message->is_string()) {
+          return LintCache(version_key);
+        }
+        finding.rule = rule->as_string();
+        finding.file = file->as_string();
+        finding.line = static_cast<int>(line->as_number());
+        finding.snippet = snippet->as_string();
+        finding.message = message->as_string();
+        if (fix != nullptr && fix->is_string()) finding.fix = fix->as_string();
+        entry.findings.push_back(std::move(finding));
+      }
+      cache.files_[p->as_string()] = std::move(entry);
+    }
+  } catch (const std::exception&) {
+    return LintCache(version_key);  // unreadable/corrupt: cold run
+  }
+  return cache;
+}
+
+void LintCache::save(const std::string& path) const {
+  std::string doc = "{\n  \"schema\": \"sgp-lint-cache-v1\",\n";
+  doc += "  \"version_key\": ";
+  util::append_json_string(doc, version_key_);
+  doc += ",\n  \"files\": [";
+  bool first_file = true;
+  for (const auto& [rel, entry] : files_) {
+    doc += first_file ? "\n" : ",\n";
+    first_file = false;
+    doc += "    {\"path\": ";
+    util::append_json_string(doc, rel);
+    doc += ", \"crc\": " + util::json_number(
+                               static_cast<std::uint64_t>(entry.crc));
+    doc += ", \"size\": " + util::json_number(entry.size);
+    doc += ",\n     \"includes\": [";
+    bool first = true;
+    for (const IncludeDirective& inc : entry.includes) {
+      doc += first ? "" : ", ";
+      first = false;
+      doc += "{\"target\": ";
+      util::append_json_string(doc, inc.target);
+      doc += ", \"line\": " + util::json_number(static_cast<std::uint64_t>(
+                                  inc.line > 0 ? inc.line : 1));
+      doc += ", \"angle\": ";
+      doc += inc.angle ? "true" : "false";
+      doc += "}";
+    }
+    doc += "],\n     \"findings\": [";
+    first = true;
+    for (const Finding& f : entry.findings) {
+      doc += first ? "" : ", ";
+      first = false;
+      doc += "{\"rule\": ";
+      util::append_json_string(doc, f.rule);
+      doc += ", \"file\": ";
+      util::append_json_string(doc, f.file);
+      doc += ", \"line\": " + util::json_number(static_cast<std::uint64_t>(
+                                  f.line > 0 ? f.line : 1));
+      doc += ", \"snippet\": ";
+      util::append_json_string(doc, f.snippet);
+      doc += ", \"message\": ";
+      util::append_json_string(doc, f.message);
+      if (!f.fix.empty()) {
+        doc += ", \"fix\": ";
+        util::append_json_string(doc, f.fix);
+      }
+      doc += "}";
+    }
+    doc += "]}";
+  }
+  doc += first_file ? "]\n}\n" : "\n  ]\n}\n";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) throw util::IoError("lint cache: cannot open " + path);
+  out << doc;
+  out.flush();
+  if (!out.good()) throw util::IoError("lint cache: failed writing " + path);
+}
+
+const CachedFile* LintCache::lookup(const std::string& rel_path,
+                                    std::uint32_t crc,
+                                    std::uint64_t size) const {
+  const auto it = files_.find(rel_path);
+  if (it == files_.end() || it->second.crc != crc ||
+      it->second.size != size) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void LintCache::put(const std::string& rel_path, CachedFile entry) {
+  files_[rel_path] = std::move(entry);
+}
+
+}  // namespace sgp::analysis

@@ -1,0 +1,75 @@
+// Content-hash incremental cache for the lint driver.
+//
+// One entry per file: (crc32, size) of the file's bytes, its include
+// directives, and the per-file findings it produced. On a warm run a file
+// whose bytes are unchanged is not re-tokenized — its cached findings and
+// include summary are reused, and only the cross-file R6 graph phase
+// (cheap: pure path/edge work) runs fresh. That makes the cache safe for
+// cross-file rules by construction: nothing whose verdict depends on
+// *other* files is ever cached.
+//
+// The whole cache is keyed by a version string covering the engine
+// version, the enabled rule set, and the canonical name registries — any
+// change to what the rules would say invalidates every entry at once.
+// A cache that fails to load (missing, corrupt, foreign schema, stale
+// version) degrades silently to a cold run; the cache is an accelerator,
+// never a source of truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/index.hpp"
+#include "analysis/rules.hpp"
+
+namespace sgp::analysis {
+
+/// The engine fingerprint baked into every cache's version key. Bump when
+/// a rule's behaviour changes so stale findings cannot be replayed.
+inline constexpr std::string_view kLintEngineVersion = "sgp-lint-engine-2";
+
+struct CachedFile {
+  std::uint32_t crc = 0;   ///< util::crc32 of the file bytes
+  std::uint64_t size = 0;  ///< byte count (cheap second factor)
+  std::vector<IncludeDirective> includes;
+  std::vector<Finding> findings;  ///< per-file findings, sorted
+};
+
+/// The version key for a lint configuration: engine version + rule ids +
+/// canonical registries. Two runs with equal keys agree on every cached
+/// verdict.
+[[nodiscard]] std::string lint_cache_version_key(
+    const RuleOptions& opt, const std::vector<std::string>& rules);
+
+class LintCache {
+ public:
+  explicit LintCache(std::string version_key)
+      : version_key_(std::move(version_key)) {}
+
+  /// Loads `path` if it exists, parses as `sgp-lint-cache-v1`, and keeps
+  /// the entries only when the stored version key equals `version_key`.
+  /// Never throws: any failure returns an empty cache.
+  [[nodiscard]] static LintCache load(const std::string& path,
+                                      const std::string& version_key);
+
+  /// Serializes deterministically (entries sorted by path). Throws
+  /// util::IoError on write failure.
+  void save(const std::string& path) const;
+
+  /// The entry for `rel_path` when both crc and size match, else nullptr.
+  [[nodiscard]] const CachedFile* lookup(const std::string& rel_path,
+                                         std::uint32_t crc,
+                                         std::uint64_t size) const;
+
+  void put(const std::string& rel_path, CachedFile entry);
+
+  [[nodiscard]] std::size_t entry_count() const { return files_.size(); }
+
+ private:
+  std::string version_key_;
+  std::map<std::string, CachedFile> files_;
+};
+
+}  // namespace sgp::analysis

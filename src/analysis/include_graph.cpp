@@ -1,0 +1,213 @@
+#include "analysis/include_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sgp::analysis {
+namespace {
+
+bool has_prefix(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool has_suffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Collapses "." and ".." segments ("tests/random/../dp/x.hpp" →
+/// "tests/dp/x.hpp"). A ".." that would escape the root empties the path.
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::istringstream in(path);
+  std::string seg;
+  while (std::getline(in, seg, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (parts.empty()) return {};
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(seg);
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+const std::map<std::string, std::set<std::string>>& edge_table() {
+  static const std::map<std::string, std::set<std::string>> kEdges = [] {
+    std::map<std::string, std::set<std::string>> e;
+    const std::vector<std::string> src_modules = {
+        "util", "obs",     "dp",   "random",   "linalg",
+        "graph", "cluster", "ranking", "core", "analysis"};
+    // The instrumentation exception: util owns the thread pool, retry, and
+    // fault-injection primitives, which publish their own obs metrics.
+    e["util"] = {"obs"};
+    e["obs"] = {"util"};
+    e["random"] = {"util"};
+    e["dp"] = {"random", "util"};
+    e["linalg"] = {"obs", "random", "util"};
+    e["graph"] = {"linalg", "obs", "random", "util"};
+    e["cluster"] = {"dp", "graph", "linalg", "obs", "random", "util"};
+    e["ranking"] = {"dp", "graph", "linalg", "obs", "random", "util"};
+    e["core"] = {"cluster", "dp",  "graph",  "linalg", "obs",
+                 "random",  "ranking", "util"};
+    e["analysis"] = {"obs", "util"};
+    for (const char* top : {"tools", "bench", "tests", "examples"}) {
+      e[top] = std::set<std::string>(src_modules.begin(), src_modules.end());
+    }
+    return e;
+  }();
+  return kEdges;
+}
+
+}  // namespace
+
+std::string module_of_path(const std::string& path) {
+  for (const char* top : {"tools", "bench", "tests", "examples"}) {
+    if (has_prefix(path, std::string(top) + "/")) return top;
+  }
+  if (!has_prefix(path, "src/")) return {};
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  const std::string module = path.substr(4, slash - 4);
+  return edge_table().count(module) != 0 ? module : std::string();
+}
+
+bool layering_allows(const std::string& from, const std::string& to) {
+  if (from.empty() || to.empty()) return false;
+  if (from == to) return true;
+  const auto it = edge_table().find(from);
+  return it != edge_table().end() && it->second.count(to) != 0;
+}
+
+const std::vector<std::pair<std::string, std::string>>&
+allowed_module_edges() {
+  static const std::vector<std::pair<std::string, std::string>> kFlat = [] {
+    std::vector<std::pair<std::string, std::string>> flat;
+    for (const auto& [from, tos] : edge_table()) {
+      for (const std::string& to : tos) flat.emplace_back(from, to);
+    }
+    return flat;  // map+set iteration is already sorted
+  }();
+  return kFlat;
+}
+
+std::string resolve_include(const std::string& includer_path,
+                            const IncludeDirective& inc,
+                            const std::vector<std::string>& repo_files) {
+  if (inc.angle) return {};  // system/external headers
+  auto in_repo = [&](const std::string& candidate) {
+    return !candidate.empty() &&
+           std::binary_search(repo_files.begin(), repo_files.end(),
+                              candidate);
+  };
+  const std::string verbatim = normalize_path(inc.target);
+  if (in_repo(verbatim)) return verbatim;
+  const std::string rooted = normalize_path("src/" + inc.target);
+  if (in_repo(rooted)) return rooted;
+  const std::string dir = dirname_of(includer_path);
+  if (!dir.empty()) {
+    const std::string relative = normalize_path(dir + "/" + inc.target);
+    if (in_repo(relative)) return relative;
+  }
+  return {};
+}
+
+std::vector<Finding> check_include_graph(
+    const std::vector<FileIncludeSummary>& summaries) {
+  std::vector<std::string> files;
+  files.reserve(summaries.size());
+  for (const FileIncludeSummary& s : summaries) files.push_back(s.path);
+
+  std::vector<Finding> out;
+  // Resolved edges per file, for the cycle pass: (target index, line).
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    index_of[summaries[i].path] = i;
+  }
+  std::vector<std::vector<std::pair<std::size_t, int>>> edges(
+      summaries.size());
+
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const FileIncludeSummary& s = summaries[i];
+    const std::string from = module_of_path(s.path);
+    for (const IncludeDirective& inc : s.includes) {
+      const std::string target = resolve_include(s.path, inc, files);
+      if (target.empty()) continue;
+      edges[i].emplace_back(index_of.at(target), inc.line);
+      const std::string to = module_of_path(target);
+      if (!from.empty() && !to.empty() && !layering_allows(from, to)) {
+        out.push_back(
+            {"R6", s.path, inc.line, inc.target,
+             "include-layering: " + from + " must not include " + to +
+                 " ('" + inc.target + "') — the architecture DAG only "
+                 "allows downward edges (docs/static_analysis.md)",
+             "move the shared code into a layer both sides may depend on, "
+             "or invert the dependency"});
+      }
+      if (has_suffix(target, ".inl") && has_prefix(target, "src/random/") &&
+          !has_prefix(s.path, "src/random/")) {
+        out.push_back(
+            {"R6", s.path, inc.line, inc.target,
+             "include-layering: '" + inc.target + "' is a src/random/ "
+                 "kernel internal — *.inl stays inside the dispatched "
+                 "random/ layer",
+             "call through random/counter_rng.hpp (or kernel_variant.hpp) "
+             "instead of including the kernel body"});
+      }
+    }
+  }
+
+  // Include-cycle detection: DFS three-color over the resolved file graph,
+  // nodes visited in sorted-path order so reports are deterministic.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(summaries.size(), Color::kWhite);
+  std::vector<std::size_t> stack;
+  const std::function<void(std::size_t)> visit = [&](std::size_t u) {
+    color[u] = Color::kGray;
+    stack.push_back(u);
+    for (const auto& [v, line] : edges[u]) {
+      if (color[v] == Color::kBlack) continue;
+      if (color[v] == Color::kGray) {
+        // Back edge u→v closes a cycle: v … u on the stack.
+        std::string chain;
+        for (std::size_t k = 0; k < stack.size(); ++k) {
+          if (stack[k] != v && chain.empty()) continue;
+          if (!chain.empty()) chain += " -> ";
+          chain += summaries[stack[k]].path;
+        }
+        chain += " -> " + summaries[v].path;
+        out.push_back(
+            {"R6", summaries[u].path, line, summaries[v].path,
+             "include-layering: include cycle " + chain,
+             "break the cycle with a forward declaration or by splitting "
+             "the shared types into a lower-layer header"});
+        continue;
+      }
+      visit(v);
+    }
+    stack.pop_back();
+    color[u] = Color::kBlack;
+  };
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    if (color[i] == Color::kWhite) visit(i);
+  }
+
+  std::sort(out.begin(), out.end(), finding_less);
+  return out;
+}
+
+}  // namespace sgp::analysis

@@ -1,0 +1,72 @@
+// R6 include-layering: the architecture DAG, include resolution, and the
+// cross-file checks (layer violations, include cycles, kernel-internal
+// containment).
+//
+// The repo's layer order, bottom to top:
+//
+//     util ─→ obs            (mutual by design: util primitives publish
+//      ↑  ←─┘                 their own metrics; the file-level cycle
+//      │                      check still forbids header cycles)
+//     random ─→ util
+//     dp ─→ {random, util}
+//     linalg ─→ {random, obs, util}
+//     graph ─→ {linalg, random, obs, util}
+//     cluster, ranking ─→ {graph, linalg, dp, random, obs, util}
+//     core ─→ {cluster, ranking, graph, linalg, dp, random, obs, util}
+//     analysis ─→ {obs, util}
+//     tools, bench, examples, tests ─→ any src module
+//
+// Anything not in the table is a violation: a lower layer reaching up
+// (util → core), a lateral grab (dp → linalg), or src/ code including
+// tools/ headers. The table is exported for the docs drift test.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/index.hpp"
+#include "analysis/rules.hpp"
+
+namespace sgp::analysis {
+
+/// The architecture module a path belongs to: "util", "obs", "dp",
+/// "random", "linalg", "graph", "cluster", "ranking", "core", "analysis"
+/// for src/<m>/...; "tools", "bench", "tests", "examples" for those
+/// top-level trees; "" for anything else (root files, external headers).
+[[nodiscard]] std::string module_of_path(const std::string& path);
+
+/// True when module `from` may include headers of module `to`.
+/// Self-includes are always allowed; unknown modules ("") never are.
+[[nodiscard]] bool layering_allows(const std::string& from,
+                                   const std::string& to);
+
+/// Every allowed cross-module edge (from, to), sorted — the source of
+/// truth the docs/static_analysis.md DAG table is drift-tested against.
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+allowed_module_edges();
+
+/// Resolves a quoted include against the repo file set: tries the target
+/// verbatim, rooted at src/, and relative to the includer's directory
+/// (".." segments normalized). Returns the root-relative path of the repo
+/// file hit, or "" for external headers. `repo_files` must be sorted.
+[[nodiscard]] std::string resolve_include(
+    const std::string& includer_path, const IncludeDirective& inc,
+    const std::vector<std::string>& repo_files);
+
+/// One file's contribution to the include graph — cheap to cache, cheap to
+/// recompute the global checks from.
+struct FileIncludeSummary {
+  std::string path;
+  std::vector<IncludeDirective> includes;
+};
+
+/// The R6 graph phase: layer-violation, kernel-containment, and
+/// include-cycle findings over the whole tree. Runs fresh on every lint
+/// (never cached) because each edge's verdict depends on the full file
+/// set. `summaries` must be sorted by path; returns findings sorted by
+/// finding_less.
+[[nodiscard]] std::vector<Finding> check_include_graph(
+    const std::vector<FileIncludeSummary>& summaries);
+
+}  // namespace sgp::analysis

@@ -1,0 +1,217 @@
+#include "analysis/index.hpp"
+
+#include <unordered_set>
+
+namespace sgp::analysis {
+namespace {
+
+bool ident(const std::vector<Token>& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
+}
+
+bool punct(const std::vector<Token>& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+}
+
+/// True when token j continues the logical line of token j-1 (same physical
+/// line, or separated only by a backslash-newline splice).
+bool same_logical_line(const std::vector<Token>& t, std::size_t j) {
+  return j < t.size() &&
+         (t[j].line == t[j - 1].line || t[j].follows_splice);
+}
+
+/// Keywords that read as `name (` but never open a function definition.
+const std::unordered_set<std::string_view>& non_function_keywords() {
+  static const std::unordered_set<std::string_view> kSet = {
+      "if",       "else",     "for",         "while",    "do",
+      "switch",   "case",     "catch",       "return",   "sizeof",
+      "alignof",  "alignas",  "decltype",    "new",      "delete",
+      "throw",    "static_assert",           "noexcept", "assert",
+      "defined",  "operator", "requires",    "constexpr","typeid",
+      "co_await", "co_return","co_yield",
+  };
+  return kSet;
+}
+
+/// Index of the ')' matching the '(' at `lp`, or tokens.size() if
+/// unmatched.
+std::size_t match_paren(const std::vector<Token>& t, std::size_t lp) {
+  int depth = 0;
+  for (std::size_t j = lp; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Index of the '}' matching the '{' at `lb`, or tokens.size().
+std::size_t match_brace(const std::vector<Token>& t, std::size_t lb) {
+  int depth = 0;
+  for (std::size_t j = lb; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "{") ++depth;
+    if (t[j].text == "}" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Skips one balanced (...) or {...} group starting at `j`; returns the
+/// index just past it (tokens.size() when unbalanced).
+std::size_t skip_group(const std::vector<Token>& t, std::size_t j) {
+  if (punct(t, j, "(")) {
+    const std::size_t rp = match_paren(t, j);
+    return rp < t.size() ? rp + 1 : t.size();
+  }
+  if (punct(t, j, "{")) {
+    const std::size_t rb = match_brace(t, j);
+    return rb < t.size() ? rb + 1 : t.size();
+  }
+  return j;
+}
+
+/// Given the ')' closing a candidate signature, finds the '{' opening its
+/// body, walking over cv-qualifiers, noexcept(...), trailing return types,
+/// and constructor member-init lists. Returns tokens.size() when the
+/// candidate turns out to be a declaration/call rather than a definition.
+std::size_t find_body_brace(const std::vector<Token>& t, std::size_t rp) {
+  std::size_t j = rp + 1;
+  // Bound the scan: real signatures reach their '{' quickly; an unbounded
+  // walk could swallow half the file on pathological input.
+  const std::size_t limit = std::min(t.size(), j + 64);
+  bool in_trailing_return = false;
+  while (j < limit) {
+    if (punct(t, j, "{")) return j;
+    if (punct(t, j, ";") || punct(t, j, ",") || punct(t, j, ")") ||
+        punct(t, j, "=")) {
+      return t.size();  // declaration, `= default`, or call in an expression
+    }
+    if (punct(t, j, ":") ) {
+      // Constructor member-init list: ident (…) or ident {…}, comma-joined,
+      // then the body '{'. The init braces must not be mistaken for it.
+      ++j;
+      while (j < limit) {
+        // Walk the member name (possibly qualified / templated).
+        while (j < limit && !punct(t, j, "(") && !punct(t, j, "{") &&
+               !punct(t, j, ";")) {
+          ++j;
+        }
+        if (j >= limit || punct(t, j, ";")) return t.size();
+        j = skip_group(t, j);
+        if (punct(t, j, ",")) {
+          ++j;
+          continue;
+        }
+        return punct(t, j, "{") ? j : t.size();
+      }
+      return t.size();
+    }
+    if (punct(t, j, "->")) {  // trailing return type
+      in_trailing_return = true;
+      ++j;
+      continue;
+    }
+    if (ident(t, j, "noexcept") && punct(t, j + 1, "(")) {
+      j = skip_group(t, j + 1);
+      continue;
+    }
+    if (ident(t, j, "const") || ident(t, j, "noexcept") ||
+        ident(t, j, "override") || ident(t, j, "final") ||
+        ident(t, j, "mutable") || ident(t, j, "try")) {
+      ++j;
+      continue;
+    }
+    // Inside a trailing return type arbitrary type tokens are fine;
+    // anywhere else an unexpected token means "not a definition".
+    if (in_trailing_return) {
+      ++j;
+      continue;
+    }
+    return t.size();
+  }
+  return t.size();
+}
+
+void scan_includes(const std::vector<Token>& t,
+                   std::vector<IncludeDirective>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!punct(t, i, "#") || !ident(t, i + 1, "include")) continue;
+    if (i + 2 >= t.size() || !same_logical_line(t, i + 1) ||
+        !same_logical_line(t, i + 2)) {
+      continue;
+    }
+    if (t[i + 2].kind == TokKind::kString) {
+      out.push_back({t[i + 2].text, t[i].line, /*angle=*/false});
+      continue;
+    }
+    if (punct(t, i + 2, "<")) {
+      std::string target;
+      std::size_t j = i + 3;
+      while (j < t.size() && same_logical_line(t, j) && !punct(t, j, ">")) {
+        target += t[j].text;
+        ++j;
+      }
+      if (punct(t, j, ">") && same_logical_line(t, j)) {
+        out.push_back({std::move(target), t[i].line, /*angle=*/true});
+      }
+    }
+  }
+}
+
+void scan_functions(const std::vector<Token>& t,
+                    std::vector<FunctionDef>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier || !punct(t, i + 1, "(")) continue;
+    if (non_function_keywords().count(t[i].text) != 0) continue;
+    // `x.foo(...)` / `x->foo(...)` are calls, never definitions; a name
+    // directly after ':' or ',' is a ctor member initializer (the last
+    // one is followed by the ctor body's '{' and would otherwise pass
+    // the body-brace check).
+    if (i >= 1 && (punct(t, i - 1, ".") || punct(t, i - 1, "->") ||
+                   punct(t, i - 1, ":") || punct(t, i - 1, ","))) {
+      continue;
+    }
+    const std::size_t rp = match_paren(t, i + 1);
+    if (rp >= t.size()) continue;
+    const std::size_t lb = find_body_brace(t, rp);
+    if (lb >= t.size()) continue;
+    const std::size_t rb = match_brace(t, lb);
+    FunctionDef def;
+    def.name = t[i].text;
+    def.line = t[i].line;
+    def.params_begin = i + 2;
+    def.params_end = rp;
+    def.body_begin = lb + 1;
+    def.body_end = rb;  // tokens.size() when unterminated — still a span
+    out.push_back(std::move(def));
+  }
+}
+
+}  // namespace
+
+FileIndex build_file_index(std::vector<Token> tokens) {
+  FileIndex index;
+  index.tokens = std::move(tokens);
+  scan_includes(index.tokens, index.includes);
+  scan_functions(index.tokens, index.functions);
+  return index;
+}
+
+FileIndex build_file_index(const SourceFile& file) {
+  return build_file_index(tokenize(file.text));
+}
+
+const FunctionDef* enclosing_function(const FileIndex& index,
+                                      std::size_t tok) {
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& def : index.functions) {
+    if (tok < def.body_begin || tok >= def.body_end) continue;
+    if (best == nullptr ||
+        def.body_end - def.body_begin < best->body_end - best->body_begin) {
+      best = &def;
+    }
+  }
+  return best;
+}
+
+}  // namespace sgp::analysis

@@ -1,0 +1,62 @@
+// Lightweight per-file semantic index for the sgp-lint R6–R10 rules.
+//
+// Built on the comment/string-aware tokenizer, the index records the three
+// structural facts a flat token stream hides:
+//
+//   * every #include directive (target text, line, angle vs. quote form),
+//     splice-aware so `#include \<newline>"x.hpp"` still counts;
+//   * every *named* function definition with its parameter-list and body
+//     token spans, found by brace/paren tracking (constructors with member
+//     init lists included; lambdas deliberately not — tokens inside a
+//     lambda attribute to the enclosing named function, which is the
+//     granularity the privacy-flow and span-hygiene rules reason at);
+//   * nothing else. This is not an AST: rules that need more context must
+//     say so here and pay for it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.hpp"
+#include "analysis/tokenizer.hpp"
+
+namespace sgp::analysis {
+
+struct IncludeDirective {
+  std::string target;  ///< literal text, e.g. "util/json.hpp" or "random"
+  int line = 0;        ///< 1-based line of the directive
+  bool angle = false;  ///< true for <...>, false for "..."
+};
+
+/// One named function (or constructor/destructor) definition. Spans are
+/// half-open token-index ranges into the token vector the index was built
+/// from.
+struct FunctionDef {
+  std::string name;               ///< unqualified name ("publish", "Session")
+  int line = 0;                   ///< 1-based line of the name token
+  std::size_t params_begin = 0;   ///< first token inside the ( ... )
+  std::size_t params_end = 0;     ///< token index of the closing ')'
+  std::size_t body_begin = 0;     ///< first token inside the { ... }
+  std::size_t body_end = 0;       ///< token index of the closing '}'
+};
+
+struct FileIndex {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<FunctionDef> functions;  ///< in source order, outermost first
+};
+
+/// Scans `file` into tokens and builds the index in one pass.
+[[nodiscard]] FileIndex build_file_index(const SourceFile& file);
+
+/// Same, reusing an existing token stream (moved in).
+[[nodiscard]] FileIndex build_file_index(std::vector<Token> tokens);
+
+/// The innermost function whose body span contains token index `tok`, or
+/// nullptr when `tok` sits at file scope (or inside something the indexer
+/// does not model, e.g. an operator overload).
+[[nodiscard]] const FunctionDef* enclosing_function(const FileIndex& index,
+                                                    std::size_t tok);
+
+}  // namespace sgp::analysis

@@ -1,11 +1,17 @@
 #include "analysis/lint.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "analysis/cache.hpp"
+#include "analysis/include_graph.hpp"
+#include "util/crc32.hpp"
 #include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sgp::analysis {
 namespace {
@@ -22,21 +28,104 @@ bool excluded(const std::string& path,
   return false;
 }
 
+/// Per-file work product. Indexed slots keep the walk deterministic no
+/// matter how the pool interleaves files.
+struct FileSlot {
+  std::uint32_t crc = 0;
+  std::uint64_t size = 0;
+  std::vector<Finding> findings;
+  std::vector<IncludeDirective> includes;
+  bool relinted = false;
+  std::exception_ptr error;
+};
+
 }  // namespace
 
 LintResult run_lint(const LintOptions& options) {
+  std::vector<std::string> files;
+  for (std::string& rel : list_source_files(options.root)) {
+    if (!excluded(rel, options.exclude_prefixes)) {
+      files.push_back(std::move(rel));
+    }
+  }
+
+  const std::string version_key =
+      lint_cache_version_key(options.rule_options, options.rules);
+  LintCache cache = options.use_cache
+                        ? LintCache::load(options.cache_path, version_key)
+                        : LintCache(version_key);
+
+  std::vector<FileSlot> slots(files.size());
+  const auto work = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      FileSlot& slot = slots[i];
+      try {
+        const SourceFile file = load_source_file(options.root, files[i]);
+        slot.crc = util::crc32(file.text);
+        slot.size = file.text.size();
+        if (const CachedFile* hit =
+                cache.lookup(files[i], slot.crc, slot.size)) {
+          slot.findings = hit->findings;
+          slot.includes = hit->includes;
+        } else {
+          FileIndex index;
+          slot.findings = run_rules_indexed(file, options.rule_options,
+                                            options.rules, index);
+          slot.includes = std::move(index.includes);
+          slot.relinted = true;
+        }
+      } catch (...) {
+        slot.error = std::current_exception();
+      }
+    }
+  };
+  if (options.threads == 1) {
+    work(0, files.size());
+  } else if (options.threads == 0) {
+    util::parallel_for(0, files.size(), work, /*grain=*/1);
+  } else {
+    util::ThreadPool pool(options.threads);
+    util::parallel_for(pool, 0, files.size(), work, /*grain=*/1);
+  }
+  // First (lowest-index) failure wins, so errors are deterministic too.
+  for (const FileSlot& slot : slots) {
+    if (slot.error != nullptr) std::rethrow_exception(slot.error);
+  }
+
   LintResult result;
-  for (const std::string& rel : list_source_files(options.root)) {
-    if (excluded(rel, options.exclude_prefixes)) continue;
-    const SourceFile file = load_source_file(options.root, rel);
-    std::vector<Finding> found =
-        run_rules(file, options.rule_options, options.rules);
-    result.findings.insert(result.findings.end(),
-                           std::make_move_iterator(found.begin()),
-                           std::make_move_iterator(found.end()));
+  const bool want_graph_phase =
+      options.rules.empty() ||
+      std::find(options.rules.begin(), options.rules.end(), "R6") !=
+          options.rules.end();
+  std::vector<FileIncludeSummary> summaries;
+  if (want_graph_phase) summaries.reserve(files.size());
+  LintCache next_cache(version_key);  // entries for vanished files drop out
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileSlot& slot = slots[i];
     ++result.files_scanned;
+    slot.relinted ? ++result.files_relinted : ++result.cache_hits;
+    if (want_graph_phase) {
+      summaries.push_back({files[i], slot.includes});
+    }
+    if (options.use_cache) {
+      next_cache.put(files[i], CachedFile{slot.crc, slot.size,
+                                          slot.includes, slot.findings});
+    }
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(slot.findings.begin()),
+                           std::make_move_iterator(slot.findings.end()));
+  }
+  if (want_graph_phase) {
+    // Cross-file: always recomputed from the (possibly cached) include
+    // summaries, never cached itself — every edge's verdict depends on
+    // the full file set.
+    std::vector<Finding> graph = check_include_graph(summaries);
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(graph.begin()),
+                           std::make_move_iterator(graph.end()));
   }
   std::sort(result.findings.begin(), result.findings.end(), finding_less);
+  if (options.use_cache) next_cache.save(options.cache_path);
   return result;
 }
 
@@ -175,6 +264,10 @@ void write_lint_report_json(const LintResult& result,
     util::append_json_string(doc, f.snippet);
     doc += ", \"message\": ";
     util::append_json_string(doc, f.message);
+    if (!f.fix.empty()) {
+      doc += ", \"fix\": ";
+      util::append_json_string(doc, f.fix);
+    }
     doc += "}";
   }
   doc += first ? "]\n}\n" : "\n  ]\n}\n";
@@ -185,6 +278,7 @@ void write_lint_report_text(const LintResult& result, std::ostream& out) {
   for (const Finding& f : result.findings) {
     out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
         << "\n";
+    if (!f.fix.empty()) out << "    fix: " << f.fix << "\n";
   }
   out << result.findings.size() << " finding(s), " << result.suppressed
       << " baselined, " << result.files_scanned << " file(s) scanned\n";
@@ -219,10 +313,16 @@ std::optional<std::string> validate_lint_report_json(
   for (const util::JsonValue& f : findings->as_array()) {
     if (!f.is_object()) return "report: findings must be objects";
     const util::JsonValue* rule = f.find("rule");
-    if (rule == nullptr || !rule->is_string() ||
-        rule->as_string().size() != 2 || rule->as_string()[0] != 'R') {
-      return "report: finding 'rule' must be an R<n> id";
-    }
+    const bool rule_ok = [&] {
+      if (rule == nullptr || !rule->is_string()) return false;
+      const std::string& id = rule->as_string();
+      if (id.size() < 2 || id.size() > 3 || id[0] != 'R') return false;
+      for (std::size_t i = 1; i < id.size(); ++i) {
+        if (id[i] < '0' || id[i] > '9') return false;
+      }
+      return true;
+    }();
+    if (!rule_ok) return "report: finding 'rule' must be an R<n> id";
     const util::JsonValue* file = f.find("file");
     if (file == nullptr || !file->is_string() || file->as_string().empty()) {
       return "report: finding 'file' must be a non-empty string";
@@ -237,6 +337,10 @@ std::optional<std::string> validate_lint_report_json(
         return std::string("report: finding '") + key +
                "' must be a string";
       }
+    }
+    const util::JsonValue* fix = f.find("fix");
+    if (fix != nullptr && !fix->is_string()) {
+      return "report: finding 'fix' must be a string when present";
     }
   }
   return std::nullopt;

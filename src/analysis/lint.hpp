@@ -22,19 +22,35 @@ struct LintOptions {
   /// violation fixtures used by the lint's own tests.
   std::vector<std::string> exclude_prefixes = {
       "tests/analysis/lint_fixtures/"};
-  /// Rule ids to run; empty = all of R1..R5.
+  /// Rule ids to run; empty = all of R1..R10.
   std::vector<std::string> rules;
   RuleOptions rule_options = default_rule_options();
+  /// Worker threads for the file walk: 0 = the process-wide pool, 1 =
+  /// fully serial, N = a dedicated pool of N. The report is byte-identical
+  /// regardless (per-file result slots, one final sort).
+  std::size_t threads = 0;
+  /// When true, load/save the content-hash incremental cache at
+  /// `cache_path` (analysis/cache.hpp): unchanged files reuse their cached
+  /// findings and include summaries; only the cross-file R6 graph phase
+  /// recomputes. Reports are byte-identical warm vs. cold.
+  bool use_cache = false;
+  std::string cache_path = ".lint-cache.json";
 };
 
 struct LintResult {
   std::vector<Finding> findings;  ///< sorted by finding_less
   std::size_t files_scanned = 0;
   std::size_t suppressed = 0;  ///< findings swallowed by the baseline
+  /// Files actually tokenized and re-linted this run (cache misses). On a
+  /// fully warm cache this is 0 while files_scanned stays the full count.
+  std::size_t files_relinted = 0;
+  std::size_t cache_hits = 0;
 };
 
-/// Walks options.root and lints every source file. Throws util::IoError
-/// when the root cannot be walked or a listed file cannot be read.
+/// Walks options.root and lints every source file: per-file rules in
+/// parallel (cache-accelerated when options.use_cache), then the R6
+/// include-graph phase over every file's include summary. Throws
+/// util::IoError when the root cannot be walked or a file cannot be read.
 [[nodiscard]] LintResult run_lint(const LintOptions& options);
 
 /// Baseline of grandfathered findings. An entry suppresses up to `count`

@@ -1,0 +1,103 @@
+// R7 concurrency-discipline: threading primitives stay inside src/util/.
+//
+// The repo's concurrency story is deliberate and narrow — util::ThreadPool
+// + util::parallel_for for data parallelism, util::PeriodicTask for
+// tickers, util::retry_with_backoff for waiting. Everything else is a
+// hand-rolled liveness bug waiting to happen, so:
+//
+//   (a) no std::thread / std::jthread / std::async outside src/util/;
+//   (b) no manual .lock()/.unlock()/.try_lock() calls outside src/util/
+//       (std::lock_guard / std::scoped_lock are fine — they have no such
+//       call sites);
+//   (c) the body of a util::parallel_for call never calls a pool's
+//       blocking submit() — nested fan-out must go through parallel_for
+//       itself, which runs nested bodies inline (see thread_pool.hpp);
+//   (d) sleeps (sleep_for / sleep_until / usleep / nanosleep) only inside
+//       src/util/retry.* — polling loops take a RetryPolicy instead.
+#include <string_view>
+
+#include "analysis/rule_support.hpp"
+#include "analysis/rules.hpp"
+
+namespace sgp::analysis {
+
+using detail::has_prefix;
+using detail::ident;
+using detail::match_paren;
+using detail::punct;
+
+void rule_concurrency(const SourceFile& file, const FileIndex& index,
+                      std::vector<Finding>& out) {
+  const std::string& path = file.path;
+  if (!has_prefix(path, "src/") && !has_prefix(path, "tools/")) return;
+  const bool util_home = has_prefix(path, "src/util/");
+  const bool retry_home = path == "src/util/retry.hpp" ||
+                          path == "src/util/retry.cpp";
+  const std::vector<Token>& t = index.tokens;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier) continue;
+    const std::string& name = t[i].text;
+
+    if (!util_home && (name == "thread" || name == "jthread" ||
+                       name == "async") &&
+        i >= 2 && ident(t, i - 2, "std") && punct(t, i - 1, "::")) {
+      out.push_back({"R7", path, t[i].line, "std::" + name,
+                     "concurrency-discipline: raw std::" + name +
+                         " outside src/util/ — thread ownership lives in "
+                         "the util layer only",
+                     "use util::parallel_for / util::ThreadPool for "
+                     "fan-out, util::PeriodicTask for tickers"});
+      continue;
+    }
+
+    if (!util_home &&
+        (name == "lock" || name == "unlock" || name == "try_lock") &&
+        i >= 1 && (punct(t, i - 1, ".") || punct(t, i - 1, "->")) &&
+        punct(t, i + 1, "(")) {
+      out.push_back({"R7", path, t[i].line, "." + name + "()",
+                     "concurrency-discipline: manual ." + name +
+                         "() outside src/util/ — unbalanced lock calls "
+                         "are how deadlocks ship",
+                     "hold the mutex with std::lock_guard / "
+                     "std::scoped_lock, or move the logic into src/util/"});
+      continue;
+    }
+
+    if (!retry_home &&
+        (name == "sleep_for" || name == "sleep_until" ||
+         name == "usleep" || name == "nanosleep") &&
+        punct(t, i + 1, "(")) {
+      out.push_back({"R7", path, t[i].line, name + "()",
+                     "concurrency-discipline: '" + name +
+                         "()' outside src/util/retry — ad-hoc sleeps hide "
+                         "timing assumptions the retry policy makes "
+                         "explicit",
+                     "use util::retry_with_backoff or "
+                     "util::sleep_for_seconds (src/util/retry.hpp)"});
+      continue;
+    }
+
+    // (c) blocking pool APIs inside a parallel_for body: the lexical
+    // extent of the call's argument list. submit() blocks on queue space
+    // and its future blocks on workers — from inside a worker that is a
+    // deadlock (the PR3 incident this rule pins).
+    if (name == "parallel_for" && punct(t, i + 1, "(")) {
+      const std::size_t rp = match_paren(t, i + 1);
+      for (std::size_t j = i + 2; j < rp; ++j) {
+        if (t[j].kind == TokKind::kIdentifier && t[j].text == "submit" &&
+            j >= 1 && (punct(t, j - 1, ".") || punct(t, j - 1, "->")) &&
+            punct(t, j + 1, "(")) {
+          out.push_back({"R7", path, t[j].line, "submit()",
+                         "concurrency-discipline: pool submit() inside a "
+                         "parallel_for body — a worker blocking on work "
+                         "only workers can run deadlocks the pool",
+                         "use a nested util::parallel_for (it runs inline "
+                         "inside pool workers) instead of submit()"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sgp::analysis

@@ -1,0 +1,57 @@
+// R9 fault-point-registry: every fault-point name literal is canonical.
+//
+// A fault point only earns its keep when chaos tests can arm it — a typo
+// in either place ("io.raed") silently produces a point that is armed but
+// never hit, or hit but never armed. The registry
+// (util/fault_point_names.hpp) is the single source of truth; this rule
+// fires on any string literal passed to fault_point() / arm_fault() that
+// is not in it. Call sites using the util::fault_points:: constants are
+// canonical by construction and pass without lookup.
+#include <unordered_set>
+
+#include "analysis/rule_support.hpp"
+#include "analysis/rules.hpp"
+
+namespace sgp::analysis {
+
+using detail::has_prefix;
+using detail::punct;
+
+void rule_fault_registry(const SourceFile& file, const FileIndex& index,
+                         const RuleOptions& opt,
+                         std::vector<Finding>& out) {
+  const std::string& path = file.path;
+  if (!has_prefix(path, "src/") && !has_prefix(path, "tools/") &&
+      !has_prefix(path, "bench/")) {
+    return;
+  }
+  // The injection machinery itself manipulates arbitrary spec strings.
+  if (has_prefix(path, "src/util/fault_")) return;
+  const std::unordered_set<std::string_view> canonical(
+      opt.canonical_fault_points.begin(), opt.canonical_fault_points.end());
+  const std::vector<Token>& t = index.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdentifier ||
+        (t[i].text != "fault_point" && t[i].text != "arm_fault") ||
+        !punct(t, i + 1, "(") || t[i + 2].kind != TokKind::kString) {
+      continue;
+    }
+    const std::string& name = t[i + 2].text;
+    if (canonical.count(name) != 0) {
+      // Canonical, but spelled as a literal: still worth nudging toward
+      // the constant so a future rename is one edit. Not a finding —
+      // literals of canonical names are allowed (tests arm them by name).
+      continue;
+    }
+    out.push_back({"R9", path, t[i + 2].line, name,
+                   "fault-registry: point '" + name + "' passed to " +
+                       t[i].text +
+                       "() is not in util/fault_point_names.hpp — an "
+                       "unregistered point can be armed but never hit",
+                   "use the util::fault_points:: constant (add it to "
+                   "util/fault_point_names.hpp and docs/robustness.md if "
+                   "the point is genuinely new)"});
+  }
+}
+
+}  // namespace sgp::analysis

@@ -1,0 +1,59 @@
+// Internal helpers shared by the rule implementations (rules.cpp and the
+// rule_*.cpp semantic rules). Not part of the analysis public surface.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/tokenizer.hpp"
+
+namespace sgp::analysis::detail {
+
+inline bool has_prefix(const std::string& path, std::string_view prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+inline bool has_suffix(const std::string& path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+inline bool ident(const std::vector<Token>& t, std::size_t i,
+                  std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
+}
+
+inline bool punct(const std::vector<Token>& t, std::size_t i,
+                  std::string_view s) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+}
+
+/// Index of the ')' matching the '(' at `lp`, or t.size() if unmatched.
+inline std::size_t match_paren(const std::vector<Token>& t, std::size_t lp) {
+  int depth = 0;
+  for (std::size_t j = lp; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Case-insensitive "is this identifier privacy-parameter-named" test
+/// shared by R5 and R8: epsilon/delta/sigma anywhere in the name.
+inline bool is_privacy_identifier(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower.find("epsilon") != std::string::npos ||
+         lower.find("delta") != std::string::npos ||
+         lower.find("sigma") != std::string::npos;
+}
+
+}  // namespace sgp::analysis::detail

@@ -1,42 +1,37 @@
 #include "analysis/rules.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <unordered_set>
 
+#include "analysis/rule_support.hpp"
 #include "obs/metric_names.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::analysis {
 namespace {
 
-bool has_prefix(const std::string& path, std::string_view prefix) {
-  return path.rfind(prefix, 0) == 0;
-}
-
-bool has_suffix(const std::string& path, std::string_view suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
-             0;
-}
+using detail::has_prefix;
+using detail::has_suffix;
+using detail::ident;
+using detail::is_privacy_identifier;
+using detail::punct;
 
 bool is_header(const std::string& path) {
   return has_suffix(path, ".hpp") || has_suffix(path, ".hh") ||
          has_suffix(path, ".h");
 }
 
-/// Library/tool code the error- and metric-discipline rules govern. Tests,
-/// benches, and examples legitimately throw ad-hoc errors and register
-/// ad-hoc metric names (test.*, bench.*).
+/// Library/tool code the error- and metric-discipline rules govern. Tests
+/// legitimately throw ad-hoc errors and register ad-hoc metric names.
 bool in_library_scope(const std::string& path) {
   return has_prefix(path, "src/") || has_prefix(path, "tools/");
 }
 
-bool ident(const std::vector<Token>& t, std::size_t i, std::string_view s) {
-  return i < t.size() && t[i].kind == TokKind::kIdentifier && t[i].text == s;
-}
-
-bool punct(const std::vector<Token>& t, std::size_t i, std::string_view s) {
-  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+/// True when token j continues the logical line of token j-1 (same
+/// physical line, or separated only by a backslash-newline splice).
+bool same_logical_line(const std::vector<Token>& t, std::size_t j) {
+  return j < t.size() &&
+         (t[j].line == t[j - 1].line || t[j].follows_splice);
 }
 
 // --- R1 rng-discipline ----------------------------------------------------
@@ -82,12 +77,13 @@ const std::unordered_set<std::string_view>& banned_hardware_rng() {
 
 // `#include <header>` at position i of the `include` identifier; returns
 // the header name ("immintrin.h") or empty. Handles the dot the tokenizer
-// splits ("immintrin" "." "h").
+// splits ("immintrin" "." "h") and backslash-newline-continued directives.
 std::string angle_include_at(const std::vector<Token>& t, std::size_t i) {
   if (!(i >= 1 && punct(t, i - 1, "#") && punct(t, i + 1, "<"))) return {};
+  if (!same_logical_line(t, i + 1)) return {};
   std::string header;
   for (std::size_t j = i + 2; j < t.size() && !punct(t, j, ">"); ++j) {
-    if (t[j].line != t[i].line) return {};
+    if (!same_logical_line(t, j)) return {};
     header += t[j].text;
   }
   return header;
@@ -103,7 +99,9 @@ void r1(const SourceFile& file, const std::vector<Token>& t,
       out.push_back({"R1", file.path, t[i].line, name,
                      "rng-discipline: hardware entropy '" + name +
                          "' — releases must regenerate from (seed, counter); "
-                         "no scope is exempt, src/random/ included"});
+                         "no scope is exempt, src/random/ included",
+                     "derive randomness from the counter RNG "
+                     "(random/counter_rng.hpp)"});
       continue;
     }
     // SIMD intrinsic headers stay inside the kernel layer: vector code
@@ -115,7 +113,9 @@ void r1(const SourceFile& file, const std::vector<Token>& t,
         out.push_back({"R1", file.path, t[i].line, "<" + header + ">",
                        "rng-discipline: #include <" + header +
                            "> outside src/random/ — SIMD kernels live in the "
-                           "dispatched random/ layer only"});
+                           "dispatched random/ layer only",
+                       "call the dispatched kernel API "
+                       "(random/kernel_variant.hpp) instead"});
       }
     }
   }
@@ -128,7 +128,9 @@ void r1(const SourceFile& file, const std::vector<Token>& t,
       out.push_back({"R1", file.path, t[i].line, name,
                      "rng-discipline: '" + name +
                          "' outside src/random/ — use the counter RNG "
-                         "(random/counter_rng.hpp)"});
+                         "(random/counter_rng.hpp)",
+                     "use random::CounterRng (or the dp/ samplers built "
+                     "on it)"});
       continue;
     }
     // C library RNG: only when actually called, so a member named `rand`
@@ -139,16 +141,17 @@ void r1(const SourceFile& file, const std::vector<Token>& t,
         !(i >= 1 && punct(t, i - 1, "->"))) {
       out.push_back({"R1", file.path, t[i].line, name,
                      "rng-discipline: C '" + name +
-                         "()' outside src/random/ — use the counter RNG"});
+                         "()' outside src/random/ — use the counter RNG",
+                     "use random::CounterRng"});
       continue;
     }
-    // #include <random>
-    if (name == "include" && i >= 1 && punct(t, i - 1, "#") &&
-        punct(t, i + 1, "<") && ident(t, i + 2, "random") &&
-        punct(t, i + 3, ">")) {
+    // #include <random>, splice-aware.
+    if (name == "include" && angle_include_at(t, i) == "random") {
       out.push_back({"R1", file.path, t[i].line, "<random>",
                      "rng-discipline: #include <random> outside "
-                     "src/random/"});
+                     "src/random/",
+                     "drop the include; random/counter_rng.hpp provides "
+                     "the sanctioned engine"});
     }
   }
 }
@@ -179,7 +182,9 @@ void r2(const SourceFile& file, const std::vector<Token>& t,
                        "error-taxonomy: bare 'throw std::" + t[i + 3].text +
                            "' — throw a util/errors.hpp taxonomy type (or "
                            "use util/check.hpp) so the CLI exit-code "
-                           "contract holds"});
+                           "contract holds",
+                       "throw util::PreconditionError / util::IoError / "
+                       "util::ParseError as appropriate"});
       }
     }
   }
@@ -195,7 +200,9 @@ void r2(const SourceFile& file, const std::vector<Token>& t,
       out.push_back({"R2", file.path, main_line, "main",
                      "error-taxonomy: tool main() does not route through "
                      "tools::run_tool() — exceptions would bypass the "
-                     "exit-code contract"});
+                     "exit-code contract",
+                     "wrap the body in sgp::tools::run_tool([&]() -> int "
+                     "{ ... })"});
     }
   }
 }
@@ -204,7 +211,16 @@ void r2(const SourceFile& file, const std::vector<Token>& t,
 
 void r3(const SourceFile& file, const std::vector<Token>& t,
         const RuleOptions& opt, std::vector<Finding>& out) {
-  if (!in_library_scope(file.path)) return;
+  // bench/ and examples/ are checked too, but may coin names under their
+  // own prefix — ad-hoc harness metrics should not pollute the registry.
+  std::string local_prefix;
+  if (has_prefix(file.path, "bench/")) {
+    local_prefix = "bench.";
+  } else if (has_prefix(file.path, "examples/")) {
+    local_prefix = "example.";
+  } else if (!in_library_scope(file.path)) {
+    return;
+  }
   if (file.path == "src/obs/metric_names.hpp") return;
   const std::unordered_set<std::string_view> canonical(
       opt.canonical_metric_names.begin(), opt.canonical_metric_names.end());
@@ -217,12 +233,23 @@ void r3(const SourceFile& file, const std::vector<Token>& t,
       return;
     }
     if (canonical.count(name_tok.text) != 0) return;
+    if (!local_prefix.empty() &&
+        name_tok.text.rfind(local_prefix, 0) == 0) {
+      return;
+    }
+    const std::string hint =
+        local_prefix.empty()
+            ? "add the constant to src/obs/metric_names.hpp (and the "
+              "docs/observability.md row) or fix the typo"
+            : "prefix harness-local names with \"" + local_prefix +
+                  "\" or register the constant";
     out.push_back({"R3", file.path, name_tok.line, name_tok.text,
                    "metric-registry: name '" + name_tok.text + "' passed to " +
                        call.text +
                        "() is not in src/obs/metric_names.hpp — add the "
                        "constant there (one source of truth) or fix the "
-                       "typo"});
+                       "typo",
+                   hint});
   };
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdentifier) continue;
@@ -258,34 +285,31 @@ void r4(const SourceFile& file, const std::vector<Token>& t,
   }
   if (!pragma_once) {
     out.push_back({"R4", file.path, 1, "#pragma once",
-                   "header-hygiene: header is missing '#pragma once'"});
+                   "header-hygiene: header is missing '#pragma once'",
+                   "add '#pragma once' as the first directive"});
   }
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (ident(t, i, "using") && ident(t, i + 1, "namespace")) {
       out.push_back({"R4", file.path, t[i].line, "using namespace",
                      "header-hygiene: 'using namespace' in a header leaks "
-                     "into every includer"});
+                     "into every includer",
+                     "qualify the names or scope the using-declaration "
+                     "inside a function"});
     }
   }
 }
 
 // --- R5 privacy-literals --------------------------------------------------
 
-bool is_privacy_identifier(const std::string& name) {
-  std::string lower;
-  lower.reserve(name.size());
-  for (char c : name) {
-    lower.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  return lower.find("epsilon") != std::string::npos ||
-         lower.find("delta") != std::string::npos ||
-         lower.find("sigma") != std::string::npos;
-}
-
 void r5(const SourceFile& file, const std::vector<Token>& t,
         std::vector<Finding>& out) {
-  if (!has_prefix(file.path, "src/")) return;
+  // Benches and examples set privacy parameters too — they must draw them
+  // from dp/defaults.hpp, not re-invent them inline. Tests stay exempt
+  // (they probe arbitrary parameter points by design).
+  if (!has_prefix(file.path, "src/") && !has_prefix(file.path, "bench/") &&
+      !has_prefix(file.path, "examples/")) {
+    return;
+  }
   if (has_prefix(file.path, "src/dp/")) return;
   for (std::size_t i = 0; i + 2 < t.size(); ++i) {
     if (t[i].kind != TokKind::kIdentifier ||
@@ -302,7 +326,9 @@ void r5(const SourceFile& file, const std::vector<Token>& t,
                    "privacy-literals: non-zero ε/δ/σ literal '" + t[j].text +
                        "' assigned to '" + t[i].text +
                        "' outside src/dp/ — privacy parameters belong in "
-                       "src/dp/ (see dp/defaults.hpp)"});
+                       "src/dp/ (see dp/defaults.hpp)",
+                   "use dp::kDefaultEpsilon / dp::kDefaultDeltaSplit (or "
+                   "add a named default to dp/defaults.hpp)"});
   }
 }
 
@@ -321,13 +347,55 @@ RuleOptions default_rule_options() {
   for (std::string_view n : obs::names::kAllNames) {
     opt.canonical_metric_names.emplace_back(n);
   }
+  opt.canonical_fault_points.reserve(
+      std::size(util::fault_points::kAllFaultPoints));
+  for (std::string_view n : util::fault_points::kAllFaultPoints) {
+    opt.canonical_fault_points.emplace_back(n);
+  }
   return opt;
 }
 
-std::vector<Finding> run_rules(const SourceFile& file,
-                               const RuleOptions& opt,
-                               const std::vector<std::string>& rule_ids) {
-  const std::vector<Token> toks = tokenize(file.text);
+const std::vector<RuleInfo>& all_rule_infos() {
+  static const std::vector<RuleInfo> kInfos = {
+      {"R1", "rng-discipline",
+       "All randomness flows through the counter RNG; no <random> engines, "
+       "C rand(), or hardware entropy outside src/random/."},
+      {"R2", "error-taxonomy",
+       "No bare std exception throws in library code; tool main() routes "
+       "through run_tool() so exit codes hold."},
+      {"R3", "metric-registry",
+       "Metric/span name literals must be registered in "
+       "src/obs/metric_names.hpp (bench./example. prefixes excepted)."},
+      {"R4", "header-hygiene",
+       "Headers carry #pragma once and never 'using namespace'."},
+      {"R5", "privacy-literals",
+       "Non-zero ε/δ/σ floating literals only in src/dp/ — privacy "
+       "parameters are policy, not scatter."},
+      {"R6", "include-layering",
+       "Includes follow the architecture DAG, contain no cycles, and "
+       "src/random/ kernel internals stay in-layer."},
+      {"R7", "concurrency-discipline",
+       "No raw threads, async, manual lock calls, or ad-hoc sleeps outside "
+       "src/util/; parallel_for bodies never block on pool APIs."},
+      {"R8", "privacy-flow",
+       "Publishing encoders are called only from privacy-context-bearing "
+       "signatures; ε/δ/σ values originate in dp/ expressions."},
+      {"R9", "fault-registry",
+       "Fault-point name literals must be canonical "
+       "(util/fault_point_names.hpp)."},
+      {"R10", "span-hygiene",
+       "No discarded Span/ScopedTimer temporaries; log_event only under an "
+       "active trace scope."},
+  };
+  return kInfos;
+}
+
+std::vector<Finding> run_rules_indexed(const SourceFile& file,
+                                       const RuleOptions& opt,
+                                       const std::vector<std::string>& rule_ids,
+                                       FileIndex& index_out) {
+  index_out = build_file_index(file);
+  const std::vector<Token>& toks = index_out.tokens;
   auto enabled = [&](std::string_view id) {
     return rule_ids.empty() ||
            std::find(rule_ids.begin(), rule_ids.end(), id) != rule_ids.end();
@@ -338,8 +406,21 @@ std::vector<Finding> run_rules(const SourceFile& file,
   if (enabled("R3")) r3(file, toks, opt, out);
   if (enabled("R4")) r4(file, toks, out);
   if (enabled("R5")) r5(file, toks, out);
+  // R6 is cross-file: the lint driver feeds every file's include summary
+  // to check_include_graph (analysis/include_graph.hpp).
+  if (enabled("R7")) rule_concurrency(file, index_out, out);
+  if (enabled("R8")) rule_privacy_flow(file, index_out, out);
+  if (enabled("R9")) rule_fault_registry(file, index_out, opt, out);
+  if (enabled("R10")) rule_span_hygiene(file, index_out, out);
   std::sort(out.begin(), out.end(), finding_less);
   return out;
+}
+
+std::vector<Finding> run_rules(const SourceFile& file,
+                               const RuleOptions& opt,
+                               const std::vector<std::string>& rule_ids) {
+  FileIndex scratch;
+  return run_rules_indexed(file, opt, rule_ids, scratch);
 }
 
 void rule_rng_discipline(const SourceFile& file,

@@ -1,0 +1,155 @@
+#include "analysis/sarif.hpp"
+
+#include <ostream>
+
+namespace sgp::analysis {
+
+void write_lint_report_sarif(const LintResult& result,
+                             const LintOptions& options, std::ostream& out) {
+  (void)options;
+  std::string doc;
+  doc += "{\n";
+  doc += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  doc += "  \"version\": \"2.1.0\",\n";
+  doc += "  \"runs\": [\n";
+  doc += "    {\n";
+  doc += "      \"tool\": {\n";
+  doc += "        \"driver\": {\n";
+  doc += "          \"name\": \"sgp-lint\",\n";
+  doc += "          \"informationUri\": \"docs/static_analysis.md\",\n";
+  doc += "          \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& info : all_rule_infos()) {
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += "            {\"id\": ";
+    util::append_json_string(doc, info.id);
+    doc += ", \"name\": ";
+    util::append_json_string(doc, info.name);
+    doc += ",\n             \"shortDescription\": {\"text\": ";
+    util::append_json_string(doc, info.short_desc);
+    doc += "}}";
+  }
+  doc += "\n          ]\n";
+  doc += "        }\n";
+  doc += "      },\n";
+  doc += "      \"results\": [";
+  first = true;
+  for (const Finding& f : result.findings) {
+    doc += first ? "\n" : ",\n";
+    first = false;
+    doc += "        {\"ruleId\": ";
+    util::append_json_string(doc, f.rule);
+    doc += ", \"level\": \"error\",\n";
+    doc += "         \"message\": {\"text\": ";
+    util::append_json_string(doc, f.message);
+    doc += "},\n";
+    doc += "         \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": ";
+    util::append_json_string(doc, f.file);
+    doc += "}, \"region\": {\"startLine\": " +
+           util::json_number(static_cast<std::uint64_t>(
+               f.line > 0 ? f.line : 1)) +
+           "}}}],\n";
+    doc += "         \"properties\": {\"snippet\": ";
+    util::append_json_string(doc, f.snippet);
+    if (!f.fix.empty()) {
+      doc += ", \"fix\": ";
+      util::append_json_string(doc, f.fix);
+    }
+    doc += "}}";
+  }
+  doc += first ? "]\n" : "\n      ]\n";
+  doc += "    }\n";
+  doc += "  ]\n";
+  doc += "}\n";
+  out << doc;
+}
+
+std::optional<std::string> validate_sarif_json(const util::JsonValue& doc) {
+  if (!doc.is_object()) return "sarif: top level must be an object";
+  const util::JsonValue* version = doc.find("version");
+  if (version == nullptr || !version->is_string() ||
+      version->as_string() != "2.1.0") {
+    return "sarif: version must be \"2.1.0\"";
+  }
+  const util::JsonValue* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array() || runs->as_array().size() != 1) {
+    return "sarif: 'runs' must be an array of exactly one run";
+  }
+  const util::JsonValue& run = runs->as_array()[0];
+  const util::JsonValue* tool = run.find("tool");
+  const util::JsonValue* driver =
+      tool != nullptr ? tool->find("driver") : nullptr;
+  if (driver == nullptr || !driver->is_object()) {
+    return "sarif: run.tool.driver missing";
+  }
+  const util::JsonValue* name = driver->find("name");
+  if (name == nullptr || !name->is_string() ||
+      name->as_string() != "sgp-lint") {
+    return "sarif: driver name must be \"sgp-lint\"";
+  }
+  const util::JsonValue* rules = driver->find("rules");
+  if (rules == nullptr || !rules->is_array() || rules->as_array().empty()) {
+    return "sarif: driver.rules must be a non-empty array";
+  }
+  std::vector<std::string> known_ids;
+  for (const util::JsonValue& r : rules->as_array()) {
+    const util::JsonValue* id = r.find("id");
+    const util::JsonValue* sd = r.find("shortDescription");
+    if (id == nullptr || !id->is_string() || sd == nullptr ||
+        sd->find("text") == nullptr || !sd->find("text")->is_string()) {
+      return "sarif: each rule needs string id and shortDescription.text";
+    }
+    known_ids.push_back(id->as_string());
+  }
+  const util::JsonValue* results = run.find("results");
+  if (results == nullptr || !results->is_array()) {
+    return "sarif: run.results must be an array";
+  }
+  for (const util::JsonValue& r : results->as_array()) {
+    const util::JsonValue* rule_id = r.find("ruleId");
+    if (rule_id == nullptr || !rule_id->is_string()) {
+      return "sarif: result.ruleId must be a string";
+    }
+    bool known = false;
+    for (const std::string& id : known_ids) {
+      known = known || id == rule_id->as_string();
+    }
+    if (!known) {
+      return "sarif: result.ruleId '" + rule_id->as_string() +
+             "' is not in driver.rules";
+    }
+    const util::JsonValue* message = r.find("message");
+    if (message == nullptr || message->find("text") == nullptr ||
+        !message->find("text")->is_string() ||
+        message->find("text")->as_string().empty()) {
+      return "sarif: result.message.text must be a non-empty string";
+    }
+    const util::JsonValue* locations = r.find("locations");
+    if (locations == nullptr || !locations->is_array() ||
+        locations->as_array().size() != 1) {
+      return "sarif: result.locations must hold exactly one location";
+    }
+    const util::JsonValue& loc = locations->as_array()[0];
+    const util::JsonValue* phys = loc.find("physicalLocation");
+    const util::JsonValue* artifact =
+        phys != nullptr ? phys->find("artifactLocation") : nullptr;
+    const util::JsonValue* uri =
+        artifact != nullptr ? artifact->find("uri") : nullptr;
+    if (uri == nullptr || !uri->is_string() || uri->as_string().empty() ||
+        uri->as_string()[0] == '/') {
+      return "sarif: location uri must be a root-relative path";
+    }
+    const util::JsonValue* region = phys->find("region");
+    const util::JsonValue* start =
+        region != nullptr ? region->find("startLine") : nullptr;
+    if (start == nullptr || !start->is_number() || start->as_number() < 1) {
+      return "sarif: region.startLine must be a number >= 1";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sgp::analysis

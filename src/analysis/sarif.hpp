@@ -1,0 +1,37 @@
+// SARIF 2.1.0 export for sgp-lint reports.
+//
+// SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+// what code-review UIs and CI annotators ingest. The writer emits one run
+// with the full R1–R10 rule table in tool.driver.rules, one result per
+// finding (ruleId, message, a single physicalLocation with a startLine
+// region), and the snippet / fix hint in each result's property bag. The
+// document is deterministic: findings arrive sorted, no timestamps, no
+// absolute paths (uris are root-relative, matching the JSON report).
+//
+// The validator checks the subset this writer promises — enough for a
+// round-trip test to catch a malformed emit, not a general SARIF
+// conformance checker.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "util/json.hpp"
+
+namespace sgp::analysis {
+
+/// Serializes a result as SARIF 2.1.0 (one run, driver "sgp-lint").
+void write_lint_report_sarif(const LintResult& result,
+                             const LintOptions& options, std::ostream& out);
+
+/// Checks a parsed document against the SARIF subset the writer emits:
+/// version "2.1.0", one run, driver named "sgp-lint" with a rules table,
+/// and every result carrying a known ruleId, message text, and exactly
+/// one physical location with a root-relative uri and startLine >= 1.
+/// Returns std::nullopt on success, else a diagnostic.
+[[nodiscard]] std::optional<std::string> validate_sarif_json(
+    const util::JsonValue& doc);
+
+}  // namespace sgp::analysis

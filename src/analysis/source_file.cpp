@@ -14,8 +14,10 @@ namespace {
 
 bool is_source_extension(const fs::path& p) {
   const std::string ext = p.extension().string();
+  // .inl: the src/random kernel bodies — walked so the R6 containment
+  // check can resolve includes that point at them.
   return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".hh" ||
-         ext == ".h";
+         ext == ".h" || ext == ".inl";
 }
 
 bool is_skipped_dir(const fs::path& p) {

@@ -35,6 +35,12 @@ class Scanner {
   std::vector<Token> run() {
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
+      if (c == '\\' && splice_length() > 0) {
+        pos_ += splice_length();
+        ++line_;
+        pending_splice_ = true;
+        continue;
+      }
       if (c == '\n') {
         ++line_;
         ++pos_;
@@ -80,12 +86,36 @@ class Scanner {
     return text_.substr(pos_, s.size()) == s;
   }
 
+  /// Length of a backslash-newline splice starting at pos_ (0 if none).
+  /// The byte at pos_ must already be known to be '\\'.
+  std::size_t splice_length() const {
+    if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') return 2;
+    if (pos_ + 2 < text_.size() && text_[pos_ + 1] == '\r' &&
+        text_[pos_ + 2] == '\n') {
+      return 3;
+    }
+    return 0;
+  }
+
   void emit(TokKind kind, std::string text, int line) {
-    out_.push_back(Token{kind, std::move(text), line});
+    out_.push_back(Token{kind, std::move(text), line, pending_splice_});
+    pending_splice_ = false;
   }
 
   void skip_line_comment() {
-    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    // A backslash-newline splices the comment onto the next physical line
+    // (C++ phase 2 runs before comment recognition), so `// foo \` hides
+    // the following line too — the bug class this loop closes is a
+    // continuation line being mistaken for code.
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\\' && splice_length() > 0) {
+        pos_ += splice_length();
+        ++line_;
+        continue;
+      }
+      if (text_[pos_] == '\n') break;
+      ++pos_;
+    }
   }
 
   void skip_block_comment() {
@@ -132,6 +162,13 @@ class Scanner {
     } else {
       while (pos_ < text_.size() && text_[pos_] != '"' &&
              text_[pos_] != '\n') {
+        if (text_[pos_] == '\\' && splice_length() > 0) {
+          // Phase-2 splice inside the literal: contributes nothing to the
+          // string's value but does consume a physical line.
+          pos_ += splice_length();
+          ++line_;
+          continue;
+        }
         if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
           body.push_back(text_[pos_++]);
         }
@@ -211,6 +248,7 @@ class Scanner {
   std::string_view text_;
   std::size_t pos_ = 0;
   int line_ = 1;
+  bool pending_splice_ = false;
   std::vector<Token> out_;
 };
 

@@ -28,11 +28,18 @@ struct Token {
   TokKind kind;
   std::string text;
   int line;  ///< 1-based line of the token's first character
+  /// True when a backslash-newline splice (C++ translation phase 2) was
+  /// crossed since the previous token. Directive-matching rules use this to
+  /// keep treating `#include \<newline><random>` as one logical line.
+  bool follows_splice = false;
 };
 
-/// Scans `text` into tokens; comments vanish entirely. Never throws on
-/// malformed input — an unterminated literal is closed at end of file,
-/// which is the forgiving behaviour a linter wants.
+/// Scans `text` into tokens; comments vanish entirely. Backslash-newline
+/// splices are honoured everywhere the standard honours them (between
+/// tokens, inside line comments — which therefore continue onto the next
+/// line — and inside string literals). Never throws on malformed input —
+/// an unterminated literal is closed at end of file, which is the
+/// forgiving behaviour a linter wants.
 [[nodiscard]] std::vector<Token> tokenize(std::string_view text);
 
 /// True when a kNumber token is a floating-point literal (has a fraction

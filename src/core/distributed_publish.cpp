@@ -18,6 +18,7 @@
 #include "core/serialization.hpp"
 #include "core/theory.hpp"
 #include "dp/defaults.hpp"
+#include "dp/privacy.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
@@ -31,6 +32,7 @@
 #include "util/durable.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 #include "util/subprocess.hpp"
 #include "util/thread_pool.hpp"
 
@@ -123,8 +125,13 @@ std::string complete_record(std::size_t s, std::uint64_t bytes,
 
 /// Commits a payload tile atomically: write to `<path>.tmp`, flush, rename.
 /// The rename is the commit point the coordinator's verifier observes.
+/// Takes the release's PrivacyParams (and re-validates them) so payload
+/// bytes cannot leave through a signature with no privacy context — the
+/// sgp-lint R8 privacy-flow contract.
 void write_payload_file(const std::string& path,
+                        const dp::PrivacyParams& params,
                         const std::vector<double>& tile) {
+  params.validate();
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -315,7 +322,7 @@ DistributedPublishResult publish_distributed(
 
   auto append_lease = [&](const std::string& record) {
     util::retry_with_backoff(options.retry, "lease append", [&] {
-      util::fault_point("lease.acquire");
+      util::fault_point(util::fault_points::kLeaseAcquire);
       lease.append_line(record);
     });
   };
@@ -563,7 +570,7 @@ DistributedPublishResult publish_distributed(
       compute_shard_tile(shard, r0, r1, options.sharded.publish, calibration,
                          pool, tile);
       const std::string path = shard_payload_path(out_path, s);
-      write_payload_file(path, tile);
+      write_payload_file(path, options.sharded.publish.params, tile);
       const auto crc = verify_payload(path, payload_bytes_for(plan, s, m));
       SGP_CHECK(crc.has_value(),
                 "publish_distributed: in-process payload failed verification");
@@ -584,7 +591,7 @@ DistributedPublishResult publish_distributed(
   out.write(header_bytes.data(),
             static_cast<std::streamsize>(header_bytes.size()));
   for (std::size_t s = 0; s < plan.num_shards(); ++s) {
-    util::fault_point("io.shard.write");
+    util::fault_point(util::fault_points::kIoShardWrite);
     std::ifstream payload(shard_payload_path(out_path, s), std::ios::binary);
     if (!payload.good()) {
       throw util::IoError("publish_distributed: missing payload for shard " +
@@ -724,8 +731,8 @@ int run_publish_worker(const util::CliArgs& args) {
   for (std::size_t s : shards) {
     // Chaos site 1: death at a shard boundary — this shard's lease (and
     // every later one held by this worker) must be reclaimed.
-    util::fault_point("proc.worker.exit");
-    util::fault_point("lease.heartbeat");
+    util::fault_point(util::fault_points::kProcWorkerExit);
+    util::fault_point(util::fault_points::kLeaseHeartbeat);
     progress << with_crc("hb " + std::to_string(seq++)) << '\n';
     progress.flush();
     obs::log_event(obs::names::kEventWorkerShardStart,
@@ -741,8 +748,9 @@ int run_publish_worker(const util::CliArgs& args) {
           [&] { return reader.load_shard(r0, r1); });
       compute_shard_tile(shard, r0, r1, opt.publish, calibration, pool, tile);
 
-      util::fault_point("io.shard.write");
-      write_payload_file(shard_payload_path(out_path, s), tile);
+      util::fault_point(util::fault_points::kIoShardWrite);
+      write_payload_file(shard_payload_path(out_path, s),
+                         opt.publish.params, tile);
     }
     // The payload just committed (rename). Flush the truthful record of it
     // — span, counters, done event — BEFORE the second fault site, so a
@@ -755,7 +763,7 @@ int run_publish_worker(const util::CliArgs& args) {
     // Chaos site 2: death after the payload commit but before the done
     // note — the coordinator must salvage the verified payload instead of
     // recomputing it.
-    util::fault_point("proc.worker.exit");
+    util::fault_point(util::fault_points::kProcWorkerExit);
     progress << with_crc("done " + std::to_string(s)) << '\n';
     progress.flush();
   }

@@ -13,6 +13,7 @@
 #include "util/crc32.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 #include "util/timer.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -124,7 +125,7 @@ void BudgetLedger::append(const Record& record) {
   static obs::Counter& appends = obs::counter(obs::names::kLedgerAppends);
   attempts.add();
   const util::WallTimer append_timer;
-  util::fault_point("ledger.append");
+  util::fault_point(util::fault_points::kLedgerAppend);
   util::require(record.index == records_.size() + 1,
                 "budget ledger: record index must be size() + 1");
 

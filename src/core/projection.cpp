@@ -8,6 +8,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::core {
 
@@ -28,7 +29,7 @@ linalg::DenseMatrix make_projection(std::size_t n, std::size_t m,
   // demand. Both it and a genuine allocation failure surface as the typed
   // ResourceError so the CLI exit-code contract holds.
   try {
-    util::fault_point("alloc");
+    util::fault_point(util::fault_points::kAlloc);
     switch (kind) {
       case ProjectionKind::kGaussian:
         return gaussian_projection(n, m, rng);
@@ -140,7 +141,7 @@ linalg::DenseMatrix make_projection_counter(std::size_t n, std::size_t m,
                                             random::KernelVariant kernel) {
   util::require(n >= 1 && m >= 1, "projection: dimensions must be >= 1");
   try {
-    util::fault_point("alloc");
+    util::fault_point(util::fault_points::kAlloc);
     linalg::DenseMatrix p(n, m);
     const random::CounterRng rng = projection_counter_rng(seed);
     fill_projection_tile(rng, m, kind, 0, n, 0, m, p.data().data(), kernel);

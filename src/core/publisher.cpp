@@ -16,6 +16,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sgp::core {
@@ -95,7 +96,7 @@ PublishedGraph RandomProjectionPublisher::publish_matrix(
   project_timer.attr("nnz", matrix.nnz());
   linalg::DenseMatrix y;
   try {
-    util::fault_point("alloc");
+    util::fault_point(util::fault_points::kAlloc);
     const random::CounterRng p_rng = projection_counter_rng(options_.seed);
     const ProjectionKind kind = options_.projection;
     y = matrix.multiply_generated(

@@ -16,6 +16,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::core {
 namespace {
@@ -56,7 +57,7 @@ void write_published_doubles(std::ostream& out,
 }
 
 void save_published(const PublishedGraph& published, std::ostream& out) {
-  util::fault_point("io.write");
+  util::fault_point(util::fault_points::kIoWrite);
   obs::ScopedTimer timer(obs::names::kIoSaveRelease);
   timer.attr("bytes", published.published_bytes());
   write_published_header(out, published.num_nodes, published.projection_dim,
@@ -78,7 +79,7 @@ void save_published_file(const PublishedGraph& published,
 }
 
 PublishedGraph load_published(std::istream& in) {
-  util::fault_point("io.read");
+  util::fault_point(util::fault_points::kIoRead);
   obs::ScopedTimer timer(obs::names::kIoLoadRelease);
   std::string line;
   if (!std::getline(in, line)) {
@@ -176,7 +177,7 @@ PublishedGraph load_published_file(const std::string& path) {
 void publish_to_stream(const graph::Graph& g,
                        const RandomProjectionPublisher::Options& options,
                        std::ostream& out) {
-  util::fault_point("io.write");
+  util::fault_point(util::fault_points::kIoWrite);
   obs::ScopedTimer timer(obs::names::kPublishStream);
   timer.attr("n", g.num_nodes()).attr("m", options.projection_dim);
   const std::size_t n = g.num_nodes();

@@ -8,6 +8,7 @@
 #include "obs/event_log.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "obs/trace.hpp"
 #include "random/rng.hpp"
 #include "util/check.hpp"
@@ -95,6 +96,9 @@ RandomProjectionPublisher::Options PublishingSession::release_options(
 }
 
 RandomProjectionPublisher::Options PublishingSession::begin_release() {
+  // Times the admission + write-ahead charge, and scopes the ledger-charge
+  // event below (R10: log_event only fires under an active span).
+  obs::ScopedTimer timer(obs::names::kSessionBeginRelease);
   const auto projected = spent_after(releases_ + 1);
   if (projected.epsilon > options_.total_budget.epsilon) {
     obs::counter(obs::names::kSessionBudgetRefusals).add();

@@ -22,6 +22,7 @@
 #include "util/durable.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 #include "util/retry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -273,7 +274,7 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
     compute_shard_tile(shard, r0, r1, options.publish, calibration, pool,
                        tile);
 
-    util::fault_point("io.shard.write");
+    util::fault_point(util::fault_points::kIoShardWrite);
     write_published_doubles(out, tile);
     out.flush();
     if (!out.good()) {
@@ -281,7 +282,7 @@ ShardedPublishResult publish_sharded(const graph::EdgeListShardReader& reader,
                           std::to_string(s) + " of " + out_path);
     }
 
-    util::fault_point("io.shard.checkpoint");
+    util::fault_point(util::fault_points::kIoShardCheckpoint);
     const std::uint64_t bytes =
         header_bytes.size() + static_cast<std::uint64_t>(r1) * m * sizeof(double);
     ckpt.append_line(shard_line(s, r0, r1, bytes));

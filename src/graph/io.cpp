@@ -13,6 +13,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::graph {
 namespace {
@@ -117,7 +118,7 @@ EdgeScanStats scan_edge_list(
 
 Graph read_edge_list(std::istream& in, IdPolicy policy,
                      std::uint64_t max_preserved_id) {
-  util::fault_point("io.read");
+  util::fault_point(util::fault_points::kIoRead);
   obs::ScopedTimer timer(obs::names::kIoReadEdges);
 
   std::unordered_map<std::uint64_t, std::uint32_t> remap;
@@ -156,7 +157,7 @@ Graph read_edge_list_file(const std::string& path, IdPolicy policy,
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
-  util::fault_point("io.write");
+  util::fault_point(util::fault_points::kIoWrite);
   obs::ScopedTimer timer(obs::names::kIoWriteEdges);
   timer.attr("nodes", g.num_nodes()).attr("edges", g.num_edges());
   out << "# sgp edge list: " << g.num_nodes() << " nodes, " << g.num_edges()

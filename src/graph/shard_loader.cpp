@@ -9,6 +9,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::graph {
 namespace {
@@ -28,7 +29,7 @@ EdgeListShardReader::EdgeListShardReader(std::string path, IdPolicy policy,
     : path_(std::move(path)),
       policy_(policy),
       max_preserved_id_(max_preserved_id) {
-  util::fault_point("io.read");
+  util::fault_point(util::fault_points::kIoRead);
   obs::ScopedTimer timer(obs::names::kIoReadShard);
   std::ifstream in = open_or_throw(path_);
   const EdgeScanStats stats = scan_edge_list(
@@ -55,7 +56,7 @@ ShardRows EdgeListShardReader::load_shard(std::size_t row_begin,
                                           std::size_t row_end) const {
   util::require(row_begin <= row_end && row_end <= num_nodes_,
                 "shard loader: row range must lie within [0, num_nodes]");
-  util::fault_point("io.shard.read");
+  util::fault_point(util::fault_points::kIoShardRead);
   obs::ScopedTimer timer(obs::names::kIoReadShard);
   timer.attr("row_begin", row_begin).attr("row_end", row_end);
 

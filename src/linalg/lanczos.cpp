@@ -12,6 +12,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::linalg {
 namespace {
@@ -82,7 +83,7 @@ LanczosResult lanczos_topk(const SymmetricOperator& op,
   LanczosResult result;
 
   for (std::size_t j = 0; j < max_iter; ++j) {
-    util::fault_point("solver.iteration");
+    util::fault_point(util::fault_points::kSolverIteration);
     iterations.add();
     op.apply(basis[j], w);
     const double a = dot(w, basis[j]);

@@ -7,6 +7,7 @@
 #include "random/rng.hpp"
 #include "util/check.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 namespace sgp::linalg {
 
@@ -38,7 +39,7 @@ PowerIterationResult power_iteration_topk(
     double lambda = 0.0;
     bool pair_converged = false;
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-      util::fault_point("solver.iteration");
+      util::fault_point(util::fault_points::kSolverIteration);
       op.apply(x, next);
       // Implicit deflation: remove components along found eigenvectors.
       for (std::size_t f = 0; f < found.size(); ++f) {

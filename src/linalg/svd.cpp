@@ -27,16 +27,16 @@ SvdResult svd_gram(const DenseMatrix& a, std::size_t k) {
 
   for (std::size_t j = 0; j < k; ++j) {
     const double lambda = std::max(eig.values[j], 0.0);
-    const double sigma = std::sqrt(lambda);
-    out.singular_values[j] = sigma;
+    const double singular_value = std::sqrt(lambda);
+    out.singular_values[j] = singular_value;
     std::vector<double> vj(m);
     for (std::size_t i = 0; i < m; ++i) {
       vj[i] = eig.vectors(i, j);
       out.v(i, j) = vj[i];
     }
-    if (sigma > 1e-12 * (out.singular_values[0] + 1e-300)) {
+    if (singular_value > 1e-12 * (out.singular_values[0] + 1e-300)) {
       const std::vector<double> uj = a.multiply_vector(vj);
-      const double inv = 1.0 / sigma;
+      const double inv = 1.0 / singular_value;
       for (std::size_t i = 0; i < n; ++i) out.u(i, j) = uj[i] * inv;
     }
     // else: leave U column zero (null-space direction).

@@ -116,6 +116,8 @@ inline constexpr std::string_view kPublishProject = "publish.project";
 inline constexpr std::string_view kPublishShard = "publish.shard";
 inline constexpr std::string_view kPublishSharded = "publish.sharded";
 inline constexpr std::string_view kPublishStream = "publish.stream";
+inline constexpr std::string_view kSessionBeginRelease =
+    "session.begin_release";
 inline constexpr std::string_view kSessionPublish = "session.publish";
 inline constexpr std::string_view kSpectralEmbed = "spectral.embed";
 inline constexpr std::string_view kToolGenerate = "tool.generate";
@@ -187,6 +189,7 @@ inline constexpr std::string_view kAllNames[] = {
     kPublishStream,
     kPublishWorkers,
     kRetryAttempts,
+    kSessionBeginRelease,
     kSessionBudgetRefusals,
     kSessionPublish,
     kSessionPublishes,

@@ -1,0 +1,54 @@
+#include "util/periodic.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace sgp::util {
+
+struct PeriodicTask::Impl {
+  std::thread thread;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stopping = false;
+  std::function<void()> tick;
+};
+
+PeriodicTask::PeriodicTask() = default;
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(std::uint64_t interval_ms,
+                         std::function<void()> tick) {
+  if (impl_ != nullptr) return;
+  impl_ = std::make_unique<Impl>();
+  impl_->tick = std::move(tick);
+  impl_->thread = std::thread([impl = impl_.get(), interval_ms] {
+    std::unique_lock<std::mutex> lock(impl->mutex);
+    while (!impl->stopping) {
+      impl->cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                        [impl] { return impl->stopping; });
+      if (impl->stopping) break;
+      // The callback runs unlocked so stop() can always make progress;
+      // `tick` stays valid because stop() joins before clearing impl_.
+      lock.unlock();
+      impl->tick();
+      lock.lock();
+    }
+  });
+}
+
+void PeriodicTask::stop() {
+  if (impl_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  impl_.reset();
+}
+
+}  // namespace sgp::util

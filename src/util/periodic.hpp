@@ -1,0 +1,47 @@
+// A background thread that runs one callback on a fixed interval.
+//
+// This is the only sanctioned way to own a raw std::thread outside
+// src/util/ (sgp-lint R7 concurrency-discipline): subsystems that need a
+// ticker — the obs resource sampler, heartbeat writers — hold a
+// PeriodicTask instead of hand-rolling the thread + mutex + condition
+// variable stop dance, so the join-on-stop and spurious-wakeup handling
+// live in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace sgp::util {
+
+/// Runs `tick` every `interval_ms` milliseconds on a dedicated thread until
+/// stop() (or destruction). The first tick fires after one full interval —
+/// callers that want an immediate reading take it before start(). stop()
+/// wakes the thread immediately and joins it; a tick already in flight
+/// completes first.
+class PeriodicTask {
+ public:
+  // Both defined in periodic.cpp where Impl is complete (the defaulted
+  // constructor's cleanup path needs ~unique_ptr<Impl>).
+  PeriodicTask();
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Starts the ticker. No-op if already running; `tick` must not throw
+  /// (an escaping exception would terminate the process).
+  void start(std::uint64_t interval_ms, std::function<void()> tick);
+
+  /// Signals the thread, joins it, and clears the callback. Safe to call
+  /// when not running.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return impl_ != nullptr; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sgp::util

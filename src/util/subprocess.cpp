@@ -6,6 +6,7 @@
 #include "util/check.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <signal.h>
@@ -69,7 +70,7 @@ Subprocess::ExitStatus decode_status(int raw) {
 Subprocess Subprocess::spawn(const Options& options) {
   require(!options.argv.empty() && !options.argv[0].empty(),
           "subprocess: argv[0] (program path) required");
-  fault_point("proc.spawn");
+  fault_point(fault_points::kProcSpawn);
 
   // Build argv / envp before forking — allocation in the child between
   // fork and exec is what we are avoiding.
@@ -162,7 +163,7 @@ void Subprocess::kill_hard() {
 Subprocess Subprocess::spawn(const Options& options) {
   require(!options.argv.empty() && !options.argv[0].empty(),
           "subprocess: argv[0] (program path) required");
-  fault_point("proc.spawn");
+  fault_point(fault_points::kProcSpawn);
   throw IoError("subprocess: not supported on this platform");
 }
 

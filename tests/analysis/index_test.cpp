@@ -1,0 +1,182 @@
+// Unit tests for the declaration/include indexer (analysis/index.hpp) and
+// the include-graph layer checker (analysis/include_graph.hpp) that the
+// R6–R10 rules are built on.
+#include "analysis/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/include_graph.hpp"
+
+namespace sgp::analysis {
+namespace {
+
+FileIndex index_of(const std::string& text) {
+  return build_file_index(SourceFile{"src/core/x.cpp", text});
+}
+
+TEST(IndexTest, RecordsQuotedAndAngleIncludes) {
+  const FileIndex idx = index_of(
+      "#include \"util/errors.hpp\"\n"
+      "#include <vector>\n");
+  ASSERT_EQ(idx.includes.size(), 2u);
+  EXPECT_EQ(idx.includes[0].target, "util/errors.hpp");
+  EXPECT_FALSE(idx.includes[0].angle);
+  EXPECT_EQ(idx.includes[0].line, 1);
+  EXPECT_EQ(idx.includes[1].target, "vector");
+  EXPECT_TRUE(idx.includes[1].angle);
+}
+
+TEST(IndexTest, SplicedIncludeDirectiveIsOneLogicalLine) {
+  // Backslash-newline in the middle of the directive: still one include.
+  const FileIndex idx = index_of("#include \\\n\"util/errors.hpp\"\n");
+  ASSERT_EQ(idx.includes.size(), 1u);
+  EXPECT_EQ(idx.includes[0].target, "util/errors.hpp");
+}
+
+TEST(IndexTest, IncludeTokensOnSeparatePhysicalLinesAreNotADirective) {
+  // Without the splice, '#include' and the string are different logical
+  // lines — not a directive (and not valid C++ either).
+  const FileIndex idx = index_of("#include\n\"util/errors.hpp\"\n");
+  EXPECT_TRUE(idx.includes.empty());
+}
+
+TEST(IndexTest, FindsFunctionDefinitionSpans) {
+  const FileIndex idx = index_of(
+      "int add(int a, int b) { return a + b; }\n"
+      "void noop() {}\n");
+  ASSERT_EQ(idx.functions.size(), 2u);
+  EXPECT_EQ(idx.functions[0].name, "add");
+  EXPECT_EQ(idx.functions[0].line, 1);
+  EXPECT_EQ(idx.functions[1].name, "noop");
+}
+
+TEST(IndexTest, SkipsCallsAndControlFlow) {
+  const FileIndex idx = index_of(
+      "void f() {\n"
+      "  if (g()) { h(); }\n"
+      "  while (true) { obj.method(); }\n"
+      "}\n");
+  ASSERT_EQ(idx.functions.size(), 1u);
+  EXPECT_EQ(idx.functions[0].name, "f");
+}
+
+TEST(IndexTest, HandlesCtorInitListAndQualifiers) {
+  const FileIndex idx = index_of(
+      "Widget::Widget(int n) : size_(n), data_(n, 0) { init(); }\n"
+      "int Widget::count() const noexcept { return size_; }\n");
+  ASSERT_EQ(idx.functions.size(), 2u);
+  EXPECT_EQ(idx.functions[0].name, "Widget");
+  EXPECT_EQ(idx.functions[1].name, "count");
+}
+
+TEST(IndexTest, EnclosingFunctionPicksInnermostSpan) {
+  const FileIndex idx = index_of(
+      "void outer() {\n"
+      "  target();\n"
+      "}\n"
+      "void other() { decoy(); }\n");
+  // Find the 'target' token and ask which function holds it.
+  std::size_t target = idx.tokens.size();
+  for (std::size_t i = 0; i < idx.tokens.size(); ++i) {
+    if (idx.tokens[i].text == "target") target = i;
+  }
+  ASSERT_LT(target, idx.tokens.size());
+  const FunctionDef* def = enclosing_function(idx, target);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "outer");
+  // File-scope tokens belong to no function.
+  EXPECT_EQ(enclosing_function(idx, 0), nullptr);
+}
+
+TEST(IncludeGraphTest, ModuleOfPath) {
+  EXPECT_EQ(module_of_path("src/util/errors.hpp"), "util");
+  EXPECT_EQ(module_of_path("src/core/session.cpp"), "core");
+  EXPECT_EQ(module_of_path("tools/sgp_lint.cpp"), "tools");
+  EXPECT_EQ(module_of_path("bench/bench_e2_noise.cpp"), "bench");
+  EXPECT_EQ(module_of_path("src/unknown/x.cpp"), "");
+  EXPECT_EQ(module_of_path("README.md"), "");
+}
+
+TEST(IncludeGraphTest, LayeringDirectionMatters) {
+  EXPECT_TRUE(layering_allows("core", "util"));
+  EXPECT_FALSE(layering_allows("util", "core"));
+  EXPECT_TRUE(layering_allows("dp", "random"));
+  EXPECT_FALSE(layering_allows("random", "dp"));
+  // The instrumentation exception: util and obs may include each other.
+  EXPECT_TRUE(layering_allows("util", "obs"));
+  EXPECT_TRUE(layering_allows("obs", "util"));
+  // Same module is always fine; unknown modules never are.
+  EXPECT_TRUE(layering_allows("graph", "graph"));
+  EXPECT_FALSE(layering_allows("", "util"));
+}
+
+TEST(IncludeGraphTest, TopLevelConsumersMayUseEverySrcModule) {
+  for (const char* top : {"tools", "bench", "tests", "examples"}) {
+    for (const char* module :
+         {"util", "obs", "dp", "random", "linalg", "graph", "cluster",
+          "ranking", "core", "analysis"}) {
+      EXPECT_TRUE(layering_allows(top, module)) << top << " -> " << module;
+    }
+  }
+}
+
+TEST(IncludeGraphTest, AllowedEdgeTableIsExportedForDocs) {
+  // docs/static_analysis.md renders this table; a drift there is caught by
+  // comparing against the exported edges.
+  const auto& edges = allowed_module_edges();
+  EXPECT_FALSE(edges.empty());
+  bool util_to_obs = false, util_to_core = false;
+  for (const auto& [from, to] : edges) {
+    util_to_obs = util_to_obs || (from == "util" && to == "obs");
+    util_to_core = util_to_core || (from == "util" && to == "core");
+  }
+  EXPECT_TRUE(util_to_obs);
+  EXPECT_FALSE(util_to_core);
+}
+
+TEST(IncludeGraphTest, ResolveIncludeTriesRootedAndRelative) {
+  const std::vector<std::string> repo = {
+      "src/core/session.hpp", "src/core/theory.hpp", "src/util/errors.hpp"};
+  IncludeDirective inc{"util/errors.hpp", 1, false};
+  EXPECT_EQ(resolve_include("src/core/session.cpp", inc, repo),
+            "src/util/errors.hpp");
+  IncludeDirective sibling{"theory.hpp", 1, false};
+  EXPECT_EQ(resolve_include("src/core/session.cpp", sibling, repo),
+            "src/core/theory.hpp");
+  IncludeDirective external{"vector", 1, true};
+  EXPECT_EQ(resolve_include("src/core/session.cpp", external, repo), "");
+  IncludeDirective missing{"nope/gone.hpp", 1, false};
+  EXPECT_EQ(resolve_include("src/core/session.cpp", missing, repo), "");
+}
+
+TEST(IncludeGraphTest, DetectsLayeringViolationAndCycle) {
+  std::vector<FileIncludeSummary> summaries = {
+      {"src/core/a.hpp", {{"core/b.hpp", 3, false}}},
+      {"src/core/b.hpp", {{"core/a.hpp", 4, false}}},
+      {"src/util/up.hpp", {{"core/a.hpp", 5, false}}},
+  };
+  const std::vector<Finding> findings = check_include_graph(summaries);
+  ASSERT_EQ(findings.size(), 2u);
+  // Sorted by file: the cycle's back edge reports on b.hpp, the layering
+  // violation on util/up.hpp.
+  EXPECT_EQ(findings[0].rule, "R6");
+  EXPECT_EQ(findings[0].file, "src/core/b.hpp");
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_EQ(findings[1].file, "src/util/up.hpp");
+  EXPECT_NE(findings[1].message.find("util must not include core"),
+            std::string::npos);
+}
+
+TEST(IncludeGraphTest, CleanGraphYieldsNoFindings) {
+  std::vector<FileIncludeSummary> summaries = {
+      {"src/core/a.hpp", {{"util/e.hpp", 1, false}, {"vector", 2, true}}},
+      {"src/util/e.hpp", {}},
+  };
+  EXPECT_TRUE(check_include_graph(summaries).empty());
+}
+
+}  // namespace
+}  // namespace sgp::analysis

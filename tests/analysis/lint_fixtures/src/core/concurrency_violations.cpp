@@ -1,0 +1,26 @@
+// Deliberate R7 violations: every banned threading primitive outside
+// src/util/. Never compiled.
+#include "util/thread_pool.hpp"
+
+namespace sgp::core {
+
+void spawn_worker() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+void manual_locking(std::mutex& m) {
+  m.lock();
+}
+
+void poll_for_result() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+void nested_fanout(util::ThreadPool& pool) {
+  util::parallel_for(0, 8, [&pool](std::size_t i) {
+    pool.submit([i] { return i; });
+  });
+}
+
+}  // namespace sgp::core

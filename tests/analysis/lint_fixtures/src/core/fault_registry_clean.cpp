@@ -1,0 +1,13 @@
+// R9 silent: registry constants are canonical by construction, and a
+// literal spelling of a registered name stays legal (tests arm by name).
+#include "util/fault_injection.hpp"
+#include "util/fault_point_names.hpp"
+
+namespace sgp::core {
+
+void checked_io() {
+  util::fault_point(util::fault_points::kIoRead);
+  util::arm_fault("io.read");
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,11 @@
+// Deliberate R9 violation: a typo'd fault-point name that chaos tests
+// could arm but production would never hit. Never compiled.
+#include "util/fault_injection.hpp"
+
+namespace sgp::core {
+
+void risky_io() {
+  util::fault_point("io.raed");
+}
+
+}  // namespace sgp::core

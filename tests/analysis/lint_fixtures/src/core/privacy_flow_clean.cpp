@@ -1,0 +1,19 @@
+// R8 silent: the encoder callers hold visible privacy context and the
+// privacy value comes from dp/.
+#include "core/serialization.hpp"
+
+namespace sgp::core {
+
+void emit_release(std::ostream& os, const dp::PrivacyParams& params,
+                  const std::vector<double>& rows) {
+  params.validate();
+  write_published_header(os, rows.size());
+  write_published_doubles(os, rows);
+}
+
+double calibrated(const dp::PrivacyParams& params) {
+  const double sigma = dp::analytic_gaussian_sigma(params);
+  return sigma;
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,16 @@
+// Deliberate R8 violations: release bytes without privacy context, and a
+// privacy value computed outside dp/. Never compiled.
+#include "core/serialization.hpp"
+
+namespace sgp::core {
+
+void dump_rows(std::ostream& os, const std::vector<double>& rows) {
+  write_published_header(os, rows.size());
+}
+
+double scale_noise(double scale) {
+  double sigma = scale * 2.0;
+  return sigma;
+}
+
+}  // namespace sgp::core

@@ -1,0 +1,5 @@
+// R6 fire (with cycle_b.hpp): a two-header include cycle. The module edge
+// graph -> graph is legal; the file-level cycle is not.
+#pragma once
+
+#include "graph/cycle_b.hpp"

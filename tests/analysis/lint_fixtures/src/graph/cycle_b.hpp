@@ -1,0 +1,4 @@
+// Second half of the include cycle pinned by the R6 fixture tests.
+#pragma once
+
+#include "graph/cycle_a.hpp"

@@ -1,0 +1,3 @@
+// R6 fire: linalg may depend on random/ headers, but a *.inl kernel body
+// is a random-internal — include the dispatch header instead.
+#include "random/kernel_body.inl"

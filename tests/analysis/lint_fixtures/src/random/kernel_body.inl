@@ -1,0 +1,2 @@
+// A random/ kernel body: only src/random/ files may include it (R6).
+inline double kernel_step(double x) { return x * 0.5; }

@@ -1,0 +1,3 @@
+// R6 silent: a random/ dispatcher including its own kernel body is the
+// sanctioned pattern.
+#include "random/kernel_body.inl"

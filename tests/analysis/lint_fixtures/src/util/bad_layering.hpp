@@ -1,0 +1,4 @@
+// R6 fire: util reaching up into core inverts the architecture DAG.
+#pragma once
+
+#include "core/clean_header.hpp"

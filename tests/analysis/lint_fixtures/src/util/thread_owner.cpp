@@ -1,0 +1,21 @@
+// R7 silent: src/util/ is the sanctioned home for raw threads and manual
+// lock calls, and submit() outside a parallel_for body is fine anywhere.
+#include "util/thread_pool.hpp"
+
+namespace sgp::util {
+
+void owner() {
+  std::thread ticker([] {});
+  ticker.join();
+}
+
+void handoff(std::mutex& m) {
+  m.lock();
+  m.unlock();
+}
+
+void fan_out(ThreadPool& pool) {
+  pool.submit([] { return 1; });
+}
+
+}  // namespace sgp::util

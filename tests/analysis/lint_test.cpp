@@ -40,10 +40,28 @@ void spill(const std::string& path, const std::string& text) {
 TEST(LintWalkTest, ListsFixtureSourcesSorted) {
   const auto files = list_source_files(SGP_LINT_FIXTURE_DIR);
   const std::vector<std::string> expected = {
-      "src/core/bad_header.hpp", "src/core/clean.cpp",
-      "src/core/clean_header.hpp", "src/core/violations.cpp",
-      "src/dp/params.cpp", "src/random/engine.cpp",
-      "tools/bad_tool.cpp", "tools/good_tool.cpp",
+      "src/core/bad_header.hpp",
+      "src/core/clean.cpp",
+      "src/core/clean_header.hpp",
+      "src/core/concurrency_violations.cpp",
+      "src/core/fault_registry_clean.cpp",
+      "src/core/fault_registry_violations.cpp",
+      "src/core/privacy_flow_clean.cpp",
+      "src/core/privacy_flow_violations.cpp",
+      "src/core/span_hygiene_clean.cpp",
+      "src/core/span_hygiene_violations.cpp",
+      "src/core/violations.cpp",
+      "src/dp/params.cpp",
+      "src/graph/cycle_a.hpp",
+      "src/graph/cycle_b.hpp",
+      "src/linalg/bad_inl_use.cpp",
+      "src/random/engine.cpp",
+      "src/random/kernel_body.inl",
+      "src/random/uses_kernel.cpp",
+      "src/util/bad_layering.hpp",
+      "src/util/thread_owner.cpp",
+      "tools/bad_tool.cpp",
+      "tools/good_tool.cpp",
   };
   EXPECT_EQ(files, expected);
 }
@@ -57,38 +75,64 @@ TEST(LintWalkTest, MissingRootThrowsIoError) {
 
 TEST(LintRunTest, FixtureTreeYieldsExpectedFindings) {
   const LintResult result = run_lint(fixture_options());
-  EXPECT_EQ(result.files_scanned, 8u);
+  EXPECT_EQ(result.files_scanned, 22u);
   EXPECT_EQ(result.suppressed, 0u);
-  ASSERT_EQ(result.findings.size(), 9u);
+  ASSERT_EQ(result.findings.size(), 21u);
   // Sorted by (file, line, rule, snippet); the clean fixtures contribute
   // nothing, the violating ones contribute exactly their planted sites.
-  EXPECT_EQ(result.findings[0].file, "src/core/bad_header.hpp");
-  EXPECT_EQ(result.findings[0].rule, "R4");
-  EXPECT_EQ(result.findings[0].snippet, "#pragma once");
-  EXPECT_EQ(result.findings[1].snippet, "using namespace");
-  EXPECT_EQ(result.findings[2].file, "src/core/violations.cpp");
-  EXPECT_EQ(result.findings[2].rule, "R1");
-  EXPECT_EQ(result.findings[2].snippet, "<random>");
-  EXPECT_EQ(result.findings[3].snippet, "mt19937");
-  EXPECT_EQ(result.findings[4].snippet, "rand");
-  EXPECT_EQ(result.findings[5].rule, "R3");
-  EXPECT_EQ(result.findings[5].snippet, "core.unregistered_metric");
-  EXPECT_EQ(result.findings[6].rule, "R5");
-  EXPECT_EQ(result.findings[6].snippet, "epsilon = 1.5");
-  EXPECT_EQ(result.findings[7].rule, "R2");
-  EXPECT_EQ(result.findings[7].snippet, "std::runtime_error");
-  EXPECT_EQ(result.findings[8].file, "tools/bad_tool.cpp");
-  EXPECT_EQ(result.findings[8].rule, "R2");
-  EXPECT_EQ(result.findings[8].snippet, "main");
+  std::vector<std::pair<std::string, std::string>> got;
+  for (const Finding& f : result.findings) got.emplace_back(f.rule, f.snippet);
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      // src/core/bad_header.hpp
+      {"R4", "#pragma once"},
+      {"R4", "using namespace"},
+      // src/core/concurrency_violations.cpp — one per R7 family
+      {"R7", "std::thread"},
+      {"R7", ".lock()"},
+      {"R7", "sleep_for()"},
+      {"R7", "submit()"},
+      // src/core/fault_registry_violations.cpp
+      {"R9", "io.raed"},
+      // src/core/privacy_flow_violations.cpp
+      {"R8", "write_published_header"},
+      {"R8", "sigma = ..."},
+      // src/core/span_hygiene_violations.cpp
+      {"R10", "ScopedTimer(...)"},
+      {"R10", "log_event"},
+      // src/core/violations.cpp
+      {"R1", "<random>"},
+      {"R1", "mt19937"},
+      {"R1", "rand"},
+      {"R3", "core.unregistered_metric"},
+      {"R5", "epsilon = 1.5"},
+      {"R2", "std::runtime_error"},
+      // src/graph/cycle_b.hpp — the back edge closing the include cycle
+      {"R6", "src/graph/cycle_a.hpp"},
+      // src/linalg/bad_inl_use.cpp — *.inl escaping src/random/
+      {"R6", "random/kernel_body.inl"},
+      // src/util/bad_layering.hpp — util reaching up into core
+      {"R6", "core/clean_header.hpp"},
+      // tools/bad_tool.cpp
+      {"R2", "main"},
+  };
+  EXPECT_EQ(got, expected);
+  // Every finding ships a fix-it hint.
+  for (const Finding& f : result.findings) {
+    EXPECT_FALSE(f.fix.empty()) << f.rule << " " << f.snippet;
+  }
 }
 
 TEST(LintRunTest, ExcludePrefixesSkipFiles) {
   LintOptions opt = fixture_options();
   opt.exclude_prefixes = {"src/core/"};
   const LintResult result = run_lint(opt);
-  EXPECT_EQ(result.files_scanned, 4u);
-  ASSERT_EQ(result.findings.size(), 1u);
-  EXPECT_EQ(result.findings[0].file, "tools/bad_tool.cpp");
+  EXPECT_EQ(result.files_scanned, 11u);
+  // Excluding src/core/ also drops the util→core layering finding: the
+  // include target leaves the walked set, so the edge cannot resolve.
+  ASSERT_EQ(result.findings.size(), 3u);
+  EXPECT_EQ(result.findings[0].file, "src/graph/cycle_b.hpp");
+  EXPECT_EQ(result.findings[1].file, "src/linalg/bad_inl_use.cpp");
+  EXPECT_EQ(result.findings[2].file, "tools/bad_tool.cpp");
 }
 
 TEST(LintRunTest, RuleFilterRestrictsFindings) {
@@ -104,7 +148,7 @@ TEST(BaselineTest, FromFindingsSuppressesEverything) {
   const Baseline baseline = Baseline::from_findings(result.findings);
   EXPECT_FALSE(baseline.empty());
   const std::size_t suppressed = baseline.apply(result.findings);
-  EXPECT_EQ(suppressed, 9u);
+  EXPECT_EQ(suppressed, 21u);
   EXPECT_TRUE(result.findings.empty());
 }
 
@@ -113,7 +157,7 @@ TEST(BaselineTest, RoundTripsThroughDisk) {
   const std::string path = ::testing::TempDir() + "sgp_lint_baseline.json";
   Baseline::from_findings(result.findings).save(path);
   const Baseline reloaded = Baseline::load(path);
-  EXPECT_EQ(reloaded.apply(result.findings), 9u);
+  EXPECT_EQ(reloaded.apply(result.findings), 21u);
   EXPECT_TRUE(result.findings.empty());
   // The serialized form is itself schema-tagged valid JSON.
   const util::JsonValue doc = util::parse_json(slurp(path));
@@ -204,7 +248,8 @@ TEST(LintReportTest, TextReportFormat) {
   const std::string text = out.str();
   EXPECT_NE(text.find("src/core/violations.cpp:5: [R1]"), std::string::npos)
       << text;
-  EXPECT_NE(text.find("9 finding(s), 0 baselined, 8 file(s) scanned"),
+  EXPECT_NE(text.find("    fix: "), std::string::npos) << text;
+  EXPECT_NE(text.find("21 finding(s), 0 baselined, 22 file(s) scanned"),
             std::string::npos)
       << text;
 }

@@ -1,0 +1,123 @@
+// SARIF 2.1.0 export: the fixture-tree report must round-trip through the
+// in-tree validator, carry every rule in the driver metadata, and reject
+// structurally broken documents.
+#include "analysis/sarif.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "util/json.hpp"
+
+namespace sgp::analysis {
+namespace {
+
+LintOptions fixture_options() {
+  LintOptions opt;
+  opt.root = SGP_LINT_FIXTURE_DIR;
+  return opt;
+}
+
+std::string fixture_sarif() {
+  const LintResult result = run_lint(fixture_options());
+  std::ostringstream out;
+  write_lint_report_sarif(result, fixture_options(), out);
+  return out.str();
+}
+
+TEST(SarifTest, FixtureReportRoundTripsThroughValidator) {
+  const util::JsonValue doc = util::parse_json(fixture_sarif());
+  EXPECT_EQ(validate_sarif_json(doc), std::nullopt);
+}
+
+TEST(SarifTest, DriverCarriesEveryRule) {
+  const util::JsonValue doc = util::parse_json(fixture_sarif());
+  const util::JsonValue& rules = *doc.find("runs")
+                                      ->as_array()[0]
+                                      .find("tool")
+                                      ->find("driver")
+                                      ->find("rules");
+  ASSERT_EQ(rules.as_array().size(), std::size(kAllRuleIds));
+  std::size_t i = 0;
+  for (const util::JsonValue& r : rules.as_array()) {
+    EXPECT_EQ(r.find("id")->as_string(), kAllRuleIds[i++]);
+  }
+}
+
+TEST(SarifTest, ResultsMirrorFindings) {
+  const LintResult result = run_lint(fixture_options());
+  const util::JsonValue doc = util::parse_json(fixture_sarif());
+  const util::JsonValue& results =
+      *doc.find("runs")->as_array()[0].find("results");
+  ASSERT_EQ(results.as_array().size(), result.findings.size());
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const util::JsonValue& r = results.as_array()[i];
+    const Finding& f = result.findings[i];
+    EXPECT_EQ(r.find("ruleId")->as_string(), f.rule);
+    EXPECT_EQ(r.find("level")->as_string(), "error");
+    EXPECT_EQ(r.find("message")->find("text")->as_string(), f.message);
+    const util::JsonValue& loc =
+        r.find("locations")->as_array()[0];
+    EXPECT_EQ(loc.find("physicalLocation")
+                  ->find("artifactLocation")
+                  ->find("uri")
+                  ->as_string(),
+              f.file);
+    EXPECT_EQ(loc.find("physicalLocation")
+                  ->find("region")
+                  ->find("startLine")
+                  ->as_number(),
+              f.line);
+  }
+}
+
+TEST(SarifTest, ExportIsDeterministic) {
+  EXPECT_EQ(fixture_sarif(), fixture_sarif());
+}
+
+TEST(SarifTest, ValidatorRejectsSchemaViolations) {
+  auto rejects = [](const std::string& json) {
+    return validate_sarif_json(util::parse_json(json)).has_value();
+  };
+  EXPECT_TRUE(rejects("{}"));
+  EXPECT_TRUE(rejects(R"({"version": "2.0.0", "runs": []})"));
+  // Two runs.
+  EXPECT_TRUE(rejects(R"({"version": "2.1.0", "runs": [{}, {}]})"));
+  // Wrong driver name.
+  EXPECT_TRUE(rejects(R"({"version": "2.1.0", "runs": [{"tool":
+      {"driver": {"name": "other", "rules": [{"id": "R1",
+      "shortDescription": {"text": "x"}}]}}, "results": []}]})"));
+  // Result referencing an undeclared rule.
+  EXPECT_TRUE(rejects(R"({"version": "2.1.0", "runs": [{"tool":
+      {"driver": {"name": "sgp-lint", "rules": [{"id": "R1",
+      "shortDescription": {"text": "x"}}]}},
+      "results": [{"ruleId": "R99", "message": {"text": "m"},
+      "locations": [{"physicalLocation": {"artifactLocation":
+      {"uri": "a.cpp"}, "region": {"startLine": 1}}}]}]}]})"));
+  // Absolute uri.
+  EXPECT_TRUE(rejects(R"({"version": "2.1.0", "runs": [{"tool":
+      {"driver": {"name": "sgp-lint", "rules": [{"id": "R1",
+      "shortDescription": {"text": "x"}}]}},
+      "results": [{"ruleId": "R1", "message": {"text": "m"},
+      "locations": [{"physicalLocation": {"artifactLocation":
+      {"uri": "/abs/a.cpp"}, "region": {"startLine": 1}}}]}]}]})"));
+  // startLine below 1.
+  EXPECT_TRUE(rejects(R"({"version": "2.1.0", "runs": [{"tool":
+      {"driver": {"name": "sgp-lint", "rules": [{"id": "R1",
+      "shortDescription": {"text": "x"}}]}},
+      "results": [{"ruleId": "R1", "message": {"text": "m"},
+      "locations": [{"physicalLocation": {"artifactLocation":
+      {"uri": "a.cpp"}, "region": {"startLine": 0}}}]}]}]})"));
+  // Empty message text.
+  EXPECT_TRUE(rejects(R"({"version": "2.1.0", "runs": [{"tool":
+      {"driver": {"name": "sgp-lint", "rules": [{"id": "R1",
+      "shortDescription": {"text": "x"}}]}},
+      "results": [{"ruleId": "R1", "message": {"text": ""},
+      "locations": [{"physicalLocation": {"artifactLocation":
+      {"uri": "a.cpp"}, "region": {"startLine": 1}}}]}]}]})"));
+}
+
+}  // namespace
+}  // namespace sgp::analysis

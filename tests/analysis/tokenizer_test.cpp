@@ -156,5 +156,70 @@ TEST(TokenizerTest, EmptyInputYieldsNoTokens) {
   EXPECT_TRUE(tokenize("// only a comment").empty());
 }
 
+
+TEST(TokenizerTest, BackslashNewlineSplicesTokens) {
+  // Translation phase 2: backslash-newline vanishes before tokenization,
+  // so a spliced directive is one logical line. The token after the splice
+  // carries follows_splice so line-sensitive passes (the include scanner)
+  // can tell "same logical line" from "same physical line".
+  const auto toks = tokenize("#include \\\n\"util/errors.hpp\"\nint x;");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].text, "#");
+  EXPECT_EQ(toks[1].text, "include");
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "util/errors.hpp");
+  EXPECT_TRUE(toks[2].follows_splice);
+  EXPECT_EQ(toks[2].line, 2);  // physical line of the token's own start
+  EXPECT_FALSE(toks[3].follows_splice);
+}
+
+TEST(TokenizerTest, SpliceBetweenIdentifierCharsBreaksTheToken) {
+  // Deliberate divergence from phase-2 C++ (which would join "eventual"):
+  // no real code splices mid-identifier, and keeping the tokens separate
+  // preserves a 1:1 token-to-source-position mapping for findings. The
+  // second token carries follows_splice so passes can detect the join.
+  const auto toks = tokenize("even\\\ntual");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "even");
+  EXPECT_EQ(toks[1].text, "tual");
+  EXPECT_TRUE(toks[1].follows_splice);
+}
+
+TEST(TokenizerTest, SpliceExtendsLineComment) {
+  // A line comment ending in backslash-newline swallows the next physical
+  // line too — the `int y;` here is still commented out.
+  const auto toks = tokenize("// gone \\\nint y;\nint z;");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "z");
+}
+
+TEST(TokenizerTest, SpliceInsideStringLiteral) {
+  // Inside an ordinary string literal, backslash-newline is a splice, not
+  // an escaped character: the literal continues on the next line.
+  const auto toks = tokenize("\"ab\\\ncd\"");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, "abcd");
+}
+
+TEST(TokenizerTest, AdjacentRawStringsStayDistinct) {
+  // The closing delimiter of one raw string must not be confused with the
+  // opening of the next when they share delimiter text.
+  const auto toks = tokenize("R\"x(one)x\" R\"x(two)x\"");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, "one");
+  EXPECT_EQ(toks[1].kind, TokKind::kString);
+  EXPECT_EQ(toks[1].text, "two");
+}
+
+TEST(TokenizerTest, RawStringParenInDelimiterBody) {
+  // The body may contain ')' followed by a non-matching suffix.
+  const auto toks = tokenize("R\"ab(x)a)ab\"");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].text, "x)a");
+}
+
 }  // namespace
 }  // namespace sgp::analysis

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full static-analysis and sanitizer matrix (docs/static_analysis.md):
 #
-#   1. sgp-lint        repo-invariant rules R1-R5 against the tree,
-#                      modulo the checked-in .lint-baseline.json
+#   1. sgp-lint        repo-invariant rules R1-R10 against the tree,
+#                      modulo the checked-in .lint-baseline.json; emits
+#                      the machine-readable build/lint.sarif artifact and
+#                      gates on a warm-vs-cold cache byte-diff
 #   2. strict warnings -Wall -Wextra -Wconversion -Werror (SGP_WERROR)
 #   3. clang-tidy      AST-level checks (.clang-tidy) — skipped with a
 #                      notice when the toolchain does not ship clang-tidy
@@ -43,7 +45,7 @@ fail=0
 note() { printf '\n=== %s ===\n' "$*"; }
 
 # --- 1. sgp-lint ------------------------------------------------------------
-note "sgp-lint (rules R1-R5)"
+note "sgp-lint (rules R1-R10)"
 cmake -B build -S . >/dev/null
 cmake --build build -j --target sgp_lint >/dev/null
 if ./build/tools/sgp_lint --root .; then
@@ -52,6 +54,30 @@ else
   echo "sgp-lint: FINDINGS (see above)"
   fail=1
 fi
+# Machine-readable artifact for CI ingestion, emitted findings or not
+# (the exit code above is the gate).
+./build/tools/sgp_lint --root . --format sarif --out build/lint.sarif || true
+echo "sgp-lint: SARIF artifact at build/lint.sarif"
+
+# Warm-vs-cold cache diff: an incremental run must report byte-identically
+# to a from-scratch one, and a warm run on an unchanged tree must re-lint
+# nothing (docs/static_analysis.md, "Parallel walk and the incremental
+# cache").
+lint_cache_dir="$(mktemp -d)"
+./build/tools/sgp_lint --root . --no-baseline --format json \
+  --cache --cache-path "${lint_cache_dir}/cache.json" \
+  --out "${lint_cache_dir}/cold.json" 2>/dev/null || true
+./build/tools/sgp_lint --root . --no-baseline --format json \
+  --cache --cache-path "${lint_cache_dir}/cache.json" \
+  --out "${lint_cache_dir}/warm.json" 2> "${lint_cache_dir}/warm.stats" || true
+if cmp -s "${lint_cache_dir}/cold.json" "${lint_cache_dir}/warm.json" &&
+   grep -q ", 0 re-linted," "${lint_cache_dir}/warm.stats"; then
+  echo "sgp-lint cache: warm run byte-identical, 0 files re-linted"
+else
+  echo "sgp-lint cache: warm/cold DIVERGED"
+  fail=1
+fi
+rm -rf "${lint_cache_dir}"
 
 # --- 2. strict warnings -----------------------------------------------------
 note "strict warnings (-Wall -Wextra -Wconversion -Werror)"

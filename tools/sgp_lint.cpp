@@ -1,8 +1,9 @@
 // sgp_lint — repo-invariant static analysis (see docs/static_analysis.md).
 //
-//   sgp_lint --root . [--format text|json] [--out report.json]
+//   sgp_lint --root . [--format text|json|sarif] [--out report.json]
 //            [--rules R1,R3] [--baseline .lint-baseline.json]
 //            [--no-baseline] [--write-baseline]
+//            [--threads N] [--cache] [--cache-path .lint-cache.json]
 //
 // Exit codes extend the shared tool contract with the conventional linter
 // "findings" code:
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "analysis/sarif.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/errors.hpp"
@@ -53,16 +55,37 @@ int main(int argc, char** argv) {
         known = known || id == all;
       }
       if (!known) {
-        throw sgp::util::PreconditionError("unknown rule id: " + id);
+        std::string valid;
+        for (std::string_view all : sgp::analysis::kAllRuleIds) {
+          if (!valid.empty()) valid += " ";
+          valid += all;
+        }
+        throw sgp::util::PreconditionError("unknown rule id: " + id +
+                                           " (valid: " + valid + ")");
       }
     }
     const std::string format = args.get_string("format", "text");
-    if (format != "text" && format != "json") {
+    if (format != "text" && format != "json" && format != "sarif") {
       throw sgp::util::PreconditionError(
-          "--format must be 'text' or 'json', got '" + format + "'");
+          "--format must be 'text', 'json', or 'sarif', got '" + format +
+          "'");
     }
+    options.threads =
+        static_cast<std::size_t>(args.get_int("threads", 0));
+    options.use_cache = args.get_bool("cache", false);
+    options.cache_path = args.get_string(
+        "cache-path",
+        (std::filesystem::path(options.root) / ".lint-cache.json")
+            .string());
 
     sgp::analysis::LintResult result = sgp::analysis::run_lint(options);
+    // Cache accounting goes to stderr only, so reports stay byte-identical
+    // warm vs. cold (the property the cache tests pin).
+    std::fprintf(stderr,
+                 "sgp_lint: %zu file(s) scanned, %zu re-linted, %zu from "
+                 "cache\n",
+                 result.files_scanned, result.files_relinted,
+                 result.cache_hits);
 
     const std::string default_baseline =
         (std::filesystem::path(options.root) / ".lint-baseline.json")
@@ -89,6 +112,8 @@ int main(int argc, char** argv) {
     auto render = [&](std::ostream& os) {
       if (format == "json") {
         sgp::analysis::write_lint_report_json(result, options, os);
+      } else if (format == "sarif") {
+        sgp::analysis::write_lint_report_sarif(result, options, os);
       } else {
         sgp::analysis::write_lint_report_text(result, os);
       }
