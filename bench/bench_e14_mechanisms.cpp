@@ -1,0 +1,101 @@
+// E14: mechanism comparison over the standard scenario grid — every
+// registered mechanism publishes every scenario graph at every (ε, δ) point
+// and is scored on every analyst task (core/scenario.hpp).
+//
+// Claim under test: the mechanism family trades utility coherently — the
+// community-profile mechanisms preserve graph-shaped statistics (degree
+// distribution, conductance at high ε) that the projection release cannot,
+// while the projection stays the embedding-task baseline; no mechanism
+// pretends to preserve what its release shape discards.
+//
+// Usage: bench_e14_mechanisms [--nodes N]   (default: the grid's standard
+// 240). The ctest schema fixture runs a smaller N so validating
+// BENCH_E14.json stays fast; the meta axes and per-cell score keys
+// ("score.<generator>.<mechanism>.e<epsilon>.<task>") are emitted
+// regardless of size, and `sgp_analyze --compare-mechanisms BENCH_E14.json`
+// renders the same table from the report alone.
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "core/mechanism.hpp"
+#include "core/scenario.hpp"
+#include "dp/defaults.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// The value of `key` inside a scenario cell label ("generator=sbm/...").
+std::string label_part(const std::string& label, const std::string& key) {
+  const std::string needle = key + "=";
+  const std::size_t at = label.find(needle);
+  const std::size_t begin = at + needle.size();
+  return label.substr(begin, label.find('/', begin) - begin);
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ",";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp::core::scenario;
+  const sgp::util::CliArgs args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(
+      args.get_int("nodes", static_cast<int>(kScenarioNodes)));
+
+  sgp::bench::BenchReport report("E14");
+  sgp::bench::banner(
+      "E14: mechanism comparison on the scenario grid",
+      "Every mechanism x generator x (eps, delta) x task cell, scored in "
+      "[0, 1] against the non-private reference; release shape decides "
+      "which tasks survive.");
+
+  sgp::util::TextTable table({"generator", "mechanism", "epsilon", "task",
+                              "score", "reference"});
+  std::vector<std::string> epsilon_labels;
+  for (const auto& cell : standard_grid()) {
+    const auto planted =
+        make_scenario_graph(cell.generator, cell.seed, nodes);
+    sgp::obs::ScopedTimer timer("bench.cell");
+    timer.attr("cell", cell.label);
+    const auto release = sgp::core::make_mechanism(cell.mechanism)
+                             ->publish(planted.graph, cell_options(cell));
+    const double score = run_task(release, cell.task, planted, cell.seed);
+    const double reference = reference_score(cell.task, planted, cell.seed);
+    const std::string epsilon = label_part(cell.label, "epsilon");
+    if (epsilon_labels.empty() || epsilon_labels.back() != epsilon) {
+      bool seen = false;
+      for (const auto& e : epsilon_labels) seen = seen || e == epsilon;
+      if (!seen) epsilon_labels.push_back(epsilon);
+    }
+    table.new_row()
+        .add(to_string(cell.generator))
+        .add(sgp::core::to_string(cell.mechanism))
+        .add(epsilon)
+        .add(to_string(cell.task))
+        .add(score, 3)
+        .add(reference, 3);
+    report.meta("score." + to_string(cell.generator) + "." +
+                    sgp::core::to_string(cell.mechanism) + ".e" + epsilon +
+                    "." + to_string(cell.task),
+                score);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  report.meta("mechanisms", join(sgp::core::known_mechanism_names()))
+      .meta("generators", join(known_generator_names()))
+      .meta("epsilons", join(epsilon_labels))
+      .meta("tasks", join(known_task_names()))
+      .meta("delta", sgp::dp::kScenarioDelta)
+      .meta("nodes", static_cast<std::uint64_t>(nodes))
+      .meta("base_seed", static_cast<std::uint64_t>(kScenarioBaseSeed));
+  return 0;
+}

@@ -14,6 +14,13 @@
 //       privacy-named value (propagation). Pure literals are R5's
 //       business; ambient arithmetic (`sigma = scale * 2`) fires here —
 //       calibration formulas belong in src/dp/.
+//
+//   (c) Propagation does not license arithmetic: a right-hand side that
+//       combines a privacy-named value with a numeric literal through
+//       +|-|*|/ and no dp:: call (`eps1 = epsilon * 0.5`) is a hand-rolled
+//       budget split. Mechanism implementations must split budgets through
+//       dp::split_budget / dp::laplace_scale so composition stays auditable
+//       in one layer.
 #include <string_view>
 
 #include "analysis/rule_support.hpp"
@@ -81,6 +88,7 @@ void check_privacy_initializers(const SourceFile& file,
     int depth = 0;
     std::size_t rhs_begin = i + 2, rhs_end = rhs_begin;
     bool has_dp = false, has_privacy_ident = false, has_string = false;
+    bool has_arithmetic = false;
     std::size_t ident_count = 0, literal_count = 0;
     for (std::size_t j = rhs_begin; j < t.size(); ++j) {
       if (t[j].kind == TokKind::kPunct) {
@@ -91,6 +99,9 @@ void check_privacy_initializers(const SourceFile& file,
           --depth;
         }
         if (depth == 0 && (p == ";" || p == ",")) break;
+        if (p == "+" || p == "-" || p == "*" || p == "/") {
+          has_arithmetic = true;
+        }
       }
       rhs_end = j + 1;
       if (t[j].kind == TokKind::kIdentifier) {
@@ -101,12 +112,27 @@ void check_privacy_initializers(const SourceFile& file,
       if (t[j].kind == TokKind::kNumber) ++literal_count;
       if (t[j].kind == TokKind::kString) has_string = true;
     }
-    if (rhs_end == rhs_begin) continue;             // no initializer
-    if (has_dp || has_privacy_ident) continue;      // dp-rooted or propagated
-    if (ident_count == 0 && literal_count > 0) continue;  // R5's domain
+    if (rhs_end == rhs_begin) continue;  // no initializer
+    if (has_dp) continue;                // dp-rooted
     // A string RHS is a *name* that mentions sigma/epsilon (metric-name
     // constants like kPublishSigma = "publish.sigma"), not a value.
     if (has_string) continue;
+    if (has_privacy_ident) {
+      // Clause (c): propagation plus literal arithmetic is a hand-rolled
+      // budget split (`eps1 = epsilon * 0.5`). Plain propagation
+      // (`eps = options.params.epsilon`) is fine.
+      if (literal_count == 0 || !has_arithmetic) continue;
+      out.push_back({"R8", file.path, t[i].line, t[i].text + " = ...",
+                     "privacy-flow: '" + t[i].text +
+                         "' hand-rolls budget arithmetic on a privacy "
+                         "value outside src/dp/ — splitting or scaling "
+                         "(ε, δ) by literals belongs in the dp layer",
+                     "split the budget via dp::split_budget (or add the "
+                     "formula to src/dp/ and call it) instead of inlining "
+                     "the arithmetic"});
+      continue;
+    }
+    if (ident_count == 0 && literal_count > 0) continue;  // R5's domain
     out.push_back({"R8", file.path, t[i].line, t[i].text + " = ...",
                    "privacy-flow: '" + t[i].text +
                        "' initialized from an expression with no dp:: "

@@ -379,7 +379,8 @@ const std::vector<RuleInfo>& all_rule_infos() {
        "src/util/; parallel_for bodies never block on pool APIs."},
       {"R8", "privacy-flow",
        "Publishing encoders are called only from privacy-context-bearing "
-       "signatures; ε/δ/σ values originate in dp/ expressions."},
+       "signatures; ε/δ/σ values originate in dp/ expressions; budget "
+       "splits on privacy values are never hand-rolled outside src/dp/."},
       {"R9", "fault-registry",
        "Fault-point name literals must be canonical "
        "(util/fault_point_names.hpp)."},

@@ -33,7 +33,9 @@
 //                        functions that visibly receive privacy context
 //                        (session/ledger/params argument); ε/δ/σ variables
 //                        are initialized from dp/ expressions, not ambient
-//                        arithmetic.
+//                        arithmetic; and mechanism code never hand-rolls a
+//                        budget split (privacy value × literal) outside
+//                        src/dp/ — use dp::split_budget and friends.
 //   R9 fault-registry    every string literal passed to fault_point() /
 //                        arm_fault() appears in util/fault_point_names.hpp.
 //   R10 span-hygiene     no discarded Span/ScopedTimer temporaries (RAII

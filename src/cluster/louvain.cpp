@@ -155,6 +155,56 @@ WeightedGraph aggregate(const WeightedGraph& wg,
   return out;
 }
 
+/// Weighted modularity Q = Σ_c [ w_in(c)/2m − (deg(c)/2m)² ] of a partition
+/// of `wg` — the weighted entry point has no simple graph to hand to
+/// graph::modularity.
+double weighted_modularity(const WeightedGraph& wg,
+                           const std::vector<std::uint32_t>& labels) {
+  const double m2 = wg.total_weight;
+  if (m2 == 0.0) return 0.0;
+  std::size_t k = 0;
+  for (std::uint32_t c : labels) k = std::max<std::size_t>(k, c + 1);
+  std::vector<double> intra(k, 0.0), degree(k, 0.0);
+  for (std::size_t u = 0; u < wg.size(); ++u) {
+    degree[labels[u]] += weighted_degree(wg, u);
+    for (const auto& [v, w] : wg.adjacency[u]) {
+      if (v == u) {
+        intra[labels[u]] += 2.0 * w;  // self loop: full weight, stored once
+      } else if (labels[v] == labels[u]) {
+        intra[labels[u]] += w;  // counted once per direction
+      }
+    }
+  }
+  double q = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    q += intra[c] / m2 - (degree[c] / m2) * (degree[c] / m2);
+  }
+  return q;
+}
+
+/// The shared multi-level loop: local moves + aggregation until Q stops
+/// improving. Fills assignments/levels/num_communities; modularity is the
+/// caller's business (simple vs weighted formula).
+void run_levels(WeightedGraph level_graph, const LouvainOptions& options,
+                LouvainResult& result) {
+  random::Rng rng(options.seed);
+  // node -> community-at-current-level mapping, composed across levels.
+  std::vector<std::uint32_t> global = result.assignments;
+
+  for (std::size_t level = 0; level < options.max_levels; ++level) {
+    LocalMoveResult moved = local_move(level_graph, options, rng);
+    const std::size_t k = compact_labels(moved.community);
+    result.levels = level + 1;
+    // Compose into the node-level assignment.
+    for (std::uint32_t& c : global) c = moved.community[c];
+    if (!moved.moved_any || k == level_graph.size()) break;
+    level_graph = aggregate(level_graph, moved.community, k);
+  }
+
+  result.assignments = global;
+  result.num_communities = compact_labels(result.assignments);
+}
+
 }  // namespace
 
 LouvainResult louvain_cluster(const graph::Graph& g,
@@ -171,24 +221,46 @@ LouvainResult louvain_cluster(const graph::Graph& g,
     return result;
   }
 
-  random::Rng rng(options.seed);
-  WeightedGraph level_graph = from_simple(g);
-  // node -> community-at-current-level mapping, composed across levels.
-  std::vector<std::uint32_t> global = result.assignments;
+  run_levels(from_simple(g), options, result);
+  result.modularity = graph::modularity(g, result.assignments);
+  return result;
+}
 
-  for (std::size_t level = 0; level < options.max_levels; ++level) {
-    LocalMoveResult moved = local_move(level_graph, options, rng);
-    const std::size_t k = compact_labels(moved.community);
-    result.levels = level + 1;
-    // Compose into the node-level assignment.
-    for (std::uint32_t& c : global) c = moved.community[c];
-    if (!moved.moved_any || k == level_graph.size()) break;
-    level_graph = aggregate(level_graph, moved.community, k);
+LouvainResult louvain_cluster_weighted(std::size_t num_nodes,
+                                       const std::vector<WeightedEdge>& edges,
+                                       const LouvainOptions& options) {
+  util::require(options.max_levels >= 1, "louvain: max_levels must be >= 1");
+  util::require(options.max_sweeps >= 1, "louvain: max_sweeps must be >= 1");
+
+  LouvainResult result;
+  result.assignments.resize(num_nodes);
+  std::iota(result.assignments.begin(), result.assignments.end(), 0);
+  if (num_nodes == 0) return result;
+  if (edges.empty()) {
+    result.num_communities = num_nodes;
+    return result;
   }
 
-  result.assignments = global;
-  result.num_communities = compact_labels(result.assignments);
-  result.modularity = graph::modularity(g, result.assignments);
+  WeightedGraph wg;
+  wg.adjacency.resize(num_nodes);
+  {
+    // Accumulate duplicates, then emit sorted adjacency in both directions.
+    std::vector<std::map<std::uint32_t, double>> merged(num_nodes);
+    for (const auto& e : edges) {
+      util::require(e.u < num_nodes && e.v < num_nodes,
+                    "louvain: edge endpoint out of range");
+      util::require(e.u != e.v, "louvain: self loops are invalid");
+      merged[e.u][e.v] += e.weight;
+      merged[e.v][e.u] += e.weight;
+      wg.total_weight += 2.0 * e.weight;
+    }
+    for (std::size_t u = 0; u < num_nodes; ++u) {
+      wg.adjacency[u].assign(merged[u].begin(), merged[u].end());
+    }
+  }
+  const WeightedGraph original = wg;
+  run_levels(std::move(wg), options, result);
+  result.modularity = weighted_modularity(original, result.assignments);
   return result;
 }
 

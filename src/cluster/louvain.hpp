@@ -33,4 +33,22 @@ struct LouvainResult {
 LouvainResult louvain_cluster(const graph::Graph& g,
                               const LouvainOptions& options = {});
 
+/// One weighted undirected edge (u != v, u < v). Negative weights are
+/// allowed: the signed noisy adjacencies of DP community detection
+/// (core/mechanism.cpp) rely on Laplace noise cancelling inside the
+/// aggregate sums modularity is computed from.
+struct WeightedEdge {
+  std::uint32_t u;
+  std::uint32_t v;
+  double weight;
+};
+
+/// Runs Louvain on a weighted graph given as an edge list (duplicate pairs
+/// accumulate). Deterministic for a fixed seed; reuses the same local-move
+/// and aggregation machinery as the unweighted entry point. The reported
+/// modularity is the weighted Q of the final partition.
+LouvainResult louvain_cluster_weighted(std::size_t num_nodes,
+                                       const std::vector<WeightedEdge>& edges,
+                                       const LouvainOptions& options = {});
+
 }  // namespace sgp::cluster

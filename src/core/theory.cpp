@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dp/budget.hpp"
 #include "dp/mechanisms.hpp"
 #include "util/check.hpp"
 
@@ -26,8 +27,9 @@ NoiseCalibration calibrate_noise(std::size_t m, const dp::PrivacyParams& params,
   util::require(delta_split > 0.0 && delta_split < 1.0,
                 "calibrate_noise: delta_split must be in (0,1)");
   NoiseCalibration cal;
-  cal.delta_projection = params.delta * delta_split;
-  cal.delta_gaussian = params.delta * (1.0 - delta_split);
+  const dp::DeltaSplit deltas = dp::split_delta(params.delta, delta_split);
+  cal.delta_projection = deltas.first;
+  cal.delta_gaussian = deltas.second;
   cal.sensitivity = projected_row_sensitivity(m, cal.delta_projection);
   const dp::PrivacyParams gaussian_budget{params.epsilon, cal.delta_gaussian};
   cal.sigma = analytic

@@ -1,0 +1,38 @@
+#include "dp/budget.hpp"
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace sgp::dp {
+
+BudgetSplit split_budget(const PrivacyParams& total, double partition_share) {
+  total.validate();
+  util::require(partition_share > 0.0 && partition_share < 1.0,
+                "split_budget: partition_share must be in (0, 1)");
+  BudgetSplit split;
+  split.partition.epsilon = total.epsilon * partition_share;
+  split.partition.delta = total.delta * partition_share;
+  split.counts.epsilon = total.epsilon - split.partition.epsilon;
+  split.counts.delta = total.delta - split.partition.delta;
+  return split;
+}
+
+DeltaSplit split_delta(double delta, double first_share) {
+  util::require(delta > 0.0, "split_delta: delta must be > 0");
+  util::require(first_share > 0.0 && first_share < 1.0,
+                "split_delta: first_share must be in (0, 1)");
+  DeltaSplit split;
+  split.first = delta * first_share;
+  split.second = delta - split.first;
+  return split;
+}
+
+double node_level_edge_epsilon(double epsilon, std::size_t max_degree) {
+  util::require(epsilon > 0.0, "node_level_edge_epsilon: epsilon must be > 0");
+  util::require(max_degree > 0,
+                "node_level_edge_epsilon: max_degree must be > 0");
+  return epsilon / static_cast<double>(max_degree);
+}
+
+}  // namespace sgp::dp

@@ -1,0 +1,44 @@
+// Budget arithmetic for mechanisms that spend one (ε, δ) allowance across
+// several phases. All ε/δ splitting lives here, in the DP layer: a mechanism
+// implementation that multiplies `params.epsilon` by a share constant inline
+// is an sgp-lint R8 violation (docs/static_analysis.md), precisely so every
+// composition claim stays auditable in one file.
+#pragma once
+
+#include "dp/privacy.hpp"
+
+namespace sgp::dp {
+
+/// A two-phase sequential-composition split of one total budget. Both parts
+/// are full (ε, δ) budgets; sequential composition of the two phases
+/// consumes exactly the total (ε_p + ε_c = ε, δ_p + δ_c = δ).
+struct BudgetSplit {
+  PrivacyParams partition;  ///< phase 1 (e.g. community detection)
+  PrivacyParams counts;     ///< phase 2 (e.g. noisy edge-count profile)
+};
+
+/// Splits `total` between two phases: the partition phase receives
+/// `partition_share` of both ε and δ, the counts phase the rest. Requires a
+/// valid total budget and partition_share ∈ (0, 1).
+[[nodiscard]] BudgetSplit split_budget(const PrivacyParams& total,
+                                       double partition_share);
+
+/// A two-way split of a δ allowance alone (ε untouched): used when one phase
+/// consumes δ without spending ε — e.g. the JL projection's failure
+/// probability vs the Gaussian mechanism's δ in calibrate_noise.
+struct DeltaSplit {
+  double first = 0.0;   ///< `first_share` of the total δ
+  double second = 0.0;  ///< the remainder
+};
+
+/// Splits `delta` between two consumers; `first_share` ∈ (0, 1).
+[[nodiscard]] DeltaSplit split_delta(double delta, double first_share);
+
+/// Per-edge ε for a randomized-response pass that must satisfy *node-level*
+/// ε-DP on a graph whose degrees are capped at `max_degree`: changing one
+/// node rewrites at most `max_degree` potential edges, so group privacy
+/// prices each edge at ε / max_degree.
+[[nodiscard]] double node_level_edge_epsilon(double epsilon,
+                                             std::size_t max_degree);
+
+}  // namespace sgp::dp

@@ -16,4 +16,15 @@ inline constexpr double kDefaultDeltaSplit = 0.5;
 /// budget (core/baselines.hpp).
 inline constexpr double kDefaultEpsilon = 1.0;
 
+/// Default share of the total ε a community-level mechanism spends on the
+/// partition phase; the remainder buys the Laplace noise on the community
+/// edge-count profile (core/mechanism.hpp, docs/mechanisms.md).
+inline constexpr double kDefaultPartitionShare = 0.75;
+
+/// The (ε, δ) grid of the standard scenario product set (core/scenario.hpp).
+/// Budget points are privacy policy, so they live here: referencing these
+/// from the grid keeps src/core/ free of raw ε/δ literals (lint rule R5).
+inline constexpr double kScenarioEpsilons[] = {1.0, 2.0, 4.0};
+inline constexpr double kScenarioDelta = 1e-6;
+
 }  // namespace sgp::dp

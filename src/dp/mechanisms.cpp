@@ -1,6 +1,8 @@
 #include "dp/mechanisms.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "random/distributions.hpp"
 #include "util/check.hpp"
@@ -72,6 +74,20 @@ void add_laplace_noise(std::span<double> values, double scale,
   util::require(scale >= 0.0, "laplace noise: scale must be >= 0");
   if (scale == 0.0) return;
   for (double& v : values) v += random::laplace(rng, 0.0, scale);
+}
+
+double laplace_noise_at(const random::CounterRng& rng, std::uint64_t counter,
+                        double scale) {
+  util::require(scale >= 0.0, "laplace noise: scale must be >= 0");
+  if (scale == 0.0) return 0.0;
+  // Inverse CDF: u ∈ [0, 1) maps to −scale·sgn(u−½)·ln(1−2|u−½|). Guard the
+  // u == 0 endpoint, where 1−2|u−½| is exactly 0 and the log diverges.
+  const double u = rng.uniform(counter);
+  const double centered = u - 0.5;
+  const double tail = std::max(1.0 - 2.0 * std::abs(centered),
+                               std::numeric_limits<double>::min());
+  const double magnitude = -scale * std::log(tail);
+  return centered < 0.0 ? -magnitude : magnitude;
 }
 
 double randomized_response_keep_probability(double epsilon) {

@@ -6,9 +6,11 @@
 // against.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "dp/privacy.hpp"
+#include "random/counter_rng.hpp"
 #include "random/rng.hpp"
 
 namespace sgp::dp {
@@ -39,6 +41,13 @@ void add_gaussian_noise(std::span<double> values, double sigma,
 /// Adds i.i.d. Laplace(0, scale) noise to every element.
 void add_laplace_noise(std::span<double> values, double scale,
                        random::Rng& rng);
+
+/// One Laplace(0, scale) draw from a counter-based generator: a pure
+/// function of (rng key, counter) via inverse-CDF on the uniform word, so
+/// community mechanisms can noise count vectors order- and
+/// thread-independently (same contract as the publisher's noise stream).
+double laplace_noise_at(const random::CounterRng& rng, std::uint64_t counter,
+                        double scale);
 
 /// Randomized response on one bit: report truthfully with probability
 /// e^ε / (1 + e^ε), flipped otherwise. ε-DP for the bit.

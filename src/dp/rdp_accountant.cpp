@@ -37,6 +37,29 @@ void RdpAccountant::record_gaussian(double noise_multiplier) {
   ++releases_;
 }
 
+void RdpAccountant::record_laplace(double noise_multiplier) {
+  util::require(noise_multiplier > 0.0,
+                "rdp: noise multiplier must be > 0");
+  const double lambda = noise_multiplier;
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    const double a = orders_[i];
+    // Evaluate in log-space anchored at the dominant term e^{(α−1)/λ}, so
+    // large α/λ never overflows: ε_α = (1/(α−1))·((α−1)/λ + ln(w₁ + w₂·r))
+    // with w₁ = α/(2α−1), w₂ = (α−1)/(2α−1), r = e^{−(2α−1)/λ}.
+    const double w1 = a / (2.0 * a - 1.0);
+    const double w2 = (a - 1.0) / (2.0 * a - 1.0);
+    const double r = std::exp(-(2.0 * a - 1.0) / lambda);
+    rdp_[i] += ((a - 1.0) / lambda + std::log(w1 + w2 * r)) / (a - 1.0);
+  }
+  ++releases_;
+}
+
+void RdpAccountant::record_pure(double epsilon) {
+  util::require(epsilon > 0.0, "rdp: epsilon must be > 0");
+  for (double& eps_alpha : rdp_) eps_alpha += epsilon;
+  ++releases_;
+}
+
 void RdpAccountant::record_rdp(const std::vector<double>& epsilons_per_order) {
   util::require(epsilons_per_order.size() == orders_.size(),
                 "rdp: curve must match the order grid");

@@ -27,6 +27,18 @@ class RdpAccountant {
   /// (σ / Δ — the dimensionless ratio). Must be > 0.
   void record_gaussian(double noise_multiplier);
 
+  /// Records one Laplace-mechanism release with noise multiplier λ = b / Δ₁
+  /// (scale over ℓ1-sensitivity). Uses the exact Laplace RDP curve
+  /// (Mironov 2017, Prop. 6):
+  ///   ε_α = (1/(α−1)) · ln( α/(2α−1)·e^{(α−1)/λ}
+  ///                         + (α−1)/(2α−1)·e^{−α/λ} ).
+  void record_laplace(double noise_multiplier);
+
+  /// Records one pure ε-DP release via the always-valid bound ε_α ≤ ε
+  /// (Rényi divergence is dominated by D_∞) — the conservative curve for
+  /// mechanisms without a tighter published one (e.g. randomized response).
+  void record_pure(double epsilon);
+
   /// Records a generic mechanism by its RDP curve sampled on this
   /// accountant's order grid (values aligned with orders()).
   void record_rdp(const std::vector<double>& epsilons_per_order);

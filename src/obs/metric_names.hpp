@@ -42,6 +42,9 @@ inline constexpr std::string_view kLedgerRecoveredRecords =
     "ledger.recovered_records";
 inline constexpr std::string_view kLedgerRecoveries = "ledger.recoveries";
 inline constexpr std::string_view kLinalgFusedTiles = "linalg.fused_tiles";
+inline constexpr std::string_view kMechanismReleases = "mechanism.releases";
+inline constexpr std::string_view kMechanismSyntheticEdges =
+    "mechanism.synthetic_edges";
 inline constexpr std::string_view kObsEvents = "obs.events";
 inline constexpr std::string_view kProcSamples = "proc.samples";
 inline constexpr std::string_view kPublishCells = "publish.cells";
@@ -64,6 +67,8 @@ inline constexpr std::string_view kThreadpoolTasks = "threadpool.tasks";
 
 // --- gauges --------------------------------------------------------------
 inline constexpr std::string_view kGraphNodes = "graph.nodes";
+inline constexpr std::string_view kMechanismCommunities =
+    "mechanism.communities";
 inline constexpr std::string_view kProcOpenFds = "proc.open_fds";
 inline constexpr std::string_view kProcPeakRssMb = "proc.peak_rss_mb";
 inline constexpr std::string_view kProcRssMb = "proc.rss_mb";
@@ -108,6 +113,10 @@ inline constexpr std::string_view kIoSaveRelease = "io.save_release";
 inline constexpr std::string_view kIoWriteEdges = "io.write_edges";
 inline constexpr std::string_view kKmeans = "kmeans";
 inline constexpr std::string_view kLanczos = "lanczos";
+inline constexpr std::string_view kMechanismPartition = "mechanism.partition";
+inline constexpr std::string_view kMechanismPerturb = "mechanism.perturb";
+inline constexpr std::string_view kMechanismPublish = "mechanism.publish";
+inline constexpr std::string_view kMechanismResample = "mechanism.resample";
 inline constexpr std::string_view kPublish = "publish";
 inline constexpr std::string_view kPublishDistributed = "publish.distributed";
 inline constexpr std::string_view kPublishEmbed = "publish.embed";
@@ -120,6 +129,8 @@ inline constexpr std::string_view kSessionBeginRelease =
     "session.begin_release";
 inline constexpr std::string_view kSessionPublish = "session.publish";
 inline constexpr std::string_view kSpectralEmbed = "spectral.embed";
+inline constexpr std::string_view kToolCompareMechanisms =
+    "tool.compare_mechanisms";
 inline constexpr std::string_view kToolGenerate = "tool.generate";
 inline constexpr std::string_view kToolLoadGraph = "tool.load_graph";
 inline constexpr std::string_view kToolPublish = "tool.publish";
@@ -162,6 +173,13 @@ inline constexpr std::string_view kAllNames[] = {
     kLedgerRecoveredRecords,
     kLedgerRecoveries,
     kLinalgFusedTiles,
+    kMechanismCommunities,
+    kMechanismPartition,
+    kMechanismPerturb,
+    kMechanismPublish,
+    kMechanismReleases,
+    kMechanismResample,
+    kMechanismSyntheticEdges,
     kObsEvents,
     kProcOpenFds,
     kProcPeakRssMb,
@@ -201,6 +219,7 @@ inline constexpr std::string_view kAllNames[] = {
     kSpectralLanczosRetries,
     kThreadpoolTasks,
     kThreadpoolThreads,
+    kToolCompareMechanisms,
     kToolGenerate,
     kToolLoadGraph,
     kToolPublish,

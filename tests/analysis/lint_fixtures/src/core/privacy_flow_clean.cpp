@@ -17,3 +17,19 @@ double calibrated(const dp::PrivacyParams& params) {
 }
 
 }  // namespace sgp::core
+
+namespace sgp::core {
+
+// Clause (c) silent forms: a split routed through dp/, and plain
+// propagation with no literal arithmetic.
+double split_via_dp(const dp::PrivacyParams& params) {
+  const double epsilon_head = dp::split_budget(params, 0.5).partition.epsilon;
+  return epsilon_head;
+}
+
+double propagate(const dp::PrivacyParams& params) {
+  const double epsilon_copy = params.epsilon;
+  return epsilon_copy;
+}
+
+}  // namespace sgp::core

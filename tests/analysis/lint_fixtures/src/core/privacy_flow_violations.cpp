@@ -14,3 +14,14 @@ double scale_noise(double scale) {
 }
 
 }  // namespace sgp::core
+
+namespace sgp::core {
+
+// Clause (c): propagation does not license arithmetic — a literal share
+// applied to a privacy value is a hand-rolled budget split.
+double split_by_hand(double epsilon) {
+  double epsilon_head = epsilon * 0.5;
+  return epsilon_head;
+}
+
+}  // namespace sgp::core

@@ -77,7 +77,7 @@ TEST(LintRunTest, FixtureTreeYieldsExpectedFindings) {
   const LintResult result = run_lint(fixture_options());
   EXPECT_EQ(result.files_scanned, 22u);
   EXPECT_EQ(result.suppressed, 0u);
-  ASSERT_EQ(result.findings.size(), 21u);
+  ASSERT_EQ(result.findings.size(), 22u);
   // Sorted by (file, line, rule, snippet); the clean fixtures contribute
   // nothing, the violating ones contribute exactly their planted sites.
   std::vector<std::pair<std::string, std::string>> got;
@@ -96,6 +96,7 @@ TEST(LintRunTest, FixtureTreeYieldsExpectedFindings) {
       // src/core/privacy_flow_violations.cpp
       {"R8", "write_published_header"},
       {"R8", "sigma = ..."},
+      {"R8", "epsilon_head = ..."},
       // src/core/span_hygiene_violations.cpp
       {"R10", "ScopedTimer(...)"},
       {"R10", "log_event"},
@@ -148,7 +149,7 @@ TEST(BaselineTest, FromFindingsSuppressesEverything) {
   const Baseline baseline = Baseline::from_findings(result.findings);
   EXPECT_FALSE(baseline.empty());
   const std::size_t suppressed = baseline.apply(result.findings);
-  EXPECT_EQ(suppressed, 21u);
+  EXPECT_EQ(suppressed, 22u);
   EXPECT_TRUE(result.findings.empty());
 }
 
@@ -157,7 +158,7 @@ TEST(BaselineTest, RoundTripsThroughDisk) {
   const std::string path = ::testing::TempDir() + "sgp_lint_baseline.json";
   Baseline::from_findings(result.findings).save(path);
   const Baseline reloaded = Baseline::load(path);
-  EXPECT_EQ(reloaded.apply(result.findings), 21u);
+  EXPECT_EQ(reloaded.apply(result.findings), 22u);
   EXPECT_TRUE(result.findings.empty());
   // The serialized form is itself schema-tagged valid JSON.
   const util::JsonValue doc = util::parse_json(slurp(path));
@@ -249,7 +250,7 @@ TEST(LintReportTest, TextReportFormat) {
   EXPECT_NE(text.find("src/core/violations.cpp:5: [R1]"), std::string::npos)
       << text;
   EXPECT_NE(text.find("    fix: "), std::string::npos) << text;
-  EXPECT_NE(text.find("21 finding(s), 0 baselined, 22 file(s) scanned"),
+  EXPECT_NE(text.find("22 finding(s), 0 baselined, 22 file(s) scanned"),
             std::string::npos)
       << text;
 }

@@ -87,9 +87,51 @@ TEST(RdpTest, InvalidArgumentsThrow) {
   EXPECT_THROW(RdpAccountant(std::vector<double>{}), std::invalid_argument);
   RdpAccountant acc({2.0});
   EXPECT_THROW(acc.record_gaussian(0.0), std::invalid_argument);
+  EXPECT_THROW(acc.record_laplace(0.0), std::invalid_argument);
+  EXPECT_THROW(acc.record_pure(0.0), std::invalid_argument);
   EXPECT_THROW(acc.record_rdp({1.0, 2.0}), std::invalid_argument);
   EXPECT_THROW(acc.record_rdp({-1.0}), std::invalid_argument);
   EXPECT_THROW((void)acc.to_dp(0.0), std::invalid_argument);
+}
+
+TEST(RdpTest, LaplaceCurveIsBoundedByPureEpsilon) {
+  // A Laplace release at scale λ (noise multiplier λ for sensitivity 1) is
+  // 1/λ-pure-DP; its RDP curve must convert to something no worse, and the
+  // α→∞ tail approaches 1/λ.
+  const double lambda = 0.5;  // 2-pure-DP
+  RdpAccountant laplace;
+  laplace.record_laplace(lambda);
+  RdpAccountant pure;
+  pure.record_pure(1.0 / lambda);
+  EXPECT_LE(laplace.to_dp(1e-6).epsilon, pure.to_dp(1e-6).epsilon);
+  EXPECT_EQ(laplace.num_releases(), 1u);
+}
+
+TEST(RdpTest, LaplaceCompositionIsSubadditive) {
+  // Two Laplace phases at scales 1/ε₁ and 1/ε₂ compose to at most ε₁+ε₂
+  // (the pure-DP sequential bound) — the accounting identity the community
+  // mechanisms rely on when they record both phases of a split budget.
+  const double eps1 = 0.75, eps2 = 0.25;
+  RdpAccountant acc;
+  acc.record_laplace(1.0 / eps1);
+  acc.record_laplace(1.0 / eps2);
+  EXPECT_EQ(acc.num_releases(), 2u);
+  // Pure-DP conversion at any δ can exceed ε₁+ε₂ by the δ-dependent term,
+  // but the RDP curve itself stays below the pure sum at every order.
+  RdpAccountant pure;
+  pure.record_pure(eps1 + eps2);
+  EXPECT_LE(acc.to_dp(1e-6).epsilon, pure.to_dp(1e-6).epsilon);
+}
+
+TEST(RdpTest, PureReleaseConvertsBelowEpsilonPlusTail) {
+  // record_pure adds ε to every order; to_dp picks the best order, so the
+  // result is ε plus the smallest ln(1/δ)/(α−1) tail on the grid.
+  RdpAccountant acc;
+  acc.record_pure(2.0);
+  const double delta = 1e-6;
+  const double eps = acc.to_dp(delta).epsilon;
+  EXPECT_GE(eps, 2.0);
+  EXPECT_LE(eps, 2.0 + std::log(1.0 / delta) / 511.0);  // best default order
 }
 
 }  // namespace

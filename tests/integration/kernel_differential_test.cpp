@@ -9,13 +9,17 @@
 // keep producing the byte-pinned "counter-v1" releases the golden suite
 // checks. tests/slow/differential_matrix_test.cpp runs the deep version of
 // the shard×thread sweep; this file keeps a representative slice in tier 1.
+//
+// The variant and shard×thread axes are SGP_PARAMETERIZE declarations in
+// tests/scenario/test_axes.hpp; tests/scenario/migration_pin_test.cpp pins
+// their cell counts to the hand-rolled loops this file used to carry.
+// Variants the build/CPU lacks skip at runtime inside each SGP_PICK sweep.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <vector>
 
 #include "core/distributed_publish.hpp"
 #include "core/publisher.hpp"
@@ -27,20 +31,12 @@
 #include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 
+#include "../scenario/test_axes.hpp"
+
 namespace sgp::core {
 namespace {
 
-std::vector<random::KernelVariant> supported_variants() {
-  std::vector<random::KernelVariant> v{random::KernelVariant::kScalar,
-                                       random::KernelVariant::kGeneric};
-  if (random::kernel_supported(random::KernelVariant::kAvx2)) {
-    v.push_back(random::KernelVariant::kAvx2);
-  }
-  if (random::kernel_supported(random::KernelVariant::kAvx512)) {
-    v.push_back(random::KernelVariant::kAvx512);
-  }
-  return v;
-}
+using namespace sgp::test_axes;  // NOLINT: axis accessors for SGP_PICK
 
 class KernelDifferentialTest : public testing::Test {
  protected:
@@ -130,34 +126,36 @@ class KernelDifferentialTest : public testing::Test {
 };
 
 TEST_F(KernelDifferentialTest, AllPathsAgreePerVariantAcrossShardsAndThreads) {
-  for (const random::KernelVariant kernel : supported_variants()) {
+  random::KernelVariant kernel = random::KernelVariant::kScalar;
+  SGP_PICK(kernel_variants, kernel) {
+    if (!random::kernel_supported(kernel)) continue;
     const auto opt = options(kernel);
     const std::string reference = in_memory_bytes(opt);
     EXPECT_EQ(streaming_bytes(opt), reference)
-        << "streaming, kernel " << random::to_string(kernel);
-    for (const auto& [shard_rows, threads] :
-         {std::pair<std::size_t, std::size_t>{7, 1},
-          std::pair<std::size_t, std::size_t>{16, 3},
-          std::pair<std::size_t, std::size_t>{0, 4}}) {
-      EXPECT_EQ(sharded_bytes(opt, shard_rows, threads), reference)
-          << "shards=" << shard_rows << " threads=" << threads << ", kernel "
-          << random::to_string(kernel);
+        << "streaming, kernel " << SGP_PICK_LABEL(kernel);
+    ShardThread cell{};
+    SGP_PICK(kernel_diff_shard_thread, cell) {
+      EXPECT_EQ(sharded_bytes(opt, cell.first, cell.second), reference)
+          << "cell " << SGP_PICK_LABEL(cell) << ", kernel "
+          << SGP_PICK_LABEL(kernel);
     }
     // Regression: the coordinator once hardcoded kCounterV1 into the header
     // it assembles, so distributed releases under a polynomial kernel
     // carried the wrong tag (and would regenerate the wrong P).
     EXPECT_EQ(distributed_bytes(opt, 16), reference)
-        << "distributed, kernel " << random::to_string(kernel);
+        << "distributed, kernel " << SGP_PICK_LABEL(kernel);
   }
 }
 
 TEST_F(KernelDifferentialTest, PolynomialVariantsProduceIdenticalReleases) {
   const std::string reference =
       in_memory_bytes(options(random::KernelVariant::kGeneric));
-  for (const random::KernelVariant kernel : supported_variants()) {
+  random::KernelVariant kernel = random::KernelVariant::kScalar;
+  SGP_PICK(kernel_variants, kernel) {
     if (kernel == random::KernelVariant::kScalar) continue;
+    if (!random::kernel_supported(kernel)) continue;
     EXPECT_EQ(in_memory_bytes(options(kernel)), reference)
-        << "kernel " << random::to_string(kernel);
+        << "kernel " << SGP_PICK_LABEL(kernel);
   }
   // ... and they are a different mapping than scalar, under a different tag.
   EXPECT_NE(in_memory_bytes(options(random::KernelVariant::kScalar)),
@@ -185,16 +183,18 @@ TEST_F(KernelDifferentialTest, AchlioptasProjectionIsKernelInvariant) {
   const auto reference = make_projection_counter(
       graph_.num_nodes(), 12, ProjectionKind::kAchlioptas, 4242,
       random::KernelVariant::kScalar);
-  for (const random::KernelVariant kernel : supported_variants()) {
+  random::KernelVariant kernel = random::KernelVariant::kScalar;
+  SGP_PICK(kernel_variants, kernel) {
+    if (!random::kernel_supported(kernel)) continue;
     const auto opt = options(kernel, ProjectionKind::kAchlioptas);
     const auto release = RandomProjectionPublisher(opt).publish(graph_);
     EXPECT_EQ(release.projection_rng, ProjectionRngKind::kCounterV1)
-        << "kernel " << random::to_string(kernel);
+        << "kernel " << SGP_PICK_LABEL(kernel);
     const auto p = regenerate_projection(release, opt.seed);
     for (std::size_t i = 0; i < p.rows(); ++i) {
       for (std::size_t j = 0; j < p.cols(); ++j) {
         ASSERT_EQ(p(i, j), reference(i, j))
-            << "kernel " << random::to_string(kernel);
+            << "kernel " << SGP_PICK_LABEL(kernel);
       }
     }
   }
@@ -203,7 +203,9 @@ TEST_F(KernelDifferentialTest, AchlioptasProjectionIsKernelInvariant) {
 TEST_F(KernelDifferentialTest, SimdReleasesRoundTripThroughReconstruction) {
   // A polynomial release written on this machine must regenerate the exact
   // projection via the tag alone (no kernel knowledge at load time).
-  for (const random::KernelVariant kernel : supported_variants()) {
+  random::KernelVariant kernel = random::KernelVariant::kScalar;
+  SGP_PICK(kernel_variants, kernel) {
+    if (!random::kernel_supported(kernel)) continue;
     const auto opt = options(kernel);
     const auto release = RandomProjectionPublisher(opt).publish(graph_);
     std::stringstream io(std::ios::in | std::ios::out | std::ios::binary);

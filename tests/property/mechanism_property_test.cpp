@@ -1,0 +1,115 @@
+// Property tests for the community mechanism family: the synthetic graphs
+// resampled from a noisy community profile must conserve the source graph's
+// total edge count to within the Laplace noise added to the block counts,
+// at every (ε, δ) point of the scenario grid and under fresh seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/mechanism.hpp"
+#include "core/scenario.hpp"
+#include "dp/budget.hpp"
+#include "dp/defaults.hpp"
+#include "dp/mechanisms.hpp"
+
+namespace sgp::core {
+namespace {
+
+using scenario::GeneratorKind;
+using scenario::kScenarioBaseSeed;
+using scenario::make_scenario_graph;
+
+double count_noise_bound(double epsilon, std::size_t communities) {
+  // Each of the k(k+1)/2 block counts carries independent Laplace noise at
+  // the counts phase's scale; |Lap(b)| exceeds 8b with probability e^-8, so
+  // an 8b-per-block allowance over every block is effectively certain under
+  // the fixed test seeds (and rounding adds at most half an edge per block).
+  const dp::PrivacyParams total{epsilon, dp::kScenarioDelta};
+  const dp::BudgetSplit split =
+      dp::split_budget(total, dp::kDefaultPartitionShare);
+  const double scale = dp::laplace_scale(1.0, split.counts.epsilon);
+  const double blocks =
+      static_cast<double>(communities * (communities + 1)) / 2.0;
+  return blocks * (8.0 * scale + 0.5);
+}
+
+TEST(MechanismProperty, PrivGraphSyntheticConservesEdgeCount) {
+  for (const double epsilon : dp::kScenarioEpsilons) {
+    for (const std::uint64_t salt : {0ULL, 1ULL, 2ULL}) {
+      const std::uint64_t seed = scenario::cell_seed(
+          kScenarioBaseSeed + salt, "property=edge-conservation");
+      const auto planted = make_scenario_graph(GeneratorKind::kSbm, seed);
+      MechanismOptions options;
+      options.params = {epsilon, dp::kScenarioDelta};
+      options.seed = seed;
+      const auto release =
+          make_mechanism(MechanismKind::kPrivGraph)->publish(planted.graph,
+                                                             options);
+      ASSERT_TRUE(release.synthetic.has_value());
+      EXPECT_EQ(release.synthetic->num_nodes(), planted.graph.num_nodes());
+
+      const double original =
+          static_cast<double>(planted.graph.num_edges());
+      const double synthetic =
+          static_cast<double>(release.synthetic->num_edges());
+      EXPECT_LE(std::abs(synthetic - original),
+                count_noise_bound(epsilon, release.num_communities))
+          << "epsilon=" << epsilon << " salt=" << salt
+          << " original=" << original << " synthetic=" << synthetic;
+    }
+  }
+}
+
+TEST(MechanismProperty, NodeCommunitySyntheticConservesCappedEdgeCount) {
+  // The node-DP variant resamples from the *degree-capped* graph, so the
+  // conservation target is the capped edge count; capping at
+  // kDefaultMaxDegree removes edges, so the synthetic must also stay below
+  // the uncapped total plus noise.
+  for (const double epsilon : dp::kScenarioEpsilons) {
+    const std::uint64_t seed =
+        scenario::cell_seed(kScenarioBaseSeed, "property=node-capped");
+    const auto planted = make_scenario_graph(GeneratorKind::kSbm, seed);
+    MechanismOptions options;
+    options.params = {epsilon, dp::kScenarioDelta};
+    options.seed = seed;
+    const auto release =
+        make_mechanism(MechanismKind::kNodeCommunity)->publish(planted.graph,
+                                                               options);
+    ASSERT_TRUE(release.synthetic.has_value());
+    EXPECT_EQ(release.synthetic->num_nodes(), planted.graph.num_nodes());
+
+    const double uncapped = static_cast<double>(planted.graph.num_edges());
+    const double synthetic =
+        static_cast<double>(release.synthetic->num_edges());
+    // Sensitivity is the degree cap D, so the per-block scale is D× wider.
+    const double bound =
+        static_cast<double>(options.max_degree) *
+        count_noise_bound(epsilon, release.num_communities);
+    EXPECT_LE(synthetic, uncapped + bound) << "epsilon=" << epsilon;
+    EXPECT_GT(synthetic, 0.0) << "epsilon=" << epsilon;
+  }
+}
+
+TEST(MechanismProperty, ResampleIsSeedSensitive) {
+  // Different cell seeds must produce different synthetic graphs (the
+  // resample streams are keyed on the seed); identical seeds reproduce.
+  const auto planted =
+      make_scenario_graph(GeneratorKind::kSbm, kScenarioBaseSeed);
+  MechanismOptions a;
+  a.params = {4.0, dp::kScenarioDelta};
+  a.seed = 1;
+  MechanismOptions b = a;
+  b.seed = 2;
+  const auto mech = make_mechanism(MechanismKind::kPrivGraph);
+  const auto ra = mech->publish(planted.graph, a);
+  const auto rb = mech->publish(planted.graph, b);
+  const auto ra2 = mech->publish(planted.graph, a);
+  EXPECT_EQ(scenario::release_fingerprint(ra),
+            scenario::release_fingerprint(ra2));
+  EXPECT_NE(scenario::release_fingerprint(ra),
+            scenario::release_fingerprint(rb));
+}
+
+}  // namespace
+}  // namespace sgp::core

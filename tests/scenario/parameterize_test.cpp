@@ -1,0 +1,111 @@
+// Unit tests for the PARAMETERIZE/OPTION/PICK product-set engine
+// (core/scenario.hpp): axis construction, label derivation, product
+// iteration order and count, and the label-hash seed derivation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace sgp::core::scenario {
+namespace {
+
+SGP_PARAMETERIZE(small_sizes, std::size_t, n,
+    SGP_OPTION(n, 2);
+    SGP_OPTION(n, 16);
+    SGP_OPTION(n, 64);
+)
+
+SGP_PARAMETERIZE(growth_rates, double, rate,
+    SGP_OPTION(rate, 0.5);
+    SGP_OPTION_LABELED(rate, "double", 2.0);
+)
+
+enum class Flavor { kPlain, kFancy };
+
+SGP_PARAMETERIZE(flavors, Flavor, flavor,
+    SGP_OPTION_LABELED(flavor, "plain", Flavor::kPlain);
+    SGP_OPTION_LABELED(flavor, "fancy", Flavor::kFancy);
+)
+
+TEST(Parameterize, AxisExposesNameSizeAndLabels) {
+  const auto& axis = sgp_axis_small_sizes();
+  EXPECT_EQ(axis.name, "small_sizes");
+  ASSERT_EQ(axis.size(), 3u);
+  EXPECT_EQ(axis.options[0].label, "2");
+  EXPECT_EQ(axis.options[0].value, 2u);
+  EXPECT_EQ(axis.options[2].label, "64");
+  EXPECT_EQ(axis.options[2].value, 64u);
+}
+
+TEST(Parameterize, ExplicitLabelsOverrideStringification) {
+  const auto& axis = sgp_axis_growth_rates();
+  ASSERT_EQ(axis.size(), 2u);
+  EXPECT_EQ(axis.options[0].label, "0.5");
+  EXPECT_EQ(axis.options[1].label, "double");
+  EXPECT_DOUBLE_EQ(axis.options[1].value, 2.0);
+}
+
+TEST(Parameterize, PickIteratesEveryOptionInDeclarationOrder) {
+  std::vector<std::size_t> seen;
+  std::size_t n = 0;
+  SGP_PICK(small_sizes, n) seen.push_back(n);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{2, 16, 64}));
+}
+
+TEST(Parameterize, JuxtaposedPicksVisitTheFullProductExactlyOnce) {
+  std::set<std::string> cells;
+  std::size_t count = 0;
+  [[maybe_unused]] std::size_t n = 0;
+  [[maybe_unused]] double rate = 0.0;
+  [[maybe_unused]] Flavor flavor = Flavor::kPlain;
+  SGP_PICK(small_sizes, n)
+  SGP_PICK(growth_rates, rate)
+  SGP_PICK(flavors, flavor) {
+    cells.insert(join_labels({SGP_PICK_LABEL(n), SGP_PICK_LABEL(rate),
+                              SGP_PICK_LABEL(flavor)}));
+    ++count;
+  }
+  EXPECT_EQ(count, sgp_axis_small_sizes().size() *
+                       sgp_axis_growth_rates().size() *
+                       sgp_axis_flavors().size());
+  EXPECT_EQ(cells.size(), count) << "duplicate cells visited";
+  EXPECT_TRUE(cells.count("2/0.5/plain"));
+  EXPECT_TRUE(cells.count("64/double/fancy"));
+}
+
+TEST(Parameterize, PickLabelNamesTheBoundOption) {
+  [[maybe_unused]] std::size_t n = 0;
+  std::vector<std::string> labels;
+  SGP_PICK(small_sizes, n) labels.push_back(SGP_PICK_LABEL(n));
+  EXPECT_EQ(labels, (std::vector<std::string>{"2", "16", "64"}));
+}
+
+TEST(Parameterize, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Parameterize, CellSeedIsDeterministicAndLabelSensitive) {
+  const std::uint64_t s1 = cell_seed(7, "generator=sbm/task=cluster");
+  const std::uint64_t s2 = cell_seed(7, "generator=sbm/task=cluster");
+  const std::uint64_t s3 = cell_seed(7, "generator=sbm/task=rank");
+  const std::uint64_t s4 = cell_seed(8, "generator=sbm/task=cluster");
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_NE(s1, s4);
+}
+
+TEST(Parameterize, JoinLabelsUsesSlashSeparator) {
+  EXPECT_EQ(join_labels({"a=1", "b=2", "c=3"}), "a=1/b=2/c=3");
+  EXPECT_EQ(join_labels({"only"}), "only");
+  EXPECT_EQ(join_labels({}), "");
+}
+
+}  // namespace
+}  // namespace sgp::core::scenario

@@ -1,0 +1,182 @@
+// Statistical layer of the scenario grid (slow configuration only:
+// `ctest -C slow -L slow`): utility tolerance bands per mechanism over the
+// SBM cells — NMI/ARI community recovery, ranking overlap, degree-
+// distribution distance, and conductance against the non-private baseline.
+// All cell seeds are fixed, so every score is a constant of the build and
+// the bands cannot flake; they are pinned from observed values and encode
+// the honest utility story: the privgraph mechanism's community recovery is
+// ε-monotone and real at ε=4, degree structure survives at every ε, the
+// node-level variant pays its degree-cap cost, and a projection release
+// (an embedding, not a graph) preserves none of the degree profile.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "cluster/louvain.hpp"
+#include "cluster/metrics.hpp"
+#include "core/mechanism.hpp"
+#include "core/scenario.hpp"
+#include "graph/generators.hpp"
+
+namespace sgp::core::scenario {
+namespace {
+
+struct CellScore {
+  double score = 0.0;
+  double reference = 0.0;
+};
+
+// One sweep over the SBM half of the grid, cached for all assertions.
+class ScenarioBands : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scores_ = new std::map<std::string, CellScore>;
+    releases_ = new std::map<std::string, MechanismRelease>;
+    planted_ = new std::map<std::string, graph::PlantedGraph>;
+    for (const auto& cell : standard_grid()) {
+      if (cell.generator != GeneratorKind::kSbm) continue;
+      const auto graph = make_scenario_graph(cell.generator, cell.seed);
+      const auto release = make_mechanism(cell.mechanism)
+                               ->publish(graph.graph, cell_options(cell));
+      CellScore entry;
+      entry.score = run_task(release, cell.task, graph, cell.seed);
+      entry.reference = reference_score(cell.task, graph, cell.seed);
+      scores_->emplace(cell.label, entry);
+      releases_->emplace(cell.label, release);
+      planted_->emplace(cell.label, graph);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete scores_;
+    delete releases_;
+    delete planted_;
+    scores_ = nullptr;
+    releases_ = nullptr;
+    planted_ = nullptr;
+  }
+
+  static double score(const std::string& mechanism, const std::string& eps,
+                      const std::string& task) {
+    const std::string label = "generator=sbm/mechanism=" + mechanism +
+                              "/epsilon=" + eps + "/task=" + task;
+    auto it = scores_->find(label);
+    EXPECT_NE(it, scores_->end()) << label;
+    return it == scores_->end() ? -1.0 : it->second.score;
+  }
+
+  static double reference(const std::string& mechanism, const std::string& eps,
+                          const std::string& task) {
+    const std::string label = "generator=sbm/mechanism=" + mechanism +
+                              "/epsilon=" + eps + "/task=" + task;
+    return scores_->at(label).reference;
+  }
+
+  static std::map<std::string, CellScore>* scores_;
+  static std::map<std::string, MechanismRelease>* releases_;
+  static std::map<std::string, graph::PlantedGraph>* planted_;
+};
+
+std::map<std::string, CellScore>* ScenarioBands::scores_ = nullptr;
+std::map<std::string, MechanismRelease>* ScenarioBands::releases_ = nullptr;
+std::map<std::string, graph::PlantedGraph>* ScenarioBands::planted_ = nullptr;
+
+TEST_F(ScenarioBands, PrivGraphCommunityRecoveryIsEpsilonMonotone) {
+  // Observed: 0.025 / 0.032 / 0.398. The low-ε cells are honestly near
+  // zero — edge-DP community detection on a 240-node graph has no signal
+  // at ε₁ < ~2 — and the ε=4 cell recovers real structure.
+  EXPECT_LE(score("privgraph", "1", "cluster"), 0.20);
+  EXPECT_LE(score("privgraph", "2", "cluster"), 0.25);
+  EXPECT_GE(score("privgraph", "4", "cluster"), 0.30);
+  EXPECT_GT(score("privgraph", "4", "cluster"),
+            score("privgraph", "1", "cluster") + 0.20);
+}
+
+TEST_F(ScenarioBands, PrivGraphSyntheticAgreesOnAriToo) {
+  // NMI can overrate shattered partitions; ARI double-checks the ε=4 cell
+  // with a chance-corrected index (observed: NMI 0.448, ARI 0.436 for the
+  // Louvain partition of the synthetic graph).
+  const std::string label =
+      "generator=sbm/mechanism=privgraph/epsilon=4/task=cluster";
+  const auto& release = releases_->at(label);
+  ASSERT_TRUE(release.synthetic.has_value());
+  const auto part = cluster::louvain_cluster(*release.synthetic);
+  const auto& truth = planted_->at(label).labels;
+  EXPECT_GE(cluster::adjusted_rand_index(part.assignments, truth), 0.30);
+  EXPECT_GE(cluster::normalized_mutual_information(part.assignments, truth),
+            0.30);
+}
+
+TEST_F(ScenarioBands, PrivGraphPreservesDegreeDistributionAtEveryEpsilon) {
+  // Observed 0.908 / 0.900 / 0.921: the community profile reproduces the
+  // degree distribution almost independently of ε (block counts are large
+  // relative to their noise at every grid point).
+  for (const std::string eps : {"1", "2", "4"}) {
+    EXPECT_GE(score("privgraph", eps, "degree"), 0.85) << "epsilon " << eps;
+  }
+}
+
+TEST_F(ScenarioBands, ProjectionReleasesDoNotExposeDegrees) {
+  // An embedding release scores near zero on degree reconstruction
+  // (observed 0.029 / 0.062 / 0.121) — the honest contrast that makes the
+  // E14 comparison table informative.
+  for (const std::string eps : {"1", "2", "4"}) {
+    EXPECT_LE(score("projection", eps, "degree"), 0.20) << "epsilon " << eps;
+  }
+}
+
+TEST_F(ScenarioBands, NodeCommunityPaysItsDegreeCapCost) {
+  // Node-level DP clamps degrees before publishing; the degree score lands
+  // between the privgraph and projection extremes (observed 0.571 / 0.425 /
+  // 0.637) and community recovery stays near zero at every grid ε (the D=16
+  // sensitivity multiplier puts ε₁_effective far below recovery threshold).
+  for (const std::string eps : {"1", "2", "4"}) {
+    const double deg = score("node-community", eps, "degree");
+    EXPECT_GE(deg, 0.30) << "epsilon " << eps;
+    EXPECT_LE(deg, 0.80) << "epsilon " << eps;
+    EXPECT_LE(score("node-community", eps, "cluster"), 0.20)
+        << "epsilon " << eps;
+  }
+}
+
+TEST_F(ScenarioBands, ConductanceApproachesBaselineOnlyAtHighEpsilon) {
+  // Observed: privgraph 0.202 / 0.164 / 0.617 against references ~0.78.
+  const double high = score("privgraph", "4", "conductance");
+  EXPECT_GE(high, 0.45);
+  EXPECT_LE(reference("privgraph", "4", "conductance") - high, 0.40);
+  EXPECT_LE(score("privgraph", "1", "conductance"), 0.40);
+}
+
+TEST_F(ScenarioBands, RankingOverlapStaysHonestlyWeak) {
+  // Top-set ranking overlap on SBM (near-uniform degrees) is weak for every
+  // mechanism at these budgets (observed max 0.208). The band documents
+  // that no mechanism pretends to preserve ranking here; a future
+  // ranking-targeted mechanism must move this band up deliberately.
+  for (const std::string mech : {"projection", "privgraph",
+                                 "node-community"}) {
+    for (const std::string eps : {"1", "2", "4"}) {
+      const double s = score(mech, eps, "rank");
+      EXPECT_GE(s, 0.0) << mech << " epsilon " << eps;
+      EXPECT_LE(s, 0.60) << mech << " epsilon " << eps;
+    }
+  }
+}
+
+TEST_F(ScenarioBands, ScoresAreBuildConstants) {
+  // Recomputing any cell reproduces the cached score bit-for-bit — the
+  // bands above can never flake.
+  for (const auto& cell : standard_grid()) {
+    if (cell.generator != GeneratorKind::kSbm) continue;
+    if (cell.task != TaskKind::kCluster) continue;
+    const auto graph = make_scenario_graph(cell.generator, cell.seed);
+    const auto release = make_mechanism(cell.mechanism)
+                             ->publish(graph.graph, cell_options(cell));
+    EXPECT_EQ(run_task(release, cell.task, graph, cell.seed),
+              scores_->at(cell.label).score)
+        << cell.label;
+  }
+}
+
+}  // namespace
+}  // namespace sgp::core::scenario

@@ -4,6 +4,10 @@
 // that every shard height produces multiple shards with ragged tails. Runs
 // under the `slow` ctest configuration only (`ctest -C slow -L slow`);
 // tests/core/sharded_publish_test.cpp keeps a fast slice in the default run.
+//
+// The matrix axes are SGP_PARAMETERIZE declarations shared through
+// tests/scenario/test_axes.hpp; tests/scenario/migration_pin_test.cpp pins
+// their cell counts to the hand-rolled loops this file replaced.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -11,7 +15,6 @@
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <tuple>
 
 #include "core/distributed_publish.hpp"
 #include "core/serialization.hpp"
@@ -21,207 +24,150 @@
 #include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 
+#include "../scenario/test_axes.hpp"
+
 namespace sgp::core {
 namespace {
 
-constexpr std::size_t kNodes = 700;
+using namespace sgp::test_axes;  // NOLINT: axis accessors for SGP_PICK
+
+constexpr std::size_t kNodes = kDiffNodes;
 constexpr std::size_t kDim = 48;
 
-// One shared graph + reference release for the whole matrix: building them
-// once keeps the 12-cell sweep at seconds instead of minutes.
-class DifferentialMatrixTest
-    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
- protected:
-  static void SetUpTestSuite() {
-    edges_path_ = new std::string(testing::TempDir() +
-                                  "/sgp_diff_matrix.edges");
-    random::Rng rng(53);
-    const graph::Graph g = graph::barabasi_albert(kNodes, 6, rng);
-    graph::write_edge_list_file(g, *edges_path_);
-
-    std::ostringstream out(std::ios::binary);
-    publish_to_stream(g, options(), out);
-    reference_ = new std::string(out.str());
-  }
-
-  static void TearDownTestSuite() {
-    std::remove(edges_path_->c_str());
-    delete edges_path_;
-    delete reference_;
-    edges_path_ = nullptr;
-    reference_ = nullptr;
-  }
-
-  static RandomProjectionPublisher::Options options() {
-    RandomProjectionPublisher::Options opt;
-    opt.projection_dim = kDim;
-    opt.seed = 20260807;
-    return opt;
-  }
-
-  static std::string* edges_path_;
-  static std::string* reference_;
-};
-
-std::string* DifferentialMatrixTest::edges_path_ = nullptr;
-std::string* DifferentialMatrixTest::reference_ = nullptr;
-
-TEST_P(DifferentialMatrixTest, ShardedBytesEqualInMemoryReference) {
-  const auto [shard_rows, threads] = GetParam();
-  const std::string out_path =
-      testing::TempDir() + "/sgp_diff_s" + std::to_string(shard_rows) + "_t" +
-      std::to_string(threads) + ".bin";
-
-  graph::EdgeListShardReader reader(*edges_path_, graph::IdPolicy::kPreserve);
-  ShardedPublishOptions opt;
-  opt.publish = options();
-  opt.shard_rows = shard_rows;
-  opt.threads = threads;
-  const ShardedPublishResult result = publish_sharded(reader, opt, out_path);
-  EXPECT_EQ(result.num_nodes, kNodes);
-  EXPECT_FALSE(std::filesystem::exists(out_path + ".ckpt"));
-
-  std::ifstream in(out_path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  EXPECT_EQ(buf.str(), *reference_)
-      << "byte drift at shard_rows=" << shard_rows << " threads=" << threads;
-  std::remove(out_path.c_str());
+RandomProjectionPublisher::Options publish_options() {
+  RandomProjectionPublisher::Options opt;
+  opt.projection_dim = kDim;
+  opt.seed = 20260807;
+  return opt;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    FullMatrix, DifferentialMatrixTest,
-    testing::Combine(
-        // Shard heights from the issue's matrix: row-per-shard, ragged odd
-        // size, a round block, and single-shard (= the whole graph).
-        testing::Values(std::size_t{1}, std::size_t{7}, std::size_t{64},
-                        kNodes),
-        testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{8})),
-    [](const auto& info) {
-      return "shard" + std::to_string(std::get<0>(info.param)) + "_threads" +
-             std::to_string(std::get<1>(info.param));
-    });
+graph::Graph matrix_graph() {
+  random::Rng rng(53);
+  return graph::barabasi_albert(kNodes, 6, rng);
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// One shared graph + reference release for the whole shard×thread product:
+// building them once keeps the 12-cell sweep at seconds instead of minutes.
+TEST(DifferentialMatrix, ShardedBytesEqualInMemoryReference) {
+  const std::string edges_path =
+      testing::TempDir() + "/sgp_diff_matrix.edges";
+  const graph::Graph g = matrix_graph();
+  graph::write_edge_list_file(g, edges_path);
+  std::ostringstream out(std::ios::binary);
+  publish_to_stream(g, publish_options(), out);
+  const std::string reference = out.str();
+
+  std::size_t shard_rows = 0;
+  std::size_t threads = 0;
+  SGP_PICK(diff_shard_rows, shard_rows)
+  SGP_PICK(diff_threads, threads) {
+    const std::string out_path =
+        testing::TempDir() + "/sgp_diff_s" + std::to_string(shard_rows) +
+        "_t" + std::to_string(threads) + ".bin";
+    graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
+    ShardedPublishOptions opt;
+    opt.publish = publish_options();
+    opt.shard_rows = shard_rows;
+    opt.threads = threads;
+    const ShardedPublishResult result = publish_sharded(reader, opt, out_path);
+    EXPECT_EQ(result.num_nodes, kNodes);
+    EXPECT_FALSE(std::filesystem::exists(out_path + ".ckpt"));
+    EXPECT_EQ(file_bytes(out_path), reference)
+        << "byte drift at shard_rows=" << SGP_PICK_LABEL(shard_rows)
+        << " threads=" << SGP_PICK_LABEL(threads);
+    std::remove(out_path.c_str());
+  }
+  std::remove(edges_path.c_str());
+}
 
 // Process axis of the matrix: the distributed coordinator/worker path over
 // {1, 2, 4} worker processes must stay byte-identical to the in-memory
 // reference on the same graph. Worker processes are real sgp_publish
 // children (SGP_PUBLISH_BIN), so this also exercises the lease protocol at
 // a size where every worker owns many shards.
-class DistributedMatrixTest : public testing::TestWithParam<std::size_t> {};
-
-TEST_P(DistributedMatrixTest, DistributedBytesEqualInMemoryReference) {
-  const std::size_t workers = GetParam();
+TEST(DifferentialMatrix, DistributedBytesEqualInMemoryReference) {
   const std::string edges_path =
       testing::TempDir() + "/sgp_diff_dist.edges";
-  random::Rng rng(53);
-  const graph::Graph g = graph::barabasi_albert(kNodes, 6, rng);
+  const graph::Graph g = matrix_graph();
   graph::write_edge_list_file(g, edges_path);
   std::ostringstream ref(std::ios::binary);
-  {
-    RandomProjectionPublisher::Options opt;
-    opt.projection_dim = kDim;
-    opt.seed = 20260807;
-    publish_to_stream(g, opt, ref);
+  publish_to_stream(g, publish_options(), ref);
+
+  std::size_t workers = 0;
+  SGP_PICK(diff_workers, workers) {
+    const std::string out_path = testing::TempDir() + "/sgp_diff_dist_p" +
+                                 std::to_string(workers) + ".bin";
+    graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
+    DistributedPublishOptions opt;
+    opt.sharded.publish = publish_options();
+    opt.sharded.shard_rows = 64;
+    opt.sharded.threads = 2;
+    opt.workers = workers;
+    opt.worker_program = SGP_PUBLISH_BIN;
+    opt.edges_path = edges_path;
+    opt.id_policy = graph::IdPolicy::kPreserve;
+    const DistributedPublishResult result =
+        publish_distributed(reader, opt, out_path);
+    EXPECT_EQ(result.num_nodes, kNodes);
+    EXPECT_EQ(result.workers_lost, 0u);
+    EXPECT_EQ(file_bytes(out_path), ref.str())
+        << "byte drift at workers=" << SGP_PICK_LABEL(workers);
+    std::remove(out_path.c_str());
   }
-
-  const std::string out_path = testing::TempDir() + "/sgp_diff_dist_p" +
-                               std::to_string(workers) + ".bin";
-  graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
-  DistributedPublishOptions opt;
-  opt.sharded.publish.projection_dim = kDim;
-  opt.sharded.publish.seed = 20260807;
-  opt.sharded.shard_rows = 64;
-  opt.sharded.threads = 2;
-  opt.workers = workers;
-  opt.worker_program = SGP_PUBLISH_BIN;
-  opt.edges_path = edges_path;
-  opt.id_policy = graph::IdPolicy::kPreserve;
-  const DistributedPublishResult result =
-      publish_distributed(reader, opt, out_path);
-  EXPECT_EQ(result.num_nodes, kNodes);
-  EXPECT_EQ(result.workers_lost, 0u);
-
-  std::ifstream in(out_path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  EXPECT_EQ(buf.str(), ref.str()) << "byte drift at workers=" << workers;
-  std::remove(out_path.c_str());
   std::remove(edges_path.c_str());
 }
-
-INSTANTIATE_TEST_SUITE_P(ProcessAxis, DistributedMatrixTest,
-                         testing::Values(std::size_t{1}, std::size_t{2},
-                                         std::size_t{4}),
-                         [](const auto& info) {
-                           return "workers" + std::to_string(info.param);
-                         });
 
 // Kernel axis of the matrix (docs/scaling.md): for each kernel variant, the
 // sharded path across shard heights × thread counts must equal that
 // variant's own in-memory streaming reference. Unsupported variants skip
 // (the build/CPU may lack an ISA); scalar and generic always run.
-class KernelMatrixTest
-    : public testing::TestWithParam<
-          std::tuple<random::KernelVariant, std::size_t, std::size_t>> {};
-
-TEST_P(KernelMatrixTest, ShardedBytesEqualStreamingReferencePerKernel) {
-  const auto [kernel, shard_rows, threads] = GetParam();
-  if (!random::kernel_supported(kernel)) {
-    GTEST_SKIP() << "variant " << random::to_string(kernel)
-                 << " not supported on this machine";
-  }
+TEST(DifferentialMatrix, ShardedBytesEqualStreamingReferencePerKernel) {
   const std::string edges_path =
       testing::TempDir() + "/sgp_diff_kernel.edges";
-  random::Rng rng(53);
-  const graph::Graph g = graph::barabasi_albert(kNodes, 6, rng);
+  const graph::Graph g = matrix_graph();
   graph::write_edge_list_file(g, edges_path);
 
-  RandomProjectionPublisher::Options popt;
-  popt.projection_dim = kDim;
-  popt.seed = 20260807;
-  popt.kernel = kernel;
-  std::ostringstream ref(std::ios::binary);
-  publish_to_stream(g, popt, ref);
+  random::KernelVariant kernel = random::KernelVariant::kScalar;
+  std::size_t shard_rows = 0;
+  std::size_t threads = 0;
+  SGP_PICK(kernel_variants, kernel)
+  SGP_PICK(kernel_matrix_shard_rows, shard_rows)
+  SGP_PICK(kernel_matrix_threads, threads) {
+    if (!random::kernel_supported(kernel)) continue;
+    RandomProjectionPublisher::Options popt = publish_options();
+    popt.kernel = kernel;
+    std::ostringstream ref(std::ios::binary);
+    publish_to_stream(g, popt, ref);
 
-  const std::string out_path =
-      testing::TempDir() + "/sgp_diff_k" +
-      std::string(random::to_string(kernel)) + "_s" +
-      std::to_string(shard_rows) + "_t" + std::to_string(threads) + ".bin";
-  graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
-  ShardedPublishOptions opt;
-  opt.publish = popt;
-  opt.shard_rows = shard_rows;
-  opt.threads = threads;
-  publish_sharded(reader, opt, out_path);
-
-  std::ifstream in(out_path, std::ios::binary);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  EXPECT_EQ(buf.str(), ref.str())
-      << "byte drift at kernel=" << random::to_string(kernel)
-      << " shard_rows=" << shard_rows << " threads=" << threads;
-  std::remove(out_path.c_str());
+    const std::string out_path =
+        testing::TempDir() + "/sgp_diff_k" + SGP_PICK_LABEL(kernel) + "_s" +
+        std::to_string(shard_rows) + "_t" + std::to_string(threads) + ".bin";
+    graph::EdgeListShardReader reader(edges_path, graph::IdPolicy::kPreserve);
+    ShardedPublishOptions opt;
+    opt.publish = popt;
+    opt.shard_rows = shard_rows;
+    opt.threads = threads;
+    publish_sharded(reader, opt, out_path);
+    EXPECT_EQ(file_bytes(out_path), ref.str())
+        << "byte drift at kernel=" << SGP_PICK_LABEL(kernel)
+        << " shard_rows=" << SGP_PICK_LABEL(shard_rows)
+        << " threads=" << SGP_PICK_LABEL(threads);
+    std::remove(out_path.c_str());
+  }
   std::remove(edges_path.c_str());
 }
-
-INSTANTIATE_TEST_SUITE_P(
-    KernelAxis, KernelMatrixTest,
-    testing::Combine(testing::Values(random::KernelVariant::kScalar,
-                                     random::KernelVariant::kGeneric,
-                                     random::KernelVariant::kAvx2,
-                                     random::KernelVariant::kAvx512),
-                     testing::Values(std::size_t{7}, std::size_t{64}, kNodes),
-                     testing::Values(std::size_t{1}, std::size_t{8})),
-    [](const auto& info) {
-      return std::string(random::to_string(std::get<0>(info.param))) +
-             "_shard" + std::to_string(std::get<1>(info.param)) + "_threads" +
-             std::to_string(std::get<2>(info.param));
-    });
 
 // The compact-id remap must survive the matrix too: shard loading under
 // kCompact re-resolves ids through the persistent remap, so a sparse messy
 // id space is where an ordering bug would surface.
-TEST(DifferentialMatrixCompact, SparseIdsByteIdenticalAcrossShardSizes) {
+TEST(DifferentialMatrix, SparseIdsByteIdenticalAcrossShardSizes) {
   const std::string edges =
       testing::TempDir() + "/sgp_diff_compact.edges";
   {
@@ -244,8 +190,8 @@ TEST(DifferentialMatrixCompact, SparseIdsByteIdenticalAcrossShardSizes) {
   publish_to_stream(g, popt, ref);
 
   graph::EdgeListShardReader reader(edges, graph::IdPolicy::kCompact);
-  for (const std::size_t shard_rows : {std::size_t{1}, std::size_t{17},
-                                       std::size_t{300}}) {
+  std::size_t shard_rows = 0;
+  SGP_PICK(compact_shard_rows, shard_rows) {
     const std::string out_path = testing::TempDir() + "/sgp_diff_compact_" +
                                  std::to_string(shard_rows) + ".bin";
     ShardedPublishOptions opt;
@@ -253,10 +199,8 @@ TEST(DifferentialMatrixCompact, SparseIdsByteIdenticalAcrossShardSizes) {
     opt.shard_rows = shard_rows;
     opt.threads = 4;
     publish_sharded(reader, opt, out_path);
-    std::ifstream in(out_path, std::ios::binary);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    EXPECT_EQ(buf.str(), ref.str()) << "shard_rows=" << shard_rows;
+    EXPECT_EQ(file_bytes(out_path), ref.str())
+        << "shard_rows=" << SGP_PICK_LABEL(shard_rows);
     std::remove(out_path.c_str());
   }
   std::remove(edges.c_str());

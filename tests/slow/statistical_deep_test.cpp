@@ -20,9 +20,12 @@
 #include "random/kernel_variant.hpp"
 #include "random/rng.hpp"
 #include "../dp/stat_utils.hpp"
+#include "../scenario/test_axes.hpp"
 
 namespace sgp::core {
 namespace {
+
+using namespace sgp::test_axes;  // NOLINT: axis accessors for SGP_PICK
 
 // P[sqrt(n)·D > 1.95] ≈ 0.001 under H0 (Kolmogorov distribution).
 constexpr double kKsCritical = 1.95;
@@ -52,7 +55,8 @@ TEST(DeepNoiseStatistics, DisjointCounterWindowsAreUncorrelated) {
   // in-memory stream's. Check lag correlations across a window boundary.
   const std::size_t n = 500'000;
   const random::CounterRng noise = noise_counter_rng(/*seed=*/5);
-  for (const std::uint64_t lag : {1ULL, 64ULL, 4096ULL}) {
+  std::uint64_t lag = 0;
+  SGP_PICK(noise_lags, lag) {
     double corr = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
       corr += noise.normal(t) * noise.normal(t + lag);
@@ -69,25 +73,24 @@ TEST(DeepNoiseStatistics, MillionSamplePolynomialKernelIsStandardNormal) {
   // 1e-3 CDF distortion (a sloppy polynomial, a biased tail) is fatal.
   const std::size_t n = 1'000'000;
   const random::CounterRng noise = noise_counter_rng(/*seed=*/20260807);
-  for (const random::KernelVariant kernel :
-       {random::KernelVariant::kGeneric, random::KernelVariant::kAvx2,
-        random::KernelVariant::kAvx512}) {
+  random::KernelVariant kernel = random::KernelVariant::kGeneric;
+  SGP_PICK(poly_kernel_variants, kernel) {
     if (!random::kernel_supported(kernel)) continue;
     std::vector<double> samples(n);
     random::normal_batch(noise, 0, n, samples.data(), kernel);
 
     const double ks = test_stats::ks_statistic_normal(samples);
     EXPECT_LT(std::sqrt(static_cast<double>(n)) * ks, kKsCritical)
-        << "variant " << random::to_string(kernel);
+        << "variant " << SGP_PICK_LABEL(kernel);
     EXPECT_LT(test_stats::chi_square_normal(samples, kChiBins), kChiCritical)
-        << "variant " << random::to_string(kernel);
+        << "variant " << SGP_PICK_LABEL(kernel);
 
     const auto m = test_stats::moments(samples);
-    EXPECT_NEAR(m.mean, 0.0, 0.004) << "variant " << random::to_string(kernel);
+    EXPECT_NEAR(m.mean, 0.0, 0.004) << "variant " << SGP_PICK_LABEL(kernel);
     EXPECT_NEAR(m.variance, 1.0, 0.006)
-        << "variant " << random::to_string(kernel);
+        << "variant " << SGP_PICK_LABEL(kernel);
     EXPECT_NEAR(m.kurtosis, 3.0, 0.02)
-        << "variant " << random::to_string(kernel);
+        << "variant " << SGP_PICK_LABEL(kernel);
   }
 }
 

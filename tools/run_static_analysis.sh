@@ -29,6 +29,11 @@
 #                      sgp_publish, asserting each vector variant's bytes
 #                      match its forced re-run and the scalar bytes stay
 #                      distinct under the counter-v1 tag (DESIGN.md)
+#  10. scenario grid   `ctest -L scenario`: the PARAMETERIZE/PICK engine,
+#                      the full mechanism × generator × (ε, δ) × task
+#                      structural grid, the migration coverage pins, and
+#                      the BENCH_E14.json emit/validate fixture pair
+#                      (docs/mechanisms.md)
 #
 #   tools/run_static_analysis.sh [--fast]
 #
@@ -217,6 +222,17 @@ if [[ "${kd_ok}" == "1" ]]; then
   echo "kernel differential: clean"
 else
   echo "kernel differential: FAILED"
+  fail=1
+fi
+
+# --- 10. scenario grid --------------------------------------------------------
+note "scenario grid (ctest -L scenario)"
+cmake --build build -j --target scenario_test bench_e14_mechanisms \
+  sgp_bench_check >/dev/null
+if ctest --test-dir build -L scenario --output-on-failure -j "$(nproc)"; then
+  echo "scenario grid: clean"
+else
+  echo "scenario grid: FAILED"
   fail=1
 fi
 

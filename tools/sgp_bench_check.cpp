@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/aggregate.hpp"
 #include "obs/report.hpp"
@@ -115,6 +116,67 @@ void check_e13_meta(const std::string& path, const sgp::util::JsonValue& doc) {
   check_kernel_variant(path, "E13", *meta);
 }
 
+// BENCH_E14 records the mechanism-comparison grid: the axes (mechanisms,
+// generators, epsilons, tasks) as comma-joined lists plus δ, and one
+// "score.<generator>.<mechanism>.e<epsilon>.<task>" number in [0, 1] for
+// every cell of their product — the contract sgp_analyze
+// --compare-mechanisms renders from.
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : spec) {
+    if (c == ',') {
+      out.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void check_e14_meta(const std::string& path, const sgp::util::JsonValue& doc) {
+  const sgp::util::JsonValue* meta = doc.find("meta");
+  for (const char* key : {"mechanisms", "generators", "epsilons", "tasks"}) {
+    const sgp::util::JsonValue* axis = meta->find(key);
+    if (axis == nullptr || !axis->is_string() || axis->as_string().empty()) {
+      throw sgp::util::ParseError(path + ": E14 meta." + std::string(key) +
+                                  " must be a non-empty comma-joined list");
+    }
+  }
+  const sgp::util::JsonValue* delta = meta->find("delta");
+  if (delta == nullptr || !delta->is_number() || delta->as_number() <= 0.0 ||
+      delta->as_number() >= 1.0) {
+    throw sgp::util::ParseError(path +
+                                ": E14 meta.delta must be a number in (0,1)");
+  }
+  for (const std::string& gen : split_csv(meta->find("generators")->as_string())) {
+    for (const std::string& mech :
+         split_csv(meta->find("mechanisms")->as_string())) {
+      for (const std::string& eps :
+           split_csv(meta->find("epsilons")->as_string())) {
+        for (const std::string& task :
+             split_csv(meta->find("tasks")->as_string())) {
+          const std::string key =
+              "score." + gen + "." + mech + ".e" + eps + "." + task;
+          const sgp::util::JsonValue* score = meta->find(key);
+          if (score == nullptr) {
+            throw sgp::util::ParseError(path + ": E14 meta missing '" + key +
+                                        "' — the score grid must cover the "
+                                        "full axis product");
+          }
+          if (!score->is_number() || score->as_number() < 0.0 ||
+              score->as_number() > 1.0) {
+            throw sgp::util::ParseError(path + ": E14 meta." + key +
+                                        " must be a number in [0, 1]");
+          }
+        }
+      }
+    }
+  }
+}
+
 // BENCH_MICRO carries the SIMD acceptance gate: when the machine has vector
 // hardware (kernel_variant avx2/avx512), the hand-timed tile-fill and
 // fused-SpMM speedups over the scalar kernel must both clear 1.5× — this is
@@ -177,6 +239,9 @@ void check_file(const std::string& path) {
   }
   if (doc.find("id")->as_string() == "E13") {
     check_e13_meta(path, doc);
+  }
+  if (doc.find("id")->as_string() == "E14") {
+    check_e14_meta(path, doc);
   }
   if (doc.find("id")->as_string() == "MICRO") {
     check_micro_meta(path, doc);
